@@ -1,0 +1,366 @@
+package hetgmp
+
+// The repository-root benchmarks regenerate every table and figure of the
+// paper's evaluation (one benchmark per artefact) plus ablations of the
+// design choices DESIGN.md calls out. Each benchmark reports domain metrics
+// (communication reduction, speedups, AUC) through testing.B's custom
+// metrics, so `go test -bench=. -benchmem` doubles as the reproduction
+// harness. cmd/hetgmp-bench renders the same experiments as tables.
+//
+// Benchmarks run the experiments at a reduced "quick" scale so a full
+// -bench=. pass stays in CI territory; run cmd/hetgmp-bench for the
+// full-scale numbers recorded in EXPERIMENTS.md.
+
+import (
+	"sort"
+	"testing"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/engine"
+	"hetgmp/internal/experiments"
+	"hetgmp/internal/partition"
+	"hetgmp/internal/systems"
+)
+
+func benchParams() experiments.Params {
+	p := experiments.QuickDefaults()
+	p.Epochs = 2
+	return p
+}
+
+// BenchmarkFigure1_CommFraction regenerates Figure 1: communication share
+// of epoch time under HugeCTR-style model parallelism per interconnect.
+func BenchmarkFigure1_CommFraction(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure1(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Fraction["4-GPU NVLink"]["avazu"], "nvlink-frac")
+		b.ReportMetric(res.Fraction["4-GPU PCIe"]["avazu"], "pcie-frac")
+		b.ReportMetric(res.Fraction["8-GPU QPI"]["avazu"], "qpi-frac")
+	}
+}
+
+// BenchmarkFigure3_Cooccurrence regenerates Figure 3: co-occurrence graph
+// clustering locality.
+func BenchmarkFigure3_Cooccurrence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure3(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.IntraFraction, row.Dataset+"-intra")
+		}
+	}
+}
+
+// BenchmarkFigure7_Convergence regenerates Figure 7 (quick arms):
+// convergence time of HET-GMP versus HugeCTR-style model parallelism.
+func BenchmarkFigure7_Convergence(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Epochs = 3
+		res, err := experiments.RunFigure7(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, run := range res.Runs {
+			if run.Label == "het-gmp(s=100)" && run.SpeedupVsMP > 0 {
+				b.ReportMetric(run.SpeedupVsMP, "speedup-vs-hugectr")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure8_CommBreakdown regenerates Figure 8: the per-iteration
+// communication breakdown across partitioning/staleness arms.
+func BenchmarkFigure8_CommBreakdown(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure8(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Arm == "2-D (s=100)" {
+				b.ReportMetric(row.EmbReduction, "emb-reduction")
+			}
+		}
+	}
+}
+
+// BenchmarkTable2_Staleness regenerates Table 2: final AUC across staleness
+// bounds.
+func BenchmarkTable2_Staleness(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		p := benchParams()
+		p.Epochs = 3
+		res, err := experiments.RunTable2(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.FinalAUC, "auc-s"+stal(row.Staleness))
+		}
+	}
+}
+
+func stal(s int64) string {
+	if s > 1<<60 {
+		return "inf"
+	}
+	if s >= 10000 {
+		return "10k"
+	}
+	if s >= 100 {
+		return "100"
+	}
+	return "0"
+}
+
+// BenchmarkFigure9a_Hierarchical regenerates Figure 9a: throughput under
+// random / non-hierarchical / hierarchical partitioning on 16 GPUs. It
+// doubles as the heterogeneity-awareness ablation.
+func BenchmarkFigure9a_Hierarchical(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure9a(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(row.Throughput, string(row.Policy)+"-samples/s")
+		}
+	}
+}
+
+// BenchmarkFigure9b_TrafficMatrix regenerates Figure 9b: the worker×worker
+// embedding traffic pattern.
+func BenchmarkFigure9b_TrafficMatrix(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure9b(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.LocalFrac[experiments.PolicyHierarchical], "hier-local-frac")
+		b.ReportMetric(res.IntraMachineFrac[experiments.PolicyHierarchical], "hier-intra-machine")
+	}
+}
+
+// BenchmarkTable3_Partitioners regenerates Table 3: Random vs BiCut vs the
+// hybrid iterative partitioner.
+func BenchmarkTable3_Partitioners(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunTable3(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			if row.Algorithm == "BiCut" {
+				b.ReportMetric(row.Reduction, "bicut-reduction")
+			}
+			if row.Algorithm == "Ours (2 rounds)" || row.Algorithm == "Ours (5 rounds)" {
+				b.ReportMetric(row.Reduction, "ours-reduction")
+			}
+		}
+	}
+}
+
+// BenchmarkFigure10_Scalability regenerates Figure 10: throughput versus
+// cluster size, HET-GMP against HugeCTR.
+func BenchmarkFigure10_Scalability(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunFigure10(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.MaxSpeedup("criteo"), "max-speedup")
+	}
+}
+
+// BenchmarkCapacity_Plan regenerates the Section 7.4 capacity arithmetic.
+func BenchmarkCapacity_Plan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunCapacity(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Plans[0].MaxParamsForCluster), "max-params-24gpu")
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Ablations (DESIGN.md §5)
+
+// BenchmarkAblation_PartitionStages compares 1D-only, 2D-only (replication
+// over a random 1D layout) and the full hybrid pipeline.
+func BenchmarkAblation_PartitionStages(b *testing.B) {
+	ds, err := experiments.LoadDataset("criteo", 2e-4, 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := bigraph.FromDataset(ds)
+	for i := 0; i < b.N; i++ {
+		oneD := partition.DefaultHybridConfig(8)
+		oneD.Rounds = 3
+		oneD.ReplicaFraction = 0
+		r1, err := partition.Hybrid(g, oneD)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// 2D-only: random primaries, replicate the globally hottest 1%.
+		twoD := partition.Random(g, 8, 22)
+		addHotReplicas(g, twoD, 0.01)
+		full := partition.DefaultHybridConfig(8)
+		full.Rounds = 3
+		rf, err := partition.Hybrid(g, full)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(partition.Evaluate(g, r1.Assignment, nil).RemoteAccesses), "1d-remote")
+		b.ReportMetric(float64(partition.Evaluate(g, twoD, nil).RemoteAccesses), "2d-remote")
+		b.ReportMetric(float64(partition.Evaluate(g, rf.Assignment, nil).RemoteAccesses), "hybrid-remote")
+	}
+}
+
+// addHotReplicas replicates the top fraction of features (by degree) onto
+// every partition — the naive "cache the head" strategy.
+func addHotReplicas(g *bigraph.Bigraph, a *partition.Assignment, fraction float64) {
+	type hot struct {
+		x int32
+		d int32
+	}
+	hots := make([]hot, g.NumFeatures)
+	for x := range hots {
+		hots[x] = hot{int32(x), g.Degree[x]}
+	}
+	sort.Slice(hots, func(i, j int) bool { return hots[i].d > hots[j].d })
+	k := int(fraction * float64(g.NumFeatures))
+	for _, h := range hots[:k] {
+		for p := 0; p < a.N; p++ {
+			a.AddReplica(h.x, p)
+		}
+	}
+}
+
+// BenchmarkAblation_ClockNormalization compares the inter-embedding check
+// with and without frequency-normalised clocks (Section 5.3): without
+// normalisation, high-frequency embeddings' fast-moving clocks force
+// spurious synchronisations of their slow co-accessed partners.
+func BenchmarkAblation_ClockNormalization(b *testing.B) {
+	ds, err := experiments.LoadDataset("avazu", 2e-4, 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, test := ds.Split(0.9)
+	topo := cluster.ClusterA(1)
+	g := bigraph.FromDataset(train)
+	cfg := partition.DefaultHybridConfig(topo.NumWorkers())
+	cfg.Rounds = 2
+	cfg.Seed = 22
+	hr, err := partition.Hybrid(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		for _, normalize := range []bool{false, true} {
+			model, err := systems.NewModel("wdl", train.NumFields, 8, 22)
+			if err != nil {
+				b.Fatal(err)
+			}
+			tr, err := engine.NewTrainer(engine.Config{
+				Train: train, Test: test, Model: model, Dim: 8,
+				Topo: topo, Assign: hr.Assignment,
+				BatchPerWorker: 128, Epochs: 2,
+				Staleness: 50, InterCheck: true, Normalize: normalize,
+				Overlap: 0.6, EvalEvery: 1 << 30, Seed: 22,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			res, err := tr.Run()
+			if err != nil {
+				b.Fatal(err)
+			}
+			label := "inter-syncs-raw"
+			aucLabel := "auc-raw"
+			if normalize {
+				label = "inter-syncs-normalized"
+				aucLabel = "auc-normalized"
+			}
+			b.ReportMetric(float64(res.SyncedInter), label)
+			b.ReportMetric(res.FinalAUC, aucLabel)
+		}
+	}
+}
+
+// BenchmarkAblation_ReplicaBudget sweeps the secondary fraction (the
+// paper's top-1% choice) and reports the marginal communication reduction.
+func BenchmarkAblation_ReplicaBudget(b *testing.B) {
+	ds, err := experiments.LoadDataset("criteo", 2e-4, 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := bigraph.FromDataset(ds)
+	fractions := []float64{0, 0.005, 0.01, 0.05}
+	for i := 0; i < b.N; i++ {
+		for _, f := range fractions {
+			cfg := partition.DefaultHybridConfig(8)
+			cfg.Rounds = 2
+			cfg.ReplicaFraction = f
+			res, err := partition.Hybrid(g, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := partition.Evaluate(g, res.Assignment, nil)
+			b.ReportMetric(float64(q.RemoteAccesses), "remote@"+pct(f))
+		}
+	}
+}
+
+// BenchmarkAblation_BalanceCoefficients sweeps the γ (communication
+// balance) coefficient of Eq. 4 and reports both communication and
+// imbalance, the trade-off the balance terms navigate.
+func BenchmarkAblation_BalanceCoefficients(b *testing.B) {
+	ds, err := experiments.LoadDataset("criteo", 2e-4, 22)
+	if err != nil {
+		b.Fatal(err)
+	}
+	g := bigraph.FromDataset(ds)
+	for i := 0; i < b.N; i++ {
+		for _, gamma := range []float64{0, 0.5, 2} {
+			cfg := partition.DefaultHybridConfig(8)
+			cfg.Rounds = 2
+			cfg.Gamma = gamma
+			res, err := partition.Hybrid(g, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			q := partition.Evaluate(g, res.Assignment, nil)
+			label := "g0"
+			switch gamma {
+			case 0.5:
+				label = "g0.5"
+			case 2:
+				label = "g2"
+			}
+			b.ReportMetric(float64(q.RemoteAccesses), "remote-"+label)
+			b.ReportMetric(q.SampleImbalance, "imbal-"+label)
+		}
+	}
+}
+
+func pct(f float64) string {
+	switch f {
+	case 0:
+		return "0%"
+	case 0.005:
+		return "0.5%"
+	case 0.01:
+		return "1%"
+	case 0.05:
+		return "5%"
+	}
+	return "?"
+}

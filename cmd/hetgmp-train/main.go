@@ -1,0 +1,137 @@
+// Command hetgmp-train runs one end-to-end distributed training job on the
+// simulated cluster and reports convergence, throughput and the
+// communication breakdown.
+//
+// Usage:
+//
+//	hetgmp-train [-system name] [-model wdl|dcn|deepfm] [-dataset name] [-scale f]
+//	             [-gpus n] [-staleness s] [-epochs n] [-dim n] [-batch n] [-seed n]
+//
+// Systems: tf-ps, parallax, hugectr, het-mp, het-gmp.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/comm"
+	"hetgmp/internal/dataset"
+	"hetgmp/internal/embed"
+	"hetgmp/internal/report"
+	"hetgmp/internal/systems"
+)
+
+func main() {
+	var (
+		sysName   = flag.String("system", "het-gmp", "training system (tf-ps|parallax|hugectr|het-mp|het-gmp)")
+		model     = flag.String("model", "wdl", "CTR model (wdl|dcn|deepfm)")
+		dsName    = flag.String("dataset", "criteo", "synthetic dataset preset (avazu|criteo|company)")
+		scale     = flag.Float64("scale", 1e-3, "dataset scale")
+		gpus      = flag.Int("gpus", 8, "number of simulated GPUs")
+		staleness = flag.Int64("staleness", 100, "HET-GMP staleness bound s (-1 for infinity)")
+		epochs    = flag.Int("epochs", 4, "training epochs")
+		dim       = flag.Int("dim", 32, "embedding dimension")
+		batch     = flag.Int("batch", 256, "per-worker batch size")
+		target    = flag.Float64("target", 0, "stop once test AUC reaches this (0: run all epochs)")
+		csvPath   = flag.String("csv", "", "write the convergence history as CSV to this file")
+		ckptPath  = flag.String("checkpoint", "", "write a model+embedding checkpoint to this file after training")
+		seed      = flag.Uint64("seed", 22, "random seed")
+	)
+	flag.Parse()
+
+	ds, err := dataset.New(*dsName, *scale, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	train, test := ds.Split(0.9)
+	topo, err := cluster.ScaleOut(*gpus)
+	if err != nil {
+		fatal(err)
+	}
+	s := *staleness
+	if s < 0 {
+		s = embed.StalenessInf
+	}
+	tr, err := systems.Build(systems.System(*sysName), systems.Options{
+		Train: train, Test: test, ModelName: *model, Topo: topo,
+		Dim: *dim, BatchPerWorker: *batch, Epochs: *epochs,
+		Staleness: s, TargetAUC: *target, EvalSamples: 8192, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("system:  %s — %s\n", *sysName, systems.Describe(systems.System(*sysName)))
+	fmt.Printf("cluster: %s (%d workers)\n", topo.Name, topo.NumWorkers())
+	st := train.Stats()
+	fmt.Printf("dataset: %s, %d train samples, %d features, %d fields; model %s dim %d\n\n",
+		*dsName, st.NumSamples, st.NumFeatures, st.NumFields, *model, *dim)
+
+	res, err := tr.Run()
+	if err != nil {
+		fatal(err)
+	}
+
+	curve := report.New("convergence", "iteration", "epoch", "sim time (s)", "AUC", "train loss")
+	for _, pt := range res.History {
+		curve.AddRow(pt.Iteration, pt.Epoch, pt.SimTime, pt.AUC, pt.Loss)
+	}
+	fmt.Println(curve.String())
+
+	sum := report.New("run summary", "metric", "value")
+	sum.AddRow("final AUC", res.FinalAUC)
+	sum.AddRow("best AUC", res.BestAUC)
+	if res.ConvergedAt >= 0 {
+		sum.AddRow("time to target AUC (sim s)", res.ConvergedAt)
+	}
+	sum.AddRow("iterations", res.Iterations)
+	sum.AddRow("samples processed", res.SamplesProcessed)
+	sum.AddRow("total simulated time (s)", res.TotalSimTime)
+	sum.AddRow("throughput (samples/s)", res.Throughput)
+	sum.AddRow("communication fraction", report.Percent(res.CommFraction()))
+	b := res.Breakdown
+	sum.AddRow("embedding+grads bytes", report.FormatBytes(b.Bytes[comm.CatEmbedding]))
+	sum.AddRow("index+clocks bytes", report.FormatBytes(b.Bytes[comm.CatMeta]))
+	sum.AddRow("allreduce-dense bytes", report.FormatBytes(b.Bytes[comm.CatDense]))
+	sum.AddRow("reads: local primary", res.LocalPrimary)
+	sum.AddRow("reads: fresh secondary", res.LocalFresh)
+	sum.AddRow("reads: synced (intra)", res.SyncedIntra)
+	sum.AddRow("reads: synced (inter)", res.SyncedInter)
+	sum.AddRow("reads: remote", res.RemoteReads)
+	fmt.Println(sum.String())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(f, "iteration,epoch,sim_time_s,auc,train_loss")
+		for _, pt := range res.History {
+			fmt.Fprintf(f, "%d,%d,%g,%g,%g\n", pt.Iteration, pt.Epoch, pt.SimTime, pt.AUC, pt.Loss)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote convergence CSV to %s\n", *csvPath)
+	}
+	if *ckptPath != "" {
+		f, err := os.Create(*ckptPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tr.SaveCheckpoint(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote checkpoint to %s\n", *ckptPath)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hetgmp-train:", err)
+	os.Exit(1)
+}

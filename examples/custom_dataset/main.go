@@ -1,0 +1,68 @@
+// Custom dataset: generate a CTR dataset with explicit structure, persist
+// it in the repository's text format, reload it, and train on the loaded
+// copy — the workflow for plugging real preprocessed data (e.g. exported
+// Avazu/Criteo features) into the reproduction.
+//
+//	go run ./examples/custom_dataset
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"hetgmp"
+	"hetgmp/internal/dataset"
+)
+
+func main() {
+	// A dataset with strong two-level locality: 12 clusters in 3
+	// super-clusters, moderately skewed features.
+	ds, err := hetgmp.GenerateDataset(hetgmp.DatasetConfig{
+		Name:          "demo",
+		NumFields:     18,
+		NumSamples:    30_000,
+		NumFeatures:   12_000,
+		ZipfExponent:  1.1,
+		NumClusters:   12,
+		SuperClusters: 3,
+		SuperNoise:    0.5,
+		ClusterNoise:  0.3,
+		FieldSkew:     1.0,
+		Seed:          99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Round-trip through the on-disk format (a file would work the same;
+	// a buffer keeps the example self-contained).
+	var buf bytes.Buffer
+	if err := dataset.Save(&buf, ds); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("serialised %d samples to %d bytes of text\n", len(ds.Samples), buf.Len())
+	loaded, err := dataset.Load(&buf)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	train, test := loaded.Split(0.9)
+	topo, err := hetgmp.ScaleOut(4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	trainer, err := hetgmp.Build(hetgmp.HETGMP, hetgmp.SystemOptions{
+		Train: train, Test: test, ModelName: "dcn", Topo: topo,
+		Dim: 16, BatchPerWorker: 256, Epochs: 2, Staleness: 50, Seed: 99,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := trainer.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("trained DCN on the reloaded dataset: AUC %.4f, %.0f samples/s\n",
+		res.FinalAUC, res.Throughput)
+}

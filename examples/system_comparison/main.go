@@ -1,0 +1,46 @@
+// System comparison: train DCN on a Criteo-shaped dataset under all five
+// system architectures of the paper's evaluation and compare convergence
+// speed in simulated cluster time — a miniature of the paper's Figure 7.
+//
+//	go run ./examples/system_comparison
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hetgmp"
+	"hetgmp/internal/report"
+)
+
+func main() {
+	ds, err := hetgmp.NewDataset(hetgmp.Criteo, 5e-4, 3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	train, test := ds.Split(0.9)
+	topo := hetgmp.ClusterA(1) // 8 RTX TITANs on PCIe/QPI, as in Figure 7
+
+	t := report.New("DCN on Criteo-shaped data, 8 GPUs (cluster A)",
+		"system", "final AUC", "sim time (s)", "samples/s", "comm fraction")
+	for _, sys := range []hetgmp.System{
+		hetgmp.TFPS, hetgmp.Parallax, hetgmp.HugeCTR, hetgmp.HETMP, hetgmp.HETGMP,
+	} {
+		trainer, err := hetgmp.Build(sys, hetgmp.SystemOptions{
+			Train: train, Test: test, ModelName: "dcn", Topo: topo,
+			Dim: 16, BatchPerWorker: 128, Epochs: 2, Staleness: 100, Seed: 3,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := trainer.Run()
+		if err != nil {
+			log.Fatal(err)
+		}
+		t.AddRow(string(sys), res.FinalAUC, res.TotalSimTime, res.Throughput,
+			report.Percent(res.CommFraction()))
+	}
+	t.AddNote("CPU-PS systems pay the host link on every lookup; HET-GMP's partitioning")
+	t.AddNote("and bounded staleness cut the peer-to-peer embedding traffic")
+	fmt.Println(t.String())
+}

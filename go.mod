@@ -1,0 +1,3 @@
+module hetgmp
+
+go 1.22

@@ -1,0 +1,227 @@
+// Package hetgmp is a Go reproduction of "HET-GMP: A Graph-based System
+// Approach to Scaling Large Embedding Model Training" (Miao et al., SIGMOD
+// 2022): a distributed embedding-model training system that models the
+// relationship between data samples and embedding parameters as a bipartite
+// graph, partitions that graph to maximise access locality (hybrid 1D
+// edge-cut + 2D vertex-cut, Algorithm 1), and tolerates bounded staleness
+// across embedding replicas at two graph-derived synchronisation points.
+//
+// The original system runs on GPU clusters over NCCL; this reproduction
+// executes the same algorithms over a simulated cluster whose interconnect
+// hierarchy (NVLink / PCIe / QPI / Ethernet) prices every byte the
+// protocols move. Learning is real — float32 WDL/DCN training with
+// measurable AUC — while time and traffic are modelled, which is exactly
+// what the paper's evaluation quantifies.
+//
+// This root package is the public facade: it re-exports the pieces a
+// downstream user composes (datasets, bigraphs, partitioners, cluster
+// models, systems and experiments) from the internal implementation
+// packages. See README.md for a tour and examples/ for runnable programs.
+package hetgmp
+
+import (
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/consistency"
+	"hetgmp/internal/dataset"
+	"hetgmp/internal/embed"
+	"hetgmp/internal/engine"
+	"hetgmp/internal/experiments"
+	"hetgmp/internal/nn"
+	"hetgmp/internal/partition"
+	"hetgmp/internal/systems"
+)
+
+// ---------------------------------------------------------------------------
+// Datasets (internal/dataset)
+
+// Dataset is an in-memory CTR dataset: samples of categorical features plus
+// click labels.
+type Dataset = dataset.Dataset
+
+// Sample is one training example.
+type Sample = dataset.Sample
+
+// DatasetConfig controls synthetic dataset generation.
+type DatasetConfig = dataset.Config
+
+// Preset dataset names matching the paper's Table 1.
+const (
+	Avazu   = dataset.Avazu
+	Criteo  = dataset.Criteo
+	Company = dataset.Company
+)
+
+// NewDataset generates one of the paper's datasets at the given scale
+// (1e-3 ≈ tens of thousands of samples).
+func NewDataset(name string, scale float64, seed uint64) (*Dataset, error) {
+	return dataset.New(name, scale, seed)
+}
+
+// GenerateDataset synthesises a dataset from an explicit configuration.
+func GenerateDataset(cfg DatasetConfig) (*Dataset, error) { return dataset.Generate(cfg) }
+
+// ---------------------------------------------------------------------------
+// Bigraph (internal/bigraph)
+
+// Bigraph is the sample–embedding bipartite graph of Section 5.1.
+type Bigraph = bigraph.Bigraph
+
+// NewBigraph builds the bigraph of a dataset.
+func NewBigraph(d *Dataset) *Bigraph { return bigraph.FromDataset(d) }
+
+// ---------------------------------------------------------------------------
+// Cluster model (internal/cluster)
+
+// Topology describes a simulated GPU cluster.
+type Topology = cluster.Topology
+
+// LinkType classifies an interconnect.
+type LinkType = cluster.LinkType
+
+// Cluster presets from the paper's evaluation.
+var (
+	// ClusterA returns nodes of 8 RTX TITANs on PCIe with 1 GbE.
+	ClusterA = cluster.ClusterA
+	// ClusterB returns nodes of 8 V100s on NVLink with 10 GbE.
+	ClusterB = cluster.ClusterB
+	// ScaleOut returns a cluster-B topology with exactly n GPUs.
+	ScaleOut = cluster.ScaleOut
+)
+
+// ---------------------------------------------------------------------------
+// Partitioning (internal/partition)
+
+// Assignment maps samples and embeddings to workers, with replicas.
+type Assignment = partition.Assignment
+
+// HybridConfig parameterises Algorithm 1.
+type HybridConfig = partition.HybridConfig
+
+// HybridResult is Algorithm 1's output with per-round history.
+type HybridResult = partition.HybridResult
+
+// PartitionQuality summarises an assignment (Table 3's metrics).
+type PartitionQuality = partition.Quality
+
+// RandomPartition hash-partitions samples and embeddings (the paper's
+// Random baseline and the HugeCTR model).
+func RandomPartition(g *Bigraph, n int, seed uint64) *Assignment {
+	return partition.Random(g, n, seed)
+}
+
+// HybridPartition runs Algorithm 1: iterative 1D edge-cut plus 2D
+// vertex-cut replication.
+func HybridPartition(g *Bigraph, cfg HybridConfig) (*HybridResult, error) {
+	return partition.Hybrid(g, cfg)
+}
+
+// DefaultHybridConfig returns the paper's partitioner settings for n
+// workers.
+func DefaultHybridConfig(n int) HybridConfig { return partition.DefaultHybridConfig(n) }
+
+// EvaluatePartition measures remote accesses, balance and replication.
+func EvaluatePartition(g *Bigraph, a *Assignment, weights [][]float64) PartitionQuality {
+	return partition.Evaluate(g, a, weights)
+}
+
+// ---------------------------------------------------------------------------
+// Models (internal/nn)
+
+// Network is the dense part of a CTR model (WDL or DCN).
+type Network = nn.Network
+
+// NewWDL builds a Wide & Deep network.
+func NewWDL(fields, dim int, seed uint64) Network {
+	return nn.NewWDL(nn.WDLConfig{Fields: fields, Dim: dim, Seed: seed})
+}
+
+// NewDCN builds a Deep & Cross network.
+func NewDCN(fields, dim int, seed uint64) Network {
+	return nn.NewDCN(nn.DCNConfig{Fields: fields, Dim: dim, Seed: seed})
+}
+
+// NewDeepFM builds a DeepFM network (an additional embedding model the
+// paper's Section 5.1 lists as supported by the bigraph abstraction).
+func NewDeepFM(fields, dim int, seed uint64) Network {
+	return nn.NewDeepFM(nn.DeepFMConfig{Fields: fields, Dim: dim, Seed: seed})
+}
+
+// AUC computes the area under the ROC curve.
+func AUC(scores, labels []float32) float64 { return nn.AUC(scores, labels) }
+
+// ---------------------------------------------------------------------------
+// Training systems (internal/systems, internal/engine)
+
+// System names one of the five training architectures of the evaluation.
+type System = systems.System
+
+// The systems of the paper's evaluation.
+const (
+	TFPS     = systems.TFPS
+	Parallax = systems.Parallax
+	HugeCTR  = systems.HugeCTR
+	HETMP    = systems.HETMP
+	HETGMP   = systems.HETGMP
+)
+
+// SystemOptions configures a system build.
+type SystemOptions = systems.Options
+
+// Trainer executes one training run.
+type Trainer = engine.Trainer
+
+// TrainResult summarises a run: convergence history, simulated time,
+// communication breakdown.
+type TrainResult = engine.Result
+
+// StalenessInf disables staleness-triggered synchronisation (s = ∞).
+const StalenessInf = embed.StalenessInf
+
+// Build assembles a trainer for the given system.
+func Build(sys System, opt SystemOptions) (*Trainer, error) { return systems.Build(sys, opt) }
+
+// ---------------------------------------------------------------------------
+// Consistency protocols (internal/consistency)
+
+// Protocol names a consistency model (BSP, ASP, SSP-style bounded, or the
+// paper's graph-based bounded asynchrony).
+type Protocol = consistency.Protocol
+
+// The supported protocols.
+const (
+	BSP          = consistency.BSP
+	ASP          = consistency.ASP
+	Bounded      = consistency.Bounded
+	GraphBounded = consistency.GraphBounded
+)
+
+// ResolveProtocol maps a protocol and staleness bound to engine settings.
+func ResolveProtocol(p Protocol, s int64) (consistency.Config, error) {
+	return consistency.Resolve(p, s)
+}
+
+// ---------------------------------------------------------------------------
+// Cluster profiling (internal/cluster)
+
+// ClusterProfile holds measured pairwise communication speeds.
+type ClusterProfile = cluster.Profile
+
+// ProfileCluster measures every worker pair of a topology; feed the result
+// to HybridConfig.Weights via ClusterProfile.WeightMatrix.
+func ProfileCluster(t *Topology) *ClusterProfile { return cluster.ProfileTopology(t) }
+
+// ---------------------------------------------------------------------------
+// Experiments (internal/experiments)
+
+// ExperimentParams are the shared experiment knobs.
+type ExperimentParams = experiments.Params
+
+// DefaultExperimentParams returns the standard single-machine settings.
+func DefaultExperimentParams() ExperimentParams { return experiments.Defaults() }
+
+// Experiments maps paper labels ("fig1" … "table3", "capacity") to runners.
+var Experiments = experiments.Registry
+
+// ExperimentOrder lists experiment IDs in the paper's order.
+var ExperimentOrder = experiments.Order

@@ -1,0 +1,102 @@
+package hetgmp
+
+import (
+	"testing"
+)
+
+// The facade tests exercise the public API end to end the way README's
+// quickstart does.
+
+func TestFacadeQuickstart(t *testing.T) {
+	ds, err := NewDataset(Avazu, 1e-4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.9)
+	topo, err := ScaleOut(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trainer, err := Build(HETGMP, SystemOptions{
+		Train: train, Test: test, ModelName: "wdl", Topo: topo,
+		Dim: 8, BatchPerWorker: 64, Epochs: 1, Staleness: 100, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := trainer.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAUC < 0.5 {
+		t.Errorf("AUC %v", res.FinalAUC)
+	}
+}
+
+func TestFacadePartitioning(t *testing.T) {
+	ds, err := NewDataset(Criteo, 1e-4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewBigraph(ds)
+	random := RandomPartition(g, 8, 2)
+	cfg := DefaultHybridConfig(8)
+	cfg.Rounds = 2
+	cfg.Seed = 2
+	hybrid, err := HybridPartition(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rq := EvaluatePartition(g, random, nil)
+	hq := EvaluatePartition(g, hybrid.Assignment, nil)
+	if hq.RemoteAccesses >= rq.RemoteAccesses {
+		t.Errorf("hybrid %d not below random %d", hq.RemoteAccesses, rq.RemoteAccesses)
+	}
+}
+
+func TestFacadeModels(t *testing.T) {
+	w := NewWDL(10, 8, 1)
+	d := NewDCN(10, 8, 1)
+	if w.Name() != "wdl" || d.Name() != "dcn" {
+		t.Error("model names wrong")
+	}
+	if w.InputDim() != 80 || d.InputDim() != 80 {
+		t.Error("input dims wrong")
+	}
+	if got := AUC([]float32{0.9, 0.1}, []float32{1, 0}); got != 1 {
+		t.Errorf("AUC = %v", got)
+	}
+}
+
+func TestFacadeGenerateDataset(t *testing.T) {
+	ds, err := GenerateDataset(DatasetConfig{
+		Name: "custom", NumFields: 4, NumSamples: 500, NumFeatures: 100,
+		ZipfExponent: 1, NumClusters: 2, ClusterNoise: 0.5, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds.Samples) != 500 {
+		t.Errorf("samples: %d", len(ds.Samples))
+	}
+}
+
+func TestExperimentRegistryExposed(t *testing.T) {
+	if len(ExperimentOrder) == 0 || len(Experiments) != len(ExperimentOrder) {
+		t.Fatalf("experiments: %d order, %d registry", len(ExperimentOrder), len(Experiments))
+	}
+	for _, id := range ExperimentOrder {
+		if Experiments[id] == nil {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+}
+
+func TestClusterPresetsExposed(t *testing.T) {
+	if ClusterA(1).NumWorkers() != 8 || ClusterB(2).NumWorkers() != 16 {
+		t.Error("cluster presets wrong")
+	}
+	if _, err := ScaleOut(12); err == nil {
+		t.Error("invalid scale-out accepted")
+	}
+}

@@ -1,0 +1,186 @@
+package bigraph
+
+import (
+	"sort"
+
+	"hetgmp/internal/xrand"
+)
+
+// WeightedGraph is an undirected weighted graph over embedding vertices in
+// CSR form, used for the co-occurrence analysis of the paper's Figure 3 and
+// as input to the METIS-like clusterer.
+type WeightedGraph struct {
+	N      int
+	Off    []int64
+	Adj    []int32
+	Weight []float32
+	VtxWt  []float32 // vertex weights (feature degree)
+}
+
+// NumEdges returns the number of undirected edges (each stored twice).
+func (w *WeightedGraph) NumEdges() int64 { return int64(len(w.Adj)) / 2 }
+
+// TotalWeight returns the sum of undirected edge weights. Each edge is
+// stored twice in the CSR arrays, so the sum is halved.
+func (w *WeightedGraph) TotalWeight() float64 {
+	var s float64
+	for _, v := range w.Weight {
+		s += float64(v)
+	}
+	return s / 2
+}
+
+// Neighbors returns the adjacency and weights of vertex v.
+func (w *WeightedGraph) Neighbors(v int32) ([]int32, []float32) {
+	return w.Adj[w.Off[v]:w.Off[v+1]], w.Weight[w.Off[v]:w.Off[v+1]]
+}
+
+// CooccurrenceOptions bounds co-occurrence graph construction. A sample with
+// m fields contributes m·(m−1)/2 feature pairs; with 43 fields that is 903
+// pairs per sample, so construction subsamples pairs for large datasets.
+type CooccurrenceOptions struct {
+	// MaxPairsPerSample caps the feature pairs taken from one sample;
+	// 0 means all pairs.
+	MaxPairsPerSample int
+	// MaxSamples caps the samples scanned; 0 means all samples.
+	MaxSamples int
+	Seed       uint64
+}
+
+// Cooccurrence builds the embedding co-occurrence graph: vertices are
+// features, an edge's weight is the number of (sampled) data samples in
+// which the two features appear together.
+func (g *Bigraph) Cooccurrence(opt CooccurrenceOptions) *WeightedGraph {
+	rng := xrand.New(opt.Seed ^ 0xc00cc00cc00cc00c)
+	type pair struct{ a, b int32 }
+	counts := make(map[pair]float32)
+	limit := g.NumSamples
+	if opt.MaxSamples > 0 && opt.MaxSamples < limit {
+		limit = opt.MaxSamples
+	}
+	for i := 0; i < limit; i++ {
+		feats := g.SampleFeatures(i)
+		m := len(feats)
+		all := m * (m - 1) / 2
+		if opt.MaxPairsPerSample == 0 || all <= opt.MaxPairsPerSample {
+			for a := 0; a < m; a++ {
+				for b := a + 1; b < m; b++ {
+					x, y := feats[a], feats[b]
+					if x == y {
+						continue
+					}
+					if x > y {
+						x, y = y, x
+					}
+					counts[pair{x, y}]++
+				}
+			}
+		} else {
+			for k := 0; k < opt.MaxPairsPerSample; k++ {
+				a := rng.Intn(m)
+				b := rng.Intn(m - 1)
+				if b >= a {
+					b++
+				}
+				x, y := feats[a], feats[b]
+				if x == y {
+					continue
+				}
+				if x > y {
+					x, y = y, x
+				}
+				counts[pair{x, y}]++
+			}
+		}
+	}
+
+	w := &WeightedGraph{N: g.NumFeatures, VtxWt: make([]float32, g.NumFeatures)}
+	for f := range w.VtxWt {
+		w.VtxWt[f] = float32(g.Degree[f])
+	}
+	deg := make([]int32, g.NumFeatures)
+	for p := range counts {
+		deg[p.a]++
+		deg[p.b]++
+	}
+	w.Off = make([]int64, g.NumFeatures+1)
+	for f := 0; f < g.NumFeatures; f++ {
+		w.Off[f+1] = w.Off[f] + int64(deg[f])
+	}
+	w.Adj = make([]int32, w.Off[g.NumFeatures])
+	w.Weight = make([]float32, w.Off[g.NumFeatures])
+	cursor := make([]int64, g.NumFeatures)
+	copy(cursor, w.Off[:g.NumFeatures])
+	for p, c := range counts {
+		w.Adj[cursor[p.a]] = p.b
+		w.Weight[cursor[p.a]] = c
+		cursor[p.a]++
+		w.Adj[cursor[p.b]] = p.a
+		w.Weight[cursor[p.b]] = c
+		cursor[p.b]++
+	}
+	// Sort each adjacency list for deterministic iteration (map order above
+	// is randomised by the runtime).
+	for v := int32(0); v < int32(g.NumFeatures); v++ {
+		lo, hi := w.Off[v], w.Off[v+1]
+		idx := make([]int, hi-lo)
+		for i := range idx {
+			idx[i] = int(lo) + i
+		}
+		sort.Slice(idx, func(i, j int) bool { return w.Adj[idx[i]] < w.Adj[idx[j]] })
+		adj := make([]int32, hi-lo)
+		wt := make([]float32, hi-lo)
+		for i, k := range idx {
+			adj[i] = w.Adj[k]
+			wt[i] = w.Weight[k]
+		}
+		copy(w.Adj[lo:hi], adj)
+		copy(w.Weight[lo:hi], wt)
+	}
+	return w
+}
+
+// IntraClusterFraction returns the fraction of total edge weight that stays
+// inside clusters under the given vertex→cluster assignment. It is the
+// scalar summary of Figure 3's "dense diagonal regions": values near 1 mean
+// strong locality.
+func (w *WeightedGraph) IntraClusterFraction(clusterOf []int) float64 {
+	total := w.TotalWeight()
+	if total == 0 {
+		return 0
+	}
+	var intra float64
+	for v := int32(0); v < int32(w.N); v++ {
+		adj, wt := w.Neighbors(v)
+		for i, u := range adj {
+			if u <= v {
+				continue // count each undirected edge once
+			}
+			if clusterOf[v] == clusterOf[u] {
+				intra += float64(wt[i])
+			}
+		}
+	}
+	return intra / total
+}
+
+// BlockMatrix aggregates edge weight between clusters into a k×k matrix,
+// the numeric form of Figure 3's heatmaps (row-major, symmetric).
+func (w *WeightedGraph) BlockMatrix(clusterOf []int, k int) []float64 {
+	m := make([]float64, k*k)
+	for v := int32(0); v < int32(w.N); v++ {
+		adj, wt := w.Neighbors(v)
+		cv := clusterOf[v]
+		for i, u := range adj {
+			if u <= v {
+				continue
+			}
+			cu := clusterOf[u]
+			m[cv*k+cu] += float64(wt[i])
+			if cv != cu {
+				m[cu*k+cv] += float64(wt[i])
+			}
+		}
+	}
+	return m
+}

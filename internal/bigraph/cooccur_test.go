@@ -1,0 +1,126 @@
+package bigraph
+
+import (
+	"testing"
+
+	"hetgmp/internal/dataset"
+)
+
+func TestCooccurrenceTiny(t *testing.T) {
+	g := FromDataset(tinyDataset())
+	co := g.Cooccurrence(CooccurrenceOptions{})
+	// Pairs: (0,2) from sample 0 and... sample 2 gives (1,2); sample 1
+	// (0,3); sample 3 (0,4). So feature 0 neighbours {2, 3, 4}.
+	adj, wt := co.Neighbors(0)
+	if len(adj) != 3 {
+		t.Fatalf("feature 0 neighbours: %v", adj)
+	}
+	for i, u := range adj {
+		if wt[i] != 1 {
+			t.Errorf("weight of (0,%d) = %v, want 1", u, wt[i])
+		}
+	}
+	if co.NumEdges() != 4 {
+		t.Errorf("edges: %d, want 4", co.NumEdges())
+	}
+	if co.TotalWeight() != 4 {
+		t.Errorf("total weight: %v, want 4", co.TotalWeight())
+	}
+}
+
+func TestCooccurrenceSymmetric(t *testing.T) {
+	ds, _ := dataset.New(dataset.Avazu, 5e-5, 13)
+	g := FromDataset(ds)
+	co := g.Cooccurrence(CooccurrenceOptions{MaxSamples: 500})
+	for v := int32(0); int(v) < co.N; v++ {
+		adj, wt := co.Neighbors(v)
+		for i, u := range adj {
+			// Find the reverse edge with equal weight.
+			radj, rwt := co.Neighbors(u)
+			found := false
+			for j, x := range radj {
+				if x == v {
+					if rwt[j] != wt[i] {
+						t.Fatalf("asymmetric weight (%d,%d): %v vs %v", v, u, wt[i], rwt[j])
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("edge (%d,%d) missing reverse", v, u)
+			}
+		}
+	}
+}
+
+func TestCooccurrenceVertexWeights(t *testing.T) {
+	g := FromDataset(tinyDataset())
+	co := g.Cooccurrence(CooccurrenceOptions{})
+	for x := 0; x < g.NumFeatures; x++ {
+		if co.VtxWt[x] != float32(g.Degree[x]) {
+			t.Errorf("vertex weight %d = %v, want %d", x, co.VtxWt[x], g.Degree[x])
+		}
+	}
+}
+
+func TestCooccurrenceSampleCap(t *testing.T) {
+	ds, _ := dataset.New(dataset.Avazu, 1e-4, 13)
+	g := FromDataset(ds)
+	full := g.Cooccurrence(CooccurrenceOptions{MaxSamples: 2000})
+	capped := g.Cooccurrence(CooccurrenceOptions{MaxSamples: 100})
+	if capped.TotalWeight() >= full.TotalWeight() {
+		t.Errorf("capped weight %v >= full %v", capped.TotalWeight(), full.TotalWeight())
+	}
+}
+
+func TestCooccurrencePairSubsampling(t *testing.T) {
+	ds, _ := dataset.New(dataset.Company, 5e-5, 13) // 43 fields → 903 pairs
+	g := FromDataset(ds)
+	sub := g.Cooccurrence(CooccurrenceOptions{MaxPairsPerSample: 20, MaxSamples: 300, Seed: 1})
+	// With 300 samples × ≤20 pairs, total weight is bounded.
+	if sub.TotalWeight() > 300*20 {
+		t.Errorf("subsampled weight %v exceeds budget", sub.TotalWeight())
+	}
+	if sub.TotalWeight() == 0 {
+		t.Error("subsampling produced empty graph")
+	}
+}
+
+func TestIntraClusterFraction(t *testing.T) {
+	g := FromDataset(tinyDataset())
+	co := g.Cooccurrence(CooccurrenceOptions{})
+	// All in one cluster → fraction 1.
+	all := make([]int, co.N)
+	if got := co.IntraClusterFraction(all); got != 1 {
+		t.Errorf("single cluster fraction = %v, want 1", got)
+	}
+	// Feature 0 in its own cluster cuts its 3 edges: 1/4 remains.
+	split := []int{1, 0, 0, 0, 0}
+	if got := co.IntraClusterFraction(split); got != 0.25 {
+		t.Errorf("split fraction = %v, want 0.25", got)
+	}
+}
+
+func TestBlockMatrix(t *testing.T) {
+	g := FromDataset(tinyDataset())
+	co := g.Cooccurrence(CooccurrenceOptions{})
+	clusters := []int{0, 0, 1, 1, 1}
+	m := co.BlockMatrix(clusters, 2)
+	// Edges: (0,2)x? weights 1 each: (0,2):0-1, (0,3):0-1, (0,4):0-1, (1,2):0-1.
+	// All four edges cross clusters 0-1.
+	if m[0*2+0] != 0 || m[1*2+1] != 0 {
+		t.Errorf("diagonal should be 0: %v", m)
+	}
+	if m[0*2+1] != 4 || m[1*2+0] != 4 {
+		t.Errorf("off-diagonal should be 4: %v", m)
+	}
+	var total float64
+	for _, v := range m {
+		total += v
+	}
+	// Each cross edge counted in both (i,j) and (j,i).
+	if total != 2*co.TotalWeight() {
+		t.Errorf("block total %v, want %v", total, 2*co.TotalWeight())
+	}
+}

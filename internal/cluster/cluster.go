@@ -1,0 +1,250 @@
+// Package cluster models the GPU cluster topologies of the paper's
+// evaluation (Section 7, "Experimental Setting"): nodes holding 8 GPUs split
+// across two CPU sockets, with NVLink or PCIe inside a socket, QPI between
+// sockets, and 1 or 10 Gb Ethernet between nodes.
+//
+// The reproduction has no physical GPUs; instead every transfer the training
+// system performs is charged simulated time according to this model. The
+// absolute constants are calibrated to the hardware generation the paper
+// used (RTX TITAN / V100 era); what the experiments depend on is the
+// *hierarchy* — NVLink ≫ PCIe ≫ QPI ≫ 10 GbE ≫ 1 GbE — which drives the
+// paper's Figure 1 communication fractions, the Figure 9 hierarchical
+// partitioning gains, and the Figure 10 scalability cliffs.
+package cluster
+
+import "fmt"
+
+// LinkType classifies the interconnect between a pair of workers.
+type LinkType int
+
+const (
+	// Loopback is a worker talking to itself (device-memory bandwidth).
+	Loopback LinkType = iota
+	// NVLink is the intra-socket GPU fabric on cluster B.
+	NVLink
+	// PCIe is PCIe 3.0 x16, the intra-socket fabric on cluster A and the
+	// CPU↔GPU host link everywhere.
+	PCIe
+	// QPI is the cross-socket path within one node.
+	QPI
+	// Ethernet10G is the inter-node network on cluster B.
+	Ethernet10G
+	// Ethernet1G is the inter-node network on cluster A.
+	Ethernet1G
+)
+
+// String returns the conventional name of the link type.
+func (l LinkType) String() string {
+	switch l {
+	case Loopback:
+		return "loopback"
+	case NVLink:
+		return "NVLink"
+	case PCIe:
+		return "PCIe"
+	case QPI:
+		return "QPI"
+	case Ethernet10G:
+		return "10GbE"
+	case Ethernet1G:
+		return "1GbE"
+	}
+	return fmt.Sprintf("LinkType(%d)", int(l))
+}
+
+// Bandwidth returns the effective point-to-point bandwidth in bytes/second.
+// Values are effective (not peak) numbers for the paper's hardware era.
+func (l LinkType) Bandwidth() float64 {
+	switch l {
+	case Loopback:
+		return 600e9 // HBM-class device memory
+	case NVLink:
+		return 48e9 // NVLink2 effective p2p
+	case PCIe:
+		return 12e9 // PCIe 3.0 x16 effective
+	case QPI:
+		return 8e9 // cross-socket UPI/QPI effective
+	case Ethernet10G:
+		return 1.1e9 // ~88% of 10 Gb/s line rate
+	case Ethernet1G:
+		return 0.11e9
+	}
+	return 1e9
+}
+
+// Latency returns the per-message latency in seconds.
+func (l LinkType) Latency() float64 {
+	switch l {
+	case Loopback:
+		return 0.5e-6
+	case NVLink:
+		return 2e-6
+	case PCIe:
+		return 3e-6
+	case QPI:
+		return 4e-6
+	case Ethernet10G:
+		return 30e-6
+	case Ethernet1G:
+		return 60e-6
+	}
+	return 50e-6
+}
+
+// Topology describes a cluster: Nodes machines, each with GPUsPerNode
+// workers spread evenly over SocketsPerNode CPU sockets.
+type Topology struct {
+	Name           string
+	Nodes          int
+	GPUsPerNode    int
+	SocketsPerNode int
+
+	IntraSocket LinkType // GPU↔GPU within one socket
+	CrossSocket LinkType // GPU↔GPU across sockets in one node
+	Network     LinkType // GPU↔GPU across nodes
+
+	// GPUFlops is the peak fp32 throughput per worker.
+	GPUFlops float64
+	// GPUEfficiency is the fraction of peak the small, memory-bound dense
+	// layers of CTR models actually achieve (kernel-launch overhead, thin
+	// GEMMs). Typical observed values are a few percent; 0 defaults to
+	// 0.01.
+	GPUEfficiency float64
+	// HostFlops models the CPU-side parameter-server compute rate for the
+	// TF-PS and Parallax baselines.
+	HostFlops float64
+}
+
+// EffectiveFlops returns the usable per-worker compute rate.
+func (t *Topology) EffectiveFlops() float64 {
+	eff := t.GPUEfficiency
+	if eff <= 0 {
+		eff = 0.01
+	}
+	return t.GPUFlops * eff
+}
+
+// NumWorkers returns the total worker (GPU) count.
+func (t *Topology) NumWorkers() int { return t.Nodes * t.GPUsPerNode }
+
+// Validate reports configuration errors.
+func (t *Topology) Validate() error {
+	switch {
+	case t.Nodes <= 0:
+		return fmt.Errorf("cluster: Nodes must be positive, got %d", t.Nodes)
+	case t.GPUsPerNode <= 0:
+		return fmt.Errorf("cluster: GPUsPerNode must be positive, got %d", t.GPUsPerNode)
+	case t.SocketsPerNode <= 0:
+		return fmt.Errorf("cluster: SocketsPerNode must be positive, got %d", t.SocketsPerNode)
+	case t.GPUFlops <= 0:
+		return fmt.Errorf("cluster: GPUFlops must be positive, got %g", t.GPUFlops)
+	}
+	return nil
+}
+
+// NodeOf returns the machine index hosting worker w.
+func (t *Topology) NodeOf(w int) int { return w / t.GPUsPerNode }
+
+// SocketOf returns the global socket index hosting worker w.
+func (t *Topology) SocketOf(w int) int {
+	perSocket := (t.GPUsPerNode + t.SocketsPerNode - 1) / t.SocketsPerNode
+	local := w % t.GPUsPerNode
+	return t.NodeOf(w)*t.SocketsPerNode + local/perSocket
+}
+
+// Link returns the interconnect between workers i and j.
+func (t *Topology) Link(i, j int) LinkType {
+	switch {
+	case i == j:
+		return Loopback
+	case t.NodeOf(i) != t.NodeOf(j):
+		return t.Network
+	case t.SocketOf(i) != t.SocketOf(j):
+		return t.CrossSocket
+	default:
+		return t.IntraSocket
+	}
+}
+
+// Bandwidth returns bytes/second between workers i and j.
+func (t *Topology) Bandwidth(i, j int) float64 { return t.Link(i, j).Bandwidth() }
+
+// Latency returns seconds of per-message latency between workers i and j.
+func (t *Topology) Latency(i, j int) float64 { return t.Link(i, j).Latency() }
+
+// HostLink returns the link between worker w and the CPU host that serves
+// parameters in the PS baselines: PCIe when the PS shard is on the same
+// machine, the network otherwise.
+func (t *Topology) HostLink(w, hostNode int) LinkType {
+	if t.NodeOf(w) == hostNode {
+		return PCIe
+	}
+	return t.Network
+}
+
+// MinBandwidth returns the lowest pairwise bandwidth in the cluster, the
+// bottleneck term of the ring-AllReduce cost model.
+func (t *Topology) MinBandwidth() float64 {
+	n := t.NumWorkers()
+	min := Loopback.Bandwidth()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if b := t.Bandwidth(i, j); b < min {
+				min = b
+			}
+		}
+	}
+	return min
+}
+
+// WeightPolicy selects how the partitioner prices cross-partition edges
+// (Section 5.2, weighted edge-cuts; Section 7.2, Figure 9a).
+type WeightPolicy int
+
+const (
+	// WeightUniform treats every pair identically (the "non-hierarchical"
+	// policy of Figure 9a).
+	WeightUniform WeightPolicy = iota
+	// WeightHierarchical profiles the topology and prices each pair by the
+	// reciprocal of its bandwidth, normalised so the fastest inter-worker
+	// link costs 1 (the paper sets inter-machine ≈ 10× intra-machine).
+	WeightHierarchical
+)
+
+// WeightMatrix returns the N×N cost matrix the partitioner multiplies into
+// count(x, i) when evaluating edge cuts. The diagonal is zero: local access
+// is free.
+func (t *Topology) WeightMatrix(policy WeightPolicy) [][]float64 {
+	n := t.NumWorkers()
+	w := make([][]float64, n)
+	// Normalise against the fastest non-loopback link present.
+	var best float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			if b := t.Bandwidth(i, j); b > best {
+				best = b
+			}
+		}
+	}
+	if best == 0 {
+		best = 1
+	}
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			if i == j {
+				continue
+			}
+			switch policy {
+			case WeightUniform:
+				w[i][j] = 1
+			case WeightHierarchical:
+				w[i][j] = best / t.Bandwidth(i, j)
+			}
+		}
+	}
+	return w
+}

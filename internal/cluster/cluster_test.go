@@ -1,0 +1,230 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func TestLinkTypeStrings(t *testing.T) {
+	cases := map[LinkType]string{
+		Loopback: "loopback", NVLink: "NVLink", PCIe: "PCIe",
+		QPI: "QPI", Ethernet10G: "10GbE", Ethernet1G: "1GbE",
+	}
+	for l, want := range cases {
+		if got := l.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", l, got, want)
+		}
+	}
+	if got := LinkType(99).String(); got == "" {
+		t.Error("unknown link type renders empty")
+	}
+}
+
+func TestBandwidthHierarchy(t *testing.T) {
+	// The paper's premise: NVLink ≫ PCIe > QPI ≫ 10GbE ≫ 1GbE.
+	order := []LinkType{Loopback, NVLink, PCIe, QPI, Ethernet10G, Ethernet1G}
+	for i := 1; i < len(order); i++ {
+		if order[i-1].Bandwidth() <= order[i].Bandwidth() {
+			t.Errorf("bandwidth(%v)=%g not greater than bandwidth(%v)=%g",
+				order[i-1], order[i-1].Bandwidth(), order[i], order[i].Bandwidth())
+		}
+	}
+}
+
+func TestLatencyHierarchy(t *testing.T) {
+	if NVLink.Latency() >= Ethernet1G.Latency() {
+		t.Error("NVLink latency should be far below Ethernet")
+	}
+	for _, l := range []LinkType{Loopback, NVLink, PCIe, QPI, Ethernet10G, Ethernet1G} {
+		if l.Latency() <= 0 {
+			t.Errorf("latency(%v) = %g", l, l.Latency())
+		}
+	}
+}
+
+func TestTopologyLinkClassification(t *testing.T) {
+	topo := ClusterB(2) // 16 workers, 2 sockets × 4 GPUs per node
+	cases := []struct {
+		i, j int
+		want LinkType
+	}{
+		{0, 0, Loopback},
+		{0, 1, NVLink},       // same socket
+		{0, 3, NVLink},       // same socket
+		{0, 4, QPI},          // across sockets, same node
+		{3, 7, QPI},          // across sockets
+		{0, 8, Ethernet10G},  // across nodes
+		{7, 15, Ethernet10G}, // across nodes
+	}
+	for _, c := range cases {
+		if got := topo.Link(c.i, c.j); got != c.want {
+			t.Errorf("Link(%d,%d) = %v, want %v", c.i, c.j, got, c.want)
+		}
+		// Symmetry.
+		if got := topo.Link(c.j, c.i); got != c.want {
+			t.Errorf("Link(%d,%d) = %v, want %v (symmetry)", c.j, c.i, got, c.want)
+		}
+	}
+}
+
+func TestNodeAndSocketOf(t *testing.T) {
+	topo := ClusterB(3)
+	if topo.NumWorkers() != 24 {
+		t.Fatalf("NumWorkers = %d, want 24", topo.NumWorkers())
+	}
+	if topo.NodeOf(0) != 0 || topo.NodeOf(7) != 0 || topo.NodeOf(8) != 1 || topo.NodeOf(23) != 2 {
+		t.Error("NodeOf wrong")
+	}
+	if topo.SocketOf(0) == topo.SocketOf(4) {
+		t.Error("workers 0 and 4 should be on different sockets")
+	}
+	if topo.SocketOf(0) != topo.SocketOf(3) {
+		t.Error("workers 0 and 3 should share a socket")
+	}
+	if topo.SocketOf(0) == topo.SocketOf(8) {
+		t.Error("different nodes must have different socket indices")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := ClusterA(1)
+	if err := good.Validate(); err != nil {
+		t.Errorf("valid topology rejected: %v", err)
+	}
+	bad := []*Topology{
+		{Nodes: 0, GPUsPerNode: 8, SocketsPerNode: 2, GPUFlops: 1},
+		{Nodes: 1, GPUsPerNode: 0, SocketsPerNode: 2, GPUFlops: 1},
+		{Nodes: 1, GPUsPerNode: 8, SocketsPerNode: 0, GPUFlops: 1},
+		{Nodes: 1, GPUsPerNode: 8, SocketsPerNode: 2, GPUFlops: 0},
+	}
+	for i, topo := range bad {
+		if err := topo.Validate(); err == nil {
+			t.Errorf("bad topology %d accepted", i)
+		}
+	}
+}
+
+func TestHostLink(t *testing.T) {
+	topo := ClusterA(2)
+	if got := topo.HostLink(0, 0); got != PCIe {
+		t.Errorf("same-node host link %v, want PCIe", got)
+	}
+	if got := topo.HostLink(0, 1); got != Ethernet1G {
+		t.Errorf("cross-node host link %v, want Ethernet1G", got)
+	}
+}
+
+func TestMinBandwidth(t *testing.T) {
+	single := FourGPUNVLink()
+	if got := single.MinBandwidth(); got != NVLink.Bandwidth() {
+		t.Errorf("single-socket min bandwidth %g, want NVLink", got)
+	}
+	multi := ClusterB(2)
+	if got := multi.MinBandwidth(); got != Ethernet10G.Bandwidth() {
+		t.Errorf("two-node min bandwidth %g, want 10GbE", got)
+	}
+}
+
+func TestWeightMatrixUniform(t *testing.T) {
+	topo := EightGPUQPI()
+	w := topo.WeightMatrix(WeightUniform)
+	for i := range w {
+		for j := range w[i] {
+			want := 1.0
+			if i == j {
+				want = 0
+			}
+			if w[i][j] != want {
+				t.Errorf("uniform w[%d][%d] = %v, want %v", i, j, w[i][j], want)
+			}
+		}
+	}
+}
+
+func TestWeightMatrixHierarchical(t *testing.T) {
+	topo := ClusterB(2)
+	w := topo.WeightMatrix(WeightHierarchical)
+	// Fastest present inter-worker link (NVLink) costs 1.
+	if w[0][1] != 1 {
+		t.Errorf("NVLink pair weight %v, want 1", w[0][1])
+	}
+	// Cross-socket costs more, cross-node much more.
+	if !(w[0][4] > w[0][1]) {
+		t.Errorf("QPI weight %v not above NVLink %v", w[0][4], w[0][1])
+	}
+	if !(w[0][8] > 5*w[0][4]) {
+		t.Errorf("Ethernet weight %v not ≫ QPI %v", w[0][8], w[0][4])
+	}
+	for i := range w {
+		if w[i][i] != 0 {
+			t.Errorf("diagonal w[%d][%d] = %v", i, i, w[i][i])
+		}
+	}
+}
+
+func TestEffectiveFlops(t *testing.T) {
+	topo := &Topology{GPUFlops: 100}
+	if got := topo.EffectiveFlops(); got != 1 { // default efficiency 0.01
+		t.Errorf("default efficiency: %v, want 1", got)
+	}
+	topo.GPUEfficiency = 0.5
+	if got := topo.EffectiveFlops(); got != 50 {
+		t.Errorf("explicit efficiency: %v, want 50", got)
+	}
+}
+
+func TestScaleOut(t *testing.T) {
+	cases := []struct {
+		gpus                 int
+		nodes, perNode, sock int
+	}{
+		{1, 1, 1, 1}, {2, 1, 2, 1}, {4, 1, 4, 1},
+		{5, 1, 5, 2}, {8, 1, 8, 2},
+		{16, 2, 8, 2}, {24, 3, 8, 2},
+	}
+	for _, c := range cases {
+		topo, err := ScaleOut(c.gpus)
+		if err != nil {
+			t.Fatalf("ScaleOut(%d): %v", c.gpus, err)
+		}
+		if topo.Nodes != c.nodes || topo.GPUsPerNode != c.perNode || topo.SocketsPerNode != c.sock {
+			t.Errorf("ScaleOut(%d) = %d/%d/%d, want %d/%d/%d", c.gpus,
+				topo.Nodes, topo.GPUsPerNode, topo.SocketsPerNode, c.nodes, c.perNode, c.sock)
+		}
+		if topo.NumWorkers() != c.gpus {
+			t.Errorf("ScaleOut(%d) has %d workers", c.gpus, topo.NumWorkers())
+		}
+	}
+}
+
+func TestScaleOutErrors(t *testing.T) {
+	for _, g := range []int{0, -1, 9, 12, 17} {
+		if _, err := ScaleOut(g); err == nil {
+			t.Errorf("ScaleOut(%d) accepted", g)
+		}
+	}
+}
+
+func TestScaleOutDegradesInterconnect(t *testing.T) {
+	// The Figure 10 mechanism: the slowest link worsens as the cluster
+	// grows.
+	t4, _ := ScaleOut(4)
+	t8, _ := ScaleOut(8)
+	t16, _ := ScaleOut(16)
+	if !(t4.MinBandwidth() > t8.MinBandwidth() && t8.MinBandwidth() > t16.MinBandwidth()) {
+		t.Errorf("bandwidth should degrade: %g, %g, %g",
+			t4.MinBandwidth(), t8.MinBandwidth(), t16.MinBandwidth())
+	}
+}
+
+func TestFigure1Presets(t *testing.T) {
+	if FourGPUNVLink().Link(0, 3) != NVLink {
+		t.Error("4-GPU NVLink preset not NVLink-connected")
+	}
+	if FourGPUPCIe().Link(0, 3) != PCIe {
+		t.Error("4-GPU PCIe preset not PCIe-connected")
+	}
+	q := EightGPUQPI()
+	if q.Link(0, 3) != PCIe || q.Link(0, 7) != QPI {
+		t.Error("8-GPU QPI preset link classification wrong")
+	}
+}

@@ -1,0 +1,130 @@
+package cluster
+
+import "fmt"
+
+// FLOPs constants for the paper's hardware.
+const (
+	rtxTitanFlops = 16.3e12 // RTX TITAN fp32
+	v100Flops     = 15.7e12 // Tesla V100 fp32
+	xeonFlops     = 1.0e12  // dual-socket host CPU, all cores
+)
+
+// FourGPUNVLink is the "4-GPU NVLink" configuration of Figure 1: four GPUs
+// on one socket joined by NVLink.
+func FourGPUNVLink() *Topology {
+	return &Topology{
+		Name:           "4-GPU NVLink",
+		Nodes:          1,
+		GPUsPerNode:    4,
+		SocketsPerNode: 1,
+		IntraSocket:    NVLink,
+		CrossSocket:    NVLink,
+		Network:        Ethernet10G,
+		GPUFlops:       v100Flops,
+		GPUEfficiency:  0.06,
+		HostFlops:      xeonFlops,
+	}
+}
+
+// FourGPUPCIe is the "4-GPU PCIe" configuration of Figure 1.
+func FourGPUPCIe() *Topology {
+	return &Topology{
+		Name:           "4-GPU PCIe",
+		Nodes:          1,
+		GPUsPerNode:    4,
+		SocketsPerNode: 1,
+		IntraSocket:    PCIe,
+		CrossSocket:    PCIe,
+		Network:        Ethernet1G,
+		GPUFlops:       rtxTitanFlops,
+		GPUEfficiency:  0.06,
+		HostFlops:      xeonFlops,
+	}
+}
+
+// EightGPUQPI is the "8-GPU QPI" configuration of Figure 1: eight GPUs over
+// two sockets, PCIe within a socket and QPI across.
+func EightGPUQPI() *Topology {
+	return &Topology{
+		Name:           "8-GPU QPI",
+		Nodes:          1,
+		GPUsPerNode:    8,
+		SocketsPerNode: 2,
+		IntraSocket:    PCIe,
+		CrossSocket:    QPI,
+		Network:        Ethernet1G,
+		GPUFlops:       rtxTitanFlops,
+		GPUEfficiency:  0.06,
+		HostFlops:      xeonFlops,
+	}
+}
+
+// ClusterA builds the paper's cluster A: nodes of 8 RTX TITANs on PCIe 3.0,
+// two sockets per node, 1 Gb Ethernet between nodes. Most end-to-end
+// experiments (Figure 7, Figure 8, Table 2) run on one node of cluster A.
+func ClusterA(nodes int) *Topology {
+	return &Topology{
+		Name:           fmt.Sprintf("cluster-A-%dnode", nodes),
+		Nodes:          nodes,
+		GPUsPerNode:    8,
+		SocketsPerNode: 2,
+		IntraSocket:    PCIe,
+		CrossSocket:    QPI,
+		Network:        Ethernet1G,
+		GPUFlops:       rtxTitanFlops,
+		GPUEfficiency:  0.06,
+		HostFlops:      xeonFlops,
+	}
+}
+
+// ClusterB builds the paper's cluster B: nodes of 8 V100s with NVLink
+// within a socket, QPI across sockets, 10 Gb Ethernet between nodes. The
+// scalability study (Figure 10) and the hierarchical-partitioning study
+// (Figure 9) run here.
+func ClusterB(nodes int) *Topology {
+	return &Topology{
+		Name:           fmt.Sprintf("cluster-B-%dnode", nodes),
+		Nodes:          nodes,
+		GPUsPerNode:    8,
+		SocketsPerNode: 2,
+		IntraSocket:    NVLink,
+		CrossSocket:    QPI,
+		Network:        Ethernet10G,
+		GPUFlops:       v100Flops,
+		GPUEfficiency:  0.06,
+		HostFlops:      xeonFlops,
+	}
+}
+
+// ScaleOut returns a cluster-B topology holding exactly gpus workers, the
+// progression of the paper's Figure 10: 1–4 GPUs share a socket (NVLink),
+// 5–8 span two sockets (QPI), and beyond 8 additional machines join over
+// 10 Gb Ethernet. The interconnect therefore *degrades* as the cluster
+// grows, which is what makes HugeCTR-style random partitioning lose
+// throughput past one socket.
+func ScaleOut(gpus int) (*Topology, error) {
+	if gpus <= 0 {
+		return nil, fmt.Errorf("cluster: ScaleOut needs at least 1 GPU, got %d", gpus)
+	}
+	t := &Topology{
+		Name:          fmt.Sprintf("cluster-B-%dgpu", gpus),
+		IntraSocket:   NVLink,
+		CrossSocket:   QPI,
+		Network:       Ethernet10G,
+		GPUFlops:      v100Flops,
+		GPUEfficiency: 0.06,
+		HostFlops:     xeonFlops,
+	}
+	switch {
+	case gpus <= 4:
+		t.Nodes, t.GPUsPerNode, t.SocketsPerNode = 1, gpus, 1
+	case gpus <= 8:
+		t.Nodes, t.GPUsPerNode, t.SocketsPerNode = 1, gpus, 2
+	default:
+		if gpus%8 != 0 {
+			return nil, fmt.Errorf("cluster: ScaleOut beyond 8 GPUs requires a multiple of 8, got %d", gpus)
+		}
+		t.Nodes, t.GPUsPerNode, t.SocketsPerNode = gpus/8, 8, 2
+	}
+	return t, nil
+}

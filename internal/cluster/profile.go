@@ -1,0 +1,77 @@
+package cluster
+
+import "fmt"
+
+// Profile holds measured pairwise communication speeds, the input the
+// paper's partitioner actually consumes: "we profile the communication
+// speeds for all GPU-GPU pairs and formulate them into a weight matrix"
+// (Section 5.2). Profiling decouples the partitioner from a-priori
+// topology knowledge — on real hardware the probe would be a bandwidth
+// benchmark; here it exercises the simulated link model the same way.
+type Profile struct {
+	// BandwidthBps[i][j] is the measured worker-to-worker bandwidth in
+	// bytes/second (diagonal entries are device-local and unused).
+	BandwidthBps [][]float64
+}
+
+// ProbeBytes is the payload size used to measure each pair. Large enough
+// that the measurement is bandwidth- rather than latency-dominated, small
+// enough to keep profiling instant.
+const ProbeBytes = 16 << 20
+
+// ProfileTopology measures every worker pair of a topology by timing a
+// probe transfer through the link model.
+func ProfileTopology(t *Topology) *Profile {
+	n := t.NumWorkers()
+	p := &Profile{BandwidthBps: make([][]float64, n)}
+	for i := 0; i < n; i++ {
+		p.BandwidthBps[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			seconds := t.Latency(i, j) + ProbeBytes/t.Bandwidth(i, j)
+			p.BandwidthBps[i][j] = ProbeBytes / seconds
+		}
+	}
+	return p
+}
+
+// WeightMatrix converts measured speeds into the partitioner's cost
+// matrix: each pair priced by the reciprocal of its measured bandwidth,
+// normalised so the fastest pair costs 1.
+func (p *Profile) WeightMatrix() ([][]float64, error) {
+	n := len(p.BandwidthBps)
+	if n == 0 {
+		return nil, fmt.Errorf("cluster: empty profile")
+	}
+	var best float64
+	for i := range p.BandwidthBps {
+		if len(p.BandwidthBps[i]) != n {
+			return nil, fmt.Errorf("cluster: profile row %d has %d entries, want %d",
+				i, len(p.BandwidthBps[i]), n)
+		}
+		for j, b := range p.BandwidthBps[i] {
+			if i == j {
+				continue
+			}
+			if b <= 0 {
+				return nil, fmt.Errorf("cluster: non-positive measured bandwidth for pair (%d,%d)", i, j)
+			}
+			if b > best {
+				best = b
+			}
+		}
+	}
+	w := make([][]float64, n)
+	for i := range w {
+		w[i] = make([]float64, n)
+		for j := range w[i] {
+			if i == j {
+				continue
+			}
+			w[i][j] = best / p.BandwidthBps[i][j]
+		}
+	}
+	return w, nil
+}

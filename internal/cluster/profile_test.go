@@ -1,0 +1,62 @@
+package cluster
+
+import "testing"
+
+func TestProfileTopology(t *testing.T) {
+	topo := ClusterB(2)
+	p := ProfileTopology(topo)
+	n := topo.NumWorkers()
+	if len(p.BandwidthBps) != n {
+		t.Fatalf("profile has %d rows", len(p.BandwidthBps))
+	}
+	// Measured speeds preserve the link hierarchy.
+	nv := p.BandwidthBps[0][1]  // NVLink
+	qpi := p.BandwidthBps[0][4] // QPI
+	eth := p.BandwidthBps[0][8] // 10GbE
+	if !(nv > qpi && qpi > eth) {
+		t.Errorf("measured hierarchy broken: %g, %g, %g", nv, qpi, eth)
+	}
+	// Probe-based measurement sits below nominal (latency included).
+	if nv >= NVLink.Bandwidth() {
+		t.Errorf("measured NVLink %g not below nominal %g", nv, NVLink.Bandwidth())
+	}
+}
+
+func TestProfileWeightMatrix(t *testing.T) {
+	topo := ClusterB(2)
+	w, err := ProfileTopology(topo).WeightMatrix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fastest pair costs 1, slower pairs more, diagonal 0.
+	if w[0][1] != 1 {
+		t.Errorf("fastest pair weight %v", w[0][1])
+	}
+	if !(w[0][8] > w[0][4] && w[0][4] > w[0][1]) {
+		t.Errorf("weight hierarchy broken: %v, %v, %v", w[0][1], w[0][4], w[0][8])
+	}
+	for i := range w {
+		if w[i][i] != 0 {
+			t.Errorf("diagonal w[%d][%d] = %v", i, i, w[i][i])
+		}
+	}
+	// Profile-derived and topology-derived matrices agree on ordering.
+	direct := topo.WeightMatrix(WeightHierarchical)
+	if (w[0][8] > w[0][4]) != (direct[0][8] > direct[0][4]) {
+		t.Error("profile and direct weights disagree on ordering")
+	}
+}
+
+func TestProfileWeightMatrixErrors(t *testing.T) {
+	if _, err := (&Profile{}).WeightMatrix(); err == nil {
+		t.Error("empty profile accepted")
+	}
+	bad := &Profile{BandwidthBps: [][]float64{{0, 0}, {0, 0}}}
+	if _, err := bad.WeightMatrix(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+	ragged := &Profile{BandwidthBps: [][]float64{{0, 1}, {1}}}
+	if _, err := ragged.WeightMatrix(); err == nil {
+		t.Error("ragged profile accepted")
+	}
+}

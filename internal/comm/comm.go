@@ -1,0 +1,242 @@
+// Package comm implements the simulated communication fabric the
+// reproduction trains over. The paper's implementation exchanges embeddings
+// with NCCL peer-to-peer transfers and synchronises dense parameters with
+// ring AllReduce (Section 6); here the same traffic is accounted against the
+// topology model of package cluster and converted into simulated seconds.
+//
+// The fabric does not move bytes itself — workers share an address space —
+// but every logical transfer the training system performs is recorded here,
+// per source/destination pair and per traffic category. Those records are
+// exactly the data behind the paper's Figure 8 (communication breakdown),
+// Figure 9b (worker×worker traffic heatmap) and Figure 1 (communication
+// fraction of epoch time).
+package comm
+
+import (
+	"fmt"
+	"sync"
+
+	"hetgmp/internal/cluster"
+)
+
+// Category classifies traffic for the Figure 8 breakdown.
+type Category int
+
+const (
+	// CatEmbedding is embedding vectors and their gradients (the paper's
+	// dominant category).
+	CatEmbedding Category = iota
+	// CatMeta is sparse indexes and clock vectors exchanged before
+	// embedding transfers.
+	CatMeta
+	// CatDense is AllReduce traffic for the dense model parameters.
+	CatDense
+	numCategories
+)
+
+// String names the category as in Figure 8's legend.
+func (c Category) String() string {
+	switch c {
+	case CatEmbedding:
+		return "embedding+grads"
+	case CatMeta:
+		return "index+clocks"
+	case CatDense:
+		return "allreduce-dense"
+	}
+	return fmt.Sprintf("Category(%d)", int(c))
+}
+
+// Fabric accounts all simulated communication on one cluster topology. It
+// is safe for concurrent use by multiple worker goroutines.
+type Fabric struct {
+	topo *cluster.Topology
+
+	mu       sync.Mutex
+	bytes    []int64 // [src*n+dst]
+	msgs     []int64
+	catBytes [numCategories]int64
+	catTime  [numCategories]float64
+}
+
+// NewFabric creates a fabric over the given topology.
+func NewFabric(t *cluster.Topology) *Fabric {
+	n := t.NumWorkers()
+	return &Fabric{
+		topo:  t,
+		bytes: make([]int64, n*n),
+		msgs:  make([]int64, n*n),
+	}
+}
+
+// Topology returns the underlying cluster model.
+func (f *Fabric) Topology() *cluster.Topology { return f.topo }
+
+// Transfer records a point-to-point message of size bytes from src to dst
+// and returns its simulated duration in seconds. Transfers between a worker
+// and itself cost device-memory time only.
+func (f *Fabric) Transfer(src, dst int, bytes int64, cat Category) float64 {
+	if bytes < 0 {
+		panic(fmt.Sprintf("comm: negative transfer size %d", bytes))
+	}
+	t := f.topo.Latency(src, dst) + float64(bytes)/f.topo.Bandwidth(src, dst)
+	n := f.topo.NumWorkers()
+	f.mu.Lock()
+	f.bytes[src*n+dst] += bytes
+	f.msgs[src*n+dst]++
+	f.catBytes[cat] += bytes
+	f.catTime[cat] += t
+	f.mu.Unlock()
+	return t
+}
+
+// TransferBatch records one message from src to dst carrying a mixed
+// payload (indexed by Category) and returns its simulated duration. Unlike
+// repeated Transfer calls, the per-message latency is charged once — the
+// paper's implementation batches indexes, clocks and embeddings of one
+// iteration into single NCCL sends.
+func (f *Fabric) TransferBatch(src, dst int, parts [3]int64) float64 {
+	var total int64
+	for _, b := range parts {
+		if b < 0 {
+			panic(fmt.Sprintf("comm: negative transfer size %d", b))
+		}
+		total += b
+	}
+	if total == 0 {
+		return 0
+	}
+	lat := f.topo.Latency(src, dst)
+	bw := f.topo.Bandwidth(src, dst)
+	t := lat + float64(total)/bw
+	n := f.topo.NumWorkers()
+	f.mu.Lock()
+	f.bytes[src*n+dst] += total
+	f.msgs[src*n+dst]++
+	for c, b := range parts {
+		if b == 0 {
+			continue
+		}
+		f.catBytes[c] += b
+		// Attribute the shared latency proportionally to payload share.
+		f.catTime[c] += lat*float64(b)/float64(total) + float64(b)/bw
+	}
+	f.mu.Unlock()
+	return t
+}
+
+// HostTransfer records a message between worker w and a CPU parameter-server
+// shard hosted on machine hostNode, for the TF-PS/Parallax baselines. The
+// traffic matrix attributes it to (w, w) since no second GPU is involved.
+func (f *Fabric) HostTransfer(w, hostNode int, bytes int64, cat Category) float64 {
+	link := f.topo.HostLink(w, hostNode)
+	t := link.Latency() + float64(bytes)/link.Bandwidth()
+	n := f.topo.NumWorkers()
+	f.mu.Lock()
+	f.bytes[w*n+w] += bytes
+	f.msgs[w*n+w]++
+	f.catBytes[cat] += bytes
+	f.catTime[cat] += t
+	f.mu.Unlock()
+	return t
+}
+
+// AllReduceTime returns the simulated duration of a ring AllReduce of the
+// given payload per worker, and accounts the traffic. The ring model moves
+// 2·(N−1)/N of the payload through the slowest link; each worker both sends
+// and receives that amount.
+func (f *Fabric) AllReduceTime(bytesPerWorker int64) float64 {
+	n := f.topo.NumWorkers()
+	if n <= 1 || bytesPerWorker == 0 {
+		return 0
+	}
+	wire := float64(bytesPerWorker) * 2 * float64(n-1) / float64(n)
+	// Bandwidth: every chunk crosses every hop, so the slowest hop gates
+	// the steady state. Latency: the pipeline's startup traverses the ring
+	// twice, paying each hop's latency once per traversal — on a two-node
+	// ring only two hops are network hops, the rest are NVLink/QPI.
+	minBW := f.topo.Bandwidth(0, 1%n)
+	var latSum float64
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		if b := f.topo.Bandwidth(i, j); b < minBW {
+			minBW = b
+		}
+		latSum += f.topo.Latency(i, j)
+	}
+	t := wire/minBW + 2*latSum
+	f.mu.Lock()
+	// Attribute ring traffic along the ring: worker i sends to (i+1)%n.
+	per := int64(wire)
+	for i := 0; i < n; i++ {
+		j := (i + 1) % n
+		f.bytes[i*n+j] += per
+		f.msgs[i*n+j] += 2 * int64(n-1)
+	}
+	f.catBytes[CatDense] += per * int64(n)
+	f.catTime[CatDense] += t
+	f.mu.Unlock()
+	return t
+}
+
+// TrafficMatrix returns a copy of the per-pair byte counts, trafficked[src][dst].
+func (f *Fabric) TrafficMatrix() [][]int64 {
+	n := f.topo.NumWorkers()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		copy(m[i], f.bytes[i*n:(i+1)*n])
+	}
+	return m
+}
+
+// Breakdown is the per-category communication summary behind Figure 8.
+type Breakdown struct {
+	Bytes   [3]int64
+	Seconds [3]float64
+}
+
+// TotalBytes sums all categories.
+func (b Breakdown) TotalBytes() int64 { return b.Bytes[0] + b.Bytes[1] + b.Bytes[2] }
+
+// TotalSeconds sums all categories.
+func (b Breakdown) TotalSeconds() float64 { return b.Seconds[0] + b.Seconds[1] + b.Seconds[2] }
+
+// Breakdown returns the accumulated per-category traffic.
+func (f *Fabric) Breakdown() Breakdown {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var b Breakdown
+	for c := 0; c < int(numCategories); c++ {
+		b.Bytes[c] = f.catBytes[c]
+		b.Seconds[c] = f.catTime[c]
+	}
+	return b
+}
+
+// Reset clears all accounting, keeping the topology.
+func (f *Fabric) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.bytes {
+		f.bytes[i] = 0
+		f.msgs[i] = 0
+	}
+	for c := range f.catBytes {
+		f.catBytes[c] = 0
+		f.catTime[c] = 0
+	}
+}
+
+// Messages returns the total number of point-to-point messages recorded.
+func (f *Fabric) Messages() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var s int64
+	for _, m := range f.msgs {
+		s += m
+	}
+	return s
+}

@@ -1,0 +1,230 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+
+	"hetgmp/internal/cluster"
+)
+
+func testTopo() *cluster.Topology {
+	return cluster.ClusterB(2)
+}
+
+func TestTransferAccounting(t *testing.T) {
+	f := NewFabric(testTopo())
+	dt := f.Transfer(0, 1, 1000, CatEmbedding)
+	if dt <= 0 {
+		t.Fatalf("transfer time %v", dt)
+	}
+	m := f.TrafficMatrix()
+	if m[0][1] != 1000 {
+		t.Errorf("traffic[0][1] = %d, want 1000", m[0][1])
+	}
+	if m[1][0] != 0 {
+		t.Errorf("traffic[1][0] = %d, want 0", m[1][0])
+	}
+	b := f.Breakdown()
+	if b.Bytes[CatEmbedding] != 1000 || b.Bytes[CatMeta] != 0 {
+		t.Errorf("breakdown bytes wrong: %+v", b)
+	}
+	if f.Messages() != 1 {
+		t.Errorf("messages = %d, want 1", f.Messages())
+	}
+}
+
+func TestTransferTimeModel(t *testing.T) {
+	topo := testTopo()
+	f := NewFabric(topo)
+	bytes := int64(1 << 20)
+	dt := f.Transfer(0, 1, bytes, CatEmbedding) // NVLink pair
+	want := topo.Latency(0, 1) + float64(bytes)/topo.Bandwidth(0, 1)
+	if diff := dt - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("transfer time %v, want %v", dt, want)
+	}
+	// Cross-node transfers are far slower.
+	dtRemote := f.Transfer(0, 8, bytes, CatEmbedding)
+	if dtRemote < 10*dt {
+		t.Errorf("cross-node %v not ≫ NVLink %v", dtRemote, dt)
+	}
+}
+
+func TestTransferNegativePanics(t *testing.T) {
+	f := NewFabric(testTopo())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative transfer accepted")
+		}
+	}()
+	f.Transfer(0, 1, -1, CatEmbedding)
+}
+
+func TestTransferBatchSingleLatency(t *testing.T) {
+	topo := testTopo()
+	f := NewFabric(topo)
+	var parts [3]int64
+	parts[CatEmbedding] = 1000
+	parts[CatMeta] = 500
+	dt := f.TransferBatch(0, 1, parts)
+	want := topo.Latency(0, 1) + 1500/topo.Bandwidth(0, 1)
+	if diff := dt - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("batch time %v, want %v (latency charged once)", dt, want)
+	}
+	b := f.Breakdown()
+	if b.Bytes[CatEmbedding] != 1000 || b.Bytes[CatMeta] != 500 {
+		t.Errorf("batch breakdown wrong: %+v", b)
+	}
+	if f.Messages() != 1 {
+		t.Errorf("messages = %d, want 1", f.Messages())
+	}
+	// Per-category times must sum to the total.
+	if sum := b.Seconds[0] + b.Seconds[1] + b.Seconds[2]; sum-dt > 1e-12 || dt-sum > 1e-12 {
+		t.Errorf("category seconds %v, want %v", sum, dt)
+	}
+}
+
+func TestTransferBatchEmpty(t *testing.T) {
+	f := NewFabric(testTopo())
+	if dt := f.TransferBatch(0, 1, [3]int64{}); dt != 0 {
+		t.Errorf("empty batch cost %v", dt)
+	}
+	if f.Messages() != 0 {
+		t.Error("empty batch recorded a message")
+	}
+}
+
+func TestHostTransfer(t *testing.T) {
+	topo := testTopo()
+	f := NewFabric(topo)
+	local := f.HostTransfer(0, 0, 1<<20, CatEmbedding)  // PCIe
+	remote := f.HostTransfer(0, 1, 1<<20, CatEmbedding) // 10GbE
+	if local >= remote {
+		t.Errorf("local host transfer %v not faster than remote %v", local, remote)
+	}
+	m := f.TrafficMatrix()
+	if m[0][0] != 2<<20 {
+		t.Errorf("host traffic attributed wrong: %d", m[0][0])
+	}
+}
+
+func TestAllReduce(t *testing.T) {
+	topo := testTopo()
+	f := NewFabric(topo)
+	dt := f.AllReduceTime(1 << 20)
+	if dt <= 0 {
+		t.Fatal("allreduce time not positive")
+	}
+	// Ring across 2 nodes is gated by 10GbE.
+	wire := float64(1<<20) * 2 * 15 / 16
+	wantMin := wire / cluster.Ethernet10G.Bandwidth()
+	if dt < wantMin {
+		t.Errorf("allreduce %v below bandwidth bound %v", dt, wantMin)
+	}
+	b := f.Breakdown()
+	if b.Bytes[CatDense] == 0 {
+		t.Error("allreduce bytes not recorded as dense")
+	}
+}
+
+func TestAllReduceSingleWorkerFree(t *testing.T) {
+	topo, err := cluster.ScaleOut(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := NewFabric(topo)
+	if dt := f.AllReduceTime(1 << 20); dt != 0 {
+		t.Errorf("single-worker allreduce cost %v", dt)
+	}
+	f2 := NewFabric(testTopo())
+	if dt := f2.AllReduceTime(0); dt != 0 {
+		t.Errorf("zero-byte allreduce cost %v", dt)
+	}
+}
+
+func TestAllReduceSingleNodeUsesLocalLatency(t *testing.T) {
+	// Regression: ring latency must come from links actually present, not
+	// the topology's (unused) network link.
+	topo := cluster.EightGPUQPI() // single node, Network=1GbE but unused
+	f := NewFabric(topo)
+	dt := f.AllReduceTime(1024)
+	// 2·(N−1) hops at QPI latency (worst present link).
+	maxWant := 2*7*cluster.QPI.Latency() + float64(1024*2)*2/cluster.QPI.Bandwidth()
+	if dt > maxWant {
+		t.Errorf("allreduce %v exceeds local-latency bound %v (1GbE latency leaked in)", dt, maxWant)
+	}
+}
+
+func TestReset(t *testing.T) {
+	f := NewFabric(testTopo())
+	f.Transfer(0, 1, 100, CatEmbedding)
+	f.AllReduceTime(100)
+	f.Reset()
+	if f.Messages() != 0 {
+		t.Error("messages survive Reset")
+	}
+	b := f.Breakdown()
+	if b.TotalBytes() != 0 || b.TotalSeconds() != 0 {
+		t.Errorf("breakdown survives Reset: %+v", b)
+	}
+	m := f.TrafficMatrix()
+	for i := range m {
+		for j := range m[i] {
+			if m[i][j] != 0 {
+				t.Fatalf("traffic[%d][%d] = %d after Reset", i, j, m[i][j])
+			}
+		}
+	}
+}
+
+func TestConcurrentAccounting(t *testing.T) {
+	f := NewFabric(testTopo())
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				f.Transfer(w, (w+1)%16, 10, CatEmbedding)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := f.Messages(); got != workers*per {
+		t.Errorf("messages = %d, want %d", got, workers*per)
+	}
+	if b := f.Breakdown(); b.Bytes[CatEmbedding] != workers*per*10 {
+		t.Errorf("bytes = %d, want %d", b.Bytes[CatEmbedding], workers*per*10)
+	}
+}
+
+func TestCategoryString(t *testing.T) {
+	if CatEmbedding.String() != "embedding+grads" ||
+		CatMeta.String() != "index+clocks" ||
+		CatDense.String() != "allreduce-dense" {
+		t.Error("category names wrong")
+	}
+	if Category(9).String() == "" {
+		t.Error("unknown category renders empty")
+	}
+}
+
+func TestBreakdownTotals(t *testing.T) {
+	f := NewFabric(testTopo())
+	f.Transfer(0, 1, 100, CatEmbedding)
+	f.Transfer(0, 1, 50, CatMeta)
+	b := f.Breakdown()
+	if b.TotalBytes() != 150 {
+		t.Errorf("TotalBytes = %d", b.TotalBytes())
+	}
+	if b.TotalSeconds() <= 0 {
+		t.Error("TotalSeconds not positive")
+	}
+}
+
+func BenchmarkTransfer(b *testing.B) {
+	f := NewFabric(testTopo())
+	for i := 0; i < b.N; i++ {
+		f.Transfer(0, 1, 1024, CatEmbedding)
+	}
+}

@@ -1,0 +1,98 @@
+// Package consistency names the synchronisation protocols the reproduction
+// can train under and maps each to the engine's knobs. The paper's
+// contribution — graph-based bounded asynchrony (Section 5.3) — is one
+// point in this space; the package also expresses the conventional
+// protocols it is contrasted against in Section 3 (BSP, ASP, SSP-style
+// bounded staleness without graph structure).
+//
+// The protocol machinery itself lives in internal/embed (the staleness
+// checks run inside Table.Read/Update); this package is the small,
+// self-describing configuration layer on top.
+package consistency
+
+import (
+	"fmt"
+
+	"hetgmp/internal/embed"
+)
+
+// Protocol identifies a consistency model.
+type Protocol int
+
+const (
+	// BSP is bulk-synchronous parallel: every replica synchronises every
+	// iteration (staleness 0). TensorFlow's default and the HugeCTR /
+	// HET-MP setting.
+	BSP Protocol = iota
+	// ASP is fully asynchronous: replicas never synchronise on staleness
+	// grounds (s = ∞); they reconcile only at epoch boundaries.
+	ASP
+	// Bounded is SSP-style bounded staleness applied per replica: the
+	// intra-embedding check alone, raw (unnormalised) clocks, no
+	// inter-embedding coupling.
+	Bounded
+	// GraphBounded is the paper's graph-based bounded asynchrony: intra-
+	// and inter-embedding synchronisation points with frequency-normalised
+	// clocks.
+	GraphBounded
+)
+
+// String names the protocol.
+func (p Protocol) String() string {
+	switch p {
+	case BSP:
+		return "bsp"
+	case ASP:
+		return "asp"
+	case Bounded:
+		return "bounded"
+	case GraphBounded:
+		return "graph-bounded"
+	}
+	return fmt.Sprintf("Protocol(%d)", int(p))
+}
+
+// Config is the resolved parameter set a protocol implies.
+type Config struct {
+	// Staleness is the bound s passed to the embedding table.
+	Staleness int64
+	// InterCheck enables the inter-embedding synchronisation point.
+	InterCheck bool
+	// Normalize enables frequency normalisation of clocks.
+	Normalize bool
+}
+
+// Resolve maps a protocol and bound to engine-level settings. The bound s
+// is ignored by BSP (always 0) and ASP (always ∞).
+func Resolve(p Protocol, s int64) (Config, error) {
+	if s < 0 {
+		return Config{}, fmt.Errorf("consistency: staleness bound must be non-negative, got %d", s)
+	}
+	switch p {
+	case BSP:
+		return Config{Staleness: 0}, nil
+	case ASP:
+		return Config{Staleness: embed.StalenessInf}, nil
+	case Bounded:
+		return Config{Staleness: s}, nil
+	case GraphBounded:
+		return Config{Staleness: s, InterCheck: true, Normalize: true}, nil
+	}
+	return Config{}, fmt.Errorf("consistency: unknown protocol %v", p)
+}
+
+// Parse converts a protocol name ("bsp", "asp", "bounded",
+// "graph-bounded") to its Protocol.
+func Parse(name string) (Protocol, error) {
+	switch name {
+	case "bsp":
+		return BSP, nil
+	case "asp":
+		return ASP, nil
+	case "bounded", "ssp":
+		return Bounded, nil
+	case "graph-bounded", "graph", "gmp":
+		return GraphBounded, nil
+	}
+	return 0, fmt.Errorf("consistency: unknown protocol %q", name)
+}

@@ -1,0 +1,67 @@
+package consistency
+
+import (
+	"testing"
+
+	"hetgmp/internal/embed"
+)
+
+func TestResolve(t *testing.T) {
+	cases := []struct {
+		p    Protocol
+		s    int64
+		want Config
+	}{
+		{BSP, 100, Config{Staleness: 0}},
+		{ASP, 100, Config{Staleness: embed.StalenessInf}},
+		{Bounded, 100, Config{Staleness: 100}},
+		{GraphBounded, 100, Config{Staleness: 100, InterCheck: true, Normalize: true}},
+	}
+	for _, c := range cases {
+		got, err := Resolve(c.p, c.s)
+		if err != nil {
+			t.Fatalf("%v: %v", c.p, err)
+		}
+		if got != c.want {
+			t.Errorf("Resolve(%v, %d) = %+v, want %+v", c.p, c.s, got, c.want)
+		}
+	}
+}
+
+func TestResolveErrors(t *testing.T) {
+	if _, err := Resolve(Bounded, -1); err == nil {
+		t.Error("negative bound accepted")
+	}
+	if _, err := Resolve(Protocol(99), 0); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := map[string]Protocol{
+		"bsp": BSP, "asp": ASP, "bounded": Bounded, "ssp": Bounded,
+		"graph-bounded": GraphBounded, "graph": GraphBounded, "gmp": GraphBounded,
+	}
+	for name, want := range cases {
+		got, err := Parse(name)
+		if err != nil || got != want {
+			t.Errorf("Parse(%q) = %v, %v", name, got, err)
+		}
+	}
+	if _, err := Parse("paxos"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestString(t *testing.T) {
+	for p, want := range map[Protocol]string{
+		BSP: "bsp", ASP: "asp", Bounded: "bounded", GraphBounded: "graph-bounded",
+	} {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q", p, p.String())
+		}
+	}
+	if Protocol(42).String() == "" {
+		t.Error("unknown protocol renders empty")
+	}
+}

@@ -1,0 +1,331 @@
+package dataset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func smallConfig() Config {
+	return Config{
+		Name:         "test",
+		NumFields:    5,
+		NumSamples:   2000,
+		NumFeatures:  500,
+		ZipfExponent: 1.0,
+		NumClusters:  4,
+		ClusterNoise: 0.2,
+		FieldSkew:    1.0,
+		Seed:         1,
+	}
+}
+
+func TestGenerateShapes(t *testing.T) {
+	d, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) != 2000 {
+		t.Errorf("samples: %d, want 2000", len(d.Samples))
+	}
+	if d.NumFields != 5 {
+		t.Errorf("fields: %d, want 5", d.NumFields)
+	}
+	if d.NumFeatures > 500+2*5 || d.NumFeatures < 5*2 {
+		t.Errorf("features: %d, outside plausible range", d.NumFeatures)
+	}
+	if len(d.FieldOffset) != 6 {
+		t.Fatalf("field offsets: %d, want 6", len(d.FieldOffset))
+	}
+	if d.FieldOffset[0] != 0 || int(d.FieldOffset[5]) != d.NumFeatures {
+		t.Errorf("offset endpoints wrong: %v (features %d)", d.FieldOffset, d.NumFeatures)
+	}
+	for f := 0; f < 5; f++ {
+		if d.FieldOffset[f+1] <= d.FieldOffset[f] {
+			t.Errorf("field %d is empty: offsets %v", f, d.FieldOffset)
+		}
+	}
+}
+
+func TestGenerateFeaturesInFieldRanges(t *testing.T) {
+	d, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Samples {
+		for f, x := range d.Samples[i].Features {
+			if x < d.FieldOffset[f] || x >= d.FieldOffset[f+1] {
+				t.Fatalf("sample %d field %d: feature %d outside [%d,%d)",
+					i, f, x, d.FieldOffset[f], d.FieldOffset[f+1])
+			}
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(smallConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Samples {
+		if a.Samples[i].Label != b.Samples[i].Label {
+			t.Fatalf("labels differ at sample %d", i)
+		}
+		for f := range a.Samples[i].Features {
+			if a.Samples[i].Features[f] != b.Samples[i].Features[f] {
+				t.Fatalf("features differ at sample %d field %d", i, f)
+			}
+		}
+	}
+}
+
+func TestGenerateSeedChangesData(t *testing.T) {
+	cfg := smallConfig()
+	a, _ := Generate(cfg)
+	cfg.Seed = 2
+	b, _ := Generate(cfg)
+	same := 0
+	for i := range a.Samples {
+		if a.Samples[i].Features[0] == b.Samples[i].Features[0] {
+			same++
+		}
+	}
+	if same == len(a.Samples) {
+		t.Error("different seeds produced identical first-field features")
+	}
+}
+
+func TestGenerateLabelsMixed(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	st := d.Stats()
+	if st.PosRate < 0.02 || st.PosRate > 0.8 {
+		t.Errorf("positive rate %v is degenerate", st.PosRate)
+	}
+}
+
+func TestGenerateSkew(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	freq := d.FeatureFrequencies()
+	var max, total int32
+	for _, f := range freq {
+		total += f
+		if f > max {
+			max = f
+		}
+	}
+	if int(total) != d.NumFields*len(d.Samples) {
+		t.Fatalf("frequency total %d, want %d", total, d.NumFields*len(d.Samples))
+	}
+	mean := float64(total) / float64(len(freq))
+	if float64(max) < 5*mean {
+		t.Errorf("max frequency %d under 5x mean %v: no skew", max, mean)
+	}
+}
+
+func TestClusterNoiseControlsLocality(t *testing.T) {
+	// With zero noise each sample draws all features from one cluster's
+	// segments; with noise 1 it ignores clusters. Noise 0 must yield far
+	// fewer distinct co-occurring pairs crossing segment boundaries. A
+	// cheap proxy: count distinct features co-occurring with feature of
+	// field 0's first segment.
+	clean := smallConfig()
+	clean.ClusterNoise = 0
+	noisy := smallConfig()
+	noisy.ClusterNoise = 1
+	dc, _ := Generate(clean)
+	dn, _ := Generate(noisy)
+	spread := func(d *Dataset) int {
+		// Distinct field-1 partners of field-0 features in segment 0.
+		partners := map[FeatureID]bool{}
+		segEnd := d.FieldOffset[0] + (d.FieldOffset[1]-d.FieldOffset[0])/4
+		for i := range d.Samples {
+			if d.Samples[i].Features[0] < segEnd {
+				partners[d.Samples[i].Features[1]] = true
+			}
+		}
+		return len(partners)
+	}
+	if sc, sn := spread(dc), spread(dn); sc >= sn {
+		t.Errorf("clean spread %d >= noisy spread %d: clustering has no effect", sc, sn)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []func(*Config){
+		func(c *Config) { c.NumFields = 0 },
+		func(c *Config) { c.NumSamples = 0 },
+		func(c *Config) { c.NumFeatures = 2 },
+		func(c *Config) { c.ZipfExponent = -1 },
+		func(c *Config) { c.NumClusters = 0 },
+		func(c *Config) { c.ClusterNoise = 1.5 },
+		func(c *Config) { c.ClusterNoise = -0.1 },
+	}
+	for i, mutate := range cases {
+		cfg := smallConfig()
+		mutate(&cfg)
+		if _, err := Generate(cfg); err == nil {
+			t.Errorf("case %d: invalid config accepted", i)
+		}
+	}
+}
+
+func TestFieldOf(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	for f := 0; f < d.NumFields; f++ {
+		if got := d.FieldOf(d.FieldOffset[f]); got != f {
+			t.Errorf("FieldOf(first of field %d) = %d", f, got)
+		}
+		if got := d.FieldOf(d.FieldOffset[f+1] - 1); got != f {
+			t.Errorf("FieldOf(last of field %d) = %d", f, got)
+		}
+	}
+}
+
+func TestSplit(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	train, test := d.Split(0.8)
+	if len(train.Samples) != 1600 || len(test.Samples) != 400 {
+		t.Fatalf("split sizes %d/%d", len(train.Samples), len(test.Samples))
+	}
+	if train.NumFeatures != d.NumFeatures || test.NumFields != d.NumFields {
+		t.Error("split lost metadata")
+	}
+}
+
+func TestSplitPanicsOnBadFraction(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	for _, frac := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Split(%v) did not panic", frac)
+				}
+			}()
+			d.Split(frac)
+		}()
+	}
+}
+
+func TestBatchesCoverAll(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	var seen int
+	var last int
+	d.Batches(128, func(b []Sample) {
+		seen += len(b)
+		last = len(b)
+	})
+	if seen != len(d.Samples) {
+		t.Errorf("batches covered %d samples, want %d", seen, len(d.Samples))
+	}
+	if want := len(d.Samples) % 128; want != 0 && last != want {
+		t.Errorf("final batch %d, want %d", last, want)
+	}
+}
+
+func TestBatchesPanicsOnZero(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Batches(0) did not panic")
+		}
+	}()
+	d.Batches(0, func([]Sample) {})
+}
+
+func TestPresets(t *testing.T) {
+	for _, name := range []string{Avazu, Criteo, Company} {
+		d, err := New(name, 1e-4, 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want := PaperStats[name]
+		if d.NumFields != want.NumFields {
+			t.Errorf("%s: %d fields, want %d", name, d.NumFields, want.NumFields)
+		}
+		if len(d.Samples) == 0 || d.NumFeatures == 0 {
+			t.Errorf("%s: empty dataset", name)
+		}
+	}
+}
+
+func TestPresetOrdering(t *testing.T) {
+	// Relative sizes must match Table 1: company has the most features,
+	// avazu the fewest; criteo has the most samples.
+	var feats, samps [3]int
+	for i, name := range []string{Avazu, Criteo, Company} {
+		d, err := New(name, 5e-4, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feats[i] = d.NumFeatures
+		samps[i] = len(d.Samples)
+	}
+	if !(feats[0] < feats[1] && feats[1] < feats[2]) {
+		t.Errorf("feature ordering wrong: %v", feats)
+	}
+	if samps[1] < samps[0] || samps[1] < samps[2] {
+		t.Errorf("criteo should have the most samples: %v", samps)
+	}
+}
+
+func TestPresetErrors(t *testing.T) {
+	if _, err := New("nope", 1e-3, 1); err == nil {
+		t.Error("unknown preset accepted")
+	}
+	if _, err := New(Avazu, 0, 1); err == nil {
+		t.Error("zero scale accepted")
+	}
+	if _, err := New(Avazu, -1, 1); err == nil {
+		t.Error("negative scale accepted")
+	}
+}
+
+func TestFieldOfProperty(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	f := func(raw uint32) bool {
+		id := FeatureID(raw % uint32(d.NumFeatures))
+		fld := d.FieldOf(id)
+		return id >= d.FieldOffset[fld] && id < d.FieldOffset[fld+1]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStatsName(t *testing.T) {
+	d, _ := Generate(smallConfig())
+	if got := d.Stats(); got.Name != "test" || got.NumSamples != 2000 {
+		t.Errorf("stats wrong: %+v", got)
+	}
+}
+
+func TestMakeSegmentsCoverAndWrap(t *testing.T) {
+	segs := makeSegments(10, 4, 1.0)
+	if len(segs) != 4 {
+		t.Fatalf("segments: %d, want 4", len(segs))
+	}
+	segs2 := makeSegments(3, 8, 1.0) // fewer vertices than clusters
+	if len(segs2) != 3 {
+		t.Fatalf("segments: %d, want 3 (clamped)", len(segs2))
+	}
+	for _, s := range segs2 {
+		if s.zipf.N() < 1 {
+			t.Error("empty segment sampler")
+		}
+	}
+}
+
+var sinkDS *Dataset
+
+func BenchmarkGenerateAvazu1e4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		d, err := New(Avazu, 1e-4, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		sinkDS = d
+	}
+}

@@ -1,0 +1,78 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundtrip(t *testing.T) {
+	cfg := smallConfig()
+	cfg.NumSamples = 200
+	d, err := Generate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Save(&buf, d); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != d.Name || got.NumFields != d.NumFields || got.NumFeatures != d.NumFeatures {
+		t.Fatalf("metadata lost: %+v", got.Stats())
+	}
+	if len(got.Samples) != len(d.Samples) {
+		t.Fatalf("samples: %d, want %d", len(got.Samples), len(d.Samples))
+	}
+	for i := range d.Samples {
+		if got.Samples[i].Label != d.Samples[i].Label {
+			t.Fatalf("label differs at %d", i)
+		}
+		for f := range d.Samples[i].Features {
+			if got.Samples[i].Features[f] != d.Samples[i].Features[f] {
+				t.Fatalf("feature differs at %d/%d", i, f)
+			}
+		}
+	}
+	for i := range d.FieldOffset {
+		if got.FieldOffset[i] != d.FieldOffset[i] {
+			t.Fatalf("offset %d differs", i)
+		}
+	}
+}
+
+func TestLoadRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":             "",
+		"no header":         "1 2 3\n",
+		"bad field count":   "#hetgmp x abc 10 0 5 10\n",
+		"bad feature count": "#hetgmp x 2 abc 0 5 10\n",
+		"offsets mismatch":  "#hetgmp x 2 10 0 5\n",
+		"short row":         "#hetgmp x 2 10 0 5 10\n1 3\n",
+		"bad label":         "#hetgmp x 2 10 0 5 10\nxyz 3 7\n",
+		"bad feature":       "#hetgmp x 2 10 0 5 10\n1 3 q\n",
+		"feature range":     "#hetgmp x 2 10 0 5 10\n1 3 99\n",
+	}
+	for name, input := range cases {
+		if _, err := Load(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestLoadSkipsCommentsAndBlanks(t *testing.T) {
+	input := "#hetgmp x 2 10 0 5 10\n\n# a comment\n1 3 7\n"
+	d, err := Load(strings.NewReader(input))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) != 1 {
+		t.Fatalf("samples: %d, want 1", len(d.Samples))
+	}
+	if d.Samples[0].Label != 1 || d.Samples[0].Features[1] != 7 {
+		t.Fatalf("parsed sample wrong: %+v", d.Samples[0])
+	}
+}

@@ -1,0 +1,100 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+)
+
+const libsvmSample = `1 0:100 1:7
+0 0:100 1:9
+# a comment
+1 1:7 0:205
+`
+
+func TestLoadLibSVM(t *testing.T) {
+	d, err := LoadLibSVM(strings.NewReader(libsvmSample), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Samples) != 3 {
+		t.Fatalf("samples: %d", len(d.Samples))
+	}
+	// Field 0 saw raw IDs {100, 205} → 2 features; field 1 saw {7, 9} → 2.
+	if d.NumFeatures != 4 {
+		t.Fatalf("features: %d, want 4", d.NumFeatures)
+	}
+	if d.FieldOffset[1] != 2 || d.FieldOffset[2] != 4 {
+		t.Fatalf("offsets: %v", d.FieldOffset)
+	}
+	// Raw 100 appears in samples 0 and 1 with the same dense ID.
+	if d.Samples[0].Features[0] != d.Samples[1].Features[0] {
+		t.Error("same raw feature densified differently")
+	}
+	// Raw 205 differs from raw 100.
+	if d.Samples[2].Features[0] == d.Samples[0].Features[0] {
+		t.Error("distinct raw features densified identically")
+	}
+	// Out-of-order field tokens (sample 3: "1:7 0:205") parse correctly.
+	if d.Samples[2].Features[1] != d.Samples[0].Features[1] {
+		t.Error("out-of-order field token mis-assigned")
+	}
+	if d.Samples[0].Label != 1 || d.Samples[1].Label != 0 {
+		t.Error("labels wrong")
+	}
+}
+
+func TestLoadLibSVMWithValues(t *testing.T) {
+	// The optional :value suffix is accepted and ignored.
+	d, err := LoadLibSVM(strings.NewReader("1 0:5:0.5 1:6:1\n"), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumFeatures != 2 {
+		t.Fatalf("features: %d", d.NumFeatures)
+	}
+}
+
+func TestLoadLibSVMErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":          "",
+		"missing field":  "1 0:5\n",
+		"repeated field": "1 0:5 0:6\n",
+		"bad label":      "x 0:5 1:6\n",
+		"bad field":      "1 9:5 1:6\n",
+		"bad feature":    "1 0:x 1:6\n",
+		"negative feat":  "1 0:-2 1:6\n",
+		"no colon":       "1 05 1:6\n",
+	}
+	for name, input := range cases {
+		if _, err := LoadLibSVM(strings.NewReader(input), 2); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	if _, err := LoadLibSVM(strings.NewReader("1 0:1\n"), 0); err == nil {
+		t.Error("zero fields accepted")
+	}
+}
+
+func TestLoadLibSVMTrainable(t *testing.T) {
+	// A libsvm-loaded dataset must satisfy the invariants the bigraph and
+	// engine rely on (features within field ranges).
+	var b strings.Builder
+	for i := 0; i < 50; i++ {
+		b.WriteString("1 0:")
+		b.WriteByte(byte('0' + i%10))
+		b.WriteString(" 1:")
+		b.WriteByte(byte('0' + i%5))
+		b.WriteString(" 2:42\n")
+	}
+	d, err := LoadLibSVM(strings.NewReader(b.String()), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Samples {
+		for f, x := range d.Samples[i].Features {
+			if x < d.FieldOffset[f] || x >= d.FieldOffset[f+1] {
+				t.Fatalf("sample %d field %d out of range", i, f)
+			}
+		}
+	}
+}

@@ -1,0 +1,56 @@
+package embed
+
+import "fmt"
+
+// CapacityPlan works out whether an embedding table of a given size fits a
+// cluster, reproducing the paper's capacity claim (Section 7.4: "with 24
+// GPUs (32 GB), we support around 10^11 float parameters in the embedding
+// table"). It is pure arithmetic over the sharding scheme — the point of
+// model parallelism is exactly that no worker ever materialises the full
+// table.
+type CapacityPlan struct {
+	NumFeatures int64
+	Dim         int64
+	Workers     int
+	// WorkerMemBytes is each worker's device memory budget.
+	WorkerMemBytes int64
+	// ReplicaFraction is the secondary share per worker (paper: top 1 %).
+	ReplicaFraction float64
+
+	// Derived:
+	TotalParams         int64
+	PrimaryPerWorker    int64 // bytes
+	SecondaryPerWorker  int64 // bytes (values + stale-gradient buffers)
+	ClockPerWorker      int64 // bytes
+	BytesPerWorker      int64
+	Fits                bool
+	MaxParamsForCluster int64
+}
+
+// PlanCapacity fills in the derived fields.
+func PlanCapacity(p CapacityPlan) (CapacityPlan, error) {
+	if p.NumFeatures <= 0 || p.Dim <= 0 || p.Workers <= 0 || p.WorkerMemBytes <= 0 {
+		return p, fmt.Errorf("embed: capacity plan requires positive sizes, got %+v", p)
+	}
+	if p.ReplicaFraction < 0 || p.ReplicaFraction > 1 {
+		return p, fmt.Errorf("embed: replica fraction %g out of [0,1]", p.ReplicaFraction)
+	}
+	p.TotalParams = p.NumFeatures * p.Dim
+	primRows := (p.NumFeatures + int64(p.Workers) - 1) / int64(p.Workers)
+	secRows := int64(p.ReplicaFraction * float64(p.NumFeatures))
+	const bytesPerFloat = 4
+	p.PrimaryPerWorker = primRows * p.Dim * bytesPerFloat
+	// Secondaries hold values plus a same-sized stale-gradient buffer
+	// (Section 6, "GPU Embedding Table").
+	p.SecondaryPerWorker = 2 * secRows * p.Dim * bytesPerFloat
+	p.ClockPerWorker = (primRows + secRows) * 8
+	p.BytesPerWorker = p.PrimaryPerWorker + p.SecondaryPerWorker + p.ClockPerWorker
+	p.Fits = p.BytesPerWorker <= p.WorkerMemBytes
+
+	// Invert: the largest parameter count this cluster supports at this
+	// replica fraction, leaving 20% headroom for activations and buffers.
+	budget := float64(p.WorkerMemBytes) * 0.8 * float64(p.Workers)
+	perParam := bytesPerFloat * (1 + 2*p.ReplicaFraction*float64(p.Workers))
+	p.MaxParamsForCluster = int64(budget / perParam)
+	return p, nil
+}

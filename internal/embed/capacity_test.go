@@ -1,0 +1,73 @@
+package embed
+
+import "testing"
+
+func TestPlanCapacityPaperClaim(t *testing.T) {
+	const gib = int64(1) << 30
+	// 10^11 params at dim 128 on 24 × 32 GiB: the paper's headline claim.
+	plan, err := PlanCapacity(CapacityPlan{
+		NumFeatures: 781_250_000, Dim: 128, Workers: 24,
+		WorkerMemBytes: 32 * gib, ReplicaFraction: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.TotalParams != 100_000_000_000 {
+		t.Fatalf("total params %d", plan.TotalParams)
+	}
+	if !plan.Fits {
+		t.Errorf("paper's configuration does not fit: %d bytes/worker", plan.BytesPerWorker)
+	}
+	if plan.MaxParamsForCluster < 1e11 {
+		t.Errorf("max cluster capacity %d below 10^11", plan.MaxParamsForCluster)
+	}
+	// The same table must NOT fit 8 workers.
+	plan8, err := PlanCapacity(CapacityPlan{
+		NumFeatures: 781_250_000, Dim: 128, Workers: 8,
+		WorkerMemBytes: 32 * gib, ReplicaFraction: 0.01,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan8.Fits {
+		t.Error("10^11 params should not fit 8 × 32 GiB")
+	}
+}
+
+func TestPlanCapacityComponents(t *testing.T) {
+	plan, err := PlanCapacity(CapacityPlan{
+		NumFeatures: 1000, Dim: 10, Workers: 4,
+		WorkerMemBytes: 1 << 20, ReplicaFraction: 0.1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.PrimaryPerWorker != 250*10*4 {
+		t.Errorf("primary bytes %d", plan.PrimaryPerWorker)
+	}
+	// Secondaries: values + stale-gradient buffer.
+	if plan.SecondaryPerWorker != 2*100*10*4 {
+		t.Errorf("secondary bytes %d", plan.SecondaryPerWorker)
+	}
+	if plan.ClockPerWorker != (250+100)*8 {
+		t.Errorf("clock bytes %d", plan.ClockPerWorker)
+	}
+	if !plan.Fits {
+		t.Error("tiny plan should fit")
+	}
+}
+
+func TestPlanCapacityErrors(t *testing.T) {
+	bad := []CapacityPlan{
+		{NumFeatures: 0, Dim: 1, Workers: 1, WorkerMemBytes: 1},
+		{NumFeatures: 1, Dim: 0, Workers: 1, WorkerMemBytes: 1},
+		{NumFeatures: 1, Dim: 1, Workers: 0, WorkerMemBytes: 1},
+		{NumFeatures: 1, Dim: 1, Workers: 1, WorkerMemBytes: 0},
+		{NumFeatures: 1, Dim: 1, Workers: 1, WorkerMemBytes: 1, ReplicaFraction: 2},
+	}
+	for i, p := range bad {
+		if _, err := PlanCapacity(p); err == nil {
+			t.Errorf("bad plan %d accepted", i)
+		}
+	}
+}

@@ -1,0 +1,144 @@
+package embed
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Checkpoint format: a little-endian binary stream holding the primary
+// table and its clocks. Secondary replicas are not serialised — they are a
+// cache and are rebuilt from the primaries on load, exactly as a restarted
+// worker would warm them.
+//
+//	magic   uint32  = 0x48474d50 ("HGMP")
+//	version uint32  = 1
+//	rows    int64
+//	dim     int64
+//	data    rows×dim float32
+//	clocks  rows int64
+
+const (
+	checkpointMagic   = 0x48474d50
+	checkpointVersion = 1
+)
+
+// WriteTo serialises the table's primary state. It implements
+// io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriter(w)
+	cw := &countingWriter{w: bw}
+	hdr := []any{
+		uint32(checkpointMagic),
+		uint32(checkpointVersion),
+		int64(t.primary.Rows),
+		int64(t.dim),
+	}
+	for _, v := range hdr {
+		if err := binary.Write(cw, binary.LittleEndian, v); err != nil {
+			return cw.n, err
+		}
+	}
+	if err := writeFloat32s(cw, t.primary.Data); err != nil {
+		return cw.n, err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, t.primaryClock); err != nil {
+		return cw.n, err
+	}
+	if err := bw.Flush(); err != nil {
+		return cw.n, err
+	}
+	return cw.n, nil
+}
+
+// ReadFrom restores the primary state from a checkpoint written by WriteTo
+// and resynchronises every secondary replica. It implements io.ReaderFrom.
+// The table's shape must match the checkpoint's.
+func (t *Table) ReadFrom(r io.Reader) (int64, error) {
+	cr := &countingReader{r: bufio.NewReader(r)}
+	var magic, version uint32
+	var rows, dim int64
+	for _, v := range []any{&magic, &version, &rows, &dim} {
+		if err := binary.Read(cr, binary.LittleEndian, v); err != nil {
+			return cr.n, err
+		}
+	}
+	if magic != checkpointMagic {
+		return cr.n, fmt.Errorf("embed: bad checkpoint magic %#x", magic)
+	}
+	if version != checkpointVersion {
+		return cr.n, fmt.Errorf("embed: unsupported checkpoint version %d", version)
+	}
+	if int(rows) != t.primary.Rows || int(dim) != t.dim {
+		return cr.n, fmt.Errorf("embed: checkpoint shape %dx%d, table is %dx%d",
+			rows, dim, t.primary.Rows, t.dim)
+	}
+	if err := readFloat32s(cr, t.primary.Data); err != nil {
+		return cr.n, err
+	}
+	if err := binary.Read(cr, binary.LittleEndian, t.primaryClock); err != nil {
+		return cr.n, err
+	}
+	// Warm every replica from the restored primaries.
+	for w := 0; w < t.n; w++ {
+		sh := t.shards[w]
+		for row, x := range sh.feats {
+			copy(sh.vals.Row(row), t.primary.Row(int(x)))
+			sh.baseClock[row] = t.primaryClock[x]
+			sh.pendCnt[row] = 0
+			pend := sh.pending.Row(row)
+			for i := range pend {
+				pend[i] = 0
+			}
+		}
+		sh.queue = sh.queue[:0]
+	}
+	return cr.n, nil
+}
+
+// writeFloat32s streams a float32 slice without reflection overhead.
+func writeFloat32s(w io.Writer, data []float32) error {
+	var buf [4]byte
+	for _, v := range data {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		if _, err := w.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readFloat32s(r io.Reader, data []float32) error {
+	var buf [4]byte
+	for i := range data {
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return err
+		}
+		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+	}
+	return nil
+}
+
+type countingWriter struct {
+	w io.Writer
+	n int64
+}
+
+func (c *countingWriter) Write(p []byte) (int, error) {
+	n, err := c.w.Write(p)
+	c.n += int64(n)
+	return n, err
+}
+
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}

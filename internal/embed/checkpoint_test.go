@@ -1,0 +1,86 @@
+package embed
+
+import (
+	"bytes"
+	"testing"
+
+	"hetgmp/internal/tensor"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	tbl := newTestTable(t)
+	// Mutate some state: primary updates and a pending secondary update.
+	g := tensor.NewMatrix(1, 4)
+	g.Data[0] = 1
+	tbl.Update(1, []int32{3}, g, 0)
+	tbl.Update(0, []int32{1}, g, 0)
+	tbl.Commit()
+	tbl.Update(0, []int32{3}, g, StalenessInf) // pending, not flushed
+
+	var buf bytes.Buffer
+	n, err := tbl.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("WriteTo reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	restored := newTestTable(t)
+	if _, err := restored.ReadFrom(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	for x := int32(0); x < 6; x++ {
+		orig := tbl.PrimaryRow(x)
+		got := restored.PrimaryRow(x)
+		for i := range orig {
+			if orig[i] != got[i] {
+				t.Fatalf("primary %d differs after restore", x)
+			}
+		}
+		if tbl.PrimaryClock(x) != restored.PrimaryClock(x) {
+			t.Fatalf("clock %d differs: %d vs %d", x, tbl.PrimaryClock(x), restored.PrimaryClock(x))
+		}
+	}
+	// Replicas are warmed from primaries and carry no pending state.
+	sec, ok := restored.SecondaryRow(0, 3)
+	if !ok {
+		t.Fatal("replica missing after restore")
+	}
+	prim := restored.PrimaryRow(3)
+	for i := range prim {
+		if sec[i] != prim[i] {
+			t.Fatal("replica not warmed from primary")
+		}
+	}
+	c, _ := restored.ReplicaClock(0, 3)
+	if c != restored.PrimaryClock(3) {
+		t.Fatalf("replica clock %d, want %d", c, restored.PrimaryClock(3))
+	}
+}
+
+func TestCheckpointRejectsCorruptInput(t *testing.T) {
+	tbl := newTestTable(t)
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Bad magic.
+	data := append([]byte(nil), buf.Bytes()...)
+	data[0] ^= 0xff
+	if _, err := newTestTable(t).ReadFrom(bytes.NewReader(data)); err == nil {
+		t.Error("corrupt magic accepted")
+	}
+	// Truncated stream.
+	if _, err := newTestTable(t).ReadFrom(bytes.NewReader(buf.Bytes()[:16])); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+	// Shape mismatch: a table with a different dim.
+	other, err := NewTable(Config{NumFeatures: 6, Dim: 8, Assign: testAssign(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := other.ReadFrom(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}

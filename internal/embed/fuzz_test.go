@@ -1,0 +1,46 @@
+package embed
+
+import (
+	"bytes"
+	"testing"
+
+	"hetgmp/internal/optim"
+	"hetgmp/internal/partition"
+)
+
+// FuzzCheckpointLoad hardens the checkpoint reader: arbitrary bytes must
+// yield an error or a consistent table, never a panic.
+func FuzzCheckpointLoad(f *testing.F) {
+	mk := func() *Table {
+		a := partition.NewAssignment(2, 1, 4)
+		a.SampleOf[0] = 0
+		for x := 0; x < 4; x++ {
+			a.PrimaryOf[x] = x % 2
+		}
+		tbl, _ := NewTable(Config{
+			NumFeatures: 4, Dim: 2, Assign: a,
+			Optimizer: optim.NewSGD(0.1), Seed: 1,
+		})
+		return tbl
+	}
+	var valid bytes.Buffer
+	if _, err := mk().WriteTo(&valid); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x50, 0x4d, 0x47, 0x48}) // magic only
+	f.Add(valid.Bytes()[:20])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tbl := mk()
+		if _, err := tbl.ReadFrom(bytes.NewReader(data)); err != nil {
+			return
+		}
+		// A successful load keeps clocks non-negative and replicas warm.
+		for x := int32(0); x < 4; x++ {
+			if tbl.PrimaryClock(x) < 0 {
+				t.Fatalf("negative clock for %d", x)
+			}
+		}
+	})
+}

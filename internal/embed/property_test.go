@@ -1,0 +1,146 @@
+package embed
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hetgmp/internal/optim"
+	"hetgmp/internal/partition"
+	"hetgmp/internal/tensor"
+)
+
+// TestProtocolInvariantsProperty drives a table through random operation
+// sequences and checks the protocol invariants the rest of the system
+// relies on:
+//
+//  1. Primary clocks are monotone non-decreasing.
+//  2. A replica's base clock never exceeds its primary's clock plus its own
+//     queued-but-uncommitted flushes.
+//  3. After FlushAll, every replica equals its primary bit-for-bit and the
+//     clocks agree.
+//  4. Read always returns finite values.
+func TestProtocolInvariantsProperty(t *testing.T) {
+	const (
+		workers  = 3
+		features = 12
+		dim      = 4
+	)
+	mkTable := func() *Table {
+		a := partition.NewAssignment(workers, 1, features)
+		a.SampleOf[0] = 0
+		for x := 0; x < features; x++ {
+			a.PrimaryOf[x] = x % workers
+			// Replicate every third feature everywhere.
+			if x%3 == 0 {
+				for p := 0; p < workers; p++ {
+					a.AddReplica(int32(x), p)
+				}
+			}
+		}
+		freq := make([]int32, features)
+		for x := range freq {
+			freq[x] = int32(1 + x*3)
+		}
+		tbl, err := NewTable(Config{
+			NumFeatures: features, Dim: dim, Assign: a, Freq: freq,
+			Optimizer: optim.NewSGD(0.1), LocalLR: 0.1, Seed: 9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tbl
+	}
+
+	f := func(ops []uint32) bool {
+		tbl := mkTable()
+		dst := tensor.NewMatrix(4, dim)
+		grads := tensor.NewMatrix(4, dim)
+		prevClock := make([]int64, features)
+		for _, op := range ops {
+			w := int(op % workers)
+			x1 := int32(op / 7 % features)
+			x2 := int32(op / 131 % features)
+			s := int64(op % 5)
+			switch (op / 3) % 3 {
+			case 0:
+				stats := tbl.Read(w, []int32{x1, x2}, dst, ReadOptions{
+					Staleness: s, InterCheck: op%2 == 0, Normalize: op%4 == 0,
+				})
+				_ = stats
+				for i := 0; i < 2*dim; i++ {
+					v := dst.Data[i]
+					if v != v { // NaN
+						return false
+					}
+				}
+			case 1:
+				for i := range grads.Data[:2*dim] {
+					grads.Data[i] = float32(op%13) * 0.01
+				}
+				tbl.Update(w, []int32{x1, x2}, grads, s)
+			case 2:
+				tbl.Commit()
+				for x := 0; x < features; x++ {
+					c := tbl.PrimaryClock(int32(x))
+					if c < prevClock[x] {
+						return false // clocks must be monotone
+					}
+					prevClock[x] = c
+				}
+			}
+		}
+		tbl.Commit()
+		tbl.FlushAll()
+		// Invariant 3: full reconciliation.
+		for w := 0; w < workers; w++ {
+			for x := int32(0); int(x) < features; x++ {
+				sec, ok := tbl.SecondaryRow(w, x)
+				if !ok {
+					continue
+				}
+				prim := tbl.PrimaryRow(x)
+				for i := range prim {
+					if sec[i] != prim[i] {
+						return false
+					}
+				}
+				c, _ := tbl.ReplicaClock(w, x)
+				if c != tbl.PrimaryClock(x) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestReadNeverMutatesOtherShards verifies the concurrency contract: a Read
+// on worker 0 must leave worker 1's shard untouched.
+func TestReadNeverMutatesOtherShards(t *testing.T) {
+	tbl := newTestTable(t)
+	// Advance feature 0's primary so a sync would be triggered if read.
+	g := tensor.NewMatrix(1, 4)
+	g.Data[0] = 1
+	tbl.Update(0, []int32{0}, g, 0)
+	tbl.Commit()
+
+	before, _ := tbl.SecondaryRow(1, 0)
+	snapshot := append([]float32(nil), before...)
+	clockBefore, _ := tbl.ReplicaClock(1, 0)
+
+	dst := tensor.NewMatrix(1, 4)
+	tbl.Read(0, []int32{3}, dst, ReadOptions{Staleness: 0, InterCheck: true})
+
+	after, _ := tbl.SecondaryRow(1, 0)
+	for i := range snapshot {
+		if after[i] != snapshot[i] {
+			t.Fatal("worker 0's read mutated worker 1's shard")
+		}
+	}
+	if c, _ := tbl.ReplicaClock(1, 0); c != clockBefore {
+		t.Fatal("worker 0's read changed worker 1's clock")
+	}
+}

@@ -1,0 +1,622 @@
+// Package embed implements the distributed embedding table at the centre of
+// HET-GMP (Sections 5.3 and 6): primary replicas sharded across workers by
+// the partitioner, secondary replicas placed by the 2D vertex-cut, per-
+// replica clocks, stale-gradient buffers, and the intra-/inter-embedding
+// bounded-staleness protocol.
+//
+// The table is executed, not merely modelled: real float32 vectors are
+// read, updated and synchronised, so convergence experiments measure real
+// learning. Workers are simulated — they share one address space — and all
+// communication the protocol *would* perform is reported to the caller as
+// per-owner traffic counts, which the engine prices against the cluster
+// fabric.
+//
+// # Execution discipline
+//
+// Training proceeds in iterations with two phases, mirroring the paper's
+// "local reduction, then write to primaries without conflicts":
+//
+//  1. Read/compute phase (concurrent across workers): Read and Update may
+//     be called for distinct workers in parallel. They mutate only that
+//     worker's secondary shard and read primary state; every primary-side
+//     effect is queued.
+//  2. Commit phase (single goroutine): Commit applies all queued primary
+//     updates in deterministic worker order and advances primary clocks.
+//
+// This yields bit-reproducible runs regardless of GOMAXPROCS.
+package embed
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"hetgmp/internal/optim"
+	"hetgmp/internal/partition"
+	"hetgmp/internal/tensor"
+	"hetgmp/internal/xrand"
+)
+
+// StalenessInf disables staleness-triggered synchronisation entirely (the
+// paper's s = ∞ column in Table 2). Replicas then reconcile only at epoch
+// boundaries via FlushAll.
+const StalenessInf = int64(math.MaxInt64)
+
+// Config parameterises a distributed embedding table.
+type Config struct {
+	NumFeatures int
+	Dim         int
+	// Assign supplies primary homes and secondary replica placement.
+	Assign *partition.Assignment
+	// Freq holds per-feature access frequencies (bigraph degrees) for the
+	// clock normalisation of Section 5.3. Nil disables normalisation.
+	Freq []int32
+	// Optimizer applies gradients at primaries. Defaults to SGD(0.05).
+	Optimizer optim.Sparse
+	// LocalLR is the learning rate secondaries use when applying their own
+	// gradients locally before write-back. Defaults to 0.05.
+	LocalLR float32
+	// InitScale bounds the uniform initialisation range. Defaults to 0.01.
+	InitScale float32
+	Seed      uint64
+}
+
+// OwnerTraffic counts one worker's protocol traffic with one primary owner
+// during a Read or Update call.
+type OwnerTraffic struct {
+	// SyncVecs is embedding vectors shipped owner→worker (stale-replica
+	// refreshes and cache-miss remote reads).
+	SyncVecs int
+	// FlushVecs is gradient vectors shipped worker→owner (write-backs).
+	FlushVecs int
+	// MetaKeys is sparse indexes + clocks exchanged, in keys.
+	MetaKeys int
+}
+
+// ReadStats reports what a Read did, for accounting and tests.
+type ReadStats struct {
+	LocalPrimary int // served by a local primary
+	LocalFresh   int // served by a fresh-enough secondary
+	SyncedIntra  int // secondaries refreshed by the intra-embedding check
+	SyncedInter  int // secondaries refreshed by the inter-embedding check
+	RemoteReads  int // no local replica: fetched from the remote primary
+	PerOwner     []OwnerTraffic
+}
+
+// UpdateStats reports what an Update did.
+type UpdateStats struct {
+	LocalPrimary   int // gradient queued for a local primary
+	LocalSecondary int // gradient absorbed into a secondary's pending buffer
+	RemotePush     int // gradient queued straight to a remote primary
+	FlushedPending int // pending buffers force-flushed by the write bound
+	PerOwner       []OwnerTraffic
+}
+
+// Table is the distributed embedding table.
+type Table struct {
+	cfg    Config
+	dim    int
+	n      int // workers
+	assign *partition.Assignment
+
+	primary      *tensor.Matrix
+	primaryClock []int64
+
+	shards []*shard
+
+	// freq is the relative access frequency used by clock normalisation.
+	freq []float64
+
+	// Theorem-1 instrumentation (see TrackStepNorms).
+	trackNorms  bool
+	stepNormSq  float64
+	normScratch []float32
+}
+
+// shard is one worker's secondary replica store plus its queued primary
+// effects.
+type shard struct {
+	index map[int32]int32 // feature → row
+	feats []int32         // row → feature
+	vals  *tensor.Matrix
+	// pending accumulates gradients applied locally but not yet written
+	// back — the paper's "stale gradients" buffer.
+	pending   *tensor.Matrix
+	pendCnt   []int32
+	baseClock []int64 // primary clock captured at last synchronisation
+
+	queue      []primaryUpdate
+	interOrder []int32
+	// scratch reused by Read/Update.
+	perOwner []OwnerTraffic
+}
+
+type primaryUpdate struct {
+	x     int32
+	count int32
+	delta []float32
+}
+
+// NewTable builds the table: primary rows live once (logically sharded by
+// Assign.PrimaryOf), and each worker's secondary rows are allocated from
+// Assign's replica sets.
+func NewTable(cfg Config) (*Table, error) {
+	if cfg.NumFeatures <= 0 || cfg.Dim <= 0 {
+		return nil, fmt.Errorf("embed: NumFeatures and Dim must be positive, got %d and %d",
+			cfg.NumFeatures, cfg.Dim)
+	}
+	if cfg.Assign == nil {
+		return nil, fmt.Errorf("embed: Config.Assign is required")
+	}
+	if len(cfg.Assign.PrimaryOf) != cfg.NumFeatures {
+		return nil, fmt.Errorf("embed: assignment covers %d features, table has %d",
+			len(cfg.Assign.PrimaryOf), cfg.NumFeatures)
+	}
+	if cfg.Freq != nil && len(cfg.Freq) != cfg.NumFeatures {
+		return nil, fmt.Errorf("embed: Freq length %d, want %d", len(cfg.Freq), cfg.NumFeatures)
+	}
+	if cfg.Optimizer == nil {
+		cfg.Optimizer = optim.NewSGD(0.05)
+	}
+	if cfg.LocalLR == 0 {
+		cfg.LocalLR = 0.05
+	}
+	if cfg.InitScale == 0 {
+		cfg.InitScale = 0.01
+	}
+	t := &Table{
+		cfg:          cfg,
+		dim:          cfg.Dim,
+		n:            cfg.Assign.N,
+		assign:       cfg.Assign,
+		primary:      tensor.NewMatrix(cfg.NumFeatures, cfg.Dim),
+		primaryClock: make([]int64, cfg.NumFeatures),
+	}
+	rng := xrand.New(cfg.Seed ^ 0xe8bede8bede8bede)
+	for i := range t.primary.Data {
+		t.primary.Data[i] = (2*rng.Float32() - 1) * cfg.InitScale
+	}
+	if cfg.Freq != nil {
+		t.freq = make([]float64, cfg.NumFeatures)
+		for x, f := range cfg.Freq {
+			if f < 1 {
+				f = 1
+			}
+			t.freq[x] = float64(f)
+		}
+	}
+	t.shards = make([]*shard, t.n)
+	for w := 0; w < t.n; w++ {
+		feats := cfg.Assign.SecondariesOn(w)
+		sh := &shard{
+			index:     make(map[int32]int32, len(feats)),
+			feats:     feats,
+			vals:      tensor.NewMatrix(len(feats), cfg.Dim),
+			pending:   tensor.NewMatrix(len(feats), cfg.Dim),
+			pendCnt:   make([]int32, len(feats)),
+			baseClock: make([]int64, len(feats)),
+			perOwner:  make([]OwnerTraffic, t.n),
+		}
+		for row, x := range feats {
+			sh.index[x] = int32(row)
+			copy(sh.vals.Row(row), t.primary.Row(int(x)))
+		}
+		t.shards[w] = sh
+	}
+	return t, nil
+}
+
+// Dim returns the embedding dimensionality.
+func (t *Table) Dim() int { return t.dim }
+
+// Workers returns the number of table shards.
+func (t *Table) Workers() int { return t.n }
+
+// PrimaryRow exposes the authoritative value of feature x. Evaluation code
+// (AUC over the test set) reads through it; training code must use Read.
+func (t *Table) PrimaryRow(x int32) []float32 { return t.primary.Row(int(x)) }
+
+// PrimaryClock returns the number of updates applied to x's primary.
+func (t *Table) PrimaryClock(x int32) int64 { return t.primaryClock[x] }
+
+// ReplicaClock returns worker w's replica clock for x — the primary clock
+// it last synchronised at plus its own unflushed updates — and whether w
+// holds a secondary of x at all.
+func (t *Table) ReplicaClock(w int, x int32) (int64, bool) {
+	sh := t.shards[w]
+	row, ok := sh.index[x]
+	if !ok {
+		return 0, false
+	}
+	return sh.baseClock[row] + int64(sh.pendCnt[row]), true
+}
+
+// SecondaryRow exposes worker w's local copy of x, if any. Intended for
+// tests and diagnostics.
+func (t *Table) SecondaryRow(w int, x int32) ([]float32, bool) {
+	sh := t.shards[w]
+	row, ok := sh.index[x]
+	if !ok {
+		return nil, false
+	}
+	return sh.vals.Row(int(row)), true
+}
+
+// ReadOptions selects the consistency behaviour of one Read call.
+type ReadOptions struct {
+	// Staleness is the bound s. 0 forces synchronisation whenever the
+	// primary has advanced at all; StalenessInf never synchronises.
+	Staleness int64
+	// InterCheck enables the inter-embedding synchronisation point.
+	InterCheck bool
+	// Normalize enables frequency normalisation of clocks in the inter
+	// check (Section 5.3). Ignored when the table has no frequencies.
+	Normalize bool
+}
+
+// Read gathers the embeddings of feats (which the caller must deduplicate —
+// the "local reduction" of Section 6) into dst rows, running the bounded-
+// staleness protocol from worker w's perspective. dst must have at least
+// len(feats) rows of Dim columns.
+func (t *Table) Read(w int, feats []int32, dst *tensor.Matrix, opt ReadOptions) ReadStats {
+	if dst.Cols != t.dim || dst.Rows < len(feats) {
+		panic(fmt.Sprintf("embed: Read dst is %dx%d, want at least %dx%d",
+			dst.Rows, dst.Cols, len(feats), t.dim))
+	}
+	sh := t.shards[w]
+	stats := ReadStats{PerOwner: sh.perOwner}
+	for i := range sh.perOwner {
+		sh.perOwner[i] = OwnerTraffic{}
+	}
+
+	for i, x := range feats {
+		owner := t.assign.PrimaryOf[x]
+		if owner == w {
+			copy(dst.Row(i), t.primary.Row(int(x)))
+			stats.LocalPrimary++
+			continue
+		}
+		row, ok := sh.index[x]
+		if !ok {
+			// Cache miss: remote read of the primary. One key of metadata
+			// up, one vector down.
+			copy(dst.Row(i), t.primary.Row(int(x)))
+			stats.RemoteReads++
+			sh.perOwner[owner].MetaKeys++
+			sh.perOwner[owner].SyncVecs++
+			continue
+		}
+		// Intra-embedding synchronisation point: the clock exchange is one
+		// key of metadata per secondary per read regardless of outcome.
+		sh.perOwner[owner].MetaKeys++
+		gap := t.primaryClock[x] - sh.baseClock[row]
+		if gap > opt.Staleness {
+			t.syncSecondary(w, sh, x, row, owner)
+			stats.SyncedIntra++
+		} else {
+			stats.LocalFresh++
+		}
+		copy(dst.Row(i), sh.vals.Row(int(row)))
+	}
+
+	if opt.InterCheck && opt.Staleness != StalenessInf {
+		stats.SyncedInter = t.interCheck(w, sh, feats, dst, opt)
+	}
+	return stats
+}
+
+// interCheck enforces the inter-embedding synchronisation point over one
+// read set, per Section 5.3: for a pair (x_i, x_j) with frequencies
+// p_i ≥ p_j, the normalised clock gap |c_i·p_j/p_i − c_j| must stay within
+// s. Equivalently, with ratios r = c/p, the pair's gap is
+// min(p_i, p_j)·|r_i − r_j| — the lower frequency of the pair sets the
+// scale, so a hot embedding's fast-moving clock does not spuriously mark
+// its slow partners (or itself) stale.
+//
+// The check is evaluated in O(m log m): members are sorted by frequency
+// descending, and each element x is compared against the maximum ratio
+// among partners at least as frequent — for those pairs min(p) = p_x
+// exactly. Pairs where the *stale* element is the more frequent one have
+// gap p_partner·Δr ≤ s almost always (the partner's whole clock c_partner
+// must exceed s); those replicas remain bounded by the intra-embedding
+// check against their own primaries.
+func (t *Table) interCheck(w int, sh *shard, feats []int32, dst *tensor.Matrix, opt ReadOptions) int {
+	ratio := func(x int32) float64 {
+		c, ok := t.ReplicaClock(w, x)
+		if !ok || t.assign.PrimaryOf[x] == w {
+			c = t.primaryClock[x]
+		}
+		if opt.Normalize && t.freq != nil {
+			return float64(c) / t.freq[x]
+		}
+		return float64(c)
+	}
+
+	if !opt.Normalize || t.freq == nil {
+		// Raw clocks: every pair shares the unit, so the arg-max element
+		// dominates all pairs and a single maximum suffices.
+		rmax := math.Inf(-1)
+		for _, x := range feats {
+			if r := ratio(x); r > rmax {
+				rmax = r
+			}
+		}
+		synced := 0
+		for i, x := range feats {
+			owner := t.assign.PrimaryOf[x]
+			if owner == w {
+				continue
+			}
+			row, ok := sh.index[x]
+			if !ok {
+				continue // remote reads already returned the fresh primary
+			}
+			if rmax-ratio(x) > float64(opt.Staleness) {
+				if t.primaryClock[x] > sh.baseClock[row] {
+					t.syncSecondary(w, sh, x, row, owner)
+					synced++
+				}
+				copy(dst.Row(i), sh.vals.Row(int(row)))
+			}
+		}
+		return synced
+	}
+
+	// Normalised clocks: order by frequency descending and keep a running
+	// maximum of the ratios seen so far, so each element compares against
+	// exactly the partners with p ≥ its own.
+	if cap(sh.interOrder) < len(feats) {
+		sh.interOrder = make([]int32, len(feats))
+	}
+	order := sh.interOrder[:len(feats)]
+	for i := range order {
+		order[i] = int32(i)
+	}
+	sort.Slice(order, func(a, b int) bool {
+		fa, fb := t.freq[feats[order[a]]], t.freq[feats[order[b]]]
+		if fa != fb {
+			return fa > fb
+		}
+		return feats[order[a]] < feats[order[b]]
+	})
+	synced := 0
+	prefixMax := math.Inf(-1)
+	for _, oi := range order {
+		x := feats[oi]
+		r := ratio(x)
+		gap := (prefixMax - r) * t.freq[x] // min(p) = p_x for partners so far
+		if r > prefixMax {
+			prefixMax = r
+		}
+		owner := t.assign.PrimaryOf[x]
+		if owner == w {
+			continue
+		}
+		row, ok := sh.index[x]
+		if !ok {
+			continue
+		}
+		if gap > float64(opt.Staleness) {
+			if t.primaryClock[x] > sh.baseClock[row] {
+				t.syncSecondary(w, sh, x, row, owner)
+				synced++
+			}
+			copy(dst.Row(int(oi)), sh.vals.Row(int(row)))
+		}
+	}
+	return synced
+}
+
+// syncSecondary reconciles worker w's replica of x with its primary: the
+// pending gradient is queued for the primary (write-back), the replica
+// takes the current primary value with the pending gradient re-applied
+// locally so the worker's own progress is not lost, and the base clock
+// advances to the primary clock plus the in-flight flush.
+func (t *Table) syncSecondary(w int, sh *shard, x int32, row int32, owner int) {
+	if sh.pendCnt[row] > 0 {
+		delta := make([]float32, t.dim)
+		copy(delta, sh.pending.Row(int(row)))
+		sh.queue = append(sh.queue, primaryUpdate{x: x, count: sh.pendCnt[row], delta: delta})
+		sh.perOwner[owner].FlushVecs++
+	}
+	val := sh.vals.Row(int(row))
+	copy(val, t.primary.Row(int(x)))
+	if sh.pendCnt[row] > 0 {
+		pend := sh.pending.Row(int(row))
+		for i := range val {
+			val[i] -= t.cfg.LocalLR * pend[i]
+		}
+		for i := range pend {
+			pend[i] = 0
+		}
+	}
+	sh.baseClock[row] = t.primaryClock[x] + int64(sh.pendCnt[row])
+	sh.pendCnt[row] = 0
+	sh.perOwner[owner].SyncVecs++
+}
+
+// Update applies the mini-batch gradients grads (row i is the gradient of
+// feats[i]; the caller pre-reduces duplicates) from worker w.
+//
+//   - Local primaries: the gradient is queued and applied at Commit.
+//   - Secondaries: the gradient is applied to the local copy immediately
+//     and absorbed into the pending buffer; the buffer is force-flushed
+//     when it holds more than writeBound updates (pass the staleness bound
+//     s; StalenessInf defers all flushing to synchronisation points).
+//   - No local replica: the gradient is queued directly to the remote
+//     primary, costing a write-back transfer.
+func (t *Table) Update(w int, feats []int32, grads *tensor.Matrix, writeBound int64) UpdateStats {
+	sh := t.shards[w]
+	stats := UpdateStats{PerOwner: sh.perOwner}
+	for i := range sh.perOwner {
+		sh.perOwner[i] = OwnerTraffic{}
+	}
+	for i, x := range feats {
+		g := grads.Row(i)
+		owner := t.assign.PrimaryOf[x]
+		if owner == w {
+			delta := make([]float32, t.dim)
+			copy(delta, g)
+			sh.queue = append(sh.queue, primaryUpdate{x: x, count: 1, delta: delta})
+			stats.LocalPrimary++
+			continue
+		}
+		row, ok := sh.index[x]
+		if !ok {
+			delta := make([]float32, t.dim)
+			copy(delta, g)
+			sh.queue = append(sh.queue, primaryUpdate{x: x, count: 1, delta: delta})
+			stats.RemotePush++
+			sh.perOwner[owner].FlushVecs++
+			sh.perOwner[owner].MetaKeys++
+			continue
+		}
+		// Secondary: local apply + pending accumulation.
+		val := sh.vals.Row(int(row))
+		pend := sh.pending.Row(int(row))
+		for j, gv := range g {
+			val[j] -= t.cfg.LocalLR * gv
+			pend[j] += gv
+		}
+		sh.pendCnt[row]++
+		stats.LocalSecondary++
+		if writeBound != StalenessInf && int64(sh.pendCnt[row]) > writeBound {
+			delta := make([]float32, t.dim)
+			copy(delta, pend)
+			sh.queue = append(sh.queue, primaryUpdate{x: x, count: sh.pendCnt[row], delta: delta})
+			sh.perOwner[owner].FlushVecs++
+			sh.perOwner[owner].MetaKeys++
+			for j := range pend {
+				pend[j] = 0
+			}
+			sh.baseClock[row] += int64(sh.pendCnt[row])
+			sh.pendCnt[row] = 0
+			stats.FlushedPending++
+		}
+	}
+	return stats
+}
+
+// QueuePrimary queues a gradient for feature x's primary on behalf of
+// worker w, bypassing the replica machinery. The parameter-server baselines
+// use it: every update goes straight to the (host-resident) primary.
+func (t *Table) QueuePrimary(w int, x int32, grad []float32) {
+	sh := t.shards[w]
+	delta := make([]float32, t.dim)
+	copy(delta, grad)
+	sh.queue = append(sh.queue, primaryUpdate{x: x, count: 1, delta: delta})
+}
+
+// Commit applies every queued primary update in deterministic worker order
+// and advances primary clocks. It must be called from a single goroutine
+// with no concurrent Read/Update in flight.
+func (t *Table) Commit() {
+	for w := 0; w < t.n; w++ {
+		sh := t.shards[w]
+		for _, u := range sh.queue {
+			row := t.primary.Row(int(u.x))
+			if t.trackNorms {
+				copy(t.normScratch, row)
+			}
+			t.cfg.Optimizer.Apply(u.x, row, u.delta)
+			if t.trackNorms {
+				var s float64
+				for i, v := range row {
+					d := float64(v - t.normScratch[i])
+					s += d * d
+				}
+				t.stepNormSq += s
+			}
+			t.primaryClock[u.x] += int64(u.count)
+		}
+		sh.queue = sh.queue[:0]
+	}
+}
+
+// TrackStepNorms enables accumulation of ‖x(t+1) − x(t)‖² across commits,
+// the quantity of the paper's Theorem 1 (Section 5.4).
+func (t *Table) TrackStepNorms(on bool) {
+	t.trackNorms = on
+	if on && t.normScratch == nil {
+		t.normScratch = make([]float32, t.dim)
+	}
+}
+
+// TakeStepNormSq returns the squared global-model movement accumulated
+// since the last call and resets the accumulator.
+func (t *Table) TakeStepNormSq() float64 {
+	s := t.stepNormSq
+	t.stepNormSq = 0
+	return s
+}
+
+// MaxReplicaDeviation returns the largest Euclidean distance between any
+// secondary replica and its primary — the ‖x(t) − x_i(t)‖ inconsistency
+// term of Theorem 1. It scans every replica; call it at sampling points,
+// not per iteration.
+func (t *Table) MaxReplicaDeviation() float64 {
+	var worst float64
+	for w := 0; w < t.n; w++ {
+		sh := t.shards[w]
+		for row, x := range sh.feats {
+			prim := t.primary.Row(int(x))
+			sec := sh.vals.Row(row)
+			var s float64
+			for i := range prim {
+				d := float64(sec[i] - prim[i])
+				s += d * d
+			}
+			if s > worst {
+				worst = s
+			}
+		}
+	}
+	return math.Sqrt(worst)
+}
+
+// FlushAll force-flushes every worker's pending buffers into the primary
+// queue and resynchronises the replicas. The engine calls it at epoch
+// boundaries so even s = ∞ runs reconcile eventually. It returns per-worker
+// per-owner traffic.
+func (t *Table) FlushAll() [][]OwnerTraffic {
+	out := make([][]OwnerTraffic, t.n)
+	for w := 0; w < t.n; w++ {
+		sh := t.shards[w]
+		traffic := make([]OwnerTraffic, t.n)
+		for row, x := range sh.feats {
+			if sh.pendCnt[row] == 0 {
+				continue
+			}
+			owner := t.assign.PrimaryOf[x]
+			delta := make([]float32, t.dim)
+			copy(delta, sh.pending.Row(row))
+			sh.queue = append(sh.queue, primaryUpdate{x: x, count: sh.pendCnt[row], delta: delta})
+			traffic[owner].FlushVecs++
+			traffic[owner].MetaKeys++
+			pend := sh.pending.Row(row)
+			for j := range pend {
+				pend[j] = 0
+			}
+			sh.baseClock[row] += int64(sh.pendCnt[row])
+			sh.pendCnt[row] = 0
+		}
+		out[w] = traffic
+	}
+	t.Commit()
+	// Refresh every secondary to the reconciled primaries.
+	for w := 0; w < t.n; w++ {
+		sh := t.shards[w]
+		for row, x := range sh.feats {
+			copy(sh.vals.Row(row), t.primary.Row(int(x)))
+			sh.baseClock[row] = t.primaryClock[x]
+			out[w][t.assign.PrimaryOf[x]].SyncVecs++
+		}
+	}
+	return out
+}
+
+// BytesPerVector returns the wire size of one embedding vector.
+func (t *Table) BytesPerVector() int64 { return int64(t.dim) * 4 }
+
+// BytesPerKey returns the wire size of one sparse index + clock pair.
+const BytesPerKey = 16

@@ -1,0 +1,91 @@
+package engine
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"hetgmp/internal/embed"
+)
+
+// Checkpoint format: the embedding-table checkpoint (see
+// embed.Table.WriteTo) followed by the flattened dense parameters:
+//
+//	magic   uint32 = 0x48474d43 ("HGMC")
+//	version uint32 = 1
+//	dense   int64 (parameter count)
+//	params  dense float32
+//	<embedding table checkpoint>
+
+const (
+	trainerMagic   = 0x48474d43
+	trainerVersion = 1
+)
+
+// SaveCheckpoint serialises the trainer's learned state — dense parameters
+// and the primary embedding table. Call between iterations (never
+// concurrently with Run).
+func (t *Trainer) SaveCheckpoint(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	n := t.cfg.Model.ParamCount()
+	for _, v := range []any{uint32(trainerMagic), uint32(trainerVersion), int64(n)} {
+		if err := binary.Write(bw, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	flat := make([]float32, n)
+	t.cfg.Model.FlattenParams(flat)
+	var buf [4]byte
+	for _, v := range flat {
+		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	if _, err := t.table.WriteTo(bw); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// LoadCheckpoint restores state saved by SaveCheckpoint. The trainer's
+// model and table shapes must match.
+func (t *Trainer) LoadCheckpoint(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic, version uint32
+	var n int64
+	for _, v := range []any{&magic, &version, &n} {
+		if err := binary.Read(br, binary.LittleEndian, v); err != nil {
+			return err
+		}
+	}
+	if magic != trainerMagic {
+		return fmt.Errorf("engine: bad checkpoint magic %#x", magic)
+	}
+	if version != trainerVersion {
+		return fmt.Errorf("engine: unsupported checkpoint version %d", version)
+	}
+	if int(n) != t.cfg.Model.ParamCount() {
+		return fmt.Errorf("engine: checkpoint has %d dense params, model has %d",
+			n, t.cfg.Model.ParamCount())
+	}
+	flat := make([]float32, n)
+	var buf [4]byte
+	for i := range flat {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return err
+		}
+		flat[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
+	}
+	t.cfg.Model.LoadParams(flat)
+	if _, err := t.table.ReadFrom(br); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Table exposes the trainer's embedding table for inspection and direct
+// checkpointing.
+func (t *Trainer) Table() *embed.Table { return t.table }

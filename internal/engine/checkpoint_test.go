@@ -1,0 +1,130 @@
+package engine
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTrainerCheckpointRoundTrip(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, nil)
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	aucTrained := tr.Evaluate()
+
+	var buf bytes.Buffer
+	if err := tr.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	// A fresh trainer scores at chance; after restore it matches the
+	// trained evaluation exactly.
+	fresh, err := NewTrainer(f.config(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	aucFresh := fresh.Evaluate()
+	if aucFresh > aucTrained-0.02 {
+		t.Fatalf("fresh AUC %v suspiciously close to trained %v", aucFresh, aucTrained)
+	}
+	if err := fresh.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	if got := fresh.Evaluate(); got != aucTrained {
+		t.Errorf("restored AUC %v, want %v", got, aucTrained)
+	}
+}
+
+func TestTrainerCheckpointResume(t *testing.T) {
+	// Training 1 epoch, checkpointing, and training 1 more epoch on a
+	// restored trainer must keep improving.
+	f := newFixture(t)
+	tr, err := NewTrainer(f.config(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Run(); err != nil {
+		t.Fatal(err)
+	}
+	auc1 := tr.Evaluate()
+	var buf bytes.Buffer
+	if err := tr.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := NewTrainer(f.config(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := resumed.LoadCheckpoint(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	res, err := resumed.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAUC <= auc1-0.02 {
+		t.Errorf("resumed training regressed: %v after restore-run vs %v", res.FinalAUC, auc1)
+	}
+}
+
+func TestTrainerCheckpointRejectsMismatch(t *testing.T) {
+	f := newFixture(t)
+	tr, err := NewTrainer(f.config(t, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.SaveCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	corrupted := append([]byte(nil), data...)
+	corrupted[0] ^= 0xff
+	if err := tr.LoadCheckpoint(bytes.NewReader(corrupted)); err == nil {
+		t.Error("corrupt checkpoint accepted")
+	}
+	if err := tr.LoadCheckpoint(bytes.NewReader(data[:8])); err == nil {
+		t.Error("truncated checkpoint accepted")
+	}
+}
+
+func TestConvergenceTracking(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, func(c *Config) {
+		c.TrackConvergence = true
+		c.Epochs = 2
+		c.EvalEvery = 0
+	})
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.StepNorms) != res.Iterations {
+		t.Fatalf("step norms: %d, iterations: %d", len(res.StepNorms), res.Iterations)
+	}
+	for i, v := range res.StepNorms {
+		if v < 0 || v != v { // negative or NaN
+			t.Fatalf("step norm %d = %v", i, v)
+		}
+	}
+	if res.MovementSum() <= 0 {
+		t.Error("no model movement recorded")
+	}
+	// AdaGrad steps shrink: the tail must move less than the head.
+	if r := res.TailRatio(); r >= 1 {
+		t.Errorf("movement did not decay: tail ratio %v", r)
+	}
+	if len(res.Deviations) != len(res.History) {
+		t.Errorf("deviations %d, history %d", len(res.Deviations), len(res.History))
+	}
+}

@@ -1,0 +1,57 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestDeterministicAcrossGOMAXPROCS verifies the engine's central
+// concurrency contract: because workers queue all primary-side effects
+// during the concurrent phase and a single-threaded commit applies them in
+// worker order, results are bit-identical whether worker goroutines
+// actually run in parallel or not.
+func TestDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	f := newFixture(t)
+	run := func(procs int) *Result {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		cfg := f.config(t, func(c *Config) { c.Epochs = 2 })
+		tr, err := NewTrainer(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	parallel := run(8)
+	if serial.FinalAUC != parallel.FinalAUC {
+		t.Errorf("AUC differs: %v (serial) vs %v (parallel)", serial.FinalAUC, parallel.FinalAUC)
+	}
+	if serial.TotalSimTime != parallel.TotalSimTime {
+		t.Errorf("sim time differs: %v vs %v", serial.TotalSimTime, parallel.TotalSimTime)
+	}
+	// Byte counts are integers and exactly reproducible. The per-category
+	// *seconds* are float sums whose accumulation order follows mutex
+	// acquisition, so they may differ in the last few ulps — diagnostics,
+	// not training state.
+	if serial.Breakdown.Bytes != parallel.Breakdown.Bytes {
+		t.Errorf("traffic bytes differ: %+v vs %+v", serial.Breakdown.Bytes, parallel.Breakdown.Bytes)
+	}
+	for c := range serial.Breakdown.Seconds {
+		a, b := serial.Breakdown.Seconds[c], parallel.Breakdown.Seconds[c]
+		if diff := a - b; diff > 1e-12 || diff < -1e-12 {
+			t.Errorf("category %d seconds differ beyond ulps: %v vs %v", c, a, b)
+		}
+	}
+	for i := range serial.TrafficMatrix {
+		for j := range serial.TrafficMatrix[i] {
+			if serial.TrafficMatrix[i][j] != parallel.TrafficMatrix[i][j] {
+				t.Fatalf("traffic[%d][%d] differs", i, j)
+			}
+		}
+	}
+}

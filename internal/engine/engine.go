@@ -1,0 +1,624 @@
+// Package engine drives distributed embedding-model training over the
+// simulated cluster: it shards data by the partitioner's assignment, runs
+// real WDL/DCN forward/backward passes per worker, moves embeddings through
+// the bounded-staleness table, synchronises dense parameters with ring
+// AllReduce, and accounts simulated time for every byte moved and FLOP
+// computed.
+//
+// One Trainer models one "system" (TF-PS, Parallax, HugeCTR, HET-MP,
+// HET-GMP); package systems provides the presets. Runs are deterministic:
+// worker goroutines only share read-only state between commit points.
+package engine
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/comm"
+	"hetgmp/internal/dataset"
+	"hetgmp/internal/embed"
+	"hetgmp/internal/nn"
+	"hetgmp/internal/optim"
+	"hetgmp/internal/partition"
+	"hetgmp/internal/tensor"
+	"hetgmp/internal/xrand"
+)
+
+// PSConfig switches the trainer into parameter-server mode: embeddings (and
+// optionally dense parameters) live on CPU hosts instead of GPU workers,
+// modelling the TF-PS and Parallax baselines.
+type PSConfig struct {
+	// Hosts is the number of PS shard hosts; shards are placed on machines
+	// 0..Hosts-1 round-robin.
+	Hosts int
+	// HybridDense keeps dense parameters on GPUs synchronised by AllReduce
+	// (Parallax). False routes dense traffic through the PS too (TF-PS).
+	HybridDense bool
+}
+
+// Config parameterises one training run.
+type Config struct {
+	Train *dataset.Dataset
+	Test  *dataset.Dataset
+	Model nn.Network
+	Dim   int
+
+	Topo   *cluster.Topology
+	Assign *partition.Assignment
+
+	// BatchPerWorker is the per-GPU mini-batch size.
+	BatchPerWorker int
+	Epochs         int
+
+	// Staleness is the bound s of the graph-based consistency model.
+	// embed.StalenessInf disables synchronisation (s = ∞).
+	Staleness int64
+	// InterCheck enables the inter-embedding synchronisation point.
+	InterCheck bool
+	// Normalize enables frequency normalisation of clocks.
+	Normalize bool
+
+	// Overlap ∈ [0,1] is the fraction of embedding communication hidden
+	// behind computation (Section 6, "Asynchronous Execution"). 1 means
+	// iteration time is max(compute, comm); 0 means compute + comm.
+	Overlap float64
+
+	// EmbedOpt updates primary embeddings (default AdaGrad 0.05); DenseOpt
+	// updates the DNN weights (default AdaGrad 0.01).
+	EmbedOpt optim.Sparse
+	DenseOpt optim.Dense
+	// LocalLR is the secondary replicas' local step size.
+	LocalLR float32
+
+	// TargetAUC stops training early once the test AUC crosses it; 0
+	// disables early stopping.
+	TargetAUC float64
+	// EvalEvery evaluates AUC every so many global iterations (0: once per
+	// epoch).
+	EvalEvery int
+	// EvalSamples caps the test samples scored per evaluation (0: all).
+	EvalSamples int
+
+	// PS enables parameter-server mode (see PSConfig).
+	PS *PSConfig
+
+	// TrackConvergence records the Theorem-1 quantities: the global model
+	// movement ‖x(t+1) − x(t)‖ per iteration and the maximum replica
+	// deviation ‖x(t) − x_i(t)‖ at every evaluation point (Section 5.4).
+	TrackConvergence bool
+
+	Seed uint64
+}
+
+func (c *Config) defaults() error {
+	if c.Train == nil || c.Model == nil || c.Topo == nil || c.Assign == nil {
+		return fmt.Errorf("engine: Train, Model, Topo and Assign are required")
+	}
+	if err := c.Topo.Validate(); err != nil {
+		return err
+	}
+	if c.Topo.NumWorkers() != c.Assign.N {
+		return fmt.Errorf("engine: topology has %d workers but assignment has %d partitions",
+			c.Topo.NumWorkers(), c.Assign.N)
+	}
+	if c.Dim <= 0 {
+		c.Dim = 16
+	}
+	if c.BatchPerWorker <= 0 {
+		c.BatchPerWorker = 256
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 1
+	}
+	if c.Overlap < 0 || c.Overlap > 1 {
+		return fmt.Errorf("engine: Overlap %g out of [0,1]", c.Overlap)
+	}
+	if c.EmbedOpt == nil {
+		c.EmbedOpt = optim.NewAdaGrad(0.05, c.Train.NumFeatures, c.Dim)
+	}
+	if c.DenseOpt == nil {
+		c.DenseOpt = optim.NewDenseAdaGrad(0.01, c.Model.ParamCount())
+	}
+	if c.LocalLR == 0 {
+		c.LocalLR = 0.05
+	}
+	if c.PS != nil && c.PS.Hosts <= 0 {
+		c.PS.Hosts = 1
+	}
+	return nil
+}
+
+// EvalPoint is one point of a Figure 7 convergence curve.
+type EvalPoint struct {
+	Iteration int
+	Epoch     int
+	SimTime   float64 // seconds of simulated cluster time
+	AUC       float64
+	Loss      float64 // running training loss
+}
+
+// Result summarises a run.
+type Result struct {
+	Workload string
+	System   string
+
+	History  []EvalPoint
+	FinalAUC float64
+	BestAUC  float64
+	// ConvergedAt is the simulated time at which TargetAUC was first
+	// reached; negative if never.
+	ConvergedAt float64
+
+	Iterations       int
+	SamplesProcessed int64
+	TotalSimTime     float64
+	Throughput       float64 // samples per simulated second
+
+	// Time decomposition (summed over the critical path).
+	ComputeSeconds float64
+	EmbCommSeconds float64
+	DenseSeconds   float64
+
+	Breakdown     comm.Breakdown
+	TrafficMatrix [][]int64
+
+	// Protocol counters aggregated over the run.
+	LocalPrimary, LocalFresh, SyncedIntra, SyncedInter, RemoteReads int64
+
+	// Theorem-1 traces (populated when Config.TrackConvergence is set):
+	// StepNorms[t] is ‖x(t+1) − x(t)‖ over the embedding table, and
+	// Deviations[k] is the largest secondary-vs-primary distance at the
+	// k-th evaluation point.
+	StepNorms  []float64
+	Deviations []float64
+}
+
+// MovementSum returns Σ_t ‖x(t+1) − x(t)‖, the series Theorem 1 proves
+// finite.
+func (r *Result) MovementSum() float64 {
+	var s float64
+	for _, v := range r.StepNorms {
+		s += v
+	}
+	return s
+}
+
+// TailRatio compares the mean step norm of the last quarter of training to
+// the first quarter; Theorem 1's summability requires the movement to decay
+// (ratio well below 1).
+func (r *Result) TailRatio() float64 {
+	n := len(r.StepNorms)
+	if n < 8 {
+		return 1
+	}
+	q := n / 4
+	var head, tail float64
+	for _, v := range r.StepNorms[:q] {
+		head += v
+	}
+	for _, v := range r.StepNorms[n-q:] {
+		tail += v
+	}
+	if head == 0 {
+		return 1
+	}
+	return tail / head
+}
+
+// CommFraction returns communication time / total time on the critical
+// path — the quantity of the paper's Figure 1.
+func (r *Result) CommFraction() float64 {
+	if r.TotalSimTime == 0 {
+		return 0
+	}
+	return (r.EmbCommSeconds + r.DenseSeconds) / r.TotalSimTime
+}
+
+// Trainer executes runs for one configuration.
+type Trainer struct {
+	cfg    Config
+	fabric *comm.Fabric
+	table  *embed.Table
+	n      int
+
+	workers []*worker
+	// denseGrad[w] is worker w's flattened dense gradient for the current
+	// iteration; denseAvg is the AllReduce result.
+	denseGrad [][]float32
+	denseAvg  []float32
+
+	// psHome[x] is the PS host machine of feature x (PS mode only).
+	psHome []int8
+
+	// Evaluation buffers (lazily built).
+	evalState  nn.State
+	evalInput  *tensor.Matrix
+	evalScores []float32
+	evalLabels []float32
+}
+
+// NewTrainer validates cfg and builds all run state.
+func NewTrainer(cfg Config) (*Trainer, error) {
+	if err := cfg.defaults(); err != nil {
+		return nil, err
+	}
+	n := cfg.Topo.NumWorkers()
+	freq := cfg.Train.FeatureFrequencies()
+	table, err := embed.NewTable(embed.Config{
+		NumFeatures: cfg.Train.NumFeatures,
+		Dim:         cfg.Dim,
+		Assign:      cfg.Assign,
+		Freq:        freq,
+		Optimizer:   cfg.EmbedOpt,
+		LocalLR:     cfg.LocalLR,
+		Seed:        cfg.Seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	t := &Trainer{
+		cfg:      cfg,
+		fabric:   comm.NewFabric(cfg.Topo),
+		table:    table,
+		n:        n,
+		denseAvg: make([]float32, cfg.Model.ParamCount()),
+	}
+	if cfg.PS != nil {
+		t.psHome = make([]int8, cfg.Train.NumFeatures)
+		for x := range t.psHome {
+			t.psHome[x] = int8(x % cfg.PS.Hosts)
+		}
+	}
+	// Shard samples by assignment.
+	shards := make([][]int32, n)
+	for s, p := range cfg.Assign.SampleOf {
+		shards[p] = append(shards[p], int32(s))
+	}
+	rng := xrand.New(cfg.Seed ^ 0xe4917e4917e4917e)
+	for w := 0; w < n; w++ {
+		t.workers = append(t.workers, newWorker(w, t, shards[w], rng.Split()))
+		t.denseGrad = append(t.denseGrad, make([]float32, cfg.Model.ParamCount()))
+	}
+	return t, nil
+}
+
+// Run trains to completion (epochs or early stop) and returns the result.
+func (t *Trainer) Run() (*Result, error) {
+	cfg := &t.cfg
+	res := &Result{
+		Workload:    cfg.Model.Name() + "-" + cfg.Train.Name,
+		ConvergedAt: -1,
+	}
+	itersPerEpoch := 0
+	for _, w := range t.workers {
+		if n := (len(w.samples) + cfg.BatchPerWorker - 1) / cfg.BatchPerWorker; n > itersPerEpoch {
+			itersPerEpoch = n
+		}
+	}
+	if itersPerEpoch == 0 {
+		return nil, fmt.Errorf("engine: no training samples")
+	}
+	evalEvery := cfg.EvalEvery
+	if evalEvery <= 0 {
+		evalEvery = itersPerEpoch
+	}
+
+	var simTime float64 // synchronised cluster clock (barrier per iteration)
+	psClock := make([]float64, t.n)
+	denseBytes := int64(cfg.Model.ParamCount()) * 4
+	lossSum, lossCnt := 0.0, 0
+
+	if cfg.TrackConvergence {
+		t.table.TrackStepNorms(true)
+	}
+	sem := make(chan struct{}, maxParallelism())
+	global := 0
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		for _, w := range t.workers {
+			w.startEpoch()
+		}
+		for it := 0; it < itersPerEpoch; it++ {
+			var wg sync.WaitGroup
+			for _, w := range t.workers {
+				if !w.hasWork() {
+					w.iterTime = 0
+					w.iterCompute = 0
+					w.iterLoss = 0
+					w.iterSamples = 0
+					for h := range w.iterHostBytes {
+						w.iterHostBytes[h] = 0
+					}
+					continue
+				}
+				wg.Add(1)
+				sem <- struct{}{}
+				go func(w *worker) {
+					defer wg.Done()
+					defer func() { <-sem }()
+					w.runIteration()
+				}(w)
+			}
+			wg.Wait()
+
+			// Barrier: the slowest worker gates the iteration — or the
+			// busiest NIC, since a machine's GPUs share one network port
+			// and their cross-node traffic serialises through it.
+			var maxDt float64
+			for _, w := range t.workers {
+				if w.iterTime > maxDt {
+					maxDt = w.iterTime
+				}
+				lossSum += w.iterLoss
+				if w.iterSamples > 0 {
+					lossCnt++
+				}
+				res.SamplesProcessed += int64(w.iterSamples)
+			}
+			if nic := t.nicQueueDelay(); nic > maxDt {
+				maxDt = nic
+			}
+
+			// Dense synchronisation. In PS mode the shared host link is a
+			// queueing point: the host serves all workers' bytes through
+			// one NIC, so per-iteration service time is the aggregate
+			// demand divided by that link's bandwidth — the centralised
+			// bottleneck that makes the paper's CPU-PS baselines lose.
+			hostBusy := t.hostQueueDelay(0)
+			if cfg.PS != nil && !cfg.PS.HybridDense {
+				// TF-PS: dense pull + push through the host link, no
+				// barrier between workers. Each worker's clock advances by
+				// its own work or by the host's queueing delay, whichever
+				// gates it.
+				denseBusy := t.hostQueueDelay(2 * denseBytes)
+				var maxDenseDt float64
+				for wi, w := range t.workers {
+					if w.iterSamples == 0 {
+						continue
+					}
+					host := wi % cfg.PS.Hosts
+					denseDt := t.fabric.HostTransfer(wi, host, denseBytes, comm.CatDense)
+					denseDt += t.fabric.HostTransfer(wi, host, denseBytes, comm.CatDense)
+					denseDt += psReadOverhead + psUpdateOverhead
+					if denseDt > maxDenseDt {
+						maxDenseDt = denseDt
+					}
+					t.applyWorkerDense(wi)
+					dt := w.iterTime + denseDt
+					if denseBusy > dt {
+						dt = denseBusy
+					}
+					psClock[wi] += dt
+				}
+				// The shared simulated clock follows the slowest worker.
+				simTime = maxFloat(psClock)
+				res.DenseSeconds += maxDenseDt
+			} else {
+				denseDt := t.fabric.AllReduceTime(denseBytes)
+				t.reduceDense()
+				if hostBusy > maxDt {
+					maxDt = hostBusy // Parallax: sparse path queues at the host
+				}
+				simTime += maxDt + denseDt
+				res.DenseSeconds += denseDt
+			}
+			t.table.Commit()
+			if cfg.TrackConvergence {
+				res.StepNorms = append(res.StepNorms, math.Sqrt(t.table.TakeStepNormSq()))
+			}
+
+			// Critical-path decomposition: attribute the slowest worker's
+			// split.
+			slowest := t.slowestWorker()
+			if slowest != nil {
+				res.ComputeSeconds += slowest.iterCompute
+				res.EmbCommSeconds += slowest.iterTime - slowest.iterCompute
+			}
+
+			global++
+			res.Iterations = global
+			if global%evalEvery == 0 || (epoch == cfg.Epochs-1 && it == itersPerEpoch-1) {
+				auc := t.Evaluate()
+				avgLoss := 0.0
+				if lossCnt > 0 {
+					avgLoss = lossSum / float64(lossCnt)
+				}
+				lossSum, lossCnt = 0, 0
+				res.History = append(res.History, EvalPoint{
+					Iteration: global, Epoch: epoch, SimTime: simTime, AUC: auc, Loss: avgLoss,
+				})
+				if cfg.TrackConvergence {
+					res.Deviations = append(res.Deviations, t.table.MaxReplicaDeviation())
+				}
+				if auc > res.BestAUC {
+					res.BestAUC = auc
+				}
+				res.FinalAUC = auc
+				if cfg.TargetAUC > 0 && auc >= cfg.TargetAUC && res.ConvergedAt < 0 {
+					res.ConvergedAt = simTime
+				}
+				if cfg.TargetAUC > 0 && res.ConvergedAt >= 0 {
+					// Converged: finish the epoch accounting and stop.
+					res.TotalSimTime = simTime
+					t.finalize(res)
+					return res, nil
+				}
+			}
+		}
+		// Epoch boundary: reconcile replicas and charge the flush traffic.
+		// s = ∞ means *no* synchronisation: replicas drift for the whole
+		// run and their pending gradients reach primaries only at the very
+		// end — the quality cost the paper's Table 2 shows at s = ∞.
+		if cfg.Staleness == embed.StalenessInf && epoch < cfg.Epochs-1 {
+			continue
+		}
+		flush := t.table.FlushAll()
+		var flushMax float64
+		vecBytes := t.table.BytesPerVector()
+		for wi, per := range flush {
+			var dt float64
+			for owner, tr := range per {
+				if owner == wi {
+					continue
+				}
+				var out [3]int64
+				out[comm.CatMeta] = int64(tr.MetaKeys) * embed.BytesPerKey
+				out[comm.CatEmbedding] = int64(tr.FlushVecs) * vecBytes
+				dt += t.fabric.TransferBatch(wi, owner, out)
+				var in [3]int64
+				in[comm.CatEmbedding] = int64(tr.SyncVecs) * vecBytes
+				dt += t.fabric.TransferBatch(owner, wi, in)
+			}
+			if dt > flushMax {
+				flushMax = dt
+			}
+		}
+		simTime += flushMax
+		res.EmbCommSeconds += flushMax
+	}
+	res.TotalSimTime = simTime
+	t.finalize(res)
+	return res, nil
+}
+
+func (t *Trainer) finalize(res *Result) {
+	if res.TotalSimTime > 0 {
+		res.Throughput = float64(res.SamplesProcessed) / res.TotalSimTime
+	}
+	res.Breakdown = t.fabric.Breakdown()
+	res.TrafficMatrix = t.fabric.TrafficMatrix()
+	for _, w := range t.workers {
+		res.LocalPrimary += w.totLocalPrimary
+		res.LocalFresh += w.totLocalFresh
+		res.SyncedIntra += w.totSyncedIntra
+		res.SyncedInter += w.totSyncedInter
+		res.RemoteReads += w.totRemoteReads
+	}
+}
+
+// nicQueueDelay returns the time the busiest machine needs to push this
+// iteration's cross-node traffic through its (full-duplex) NIC. Without
+// this term every GPU would enjoy a private network port and random
+// partitioning would never hit the multi-node wall of Figure 10.
+func (t *Trainer) nicQueueDelay() float64 {
+	topo := t.cfg.Topo
+	if topo.Nodes <= 1 {
+		return 0
+	}
+	nodeOut := make([]int64, topo.Nodes)
+	nodeIn := make([]int64, topo.Nodes)
+	for wi, w := range t.workers {
+		n := topo.NodeOf(wi)
+		nodeOut[n] += w.iterNICOut
+		nodeIn[n] += w.iterNICIn
+	}
+	bw := topo.Network.Bandwidth()
+	var worst float64
+	for n := 0; n < topo.Nodes; n++ {
+		dir := nodeOut[n]
+		if nodeIn[n] > dir {
+			dir = nodeIn[n]
+		}
+		if busy := float64(dir) / bw; busy > worst {
+			worst = busy
+		}
+	}
+	return worst
+}
+
+// hostQueueDelay returns the per-iteration service time of the busiest PS
+// host: the sum of every worker's traffic with that host (plus extraPerWorker
+// bytes each, for the TF-PS dense path) divided by the host link bandwidth.
+// Zero when the trainer is not in PS mode.
+func (t *Trainer) hostQueueDelay(extraPerWorker int64) float64 {
+	cfg := &t.cfg
+	if cfg.PS == nil {
+		return 0
+	}
+	var worst float64
+	for h := 0; h < cfg.PS.Hosts; h++ {
+		var total int64
+		bw := cluster.PCIe.Bandwidth()
+		for wi, w := range t.workers {
+			if w.iterSamples == 0 {
+				continue
+			}
+			if len(w.iterHostBytes) > h {
+				total += w.iterHostBytes[h]
+			}
+			if wi%cfg.PS.Hosts == h {
+				total += extraPerWorker
+			}
+			if b := cfg.Topo.HostLink(wi, h).Bandwidth(); b < bw {
+				bw = b
+			}
+		}
+		if busy := float64(total) / bw; busy > worst {
+			worst = busy
+		}
+	}
+	return worst
+}
+
+func (t *Trainer) slowestWorker() *worker {
+	var s *worker
+	for _, w := range t.workers {
+		if s == nil || w.iterTime > s.iterTime {
+			s = w
+		}
+	}
+	return s
+}
+
+// reduceDense averages all workers' dense gradients (the AllReduce payload)
+// and applies the result once — exact data-parallel semantics.
+func (t *Trainer) reduceDense() {
+	n := 0
+	for i := range t.denseAvg {
+		t.denseAvg[i] = 0
+	}
+	for wi, w := range t.workers {
+		if w.iterSamples == 0 {
+			continue
+		}
+		g := t.denseGrad[wi]
+		for i, v := range g {
+			t.denseAvg[i] += v
+		}
+		n++
+	}
+	if n == 0 {
+		return
+	}
+	inv := float32(1) / float32(n)
+	for i := range t.denseAvg {
+		t.denseAvg[i] *= inv
+	}
+	t.cfg.Model.ApplyDense(t.cfg.DenseOpt.Step, t.denseAvg)
+}
+
+// applyWorkerDense applies one worker's dense gradient directly (PS/ASP
+// path: no averaging barrier).
+func (t *Trainer) applyWorkerDense(wi int) {
+	t.cfg.Model.ApplyDense(t.cfg.DenseOpt.Step, t.denseGrad[wi])
+}
+
+func maxFloat(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func maxParallelism() int {
+	p := runtime.GOMAXPROCS(0)
+	if p < 1 {
+		p = 1
+	}
+	return p
+}

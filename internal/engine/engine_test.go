@@ -1,0 +1,356 @@
+package engine
+
+import (
+	"testing"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/comm"
+	"hetgmp/internal/dataset"
+	"hetgmp/internal/embed"
+	"hetgmp/internal/nn"
+	"hetgmp/internal/partition"
+)
+
+type fixture struct {
+	train, test *dataset.Dataset
+	g           *bigraph.Bigraph
+	topo        *cluster.Topology
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	ds, err := dataset.New(dataset.Avazu, 1e-4, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.9)
+	return &fixture{
+		train: train, test: test,
+		g:    bigraph.FromDataset(train),
+		topo: cluster.EightGPUQPI(),
+	}
+}
+
+func (f *fixture) config(t *testing.T, mutate func(*Config)) Config {
+	t.Helper()
+	assign := partition.Random(f.g, f.topo.NumWorkers(), 5)
+	cfg := Config{
+		Train: f.train, Test: f.test,
+		Model:          nn.NewWDL(nn.WDLConfig{Fields: f.train.NumFields, Dim: 8, Hidden: []int{16}, Seed: 5}),
+		Dim:            8,
+		Topo:           f.topo,
+		Assign:         assign,
+		BatchPerWorker: 64,
+		Epochs:         1,
+		EvalEvery:      1 << 30,
+		Seed:           5,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return cfg
+}
+
+func run(t *testing.T, cfg Config) *Result {
+	t.Helper()
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestNewTrainerValidation(t *testing.T) {
+	f := newFixture(t)
+	cases := []func(*Config){
+		func(c *Config) { c.Train = nil },
+		func(c *Config) { c.Model = nil },
+		func(c *Config) { c.Topo = nil },
+		func(c *Config) { c.Assign = nil },
+		func(c *Config) { c.Overlap = 2 },
+		func(c *Config) { c.Assign = partition.Random(f.g, 4, 1) }, // worker mismatch
+	}
+	for i, mutate := range cases {
+		cfg := f.config(t, mutate)
+		if _, err := NewTrainer(cfg); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestRunProcessesAllSamples(t *testing.T) {
+	f := newFixture(t)
+	res := run(t, f.config(t, nil))
+	if res.SamplesProcessed != int64(len(f.train.Samples)) {
+		t.Errorf("processed %d samples, want %d", res.SamplesProcessed, len(f.train.Samples))
+	}
+	if res.Iterations == 0 || res.TotalSimTime <= 0 || res.Throughput <= 0 {
+		t.Errorf("degenerate result: %+v", res)
+	}
+	if res.FinalAUC <= 0.4 {
+		t.Errorf("final AUC %v", res.FinalAUC)
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	f := newFixture(t)
+	a := run(t, f.config(t, nil))
+	b := run(t, f.config(t, nil))
+	if a.FinalAUC != b.FinalAUC {
+		t.Errorf("AUC differs: %v vs %v", a.FinalAUC, b.FinalAUC)
+	}
+	if a.TotalSimTime != b.TotalSimTime {
+		t.Errorf("sim time differs: %v vs %v", a.TotalSimTime, b.TotalSimTime)
+	}
+	// Byte counts are exact; float second-aggregates may differ in ulps
+	// with goroutine interleaving (see TestDeterministicAcrossGOMAXPROCS).
+	if a.Breakdown.Bytes != b.Breakdown.Bytes {
+		t.Errorf("breakdown bytes differ: %+v vs %+v", a.Breakdown.Bytes, b.Breakdown.Bytes)
+	}
+}
+
+func TestLearningImprovesAUC(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, func(c *Config) {
+		c.Epochs = 3
+		c.EvalEvery = 0 // per epoch
+	})
+	res := run(t, cfg)
+	if len(res.History) < 3 {
+		t.Fatalf("history: %d points", len(res.History))
+	}
+	first := res.History[0].AUC
+	last := res.History[len(res.History)-1].AUC
+	if last <= first {
+		t.Errorf("AUC did not improve: %v -> %v", first, last)
+	}
+	if last < 0.62 {
+		t.Errorf("final AUC %v too low", last)
+	}
+}
+
+func TestEarlyStopAtTarget(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, func(c *Config) {
+		c.Epochs = 10
+		c.TargetAUC = 0.55 // trivially reachable
+		c.EvalEvery = 2
+	})
+	res := run(t, cfg)
+	if res.ConvergedAt < 0 {
+		t.Fatal("never converged to a trivial target")
+	}
+	if res.Iterations >= 10*len(f.train.Samples)/(64*8) {
+		t.Error("early stop did not trigger")
+	}
+}
+
+func TestTrafficMatrixShape(t *testing.T) {
+	f := newFixture(t)
+	res := run(t, f.config(t, nil))
+	if len(res.TrafficMatrix) != 8 {
+		t.Fatalf("matrix rows: %d", len(res.TrafficMatrix))
+	}
+	var offDiag int64
+	for i, row := range res.TrafficMatrix {
+		for j, v := range row {
+			if i != j {
+				offDiag += v
+			}
+		}
+	}
+	if offDiag == 0 {
+		t.Error("no cross-worker traffic under random partitioning")
+	}
+}
+
+func TestHigherStalenessReducesEmbeddingTraffic(t *testing.T) {
+	// With replicas, a looser bound must ship fewer embedding bytes.
+	f := newFixture(t)
+	cfg := partition.DefaultHybridConfig(8)
+	cfg.Rounds = 2
+	cfg.Seed = 5
+	hr, err := partition.Hybrid(f.g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bytesAt := func(s int64) int64 {
+		c := f.config(t, func(c *Config) {
+			c.Assign = hr.Assignment
+			c.Staleness = s
+			c.InterCheck = true
+			c.Normalize = true
+			c.Epochs = 2
+		})
+		res := run(t, c)
+		return res.Breakdown.Bytes[comm.CatEmbedding]
+	}
+	strict := bytesAt(0)
+	loose := bytesAt(1000)
+	if loose >= strict {
+		t.Errorf("s=1000 bytes %d not below s=0 bytes %d", loose, strict)
+	}
+}
+
+func TestOverlapReducesIterationTime(t *testing.T) {
+	f := newFixture(t)
+	serial := run(t, f.config(t, func(c *Config) { c.Overlap = 0 }))
+	overlapped := run(t, f.config(t, func(c *Config) { c.Overlap = 1 }))
+	if overlapped.TotalSimTime >= serial.TotalSimTime {
+		t.Errorf("overlap 1 time %v not below overlap 0 time %v",
+			overlapped.TotalSimTime, serial.TotalSimTime)
+	}
+	// Same math, same AUC.
+	if overlapped.FinalAUC != serial.FinalAUC {
+		t.Errorf("overlap changed learning: %v vs %v", overlapped.FinalAUC, serial.FinalAUC)
+	}
+}
+
+func TestPSModeRuns(t *testing.T) {
+	f := newFixture(t)
+	res := run(t, f.config(t, func(c *Config) {
+		c.PS = &PSConfig{Hosts: 1}
+	}))
+	if res.FinalAUC < 0.5 {
+		t.Errorf("PS-mode AUC %v", res.FinalAUC)
+	}
+	// All embedding reads go over the host link: remote-read counters on
+	// the fabric's worker-pair matrix stay on the diagonal.
+	for i, row := range res.TrafficMatrix {
+		for j, v := range row {
+			if i != j && v != 0 {
+				t.Fatalf("PS mode produced worker-to-worker traffic [%d][%d]=%d", i, j, v)
+			}
+		}
+	}
+}
+
+func TestPSModeSlowerThanModelParallel(t *testing.T) {
+	// The paper's Figure 7: CPU-PS architectures pay the host link and
+	// fall behind GPU model parallelism in simulated time.
+	f := newFixture(t)
+	mp := run(t, f.config(t, nil))
+	ps := run(t, f.config(t, func(c *Config) { c.PS = &PSConfig{Hosts: 1} }))
+	if ps.TotalSimTime <= mp.TotalSimTime {
+		t.Errorf("PS time %v not above model-parallel %v", ps.TotalSimTime, mp.TotalSimTime)
+	}
+}
+
+func TestParallaxHybridDense(t *testing.T) {
+	f := newFixture(t)
+	tfps := run(t, f.config(t, func(c *Config) { c.PS = &PSConfig{Hosts: 1} }))
+	parallax := run(t, f.config(t, func(c *Config) { c.PS = &PSConfig{Hosts: 1, HybridDense: true} }))
+	// Parallax moves dense params by AllReduce instead of the host link;
+	// with a 1GbE host path, hybrid must be faster.
+	if parallax.TotalSimTime >= tfps.TotalSimTime {
+		t.Errorf("parallax %v not faster than tf-ps %v", parallax.TotalSimTime, tfps.TotalSimTime)
+	}
+}
+
+func TestCommFractionBounds(t *testing.T) {
+	f := newFixture(t)
+	res := run(t, f.config(t, nil))
+	cf := res.CommFraction()
+	if cf < 0 || cf > 1.01 {
+		t.Errorf("comm fraction %v out of bounds", cf)
+	}
+	empty := &Result{}
+	if empty.CommFraction() != 0 {
+		t.Error("zero-time comm fraction not 0")
+	}
+}
+
+func TestEvaluateWithoutTestSet(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, func(c *Config) { c.Test = nil })
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := tr.Evaluate(); auc != 0.5 {
+		t.Errorf("no-test-set AUC = %v, want 0.5", auc)
+	}
+}
+
+func TestEvalSamplesCap(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, func(c *Config) { c.EvalSamples = 32 })
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if auc := tr.Evaluate(); auc < 0 || auc > 1 {
+		t.Errorf("capped eval AUC %v", auc)
+	}
+}
+
+func TestProtocolCountersConsistent(t *testing.T) {
+	f := newFixture(t)
+	res := run(t, f.config(t, nil))
+	reads := res.LocalPrimary + res.LocalFresh + res.SyncedIntra + res.RemoteReads
+	// Every unique (batch, feature) lookup lands in exactly one bucket
+	// (inter syncs re-count features already bucketed).
+	if reads <= 0 {
+		t.Fatal("no reads recorded")
+	}
+	// Random assignment, no replicas: no fresh/sync reads possible.
+	if res.LocalFresh != 0 || res.SyncedIntra != 0 || res.SyncedInter != 0 {
+		t.Errorf("replica counters nonzero without replicas: %+v", res)
+	}
+}
+
+func TestStalenessInfEpochReconcile(t *testing.T) {
+	f := newFixture(t)
+	cfg := partition.DefaultHybridConfig(8)
+	cfg.Rounds = 2
+	cfg.Seed = 5
+	hr, err := partition.Hybrid(f.g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := run(t, f.config(t, func(c *Config) {
+		c.Assign = hr.Assignment
+		c.Staleness = embed.StalenessInf
+		c.Epochs = 2
+	}))
+	// Training must still learn: epoch-boundary FlushAll reconciles.
+	if res.FinalAUC < 0.55 {
+		t.Errorf("s=inf AUC %v: epoch reconciliation broken?", res.FinalAUC)
+	}
+}
+
+func BenchmarkTrainerIterationMP(b *testing.B) {
+	ds, err := dataset.New(dataset.Avazu, 1e-4, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, test := ds.Split(0.9)
+	g := bigraph.FromDataset(train)
+	topo := cluster.EightGPUQPI()
+	assign := partition.Random(g, 8, 5)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr, err := NewTrainer(Config{
+			Train: train, Test: test,
+			Model:          nn.NewWDL(nn.WDLConfig{Fields: train.NumFields, Dim: 8, Hidden: []int{16}, Seed: 5}),
+			Dim:            8,
+			Topo:           topo,
+			Assign:         assign,
+			BatchPerWorker: 64,
+			Epochs:         1,
+			EvalEvery:      1 << 30,
+			Seed:           5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := tr.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

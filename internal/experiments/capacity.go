@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"hetgmp/internal/embed"
+	"hetgmp/internal/report"
+)
+
+// CapacityResult reproduces the paper's capacity claim (Section 7.4):
+// "with 24 GPUs (32 GB), we support around 10^11 float parameters in the
+// embedding table". The check is sharding arithmetic — the entire point of
+// model parallelism is that no worker materialises the full table — plus
+// the secondary-replica and clock overheads of HET-GMP's design.
+type CapacityResult struct {
+	Plans []embed.CapacityPlan
+}
+
+// RunCapacity evaluates the paper's cluster and a few neighbours.
+func RunCapacity(p Params) (*CapacityResult, error) {
+	const gib = int64(1) << 30
+	configs := []embed.CapacityPlan{
+		// The paper's setting: 24 × 32 GiB V100, 10^11 params at dim 128.
+		{NumFeatures: 781_250_000, Dim: 128, Workers: 24, WorkerMemBytes: 32 * gib, ReplicaFraction: 0.01},
+		// Same table on 8 GPUs: should not fit.
+		{NumFeatures: 781_250_000, Dim: 128, Workers: 8, WorkerMemBytes: 32 * gib, ReplicaFraction: 0.01},
+		// Criteo-scale table (Table 1) on one 24 GiB RTX TITAN at dim 128.
+		{NumFeatures: 33_762_577, Dim: 128, Workers: 1, WorkerMemBytes: 24 * gib, ReplicaFraction: 0},
+		// Company-scale table on one GPU: does not fit (Figure 10 note).
+		{NumFeatures: 66_102_027, Dim: 128, Workers: 1, WorkerMemBytes: 24 * gib, ReplicaFraction: 0},
+	}
+	res := &CapacityResult{}
+	for _, c := range configs {
+		plan, err := embed.PlanCapacity(c)
+		if err != nil {
+			return nil, err
+		}
+		res.Plans = append(res.Plans, plan)
+	}
+	return res, nil
+}
+
+// String renders the capacity table.
+func (r *CapacityResult) String() string {
+	t := report.New("Capacity: embedding-table sharding arithmetic (Section 7.4)",
+		"params", "dim", "workers", "mem/worker", "bytes/worker", "fits", "max params for cluster")
+	for _, p := range r.Plans {
+		t.AddRow(p.TotalParams, p.Dim, p.Workers,
+			report.FormatBytes(p.WorkerMemBytes),
+			report.FormatBytes(p.BytesPerWorker),
+			p.Fits, p.MaxParamsForCluster)
+	}
+	t.AddNote("paper: 24 GPUs x 32 GB support ~10^11 float parameters; Company does not fit one GPU")
+	return t.String()
+}

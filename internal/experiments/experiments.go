@@ -1,0 +1,121 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 7) on the simulated substrate. Each experiment
+// returns a structured result plus a rendered text table; the
+// cmd/hetgmp-bench tool and the repository-root benchmarks are thin
+// wrappers over this package.
+//
+// Absolute numbers differ from the paper — the substrate is a simulator and
+// the datasets are synthetic stand-ins scaled to one machine — but each
+// experiment is expected to reproduce the paper's *shape*: who wins, in
+// which regime, and by roughly what kind of factor. EXPERIMENTS.md records
+// paper-versus-measured values side by side.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"hetgmp/internal/dataset"
+)
+
+// Params are the shared knobs of the experiment suite.
+type Params struct {
+	// Scale shrinks the paper's datasets (Table 1) by this factor.
+	Scale float64
+	// Dim is the embedding dimensionality.
+	Dim int
+	// Batch is the per-worker mini-batch size.
+	Batch int
+	// Epochs bounds the end-to-end runs.
+	Epochs int
+	Seed   uint64
+	// Quick trims datasets and epochs further for CI-speed runs.
+	Quick bool
+}
+
+// Defaults returns the standard experiment parameters: every experiment in
+// the suite completes on one machine in minutes. Dim 16 keeps single-core
+// runs fast; the shapes reported in EXPERIMENTS.md are insensitive to the
+// embedding width (pass -dim to cmd/hetgmp-bench to verify).
+func Defaults() Params {
+	return Params{Scale: 1e-3, Dim: 16, Batch: 256, Epochs: 3, Seed: 22}
+}
+
+// QuickDefaults returns parameters suitable for tests.
+func QuickDefaults() Params {
+	return Params{Scale: 2e-4, Dim: 8, Batch: 128, Epochs: 2, Seed: 22, Quick: true}
+}
+
+func (p Params) normalize() Params {
+	d := Defaults()
+	if p.Scale <= 0 {
+		p.Scale = d.Scale
+	}
+	if p.Dim <= 0 {
+		p.Dim = d.Dim
+	}
+	if p.Batch <= 0 {
+		p.Batch = d.Batch
+	}
+	if p.Epochs <= 0 {
+		p.Epochs = d.Epochs
+	}
+	if p.Seed == 0 {
+		p.Seed = d.Seed
+	}
+	return p
+}
+
+// Datasets lists the evaluation datasets in the paper's order.
+var Datasets = []string{dataset.Avazu, dataset.Criteo, dataset.Company}
+
+// Models lists the evaluation workloads.
+var Models = []string{"wdl", "dcn"}
+
+// dsCache memoises generated datasets per (name, scale, seed): several
+// experiments share the same inputs and generation is the costly step.
+var dsCache sync.Map
+
+type dsKey struct {
+	name  string
+	scale float64
+	seed  uint64
+}
+
+// LoadDataset generates (or returns the cached) synthetic dataset.
+func LoadDataset(name string, scale float64, seed uint64) (*dataset.Dataset, error) {
+	key := dsKey{name, scale, seed}
+	if v, ok := dsCache.Load(key); ok {
+		return v.(*dataset.Dataset), nil
+	}
+	ds, err := dataset.New(name, scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	actual, _ := dsCache.LoadOrStore(key, ds)
+	return actual.(*dataset.Dataset), nil
+}
+
+// Registry maps experiment IDs to their runners, for cmd/hetgmp-bench.
+type Runner func(Params) (fmt.Stringer, error)
+
+// Registry indexes every reproduction by its paper label.
+var Registry = map[string]Runner{
+	"fig1":     func(p Params) (fmt.Stringer, error) { return RunFigure1(p) },
+	"fig3":     func(p Params) (fmt.Stringer, error) { return RunFigure3(p) },
+	"fig7":     func(p Params) (fmt.Stringer, error) { return RunFigure7(p) },
+	"fig8":     func(p Params) (fmt.Stringer, error) { return RunFigure8(p) },
+	"fig9a":    func(p Params) (fmt.Stringer, error) { return RunFigure9a(p) },
+	"fig9b":    func(p Params) (fmt.Stringer, error) { return RunFigure9b(p) },
+	"fig10":    func(p Params) (fmt.Stringer, error) { return RunFigure10(p) },
+	"table2":   func(p Params) (fmt.Stringer, error) { return RunTable2(p) },
+	"table3":   func(p Params) (fmt.Stringer, error) { return RunTable3(p) },
+	"capacity": func(p Params) (fmt.Stringer, error) { return RunCapacity(p) },
+	"theorem1": func(p Params) (fmt.Stringer, error) { return RunTheorem1(p) },
+}
+
+// Order lists experiment IDs in the paper's presentation order.
+var Order = []string{
+	"fig1", "fig3", "fig7", "fig8", "table2", "fig9a", "fig9b", "table3", "fig10", "capacity",
+	"theorem1",
+}

@@ -1,0 +1,321 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetgmp/internal/systems"
+)
+
+// The experiment tests run with QuickDefaults and assert the *shape* each
+// paper figure/table claims, not absolute numbers. They are the repository's
+// integration suite: every substrate participates.
+
+func TestRegistryComplete(t *testing.T) {
+	if len(Order) != len(Registry) {
+		t.Fatalf("Order has %d entries, Registry %d", len(Order), len(Registry))
+	}
+	for _, id := range Order {
+		if Registry[id] == nil {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+}
+
+func TestParamsNormalize(t *testing.T) {
+	p := Params{}.normalize()
+	d := Defaults()
+	if p.Scale != d.Scale || p.Dim != d.Dim || p.Batch != d.Batch || p.Epochs != d.Epochs {
+		t.Errorf("normalize() = %+v, want defaults %+v", p, d)
+	}
+}
+
+func TestLoadDatasetCaches(t *testing.T) {
+	a, err := LoadDataset("avazu", 1e-4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := LoadDataset("avazu", 1e-4, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Error("dataset not cached")
+	}
+	if _, err := LoadDataset("nope", 1e-4, 99); err == nil {
+		t.Error("bad preset accepted")
+	}
+}
+
+func TestFigure1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := RunFigure1(QuickDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Topos) != 3 {
+		t.Fatalf("topologies: %d", len(res.Topos))
+	}
+	// The paper's shape: the communication fraction grows as the
+	// interconnect slows (NVLink < PCIe ≤ QPI), on every dataset.
+	for _, ds := range Datasets {
+		nv := res.Fraction["4-GPU NVLink"][ds]
+		pcie := res.Fraction["4-GPU PCIe"][ds]
+		if nv <= 0 || nv >= 1 || pcie <= 0 || pcie >= 1 {
+			t.Errorf("%s: degenerate fractions nv=%v pcie=%v", ds, nv, pcie)
+		}
+		if nv >= pcie {
+			t.Errorf("%s: NVLink fraction %v not below PCIe %v", ds, nv, pcie)
+		}
+	}
+	if !strings.Contains(res.String(), "Figure 1") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := RunFigure3(QuickDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Locality: clustering concentrates weight well above the random
+		// floor (the diagonal blocks of the paper's Figure 3). The margin
+		// is modest at quick scale with the calibrated escape noise.
+		if row.IntraFraction < 1.7*row.RandomBase {
+			t.Errorf("%s: intra %v not ≫ random %v", row.Dataset, row.IntraFraction, row.RandomBase)
+		}
+	}
+	if len(res.Blocks) != 3 {
+		t.Error("block matrices missing")
+	}
+}
+
+func TestFigure7Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	p := QuickDefaults()
+	p.Epochs = 3
+	res, err := RunFigure7(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byLabel := map[string]Figure7Run{}
+	for _, run := range res.Runs {
+		byLabel[run.Label] = run
+	}
+	h, ok1 := byLabel["hugectr"]
+	g, ok2 := byLabel["het-gmp(s=100)"]
+	if !ok1 || !ok2 {
+		t.Fatalf("missing arms: %v", byLabel)
+	}
+	if h.BestAUC < 0.55 || g.BestAUC < 0.55 {
+		t.Errorf("arms did not learn: hugectr %v, het-gmp %v", h.BestAUC, g.BestAUC)
+	}
+	if !strings.Contains(res.String(), "Figure 7") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure8Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := RunFigure8(QuickDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 4 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	byArm := map[string]Figure8Row{}
+	for _, row := range res.Rows {
+		byArm[row.Arm] = row
+	}
+	// The paper's Figure 8 ordering: random ≫ 1-D > 2-D, and a looser
+	// staleness bound ships less.
+	if byArm["1-D"].EmbBytes >= byArm["random"].EmbBytes {
+		t.Errorf("1-D (%d) not below random (%d)", byArm["1-D"].EmbBytes, byArm["random"].EmbBytes)
+	}
+	if byArm["2-D (s=100)"].EmbBytes > byArm["2-D (s=10)"].EmbBytes {
+		t.Errorf("s=100 (%d) above s=10 (%d)",
+			byArm["2-D (s=100)"].EmbBytes, byArm["2-D (s=10)"].EmbBytes)
+	}
+	if byArm["2-D (s=100)"].EmbReduction < 0.3 {
+		t.Errorf("2-D (s=100) reduction %v too small", byArm["2-D (s=100)"].EmbReduction)
+	}
+}
+
+func TestTable2Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	p := QuickDefaults()
+	p.Epochs = 3
+	res, err := RunTable2(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.FinalAUC < 0.55 || row.FinalAUC > 1 {
+			t.Errorf("s=%s AUC %v degenerate", stalenessLabel(row.Staleness), row.FinalAUC)
+		}
+	}
+	if !strings.Contains(res.String(), "Table 2") {
+		t.Error("render missing title")
+	}
+}
+
+func TestFigure9aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := RunFigure9a(QuickDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byPolicy := map[Figure9Policy]Figure9aRow{}
+	for _, row := range res.Rows {
+		byPolicy[row.Policy] = row
+	}
+	// hierarchical > non-hierarchical > random (paper Figure 9a).
+	r, n, h := byPolicy[PolicyRandom], byPolicy[PolicyNonHier], byPolicy[PolicyHierarchical]
+	if !(h.Throughput > n.Throughput && n.Throughput > r.Throughput) {
+		t.Errorf("throughput ordering broken: random=%v non-hier=%v hier=%v",
+			r.Throughput, n.Throughput, h.Throughput)
+	}
+}
+
+func TestFigure9bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := RunFigure9b(QuickDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Partitioned policies serve more accesses locally than random, and
+	// hierarchical keeps more of the cross traffic inside machines.
+	if res.LocalFrac[PolicyNonHier] <= res.LocalFrac[PolicyRandom] {
+		t.Errorf("non-hier local %v not above random %v",
+			res.LocalFrac[PolicyNonHier], res.LocalFrac[PolicyRandom])
+	}
+	if res.IntraMachineFrac[PolicyHierarchical] <= res.IntraMachineFrac[PolicyRandom] {
+		t.Errorf("hier intra-machine %v not above random %v",
+			res.IntraMachineFrac[PolicyHierarchical], res.IntraMachineFrac[PolicyRandom])
+	}
+	if !strings.Contains(res.String(), "Figure 9b") {
+		t.Error("render missing title")
+	}
+}
+
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := RunTable3(QuickDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	byAlg := map[string]Table3Row{}
+	for _, row := range res.Rows {
+		byAlg[row.Algorithm] = row
+	}
+	random := byAlg["Random"]
+	bicut := byAlg["BiCut"]
+	ours := byAlg["Ours (2 rounds)"]
+	if !(random.RemoteAccesses > bicut.RemoteAccesses && bicut.RemoteAccesses > ours.RemoteAccesses) {
+		t.Errorf("Table 3 ordering broken: %d / %d / %d",
+			random.RemoteAccesses, bicut.RemoteAccesses, ours.RemoteAccesses)
+	}
+	if ours.Reduction < bicut.Reduction {
+		t.Error("our reduction below BiCut")
+	}
+}
+
+func TestFigure10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	res, err := RunFigure10(QuickDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// At 8 GPUs (QPI involved) HET-GMP must beat HugeCTR.
+	var h8, g8 float64
+	for _, row := range res.Rows {
+		if row.GPUs == 8 && row.System == systems.HugeCTR {
+			h8 = row.Throughput
+		}
+		if row.GPUs == 8 && row.System == systems.HETGMP {
+			g8 = row.Throughput
+		}
+	}
+	if g8 <= h8 {
+		t.Errorf("8-GPU: HET-GMP %v not above HugeCTR %v", g8, h8)
+	}
+	if res.MaxSpeedup("criteo") <= 1 {
+		t.Errorf("max speedup %v", res.MaxSpeedup("criteo"))
+	}
+}
+
+func TestTheorem1Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment test")
+	}
+	p := QuickDefaults()
+	p.Epochs = 3
+	res, err := RunTheorem1(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) < 2 {
+		t.Fatalf("rows: %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		// Summability in practice: the movement must decay.
+		if row.TailRatio >= 1 {
+			t.Errorf("s=%d: tail ratio %v, movement not decaying", row.Staleness, row.TailRatio)
+		}
+		if row.MovementSum <= 0 {
+			t.Errorf("s=%d: no movement recorded", row.Staleness)
+		}
+		if row.FinalAUC < 0.55 {
+			t.Errorf("s=%d: AUC %v", row.Staleness, row.FinalAUC)
+		}
+	}
+	// The theorem's step-size ceiling shrinks with s.
+	if res.Rows[0].StepBound <= res.Rows[len(res.Rows)-1].StepBound {
+		t.Error("step bound did not shrink with staleness")
+	}
+}
+
+func TestCapacityShape(t *testing.T) {
+	res, err := RunCapacity(QuickDefaults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Plans) != 4 {
+		t.Fatalf("plans: %d", len(res.Plans))
+	}
+	// Paper claims, in order: 24 GPUs fit 10^11; 8 do not; Criteo fits one
+	// GPU; Company does not.
+	wantFits := []bool{true, false, true, false}
+	for i, plan := range res.Plans {
+		if plan.Fits != wantFits[i] {
+			t.Errorf("plan %d fits=%v, want %v", i, plan.Fits, wantFits[i])
+		}
+	}
+}

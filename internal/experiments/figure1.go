@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/report"
+	"hetgmp/internal/systems"
+)
+
+// Figure1Result reproduces Figure 1: the fraction of WDL epoch time spent
+// on embedding communication under HugeCTR-style model parallelism, across
+// interconnects and datasets. The paper measures 30–50 % on 4-GPU NVLink,
+// 79–89 % on 4-GPU PCIe and 83–91 % on 8-GPU QPI — communication dominates,
+// and dominates harder as the interconnect slows.
+type Figure1Result struct {
+	// Fraction[topology][dataset] is comm time / epoch time.
+	Fraction map[string]map[string]float64
+	Topos    []string
+}
+
+// RunFigure1 executes the experiment.
+func RunFigure1(p Params) (*Figure1Result, error) {
+	p = p.normalize()
+	topos := []*cluster.Topology{
+		cluster.FourGPUNVLink(),
+		cluster.FourGPUPCIe(),
+		cluster.EightGPUQPI(),
+	}
+	res := &Figure1Result{Fraction: map[string]map[string]float64{}}
+	for _, topo := range topos {
+		res.Topos = append(res.Topos, topo.Name)
+		res.Fraction[topo.Name] = map[string]float64{}
+		for _, name := range Datasets {
+			ds, err := LoadDataset(name, p.Scale, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			train, test := ds.Split(0.9)
+			tr, err := systems.Build(systems.HugeCTR, systems.Options{
+				Train: train, Test: test, ModelName: "wdl", Topo: topo,
+				Dim: p.Dim, BatchPerWorker: p.Batch, Epochs: 1,
+				EvalEvery: 1 << 30, Seed: p.Seed,
+			})
+			if err != nil {
+				return nil, fmt.Errorf("fig1 %s/%s: %w", topo.Name, name, err)
+			}
+			r, err := tr.Run()
+			if err != nil {
+				return nil, err
+			}
+			res.Fraction[topo.Name][name] = r.CommFraction()
+		}
+	}
+	return res, nil
+}
+
+// String renders the figure as a table.
+func (r *Figure1Result) String() string {
+	t := report.New("Figure 1: communication time / epoch time (WDL, HugeCTR-style model parallelism)",
+		append([]string{"topology"}, Datasets...)...)
+	for _, topo := range r.Topos {
+		row := []any{topo}
+		for _, ds := range Datasets {
+			row = append(row, report.Percent(r.Fraction[topo][ds]))
+		}
+		t.AddRow(row...)
+	}
+	t.AddNote("paper: NVLink 30-50%%, PCIe 79-89%%, QPI 83-91%% — fraction grows as the link slows")
+	return t.String()
+}

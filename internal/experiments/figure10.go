@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/report"
+	"hetgmp/internal/systems"
+)
+
+// Figure10Row is one (dataset, system, gpus) throughput point.
+type Figure10Row struct {
+	Dataset    string
+	System     systems.System
+	GPUs       int
+	Throughput float64 // samples per simulated second
+}
+
+// Figure10Result reproduces Figure 10: total WDL throughput as the cluster
+// grows from 1 to 24 GPUs (cluster B), HET-GMP versus HugeCTR, on Criteo
+// and Company. The paper shows HugeCTR's throughput *falling* beyond 4–8
+// GPUs as the interconnect degrades from NVLink to QPI to Ethernet, while
+// HET-GMP keeps scaling — up to 27.5× (Criteo) and 24.8× (Company) faster
+// at 16–24 GPUs. The Company dataset is too large for a single GPU, so its
+// curve starts at 2.
+type Figure10Result struct {
+	Rows []Figure10Row
+	GPUs []int
+}
+
+// RunFigure10 executes the scalability study.
+func RunFigure10(p Params) (*Figure10Result, error) {
+	p = p.normalize()
+	gpus := []int{1, 2, 4, 8, 16, 24}
+	datasets := []string{"criteo", "company"}
+	if p.Quick {
+		gpus = []int{2, 8}
+		datasets = []string{"criteo"}
+	}
+	res := &Figure10Result{GPUs: gpus}
+	for _, dsName := range datasets {
+		ds, err := LoadDataset(dsName, p.Scale, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		train, test := ds.Split(0.9)
+		for _, n := range gpus {
+			if dsName == "company" && n == 1 {
+				continue // the paper: Company does not fit one GPU
+			}
+			topo, err := cluster.ScaleOut(n)
+			if err != nil {
+				return nil, err
+			}
+			for _, sys := range []systems.System{systems.HugeCTR, systems.HETGMP} {
+				// Algorithm 1 replicates up to each GPU's memory budget; at
+				// scaled-down table sizes the 16–24 GPU clusters have far
+				// more spare memory than the paper's 1% headline, so the 2D
+				// pass is allowed a 5% secondary share here.
+				tr, err := systems.Build(sys, systems.Options{
+					Train: train, Test: test, ModelName: "wdl", Topo: topo,
+					Dim: p.Dim, BatchPerWorker: p.Batch, Epochs: 1,
+					Staleness: 100, ReplicaFraction: 0.05, PartitionRounds: 4,
+					EvalEvery: 1 << 30, Seed: p.Seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig10 %s/%s/%d: %w", dsName, sys, n, err)
+				}
+				r, err := tr.Run()
+				if err != nil {
+					return nil, err
+				}
+				res.Rows = append(res.Rows, Figure10Row{
+					Dataset: dsName, System: sys, GPUs: n, Throughput: r.Throughput,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+// MaxSpeedup returns HET-GMP's largest throughput advantage over HugeCTR
+// for one dataset across GPU counts.
+func (r *Figure10Result) MaxSpeedup(dataset string) float64 {
+	byGPU := map[int]map[systems.System]float64{}
+	for _, row := range r.Rows {
+		if row.Dataset != dataset {
+			continue
+		}
+		if byGPU[row.GPUs] == nil {
+			byGPU[row.GPUs] = map[systems.System]float64{}
+		}
+		byGPU[row.GPUs][row.System] = row.Throughput
+	}
+	var best float64
+	for _, m := range byGPU {
+		h, g := m[systems.HugeCTR], m[systems.HETGMP]
+		if h > 0 && g/h > best {
+			best = g / h
+		}
+	}
+	return best
+}
+
+// String renders Figure 10.
+func (r *Figure10Result) String() string {
+	t := report.New("Figure 10: total throughput vs #GPUs (WDL, cluster B)",
+		"dataset", "gpus", "hugectr (samples/s)", "het-gmp (samples/s)", "ratio")
+	type key struct {
+		ds   string
+		gpus int
+	}
+	cells := map[key]map[systems.System]float64{}
+	var order []key
+	for _, row := range r.Rows {
+		k := key{row.Dataset, row.GPUs}
+		if cells[k] == nil {
+			cells[k] = map[systems.System]float64{}
+			order = append(order, k)
+		}
+		cells[k][row.System] = row.Throughput
+	}
+	for _, k := range order {
+		h, g := cells[k][systems.HugeCTR], cells[k][systems.HETGMP]
+		ratio := "-"
+		if h > 0 {
+			ratio = fmt.Sprintf("%.2fx", g/h)
+		}
+		t.AddRow(k.ds, k.gpus, h, g, ratio)
+	}
+	for _, ds := range []string{"criteo", "company"} {
+		if s := r.MaxSpeedup(ds); s > 0 {
+			t.AddNote("max HET-GMP/HugeCTR speedup on %s: %.1fx (paper: criteo 27.5x, company 24.8x)", ds, s)
+		}
+	}
+	t.AddNote("paper: HugeCTR throughput drops past 4-8 GPUs as links degrade; HET-GMP keeps scaling")
+	return t.String()
+}

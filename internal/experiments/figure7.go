@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/engine"
+	"hetgmp/internal/report"
+	"hetgmp/internal/systems"
+)
+
+// Figure7Variant labels one convergence-curve arm.
+type Figure7Variant struct {
+	Label     string
+	System    systems.System
+	Staleness int64
+}
+
+// figure7Variants lists the arms of Figure 7 in the paper's order.
+func figure7Variants(quick bool) []Figure7Variant {
+	if quick {
+		return []Figure7Variant{
+			{"hugectr", systems.HugeCTR, 0},
+			{"het-gmp(s=100)", systems.HETGMP, 100},
+		}
+	}
+	return []Figure7Variant{
+		{"tf-ps", systems.TFPS, 0},
+		{"parallax", systems.Parallax, 0},
+		{"hugectr", systems.HugeCTR, 0},
+		{"het-mp", systems.HETMP, 0},
+		{"het-gmp(s=0)", systems.HETGMP, 0},
+		{"het-gmp(s=10)", systems.HETGMP, 10},
+		{"het-gmp(s=100)", systems.HETGMP, 100},
+	}
+}
+
+// Figure7Run is one arm of one workload.
+type Figure7Run struct {
+	Workload    string
+	Label       string
+	FinalAUC    float64
+	BestAUC     float64
+	TargetAUC   float64
+	TimeToAUC   float64 // simulated seconds; negative if target never reached
+	TotalTime   float64
+	Throughput  float64
+	History     []engine.EvalPoint
+	SpeedupVsMP float64 // time-to-target ratio vs HugeCTR (0 if unknown)
+}
+
+// Figure7Result reproduces Figure 7: end-to-end convergence of six
+// workloads ({WDL, DCN} × {Avazu, Criteo, Company}) across the baselines
+// and HET-GMP at three staleness settings, on one 8-GPU node of cluster A.
+// The paper reports HET-GMP reaching target AUC 1.64–2.66× faster than
+// HugeCTR and 1.2–3.56× faster than HET-MP, with the CPU-PS systems failing
+// to converge within the time budget.
+type Figure7Result struct {
+	Runs []Figure7Run
+}
+
+// RunFigure7 executes the experiment.
+func RunFigure7(p Params) (*Figure7Result, error) {
+	p = p.normalize()
+	topo := cluster.ClusterA(1)
+	res := &Figure7Result{}
+	models := Models
+	datasets := Datasets
+	if p.Quick {
+		models = []string{"wdl"}
+		datasets = []string{"avazu"}
+	}
+	for _, model := range models {
+		for _, dsName := range datasets {
+			ds, err := LoadDataset(dsName, p.Scale, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			train, test := ds.Split(0.9)
+			workload := model + "-" + dsName
+
+			variants := figure7Variants(p.Quick)
+			runs := make([]Figure7Run, 0, len(variants))
+			for _, v := range variants {
+				tr, err := systems.Build(v.System, systems.Options{
+					Train: train, Test: test, ModelName: model, Topo: topo,
+					Dim: p.Dim, BatchPerWorker: p.Batch, Epochs: p.Epochs,
+					Staleness: v.Staleness, EvalEvery: evalCadence(train.Stats().NumSamples, p),
+					EvalSamples: 4096, Seed: p.Seed,
+				})
+				if err != nil {
+					return nil, fmt.Errorf("fig7 %s/%s: %w", workload, v.Label, err)
+				}
+				r, err := tr.Run()
+				if err != nil {
+					return nil, err
+				}
+				runs = append(runs, Figure7Run{
+					Workload: workload, Label: v.Label,
+					FinalAUC: r.FinalAUC, BestAUC: r.BestAUC,
+					TotalTime: r.TotalSimTime, Throughput: r.Throughput,
+					History: r.History,
+				})
+			}
+
+			// The convergence target: 98.5 % of the best AUC any strict-
+			// synchronisation arm reached (the analogue of the paper's
+			// fixed 0.76/0.80 thresholds, which assume the real datasets).
+			var best float64
+			for _, r := range runs {
+				if r.BestAUC > best {
+					best = r.BestAUC
+				}
+			}
+			target := 0.985 * best
+			var hugectrTime float64 = -1
+			for i := range runs {
+				runs[i].TargetAUC = target
+				runs[i].TimeToAUC = timeToTarget(runs[i].History, target)
+				if runs[i].Label == "hugectr" {
+					hugectrTime = runs[i].TimeToAUC
+				}
+			}
+			for i := range runs {
+				if hugectrTime > 0 && runs[i].TimeToAUC > 0 {
+					runs[i].SpeedupVsMP = hugectrTime / runs[i].TimeToAUC
+				}
+			}
+			res.Runs = append(res.Runs, runs...)
+		}
+	}
+	return res, nil
+}
+
+// evalCadence picks an evaluation interval that yields ~10 points/epoch.
+func evalCadence(numSamples int, p Params) int {
+	itersPerEpoch := numSamples / (p.Batch * 8)
+	c := itersPerEpoch / 10
+	if c < 1 {
+		c = 1
+	}
+	return c
+}
+
+// timeToTarget returns the simulated time of the first eval point at or
+// above target, or -1.
+func timeToTarget(hist []engine.EvalPoint, target float64) float64 {
+	for _, pt := range hist {
+		if pt.AUC >= target {
+			return pt.SimTime
+		}
+	}
+	return -1
+}
+
+// String renders the result.
+func (r *Figure7Result) String() string {
+	t := report.New("Figure 7: convergence comparison (time to target AUC, simulated seconds)",
+		"workload", "system", "final AUC", "target", "time-to-target", "speedup vs hugectr", "samples/s")
+	for _, run := range r.Runs {
+		tt := "not reached"
+		if run.TimeToAUC >= 0 {
+			tt = report.FormatFloat(run.TimeToAUC) + "s"
+		}
+		sp := "-"
+		if run.SpeedupVsMP > 0 {
+			sp = fmt.Sprintf("%.2fx", run.SpeedupVsMP)
+		}
+		t.AddRow(run.Workload, run.Label, run.FinalAUC, run.TargetAUC, tt, sp, run.Throughput)
+	}
+	t.AddNote("paper: HET-GMP converges 1.64-2.66x faster than HugeCTR, 1.2-3.56x faster than HET-MP;")
+	t.AddNote("paper: TF-PS and Parallax do not reach the target within the time budget")
+	return t.String()
+}

@@ -1,0 +1,201 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/engine"
+	"hetgmp/internal/partition"
+	"hetgmp/internal/report"
+	"hetgmp/internal/systems"
+)
+
+// Figure9Policy labels one partition-pricing policy of Figure 9a.
+type Figure9Policy string
+
+// The three policies of the experiment.
+const (
+	PolicyRandom       Figure9Policy = "random"
+	PolicyNonHier      Figure9Policy = "non-hierarchical"
+	PolicyHierarchical Figure9Policy = "hierarchical"
+)
+
+// Figure9aRow is one (dataset, policy) throughput measurement.
+type Figure9aRow struct {
+	Dataset    string
+	Policy     Figure9Policy
+	Throughput float64 // samples per simulated second
+	RemoteFrac float64 // fraction of embedding reads served remotely
+}
+
+// Figure9aResult reproduces Figure 9a: WDL throughput on 16 GPUs across 2
+// machines (10 GbE) under random, non-hierarchical (uniform edge cost) and
+// hierarchical (bandwidth-weighted edge cost) partitioning, with no
+// replication. The paper finds hierarchical > non-hierarchical > random on
+// all three datasets.
+type Figure9aResult struct {
+	Rows []Figure9aRow
+}
+
+// figure9Assignment builds the partitioning for one policy.
+func figure9Assignment(policy Figure9Policy, g *bigraph.Bigraph, topo *cluster.Topology, p Params) (*partition.Assignment, error) {
+	switch policy {
+	case PolicyRandom:
+		return partition.Random(g, topo.NumWorkers(), p.Seed), nil
+	case PolicyNonHier, PolicyHierarchical:
+		cfg := partition.DefaultHybridConfig(topo.NumWorkers())
+		cfg.Rounds = 3
+		cfg.Seed = p.Seed
+		cfg.BalanceSlack = 0.05
+		cfg.ReplicaFraction = 0 // the paper disables replication here
+		if policy == PolicyHierarchical {
+			cfg.Weights = topo.WeightMatrix(cluster.WeightHierarchical)
+		}
+		hr, err := partition.Hybrid(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		return hr.Assignment, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown policy %q", policy)
+}
+
+// RunFigure9a executes the throughput comparison.
+func RunFigure9a(p Params) (*Figure9aResult, error) {
+	p = p.normalize()
+	topo := cluster.ClusterB(2) // 16 GPUs, 2 machines, 10 GbE
+	res := &Figure9aResult{}
+	datasets := Datasets
+	if p.Quick {
+		datasets = []string{"criteo"}
+	}
+	for _, dsName := range datasets {
+		ds, err := LoadDataset(dsName, p.Scale, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		train, test := ds.Split(0.9)
+		g := bigraph.FromDataset(train)
+		for _, policy := range []Figure9Policy{PolicyRandom, PolicyNonHier, PolicyHierarchical} {
+			assign, err := figure9Assignment(policy, g, topo, p)
+			if err != nil {
+				return nil, err
+			}
+			mdl, err := systems.NewModel("wdl", train.NumFields, p.Dim, p.Seed)
+			if err != nil {
+				return nil, err
+			}
+			tr, err := engine.NewTrainer(engine.Config{
+				Train: train, Test: test, Model: mdl, Dim: p.Dim,
+				Topo: topo, Assign: assign,
+				BatchPerWorker: p.Batch, Epochs: 1,
+				Staleness: 0, Overlap: 0.6,
+				EvalEvery: 1 << 30, Seed: p.Seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			r, err := tr.Run()
+			if err != nil {
+				return nil, err
+			}
+			reads := float64(r.LocalPrimary + r.LocalFresh + r.SyncedIntra + r.SyncedInter + r.RemoteReads)
+			remote := 0.0
+			if reads > 0 {
+				remote = float64(r.RemoteReads+r.SyncedIntra+r.SyncedInter) / reads
+			}
+			res.Rows = append(res.Rows, Figure9aRow{
+				Dataset: dsName, Policy: policy,
+				Throughput: r.Throughput, RemoteFrac: remote,
+			})
+		}
+	}
+	return res, nil
+}
+
+// String renders Figure 9a.
+func (r *Figure9aResult) String() string {
+	t := report.New("Figure 9a: WDL throughput by partitioning policy (16 GPUs / 2 machines, no replication)",
+		"dataset", "policy", "throughput (samples/s)", "remote-read fraction")
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset, string(row.Policy), row.Throughput, report.Percent(row.RemoteFrac))
+	}
+	t.AddNote("paper: hierarchical > non-hierarchical > random on all three datasets")
+	return t.String()
+}
+
+// Figure9bResult reproduces Figure 9b: the worker×worker embedding-fetch
+// traffic matrix on Criteo under each policy. Random partitioning produces
+// a uniform matrix; non-hierarchical clusters traffic onto the diagonal;
+// hierarchical additionally confines the remainder within machines.
+type Figure9bResult struct {
+	// Traffic[policy] is the 16×16 fetch-count matrix.
+	Traffic map[Figure9Policy][][]int64
+	// IntraMachineFrac[policy] is the share of cross-worker traffic that
+	// stays within a machine.
+	IntraMachineFrac map[Figure9Policy]float64
+	// LocalFrac[policy] is the share of accesses served locally.
+	LocalFrac map[Figure9Policy]float64
+	Workers   int
+	PerNode   int
+}
+
+// RunFigure9b executes the traffic-matrix experiment.
+func RunFigure9b(p Params) (*Figure9bResult, error) {
+	p = p.normalize()
+	topo := cluster.ClusterB(2)
+	ds, err := LoadDataset("criteo", p.Scale, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g := bigraph.FromDataset(ds)
+	res := &Figure9bResult{
+		Traffic:          map[Figure9Policy][][]int64{},
+		IntraMachineFrac: map[Figure9Policy]float64{},
+		LocalFrac:        map[Figure9Policy]float64{},
+		Workers:          topo.NumWorkers(),
+		PerNode:          topo.GPUsPerNode,
+	}
+	for _, policy := range []Figure9Policy{PolicyRandom, PolicyNonHier, PolicyHierarchical} {
+		assign, err := figure9Assignment(policy, g, topo, p)
+		if err != nil {
+			return nil, err
+		}
+		m := partition.TrafficMatrix(g, assign)
+		res.Traffic[policy] = m
+		var local, intra, total int64
+		for from := range m {
+			for to, v := range m[from] {
+				if from == to {
+					local += v
+					continue
+				}
+				total += v
+				if topo.NodeOf(from) == topo.NodeOf(to) {
+					intra += v
+				}
+			}
+		}
+		if total > 0 {
+			res.IntraMachineFrac[policy] = float64(intra) / float64(total)
+		}
+		if local+total > 0 {
+			res.LocalFrac[policy] = float64(local) / float64(local+total)
+		}
+	}
+	return res, nil
+}
+
+// String renders Figure 9b as text heatmaps plus locality summaries.
+func (r *Figure9bResult) String() string {
+	out := "Figure 9b: worker-to-worker embedding fetch traffic (Criteo)\n"
+	for _, policy := range []Figure9Policy{PolicyRandom, PolicyNonHier, PolicyHierarchical} {
+		out += fmt.Sprintf("\n[%s] local=%s of accesses; %s of cross-worker traffic stays intra-machine\n",
+			policy, report.Percent(r.LocalFrac[policy]), report.Percent(r.IntraMachineFrac[policy]))
+		out += report.Heatmap("", r.Traffic[policy])
+	}
+	out += "  * paper: random is uniform; partitioned policies concentrate on the diagonal;\n"
+	out += "  * hierarchical additionally clusters at machine level (block structure)\n"
+	return out
+}

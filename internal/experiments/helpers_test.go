@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"hetgmp/internal/embed"
+	"hetgmp/internal/engine"
+	"hetgmp/internal/systems"
+)
+
+func TestTimeToTarget(t *testing.T) {
+	hist := []engine.EvalPoint{
+		{SimTime: 1, AUC: 0.5},
+		{SimTime: 2, AUC: 0.7},
+		{SimTime: 3, AUC: 0.75},
+	}
+	if got := timeToTarget(hist, 0.7); got != 2 {
+		t.Errorf("timeToTarget = %v, want 2", got)
+	}
+	if got := timeToTarget(hist, 0.9); got != -1 {
+		t.Errorf("unreached target = %v, want -1", got)
+	}
+	if got := timeToTarget(nil, 0.5); got != -1 {
+		t.Errorf("empty history = %v, want -1", got)
+	}
+}
+
+func TestEvalCadence(t *testing.T) {
+	p := Params{Batch: 256}
+	// 256·8 samples per global iteration; ~10 eval points per epoch.
+	if got := evalCadence(256*8*100, p); got != 10 {
+		t.Errorf("cadence = %d, want 10", got)
+	}
+	// Tiny datasets still evaluate at least every iteration.
+	if got := evalCadence(10, p); got != 1 {
+		t.Errorf("tiny cadence = %d, want 1", got)
+	}
+}
+
+func TestStalenessLabel(t *testing.T) {
+	cases := map[int64]string{
+		0: "0", 100: "100", 10_000: "10k", embed.StalenessInf: "inf",
+	}
+	for s, want := range cases {
+		if got := stalenessLabel(s); got != want {
+			t.Errorf("stalenessLabel(%d) = %q, want %q", s, got, want)
+		}
+	}
+}
+
+func TestFigure10MaxSpeedup(t *testing.T) {
+	res := &Figure10Result{Rows: []Figure10Row{
+		{Dataset: "criteo", System: systems.HugeCTR, GPUs: 8, Throughput: 100},
+		{Dataset: "criteo", System: systems.HETGMP, GPUs: 8, Throughput: 250},
+		{Dataset: "criteo", System: systems.HugeCTR, GPUs: 16, Throughput: 50},
+		{Dataset: "criteo", System: systems.HETGMP, GPUs: 16, Throughput: 75},
+	}}
+	if got := res.MaxSpeedup("criteo"); got != 2.5 {
+		t.Errorf("MaxSpeedup = %v, want 2.5", got)
+	}
+	if got := res.MaxSpeedup("missing"); got != 0 {
+		t.Errorf("missing dataset speedup = %v, want 0", got)
+	}
+}
+
+func TestRenderersIncludeKeyContent(t *testing.T) {
+	f10 := &Figure10Result{Rows: []Figure10Row{
+		{Dataset: "criteo", System: systems.HugeCTR, GPUs: 8, Throughput: 1},
+		{Dataset: "criteo", System: systems.HETGMP, GPUs: 8, Throughput: 2},
+	}}
+	if out := f10.String(); !strings.Contains(out, "2.00x") {
+		t.Errorf("figure10 render missing ratio:\n%s", out)
+	}
+
+	t1 := &Theorem1Result{Rows: []Theorem1Row{
+		{Staleness: 100, FinalAUC: 0.7, MovementSum: 10, TailRatio: 0.5, StepBound: 0.01},
+	}}
+	if out := t1.String(); !strings.Contains(out, "Theorem 1") || !strings.Contains(out, "0.7000") {
+		t.Errorf("theorem1 render wrong:\n%s", out)
+	}
+
+	t3 := &Table3Result{Rows: []Table3Row{
+		{Dataset: "avazu", Algorithm: "Random", RemoteAccesses: 100},
+		{Dataset: "avazu", Algorithm: "BiCut", RemoteAccesses: 80, Reduction: 0.2},
+	}}
+	if out := t3.String(); !strings.Contains(out, "20.0%") {
+		t.Errorf("table3 render missing reduction:\n%s", out)
+	}
+}
+
+func TestAlgNameAndItoa(t *testing.T) {
+	if algName(1) != "Ours (1 round)" || algName(3) != "Ours (3 rounds)" {
+		t.Error("algName wrong")
+	}
+	if itoa(0) != "0" || itoa(42) != "42" || itoa(100) != "100" {
+		t.Error("itoa wrong")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	if got := reduction(100, 40); got != 0.6 {
+		t.Errorf("reduction = %v", got)
+	}
+	if got := reduction(0, 40); got != 0 {
+		t.Errorf("zero-base reduction = %v", got)
+	}
+}

@@ -1,0 +1,137 @@
+package experiments
+
+import (
+	"time"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/partition"
+	"hetgmp/internal/report"
+)
+
+// Table3Row is one (dataset, algorithm) measurement.
+type Table3Row struct {
+	Dataset        string
+	Algorithm      string
+	RemoteAccesses int64
+	Reduction      float64 // vs random
+	Elapsed        time.Duration
+}
+
+// Table3Result reproduces Table 3: remote embedding communications per
+// epoch under Random, BiCut, and the hybrid iterative partitioner after 1,
+// 3 and 5 rounds, with partitioning wall time. The paper (8 partitions)
+// reports BiCut reducing communication 13.5–18.7 % over random while the
+// hybrid algorithm reaches 59.7–67.7 % by round 3–5.
+type Table3Result struct {
+	Rows []Table3Row
+}
+
+// RunTable3 executes the comparison with 8 partitions, as in the paper.
+func RunTable3(p Params) (*Table3Result, error) {
+	p = p.normalize()
+	const parts = 8
+	res := &Table3Result{}
+	datasets := []string{"company", "criteo", "avazu"} // the paper's column order
+	rounds := []int{1, 3, 5}
+	if p.Quick {
+		datasets = []string{"avazu"}
+		rounds = []int{1, 2}
+	}
+	for _, dsName := range datasets {
+		ds, err := LoadDataset(dsName, p.Scale, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		g := bigraph.FromDataset(ds)
+
+		start := time.Now()
+		random := partition.Random(g, parts, p.Seed)
+		randomQ := partition.Evaluate(g, random, nil)
+		res.Rows = append(res.Rows, Table3Row{
+			Dataset: dsName, Algorithm: "Random",
+			RemoteAccesses: randomQ.RemoteAccesses,
+			Elapsed:        time.Since(start),
+		})
+
+		start = time.Now()
+		bicut, err := partition.BiCut(g, partition.BiCutConfig{
+			Partitions: parts, BalanceSlack: 0.05, Seed: p.Seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		bicutQ := partition.Evaluate(g, bicut, nil)
+		res.Rows = append(res.Rows, Table3Row{
+			Dataset: dsName, Algorithm: "BiCut",
+			RemoteAccesses: bicutQ.RemoteAccesses,
+			Reduction:      reduction(randomQ.RemoteAccesses, bicutQ.RemoteAccesses),
+			Elapsed:        time.Since(start),
+		})
+
+		// One hybrid run at the max round count; RoundStat snapshots give
+		// the 1/3/5-round rows with cumulative time, matching the paper's
+		// "Ours (k rounds)" presentation.
+		cfg := partition.DefaultHybridConfig(parts)
+		cfg.Rounds = rounds[len(rounds)-1]
+		cfg.Seed = p.Seed
+		hr, err := partition.Hybrid(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		for _, want := range rounds {
+			for _, rs := range hr.Rounds {
+				if rs.Round != want {
+					continue
+				}
+				res.Rows = append(res.Rows, Table3Row{
+					Dataset:        dsName,
+					Algorithm:      algName(want),
+					RemoteAccesses: rs.RemoteAccesses,
+					Reduction:      reduction(randomQ.RemoteAccesses, rs.RemoteAccesses),
+					Elapsed:        rs.Elapsed,
+				})
+			}
+		}
+	}
+	return res, nil
+}
+
+func algName(round int) string {
+	if round == 1 {
+		return "Ours (1 round)"
+	}
+	return "Ours (" + itoa(round) + " rounds)"
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var buf [8]byte
+	i := len(buf)
+	for n > 0 {
+		i--
+		buf[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(buf[i:])
+}
+
+func reduction(base, v int64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 1 - float64(v)/float64(base)
+}
+
+// String renders the table.
+func (r *Table3Result) String() string {
+	t := report.New("Table 3: graph partitioning comparison (8 partitions, remote embedding communications/epoch)",
+		"dataset", "algorithm", "communication", "reduction", "time")
+	for _, row := range r.Rows {
+		t.AddRow(row.Dataset, row.Algorithm, row.RemoteAccesses,
+			report.Percent(row.Reduction), row.Elapsed.Round(time.Millisecond).String())
+	}
+	t.AddNote("paper: BiCut 13.5-18.7%% reduction; Ours 37.3-63.1%% at 1 round, 59.7-67.7%% at 3-5 rounds")
+	return t.String()
+}

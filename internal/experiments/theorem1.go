@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/engine"
+	"hetgmp/internal/partition"
+	"hetgmp/internal/report"
+	"hetgmp/internal/systems"
+)
+
+// Theorem1Row is one staleness setting's empirical convergence trace
+// summary.
+type Theorem1Row struct {
+	Staleness int64
+	FinalAUC  float64
+	// MovementSum is Σ_t ‖x(t+1) − x(t)‖ (Eq. 7: finite).
+	MovementSum float64
+	// TailRatio is the last-quarter/first-quarter mean step norm; Theorem 1
+	// requires the movement to vanish, i.e. ratio ≪ 1.
+	TailRatio float64
+	// FinalDeviation is max_i ‖x − x_i‖ at the last evaluation; Theorem 1's
+	// lim ‖x(t) − x_i(t)‖ = 0 predicts this shrinks relative to the peak.
+	FinalDeviation float64
+	PeakDeviation  float64
+	// StepBound is the theorem's step-size ceiling 1/(L(1+2√(p·s))) under a
+	// nominal smoothness constant; larger s demands a smaller step.
+	StepBound float64
+}
+
+// Theorem1Result empirically checks the convergence guarantees of the
+// paper's Section 5.4 on a live WDL run: for every staleness bound the
+// global model's per-iteration movement must decay (summability, Eqs. 7–8),
+// replica inconsistency must stay bounded and shrink, and training must
+// reach comparable quality — exactly the behaviour Theorem 1 promises for
+// any finite s.
+type Theorem1Result struct {
+	Rows    []Theorem1Row
+	Workers int
+}
+
+// RunTheorem1 executes the analysis on Avazu-shaped data with 8 workers.
+func RunTheorem1(p Params) (*Theorem1Result, error) {
+	p = p.normalize()
+	topo := cluster.ClusterA(1)
+	ds, err := LoadDataset("avazu", p.Scale, p.Seed)
+	if err != nil {
+		return nil, err
+	}
+	train, test := ds.Split(0.9)
+	g := bigraph.FromDataset(train)
+	cfg := partition.DefaultHybridConfig(topo.NumWorkers())
+	cfg.Rounds = 3
+	cfg.Seed = p.Seed
+	cfg.BalanceSlack = 0.05
+	hr, err := partition.Hybrid(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	stalenesses := []int64{0, 10, 100, 10_000}
+	if p.Quick {
+		stalenesses = []int64{0, 100}
+	}
+	res := &Theorem1Result{Workers: topo.NumWorkers()}
+	const nominalL = 1.0 // smoothness scale of the normalised BCE objective
+	for _, s := range stalenesses {
+		model, err := systems.NewModel("wdl", train.NumFields, p.Dim, p.Seed)
+		if err != nil {
+			return nil, err
+		}
+		tr, err := engine.NewTrainer(engine.Config{
+			Train: train, Test: test, Model: model, Dim: p.Dim,
+			Topo: topo, Assign: hr.Assignment,
+			BatchPerWorker: p.Batch, Epochs: p.Epochs,
+			Staleness: s, InterCheck: true, Normalize: true,
+			Overlap: 0.6, EvalEvery: 0, EvalSamples: 4096,
+			TrackConvergence: true, Seed: p.Seed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("theorem1 s=%d: %w", s, err)
+		}
+		r, err := tr.Run()
+		if err != nil {
+			return nil, err
+		}
+		row := Theorem1Row{
+			Staleness:   s,
+			FinalAUC:    r.FinalAUC,
+			MovementSum: r.MovementSum(),
+			TailRatio:   r.TailRatio(),
+			StepBound:   1 / (nominalL * (1 + 2*math.Sqrt(float64(topo.NumWorkers())*float64(s)))),
+		}
+		for _, d := range r.Deviations {
+			if d > row.PeakDeviation {
+				row.PeakDeviation = d
+			}
+		}
+		if len(r.Deviations) > 0 {
+			row.FinalDeviation = r.Deviations[len(r.Deviations)-1]
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// String renders the analysis.
+func (r *Theorem1Result) String() string {
+	t := report.New("Theorem 1 (Section 5.4): empirical convergence traces (WDL, 8 workers)",
+		"s", "final AUC", "Σ‖Δx‖", "tail/head step ratio", "peak ‖x−xᵢ‖", "final ‖x−xᵢ‖", "η bound")
+	for _, row := range r.Rows {
+		label := stalenessLabel(row.Staleness)
+		t.AddRow(label, fmt.Sprintf("%.4f", row.FinalAUC),
+			row.MovementSum, row.TailRatio, row.PeakDeviation, row.FinalDeviation,
+			fmt.Sprintf("%.2e", row.StepBound))
+	}
+	t.AddNote("Theorem 1: Σ‖x(t+1)−x(t)‖ finite (movement decays: tail ratio < 1),")
+	t.AddNote("replica inconsistency bounded and vanishing, for every finite s;")
+	t.AddNote("the step-size ceiling η < 1/(L(1+2√(p·s))) shrinks as s grows")
+	return t.String()
+}

@@ -1,0 +1,75 @@
+package nn
+
+import (
+	"math"
+	"sort"
+
+	"hetgmp/internal/tensor"
+)
+
+// BCEWithLogits computes the mean binary cross-entropy of logits against
+// labels and writes the per-sample logit gradient (σ(z) − y, scaled by
+// 1/batch) into dLogit. It returns the mean loss.
+func BCEWithLogits(logits, labels, dLogit []float32) float64 {
+	n := len(logits)
+	if len(labels) != n || len(dLogit) < n {
+		panic("nn: BCEWithLogits length mismatch")
+	}
+	var loss float64
+	inv := float32(1) / float32(n)
+	for i, z := range logits {
+		p := tensor.Sigmoid(z)
+		y := labels[i]
+		// Numerically stable cross-entropy via the log-sum-exp identity:
+		// loss = max(z,0) − z·y + log(1 + e^{−|z|}).
+		zf := float64(z)
+		loss += math.Max(zf, 0) - zf*float64(y) + math.Log1p(math.Exp(-math.Abs(zf)))
+		dLogit[i] = (p - y) * inv
+	}
+	return loss / float64(n)
+}
+
+// AUC computes the area under the ROC curve with the rank-statistic
+// (Mann–Whitney) formulation, averaging ranks across tied scores. This is
+// the metric of the paper's convergence thresholds (AUC 0.76 on Avazu, 0.80
+// on Criteo).
+func AUC(scores, labels []float32) float64 {
+	n := len(scores)
+	if len(labels) != n {
+		panic("nn: AUC length mismatch")
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] < scores[idx[b]] })
+
+	var pos, neg int64
+	for _, y := range labels {
+		if y > 0.5 {
+			pos++
+		} else {
+			neg++
+		}
+	}
+	if pos == 0 || neg == 0 {
+		return 0.5
+	}
+	var rankSum float64 // sum of ranks of positive samples (1-based)
+	i := 0
+	for i < n {
+		j := i
+		for j < n && scores[idx[j]] == scores[idx[i]] {
+			j++
+		}
+		// Tied block [i, j): everyone gets the average rank.
+		avgRank := float64(i+j+1) / 2 // ranks i+1..j averaged
+		for k := i; k < j; k++ {
+			if labels[idx[k]] > 0.5 {
+				rankSum += avgRank
+			}
+		}
+		i = j
+	}
+	return (rankSum - float64(pos)*float64(pos+1)/2) / (float64(pos) * float64(neg))
+}

@@ -1,0 +1,108 @@
+package nn
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBCEWithLogitsKnownValues(t *testing.T) {
+	// logit 0 → p 0.5 → loss ln 2 regardless of label.
+	dl := make([]float32, 1)
+	loss := BCEWithLogits([]float32{0}, []float32{1}, dl)
+	if math.Abs(loss-math.Ln2) > 1e-6 {
+		t.Errorf("loss = %v, want ln2", loss)
+	}
+	if math.Abs(float64(dl[0])+0.5) > 1e-6 { // (σ(0) − 1)/1 = −0.5
+		t.Errorf("dLogit = %v, want -0.5", dl[0])
+	}
+	// Confident correct prediction: tiny loss.
+	loss = BCEWithLogits([]float32{10}, []float32{1}, dl)
+	if loss > 1e-3 {
+		t.Errorf("confident correct loss %v", loss)
+	}
+	// Confident wrong prediction: large loss, stable (no NaN/Inf).
+	loss = BCEWithLogits([]float32{-50}, []float32{1}, dl)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) || loss < 40 {
+		t.Errorf("confident wrong loss %v", loss)
+	}
+}
+
+func TestBCEWithLogitsMeanAndScale(t *testing.T) {
+	dl := make([]float32, 2)
+	loss := BCEWithLogits([]float32{0, 0}, []float32{1, 0}, dl)
+	if math.Abs(loss-math.Ln2) > 1e-6 {
+		t.Errorf("mean loss = %v", loss)
+	}
+	// Gradients carry the 1/batch factor.
+	if math.Abs(float64(dl[0])+0.25) > 1e-6 || math.Abs(float64(dl[1])-0.25) > 1e-6 {
+		t.Errorf("dLogit = %v", dl)
+	}
+}
+
+func TestBCEWithLogitsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	BCEWithLogits([]float32{0}, []float32{0, 1}, make([]float32, 1))
+}
+
+func TestAUCPerfectRanking(t *testing.T) {
+	scores := []float32{0.9, 0.8, 0.2, 0.1}
+	labels := []float32{1, 1, 0, 0}
+	if got := AUC(scores, labels); got != 1 {
+		t.Errorf("perfect AUC = %v", got)
+	}
+	// Inverted ranking → 0.
+	inv := []float32{0.1, 0.2, 0.8, 0.9}
+	if got := AUC(inv, labels); got != 0 {
+		t.Errorf("inverted AUC = %v", got)
+	}
+}
+
+func TestAUCRandomIsHalf(t *testing.T) {
+	// Identical scores → ties → 0.5.
+	scores := []float32{0.5, 0.5, 0.5, 0.5}
+	labels := []float32{1, 0, 1, 0}
+	if got := AUC(scores, labels); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("tied AUC = %v", got)
+	}
+}
+
+func TestAUCDegenerateLabels(t *testing.T) {
+	if got := AUC([]float32{1, 2}, []float32{1, 1}); got != 0.5 {
+		t.Errorf("all-positive AUC = %v, want 0.5", got)
+	}
+	if got := AUC([]float32{1, 2}, []float32{0, 0}); got != 0.5 {
+		t.Errorf("all-negative AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCKnownMixedCase(t *testing.T) {
+	// scores: pos at 0.8 and 0.4; neg at 0.6 and 0.2.
+	// Pairs: (0.8,0.6)+ (0.8,0.2)+ (0.4,0.6)− (0.4,0.2)+ → 3/4.
+	scores := []float32{0.8, 0.4, 0.6, 0.2}
+	labels := []float32{1, 1, 0, 0}
+	if got := AUC(scores, labels); math.Abs(got-0.75) > 1e-9 {
+		t.Errorf("AUC = %v, want 0.75", got)
+	}
+}
+
+func TestAUCTieHandling(t *testing.T) {
+	// One positive tied with one negative: that pair counts 0.5.
+	scores := []float32{0.5, 0.5}
+	labels := []float32{1, 0}
+	if got := AUC(scores, labels); math.Abs(got-0.5) > 1e-9 {
+		t.Errorf("tied pair AUC = %v, want 0.5", got)
+	}
+}
+
+func TestAUCPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch accepted")
+		}
+	}()
+	AUC([]float32{1}, []float32{1, 0})
+}

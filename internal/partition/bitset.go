@@ -1,0 +1,46 @@
+package partition
+
+import "math/bits"
+
+// MaxPartitions bounds the partition count a single Bitset word can track.
+// The paper's largest experiment uses 24 GPUs; 64 leaves ample headroom
+// while keeping the per-embedding replica set a single machine word — with
+// tens of millions of embedding vertices that compactness matters.
+const MaxPartitions = 64
+
+// Bitset is a set of partition indices in [0, MaxPartitions).
+type Bitset uint64
+
+// Has reports whether p is in the set.
+func (b Bitset) Has(p int) bool { return b&(1<<uint(p)) != 0 }
+
+// Set adds p to the set.
+func (b *Bitset) Set(p int) { *b |= 1 << uint(p) }
+
+// Clear removes p from the set.
+func (b *Bitset) Clear(p int) { *b &^= 1 << uint(p) }
+
+// Count returns the set's cardinality.
+func (b Bitset) Count() int { return bits.OnesCount64(uint64(b)) }
+
+// Max returns the largest member, or -1 when empty.
+func (b Bitset) Max() int {
+	if b == 0 {
+		return -1
+	}
+	return 63 - bits.LeadingZeros64(uint64(b))
+}
+
+// Members lists the set's elements in ascending order.
+func (b Bitset) Members() []int {
+	if b == 0 {
+		return nil
+	}
+	out := make([]int, 0, b.Count())
+	for v := uint64(b); v != 0; {
+		p := bits.TrailingZeros64(v)
+		out = append(out, p)
+		v &^= 1 << uint(p)
+	}
+	return out
+}

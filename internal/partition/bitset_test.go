@@ -1,0 +1,58 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	var b Bitset
+	if b.Count() != 0 || b.Max() != -1 || b.Members() != nil {
+		t.Fatal("zero bitset not empty")
+	}
+	b.Set(3)
+	b.Set(17)
+	b.Set(63)
+	if !b.Has(3) || !b.Has(17) || !b.Has(63) || b.Has(4) {
+		t.Fatal("Has wrong after Set")
+	}
+	if b.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", b.Count())
+	}
+	if b.Max() != 63 {
+		t.Fatalf("Max = %d, want 63", b.Max())
+	}
+	got := b.Members()
+	want := []int{3, 17, 63}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+	b.Clear(17)
+	if b.Has(17) || b.Count() != 2 {
+		t.Fatal("Clear wrong")
+	}
+	b.Clear(17) // idempotent
+	if b.Count() != 2 {
+		t.Fatal("double Clear changed count")
+	}
+}
+
+func TestBitsetProperty(t *testing.T) {
+	// Property: Members() round-trips through Set.
+	f := func(raw uint64) bool {
+		b := Bitset(raw)
+		var rebuilt Bitset
+		for _, p := range b.Members() {
+			rebuilt.Set(p)
+		}
+		return rebuilt == b && b.Count() == len(b.Members())
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,430 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/xrand"
+)
+
+// HybridConfig parameterises Algorithm 1 of the paper.
+type HybridConfig struct {
+	// Partitions is N, the number of workers.
+	Partitions int
+	// Rounds is T, the number of 1D+2D iterations. The paper evaluates 1,
+	// 3 and 5 rounds (Table 3); gains flatten after ~5.
+	Rounds int
+	// Alpha, Beta and Gamma weight the balance terms δξ (sample count),
+	// δx (embedding count) and δd (communication balance) of Eq. 4.
+	Alpha, Beta, Gamma float64
+	// Weights is the heterogeneous bandwidth cost matrix from
+	// cluster.Topology.WeightMatrix; nil means uniform (homogeneous) cost,
+	// Eq. 3 unweighted.
+	Weights [][]float64
+	// ReplicaFraction is the share of the embedding vocabulary replicated
+	// as secondaries into each partition during the 2D pass; the paper uses
+	// the top 1 % (Section 7, "Experimental Setting"). Zero disables the 2D
+	// pass entirely, yielding the 1D-only ablation.
+	ReplicaFraction float64
+	// ReplicaBudget, when positive, overrides ReplicaFraction with an
+	// absolute per-partition secondary count (the "GPU memory budget" of
+	// Algorithm 1 line 9).
+	ReplicaBudget int
+	// BalanceSlack is a hard per-partition load cap at (1+slack)·avg for
+	// both vertex types. The paper balances through the soft δb score
+	// alone; a hard cap makes the implementation robust to any α/β/γ
+	// setting (a partition at its cap is simply not a candidate).
+	// Default 0.1.
+	BalanceSlack float64
+	Seed         uint64
+}
+
+// DefaultHybridConfig returns the paper's settings for n partitions:
+// 5 rounds, top-1% replication, and balance weights that keep both vertex
+// types within a few percent of even.
+func DefaultHybridConfig(n int) HybridConfig {
+	return HybridConfig{
+		Partitions:      n,
+		Rounds:          5,
+		Alpha:           1.0,
+		Beta:            1.0,
+		Gamma:           0.5,
+		ReplicaFraction: 0.01,
+		BalanceSlack:    0.1,
+		Seed:            1,
+	}
+}
+
+// Validate reports configuration errors.
+func (c *HybridConfig) Validate() error {
+	switch {
+	case c.Partitions <= 0 || c.Partitions > MaxPartitions:
+		return fmt.Errorf("partition: Partitions %d out of [1,%d]", c.Partitions, MaxPartitions)
+	case c.Rounds <= 0:
+		return fmt.Errorf("partition: Rounds must be positive, got %d", c.Rounds)
+	case c.ReplicaFraction < 0 || c.ReplicaFraction > 1:
+		return fmt.Errorf("partition: ReplicaFraction %g out of [0,1]", c.ReplicaFraction)
+	case c.ReplicaBudget < 0:
+		return fmt.Errorf("partition: ReplicaBudget must be non-negative, got %d", c.ReplicaBudget)
+	case c.BalanceSlack < 0:
+		return fmt.Errorf("partition: BalanceSlack must be non-negative, got %g", c.BalanceSlack)
+	case c.Weights != nil && len(c.Weights) != c.Partitions:
+		return fmt.Errorf("partition: weight matrix is %d×?, want %d×%d",
+			len(c.Weights), c.Partitions, c.Partitions)
+	}
+	return nil
+}
+
+// RoundStat records partition quality after one full 1D+2D round, the rows
+// of the paper's Table 3 ("Ours (1 round)", "Ours (3 rounds)", ...).
+type RoundStat struct {
+	Round          int
+	RemoteAccesses int64
+	Elapsed        time.Duration // cumulative wall time through this round
+}
+
+// HybridResult is the partitioner output plus per-round history.
+type HybridResult struct {
+	Assignment *Assignment
+	Rounds     []RoundStat
+}
+
+// Hybrid runs Algorithm 1: iterative 1D edge-cut vertex assignment guided by
+// the score δg = δc + δb, followed by a 2D vertex-cut pass that replicates
+// the highest-δp embeddings into each partition up to the memory budget.
+//
+// Note on Eq. 2's sign: the paper writes δg = δc − δb but describes δb as
+// "the marginal cost of adding vertex v to partition Gi ... used to balance
+// workloads". A cost must make crowded partitions less attractive under
+// argmin, so this implementation adds the balance penalty: δg = δc + δb.
+func Hybrid(g *bigraph.Bigraph, cfg HybridConfig) (*HybridResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	n := cfg.Partitions
+	a := Random(g, n, cfg.Seed)
+	counts := bigraph.NewCountTable(g, n, a.SampleOf)
+
+	st := &hybridState{
+		g:      g,
+		a:      a,
+		cfg:    cfg,
+		counts: counts,
+		nSamp:  make([]int, n),
+		nFeat:  make([]int, n),
+		comm:   make([]float64, n),
+	}
+	for _, p := range a.SampleOf {
+		st.nSamp[p]++
+	}
+	for _, p := range a.PrimaryOf {
+		st.nFeat[p]++
+	}
+	st.recomputeComm()
+
+	// Deterministic visit orders: samples shuffled once, embeddings by
+	// descending degree so the heaviest vertices choose their homes first.
+	rng := xrand.New(cfg.Seed ^ 0x1d1d1d1d1d1d1d1d)
+	sampleOrder := rng.Perm(g.NumSamples)
+	featOrder := make([]int32, g.NumFeatures)
+	for i := range featOrder {
+		featOrder[i] = int32(i)
+	}
+	sort.Slice(featOrder, func(i, j int) bool {
+		di, dj := g.Degree[featOrder[i]], g.Degree[featOrder[j]]
+		if di != dj {
+			return di > dj
+		}
+		return featOrder[i] < featOrder[j]
+	})
+
+	res := &HybridResult{Assignment: a}
+	for t := 0; t < cfg.Rounds; t++ {
+		st.onePassSamples(sampleOrder)
+		st.onePassFeatures(featOrder)
+		st.replicate(featOrder)
+		q := Evaluate(g, a, cfg.Weights)
+		res.Rounds = append(res.Rounds, RoundStat{
+			Round:          t + 1,
+			RemoteAccesses: q.RemoteAccesses,
+			Elapsed:        time.Since(start),
+		})
+	}
+	return res, nil
+}
+
+type hybridState struct {
+	g      *bigraph.Bigraph
+	a      *Assignment
+	cfg    HybridConfig
+	counts *bigraph.CountTable
+	nSamp  []int // samples per partition
+	nFeat  []int // primary embeddings per partition
+	comm   []float64
+}
+
+// weight prices a fetch of an embedding primary on from by a sample on to.
+func (st *hybridState) weight(from, to int) float64 {
+	if from == to {
+		return 0
+	}
+	if st.cfg.Weights == nil {
+		return 1
+	}
+	return st.cfg.Weights[from][to]
+}
+
+// recomputeComm rebuilds the per-partition communication totals δc(Gi):
+// the priced remote accesses of embeddings whose primary lives on i.
+func (st *hybridState) recomputeComm() {
+	for i := range st.comm {
+		st.comm[i] = 0
+	}
+	for x := int32(0); int(x) < st.g.NumFeatures; x++ {
+		home := st.a.PrimaryOf[x]
+		row := st.counts.Row(x)
+		for j, c := range row {
+			if j == home || c == 0 {
+				continue
+			}
+			st.comm[home] += float64(c) * st.weight(home, j)
+		}
+	}
+}
+
+// commAvg returns the mean of per-partition communication.
+func (st *hybridState) commAvg() float64 {
+	var s float64
+	for _, c := range st.comm {
+		s += c
+	}
+	return s / float64(len(st.comm))
+}
+
+// onePassSamples performs the sample-vertex half of the 1D pass: each
+// sample moves to the partition minimising δc + δb.
+//
+// All score terms are normalised to comparable O(1) units: δc by the
+// sample's maximum possible cost, the load gap δξ by the average load, and
+// the communication gap δd by the average communication. Partitions at the
+// hard balance cap are not candidates.
+func (st *hybridState) onePassSamples(order []int) {
+	n := st.a.N
+	avgSamp := float64(st.g.NumSamples) / float64(n)
+	capSamp := int(avgSamp*(1+st.slack())) + 1
+	costs := make([]float64, n)
+	for _, s := range order {
+		cur := st.a.SampleOf[s]
+		feats := st.g.SampleFeatures(s)
+
+		// δc(v→i): priced fetches of this sample's non-local embeddings,
+		// normalised by the worst case (every feature remote at max
+		// weight).
+		for i := 0; i < n; i++ {
+			costs[i] = 0
+		}
+		var worst float64
+		for _, x := range feats {
+			home := st.a.PrimaryOf[x]
+			var wmax float64
+			for i := 0; i < n; i++ {
+				w := st.weight(home, i)
+				if home != i {
+					costs[i] += w
+				}
+				if w > wmax {
+					wmax = w
+				}
+			}
+			worst += wmax
+		}
+		if worst == 0 {
+			worst = 1
+		}
+		avgComm := st.commAvg()
+		normComm := avgComm
+		if normComm == 0 {
+			normComm = 1
+		}
+		best, bestScore := -1, 0.0
+		for i := 0; i < n; i++ {
+			if i != cur && st.nSamp[i] >= capSamp {
+				continue
+			}
+			load := st.nSamp[i]
+			if i != cur {
+				load++ // marginal: the sample would join i
+			}
+			deltaXi := (float64(load) - avgSamp) / avgSamp
+			deltaD := (st.comm[i] - avgComm) / normComm
+			score := costs[i]/worst + st.cfg.Alpha*deltaXi + st.cfg.Gamma*deltaD
+			if best < 0 || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best >= 0 && best != cur {
+			st.moveSample(s, cur, best)
+		}
+	}
+}
+
+// slack returns the hard balance cap slack, defaulting to 0.1.
+func (st *hybridState) slack() float64 {
+	if st.cfg.BalanceSlack == 0 {
+		return 0.1
+	}
+	return st.cfg.BalanceSlack
+}
+
+// moveSample relocates sample s and incrementally maintains the count table
+// and the per-partition communication totals.
+func (st *hybridState) moveSample(s, from, to int) {
+	for _, x := range st.g.SampleFeatures(s) {
+		home := st.a.PrimaryOf[x]
+		if home != from {
+			st.comm[home] -= st.weight(home, from)
+		}
+		if home != to {
+			st.comm[home] += st.weight(home, to)
+		}
+	}
+	st.counts.MoveSample(s, from, to)
+	st.nSamp[from]--
+	st.nSamp[to]++
+	st.a.SampleOf[s] = to
+}
+
+// onePassFeatures performs the embedding-vertex half of the 1D pass: each
+// embedding's primary moves to the partition minimising δc + δb, with the
+// same normalisation and hard cap as the sample pass.
+func (st *hybridState) onePassFeatures(order []int32) {
+	n := st.a.N
+	avgFeat := float64(st.g.NumFeatures) / float64(n)
+	capFeat := int(avgFeat*(1+st.slack())) + 1
+	// Worst case per unit of degree: the maximum pairwise weight.
+	var wmax float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if w := st.weight(i, j); w > wmax {
+				wmax = w
+			}
+		}
+	}
+	for _, x := range order {
+		cur := st.a.PrimaryOf[x]
+		row := st.counts.Row(x)
+		avgComm := st.commAvg()
+		normComm := avgComm
+		if normComm == 0 {
+			normComm = 1
+		}
+		worst := float64(st.g.Degree[x]) * wmax
+		if worst == 0 {
+			worst = 1
+		}
+		best, bestScore := -1, 0.0
+		for i := 0; i < n; i++ {
+			if i != cur && st.nFeat[i] >= capFeat {
+				continue
+			}
+			// δc: samples elsewhere fetch x from candidate home i.
+			var c float64
+			for j, cnt := range row {
+				if j == i || cnt == 0 {
+					continue
+				}
+				c += float64(cnt) * st.weight(i, j)
+			}
+			load := st.nFeat[i]
+			if i != cur {
+				load++
+			}
+			deltaX := (float64(load) - avgFeat) / avgFeat
+			deltaD := (st.comm[i] - avgComm) / normComm
+			score := c/worst + st.cfg.Beta*deltaX + st.cfg.Gamma*deltaD
+			if best < 0 || score < bestScore {
+				best, bestScore = i, score
+			}
+		}
+		if best >= 0 && best != cur {
+			st.moveFeature(x, cur, best)
+		}
+	}
+}
+
+// moveFeature relocates embedding x's primary, updating communication
+// totals for the source and destination partitions.
+func (st *hybridState) moveFeature(x int32, from, to int) {
+	row := st.counts.Row(x)
+	for j, cnt := range row {
+		if cnt == 0 {
+			continue
+		}
+		if j != from {
+			st.comm[from] -= float64(cnt) * st.weight(from, j)
+		}
+		if j != to {
+			st.comm[to] += float64(cnt) * st.weight(to, j)
+		}
+	}
+	st.nFeat[from]--
+	st.nFeat[to]++
+	st.a.PrimaryOf[x] = to
+}
+
+// replicate performs the 2D vertex-cut pass: for every partition, replicate
+// the embeddings with the highest δp(x, Gi) = count(x,i) / Σ count(v,i)
+// (Eq. 6) until the memory budget is reached. Because the denominator is
+// shared by all candidates of a partition, ranking by count(x, i) suffices.
+func (st *hybridState) replicate(order []int32) {
+	budget := st.cfg.ReplicaBudget
+	if budget == 0 {
+		budget = int(st.cfg.ReplicaFraction * float64(st.g.NumFeatures))
+	}
+	if budget <= 0 {
+		return
+	}
+	type cand struct {
+		x int32
+		c int32
+	}
+	for i := 0; i < st.a.N; i++ {
+		cands := make([]cand, 0, 1024)
+		for _, x := range order {
+			if st.a.PrimaryOf[x] == i {
+				continue
+			}
+			if c := st.counts.Count(x, i); c > 0 {
+				cands = append(cands, cand{x, c})
+			}
+		}
+		sort.Slice(cands, func(p, q int) bool {
+			if cands[p].c != cands[q].c {
+				return cands[p].c > cands[q].c
+			}
+			return cands[p].x < cands[q].x
+		})
+		// Re-derive this round's replica set from scratch: primaries may
+		// have moved since last round, invalidating earlier choices.
+		for _, x := range st.prevSecondaries(i) {
+			st.a.replicas[x].Clear(i)
+		}
+		for k := 0; k < len(cands) && k < budget; k++ {
+			st.a.AddReplica(cands[k].x, i)
+		}
+	}
+}
+
+// prevSecondaries lists embeddings currently replicated on partition i.
+func (st *hybridState) prevSecondaries(i int) []int32 {
+	var out []int32
+	for x := range st.a.replicas {
+		if st.a.replicas[x].Has(i) {
+			out = append(out, int32(x))
+		}
+	}
+	return out
+}

@@ -1,0 +1,286 @@
+package partition
+
+import (
+	"fmt"
+	"sort"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/xrand"
+)
+
+// MultilevelConfig parameterises the METIS-like clusterer used for the
+// paper's Figure 3 locality analysis.
+type MultilevelConfig struct {
+	Clusters int
+	// CoarsenTo stops coarsening once the graph shrinks below
+	// CoarsenTo×Clusters vertices (default 30).
+	CoarsenTo int
+	// RefinePasses is the number of greedy refinement sweeps per level
+	// (default 4).
+	RefinePasses int
+	// BalanceSlack bounds cluster vertex-weight at (1+slack)·W/k
+	// (default 0.1).
+	BalanceSlack float64
+	Seed         uint64
+}
+
+func (c *MultilevelConfig) defaults() {
+	if c.CoarsenTo == 0 {
+		c.CoarsenTo = 30
+	}
+	if c.RefinePasses == 0 {
+		c.RefinePasses = 4
+	}
+	if c.BalanceSlack == 0 {
+		c.BalanceSlack = 0.1
+	}
+}
+
+// Multilevel clusters a weighted graph into k parts with the classic
+// multilevel scheme of METIS (Karypis & Kumar 1998): coarsen by heavy-edge
+// matching, partition the coarsest graph greedily, then uncoarsen with
+// greedy Kernighan–Lin-style refinement at every level. The paper runs
+// METIS over embedding co-occurrence graphs to reveal the dense diagonal
+// block structure of Figure 3; this is the stand-in for that external tool.
+func Multilevel(g *bigraph.WeightedGraph, cfg MultilevelConfig) ([]int, error) {
+	if cfg.Clusters <= 0 {
+		return nil, fmt.Errorf("partition: Multilevel clusters must be positive, got %d", cfg.Clusters)
+	}
+	cfg.defaults()
+	if g.N == 0 {
+		return nil, nil
+	}
+	if g.N <= cfg.Clusters {
+		out := make([]int, g.N)
+		for i := range out {
+			out[i] = i % cfg.Clusters
+		}
+		return out, nil
+	}
+	rng := xrand.New(cfg.Seed ^ 0x3e7153e7153e7153)
+
+	// Coarsening phase: build a hierarchy of successively smaller graphs.
+	levels := []*WeightedGraphLevel{{Graph: g}}
+	for levels[len(levels)-1].Graph.N > cfg.CoarsenTo*cfg.Clusters {
+		cur := levels[len(levels)-1]
+		next := coarsen(cur.Graph, rng)
+		if next == nil || next.Graph.N >= cur.Graph.N*9/10 {
+			break // matching stalled; further coarsening won't help
+		}
+		levels = append(levels, next)
+	}
+
+	// Initial partition of the coarsest graph: vertices in descending
+	// weight, each to the currently lightest cluster — then refine.
+	coarse := levels[len(levels)-1].Graph
+	part := greedyInitial(coarse, cfg.Clusters)
+	refine(coarse, part, cfg, rng)
+
+	// Uncoarsening: project the partition through each level and refine.
+	for li := len(levels) - 1; li > 0; li-- {
+		lvl := levels[li]
+		finer := levels[li-1].Graph
+		finePart := make([]int, finer.N)
+		for v := 0; v < finer.N; v++ {
+			finePart[v] = part[lvl.CoarseOf[v]]
+		}
+		part = finePart
+		refine(finer, part, cfg, rng)
+	}
+	return part, nil
+}
+
+// WeightedGraphLevel couples a coarsened graph with the mapping from the
+// finer level's vertices into it.
+type WeightedGraphLevel struct {
+	Graph *bigraph.WeightedGraph
+	// CoarseOf maps a finer-level vertex to its coarse vertex; nil at the
+	// finest level.
+	CoarseOf []int32
+}
+
+// coarsen contracts a heavy-edge matching of g into a smaller graph.
+func coarsen(g *bigraph.WeightedGraph, rng *xrand.RNG) *WeightedGraphLevel {
+	match := make([]int32, g.N)
+	for i := range match {
+		match[i] = -1
+	}
+	order := rng.Perm(g.N)
+	for _, vi := range order {
+		v := int32(vi)
+		if match[v] >= 0 {
+			continue
+		}
+		adj, wt := g.Neighbors(v)
+		best, bestW := int32(-1), float32(-1)
+		for i, u := range adj {
+			if u == v || match[u] >= 0 {
+				continue
+			}
+			if wt[i] > bestW {
+				best, bestW = u, wt[i]
+			}
+		}
+		if best >= 0 {
+			match[v] = best
+			match[best] = v
+		} else {
+			match[v] = v // unmatched: maps to its own coarse vertex
+		}
+	}
+
+	coarseOf := make([]int32, g.N)
+	var nc int32
+	for v := int32(0); v < int32(g.N); v++ {
+		m := match[v]
+		if m < v && m != v {
+			coarseOf[v] = coarseOf[m]
+			continue
+		}
+		coarseOf[v] = nc
+		nc++
+	}
+	if int(nc) == g.N {
+		return nil
+	}
+
+	// Aggregate edges of the contracted graph.
+	type edge struct{ a, b int32 }
+	agg := make(map[edge]float32)
+	vtxWt := make([]float32, nc)
+	for v := int32(0); v < int32(g.N); v++ {
+		cv := coarseOf[v]
+		vtxWt[cv] += g.VtxWt[v]
+		adj, wt := g.Neighbors(v)
+		for i, u := range adj {
+			cu := coarseOf[u]
+			if cu == cv {
+				continue
+			}
+			a, b := cv, cu
+			if a > b {
+				a, b = b, a
+			}
+			// Each undirected edge is visited from both endpoints; halve.
+			agg[edge{a, b}] += wt[i] / 2
+		}
+	}
+	cg := &bigraph.WeightedGraph{N: int(nc), VtxWt: vtxWt}
+	deg := make([]int32, nc)
+	for e := range agg {
+		deg[e.a]++
+		deg[e.b]++
+	}
+	cg.Off = make([]int64, nc+1)
+	for v := int32(0); v < nc; v++ {
+		cg.Off[v+1] = cg.Off[v] + int64(deg[v])
+	}
+	cg.Adj = make([]int32, cg.Off[nc])
+	cg.Weight = make([]float32, cg.Off[nc])
+	cursor := make([]int64, nc)
+	copy(cursor, cg.Off[:nc])
+	keys := make([]edge, 0, len(agg))
+	for e := range agg {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, e := range keys {
+		w := agg[e]
+		cg.Adj[cursor[e.a]] = e.b
+		cg.Weight[cursor[e.a]] = w
+		cursor[e.a]++
+		cg.Adj[cursor[e.b]] = e.a
+		cg.Weight[cursor[e.b]] = w
+		cursor[e.b]++
+	}
+	return &WeightedGraphLevel{Graph: cg, CoarseOf: coarseOf}
+}
+
+// greedyInitial seeds the coarsest partition: vertices in descending vertex
+// weight, each placed on the lightest cluster so far.
+func greedyInitial(g *bigraph.WeightedGraph, k int) []int {
+	order := make([]int, g.N)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		wi, wj := g.VtxWt[order[i]], g.VtxWt[order[j]]
+		if wi != wj {
+			return wi > wj
+		}
+		return order[i] < order[j]
+	})
+	part := make([]int, g.N)
+	loads := make([]float64, k)
+	for _, v := range order {
+		best := 0
+		for c := 1; c < k; c++ {
+			if loads[c] < loads[best] {
+				best = c
+			}
+		}
+		part[v] = best
+		loads[best] += float64(g.VtxWt[v])
+	}
+	return part
+}
+
+// refine sweeps vertices greedily, moving each to the cluster maximising
+// its internal edge weight, subject to the balance cap.
+func refine(g *bigraph.WeightedGraph, part []int, cfg MultilevelConfig, rng *xrand.RNG) {
+	k := cfg.Clusters
+	var totalW float64
+	for _, w := range g.VtxWt {
+		totalW += float64(w)
+	}
+	cap_ := totalW / float64(k) * (1 + cfg.BalanceSlack)
+	loads := make([]float64, k)
+	for v, p := range part {
+		loads[p] += float64(g.VtxWt[v])
+	}
+	gain := make([]float64, k)
+	for pass := 0; pass < cfg.RefinePasses; pass++ {
+		moved := 0
+		order := rng.Perm(g.N)
+		for _, vi := range order {
+			v := int32(vi)
+			adj, wt := g.Neighbors(v)
+			if len(adj) == 0 {
+				continue
+			}
+			for c := 0; c < k; c++ {
+				gain[c] = 0
+			}
+			for i, u := range adj {
+				gain[part[u]] += float64(wt[i])
+			}
+			cur := part[v]
+			best := cur
+			for c := 0; c < k; c++ {
+				if c == cur {
+					continue
+				}
+				if loads[c]+float64(g.VtxWt[v]) > cap_ {
+					continue
+				}
+				if gain[c] > gain[best] {
+					best = c
+				}
+			}
+			if best != cur {
+				loads[cur] -= float64(g.VtxWt[v])
+				loads[best] += float64(g.VtxWt[v])
+				part[v] = best
+				moved++
+			}
+		}
+		if moved == 0 {
+			break
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package partition
+
+import (
+	"sort"
+	"testing"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/dataset"
+	"hetgmp/internal/xrand"
+)
+
+// plantedGraph builds a weighted graph of k dense clusters of size m with
+// strong internal edges and weak cross edges.
+func plantedGraph(k, m int, seed uint64) *bigraph.WeightedGraph {
+	n := k * m
+	rng := xrand.New(seed)
+	type edge struct{ a, b int32 }
+	weights := map[edge]float32{}
+	add := func(a, b int32, w float32) {
+		if a == b {
+			return
+		}
+		if a > b {
+			a, b = b, a
+		}
+		weights[edge{a, b}] += w
+	}
+	// Dense intra-cluster connections.
+	for c := 0; c < k; c++ {
+		base := int32(c * m)
+		for i := 0; i < m; i++ {
+			for j := i + 1; j < m; j++ {
+				add(base+int32(i), base+int32(j), 10)
+			}
+		}
+	}
+	// Sparse random cross edges.
+	for e := 0; e < n; e++ {
+		add(int32(rng.Intn(n)), int32(rng.Intn(n)), 1)
+	}
+	g := &bigraph.WeightedGraph{N: n, VtxWt: make([]float32, n)}
+	for i := range g.VtxWt {
+		g.VtxWt[i] = 1
+	}
+	deg := make([]int32, n)
+	for e := range weights {
+		deg[e.a]++
+		deg[e.b]++
+	}
+	g.Off = make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		g.Off[v+1] = g.Off[v] + int64(deg[v])
+	}
+	g.Adj = make([]int32, g.Off[n])
+	g.Weight = make([]float32, g.Off[n])
+	cursor := make([]int64, n)
+	copy(cursor, g.Off[:n])
+	// Sort edges: Go map iteration order is randomised, and adjacency
+	// ordering influences matching tie-breaks — the helper must be
+	// deterministic for the tests built on it.
+	keys := make([]edge, 0, len(weights))
+	for e := range weights {
+		keys = append(keys, e)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].a != keys[j].a {
+			return keys[i].a < keys[j].a
+		}
+		return keys[i].b < keys[j].b
+	})
+	for _, e := range keys {
+		w := weights[e]
+		g.Adj[cursor[e.a]] = e.b
+		g.Weight[cursor[e.a]] = w
+		cursor[e.a]++
+		g.Adj[cursor[e.b]] = e.a
+		g.Weight[cursor[e.b]] = w
+		cursor[e.b]++
+	}
+	return g
+}
+
+func TestMultilevelRecoversPlantedClusters(t *testing.T) {
+	const k, m = 4, 50
+	g := plantedGraph(k, m, 3)
+	part, err := Multilevel(g, MultilevelConfig{Clusters: k, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != k*m {
+		t.Fatalf("partition length %d", len(part))
+	}
+	intra := g.IntraClusterFraction(part)
+	if intra < 0.85 {
+		t.Errorf("intra-cluster fraction %v, want > 0.85 on planted clusters", intra)
+	}
+	// Each planted cluster should be (mostly) assigned to one label.
+	for c := 0; c < k; c++ {
+		counts := map[int]int{}
+		for i := 0; i < m; i++ {
+			counts[part[c*m+i]]++
+		}
+		var best int
+		for _, v := range counts {
+			if v > best {
+				best = v
+			}
+		}
+		if best < m*7/10 {
+			t.Errorf("planted cluster %d split: %v", c, counts)
+		}
+	}
+}
+
+func TestMultilevelBeatsRandomOnRealDataset(t *testing.T) {
+	ds, err := dataset.New(dataset.Avazu, 1e-4, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := bigraph.FromDataset(ds)
+	co := g.Cooccurrence(bigraph.CooccurrenceOptions{MaxSamples: 3000, MaxPairsPerSample: 60, Seed: 7})
+	part, err := Multilevel(co, MultilevelConfig{Clusters: 8, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	intra := co.IntraClusterFraction(part)
+	rng := xrand.New(99)
+	random := make([]int, co.N)
+	for i := range random {
+		random[i] = rng.Intn(8)
+	}
+	base := co.IntraClusterFraction(random)
+	if intra < 3*base {
+		t.Errorf("clustered intra %v not ≫ random %v", intra, base)
+	}
+}
+
+func TestMultilevelBalance(t *testing.T) {
+	const k, m = 4, 50
+	g := plantedGraph(k, m, 5)
+	part, err := Multilevel(g, MultilevelConfig{Clusters: k, Seed: 5, BalanceSlack: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := make([]float64, k)
+	for v, p := range part {
+		loads[p] += float64(g.VtxWt[v])
+	}
+	var total float64
+	for _, l := range loads {
+		total += l
+	}
+	cap_ := total / float64(k) * 1.15
+	for c, l := range loads {
+		if l > cap_ {
+			t.Errorf("cluster %d load %v exceeds cap %v", c, l, cap_)
+		}
+	}
+}
+
+func TestMultilevelSmallGraphs(t *testing.T) {
+	// Graph smaller than cluster count: everyone gets their own label.
+	g := plantedGraph(1, 3, 1) // 3 vertices
+	part, err := Multilevel(g, MultilevelConfig{Clusters: 8, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(part) != 3 {
+		t.Fatalf("partition length %d", len(part))
+	}
+	// Empty graph.
+	empty := &bigraph.WeightedGraph{}
+	part, err = Multilevel(empty, MultilevelConfig{Clusters: 4, Seed: 1})
+	if err != nil || part != nil {
+		t.Errorf("empty graph: %v, %v", part, err)
+	}
+}
+
+func TestMultilevelErrors(t *testing.T) {
+	g := plantedGraph(2, 10, 1)
+	if _, err := Multilevel(g, MultilevelConfig{Clusters: 0}); err == nil {
+		t.Error("zero clusters accepted")
+	}
+}
+
+func TestMultilevelDeterministic(t *testing.T) {
+	g := plantedGraph(3, 30, 9)
+	a, err := Multilevel(g, MultilevelConfig{Clusters: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Multilevel(g, MultilevelConfig{Clusters: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("multilevel not deterministic")
+		}
+	}
+}
+
+func BenchmarkMultilevel(b *testing.B) {
+	g := plantedGraph(8, 100, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Multilevel(g, MultilevelConfig{Clusters: 8, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

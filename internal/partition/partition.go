@@ -1,0 +1,247 @@
+// Package partition implements the paper's hybrid iterative graph
+// partitioning (Section 5.2, Algorithm 1) together with the baselines it is
+// evaluated against: random partitioning, BiCut (Chen et al. 2015), and a
+// METIS-like multilevel clusterer used for the co-occurrence analysis of
+// Figure 3.
+//
+// A partitioning assigns every sample vertex and every embedding vertex a
+// home partition (1D edge-cut), and optionally replicates high-score
+// embedding vertices into additional partitions as secondaries (2D
+// vertex-cut). Quality is measured as the number of remote embedding
+// accesses an epoch of training would perform — the exact metric of the
+// paper's Table 3.
+package partition
+
+import (
+	"fmt"
+	"math"
+
+	"hetgmp/internal/bigraph"
+)
+
+// Assignment is the output of a partitioner over a bigraph.
+type Assignment struct {
+	// N is the number of partitions (workers).
+	N int
+	// SampleOf[s] is the partition that trains sample s.
+	SampleOf []int
+	// PrimaryOf[x] is the partition holding the primary replica of
+	// embedding x.
+	PrimaryOf []int
+	// replicas[x] is a bitset over partitions holding a secondary replica
+	// of embedding x (the primary's bit is never set).
+	replicas []Bitset
+}
+
+// NewAssignment allocates an assignment for the given bigraph sizes with
+// all vertices unassigned (-1).
+func NewAssignment(n, numSamples, numFeatures int) *Assignment {
+	if n <= 0 || n > MaxPartitions {
+		panic(fmt.Sprintf("partition: partition count %d out of [1,%d]", n, MaxPartitions))
+	}
+	a := &Assignment{
+		N:         n,
+		SampleOf:  make([]int, numSamples),
+		PrimaryOf: make([]int, numFeatures),
+		replicas:  make([]Bitset, numFeatures),
+	}
+	for i := range a.SampleOf {
+		a.SampleOf[i] = -1
+	}
+	for i := range a.PrimaryOf {
+		a.PrimaryOf[i] = -1
+	}
+	return a
+}
+
+// HasReplica reports whether partition p holds a secondary replica of x.
+func (a *Assignment) HasReplica(x int32, p int) bool { return a.replicas[x].Has(p) }
+
+// IsLocal reports whether embedding x can be read on partition p without a
+// remote fetch, i.e. p holds either the primary or a secondary replica.
+func (a *Assignment) IsLocal(x int32, p int) bool {
+	return a.PrimaryOf[x] == p || a.replicas[x].Has(p)
+}
+
+// AddReplica marks a secondary replica of x on partition p. Replicating
+// onto the primary partition is a no-op.
+func (a *Assignment) AddReplica(x int32, p int) {
+	if a.PrimaryOf[x] == p {
+		return
+	}
+	a.replicas[x].Set(p)
+}
+
+// ClearReplicas removes all secondary replicas of x.
+func (a *Assignment) ClearReplicas(x int32) { a.replicas[x] = 0 }
+
+// Replicas returns the partitions holding secondary replicas of x.
+func (a *Assignment) Replicas(x int32) []int { return a.replicas[x].Members() }
+
+// ReplicaCount returns the number of secondary replicas of x.
+func (a *Assignment) ReplicaCount(x int32) int { return a.replicas[x].Count() }
+
+// SecondariesOn lists the embeddings with a secondary replica on partition p.
+func (a *Assignment) SecondariesOn(p int) []int32 {
+	var out []int32
+	for x := range a.replicas {
+		if a.replicas[x].Has(p) {
+			out = append(out, int32(x))
+		}
+	}
+	return out
+}
+
+// Validate checks internal consistency: every vertex assigned, partitions in
+// range, no replica bit set on a primary partition.
+func (a *Assignment) Validate() error {
+	for s, p := range a.SampleOf {
+		if p < 0 || p >= a.N {
+			return fmt.Errorf("partition: sample %d assigned to invalid partition %d", s, p)
+		}
+	}
+	for x, p := range a.PrimaryOf {
+		if p < 0 || p >= a.N {
+			return fmt.Errorf("partition: embedding %d primary on invalid partition %d", x, p)
+		}
+		if a.replicas[x].Has(p) {
+			return fmt.Errorf("partition: embedding %d has replica bit on its primary partition %d", x, p)
+		}
+		if hi := a.replicas[x].Max(); hi >= a.N {
+			return fmt.Errorf("partition: embedding %d has replica on invalid partition %d", x, hi)
+		}
+	}
+	return nil
+}
+
+// Quality summarises a partitioning the way the paper's Table 3 and Figure 9
+// do.
+type Quality struct {
+	// RemoteAccesses is the number of (sample, embedding) edges whose
+	// embedding is not local (neither primary nor secondary) to the
+	// sample's partition — remote embedding communications per epoch.
+	RemoteAccesses int64
+	// WeightedCost is RemoteAccesses with each access priced by the
+	// topology weight matrix (1 if weights are nil).
+	WeightedCost float64
+	// LocalFraction is 1 − RemoteAccesses/edges.
+	LocalFraction float64
+	// ReplicationFactor is total replicas (primary+secondary) per
+	// embedding, averaged.
+	ReplicationFactor float64
+	// SampleImbalance and FeatureImbalance are max/mean ratios of per-
+	// partition vertex counts (1.0 = perfectly balanced).
+	SampleImbalance  float64
+	FeatureImbalance float64
+	// SamplesPerPart and PrimariesPerPart are the raw per-partition loads.
+	SamplesPerPart   []int
+	PrimariesPerPart []int
+	SecondariesPer   []int
+}
+
+// Evaluate measures the assignment against its bigraph. weights may be nil
+// for uniform pricing; otherwise weights[from][to] prices a fetch of an
+// embedding whose primary lives on from by a sample on to.
+func Evaluate(g *bigraph.Bigraph, a *Assignment, weights [][]float64) Quality {
+	var q Quality
+	q.SamplesPerPart = make([]int, a.N)
+	q.PrimariesPerPart = make([]int, a.N)
+	q.SecondariesPer = make([]int, a.N)
+	for _, p := range a.SampleOf {
+		q.SamplesPerPart[p]++
+	}
+	var replicaTotal int64
+	for x := range a.PrimaryOf {
+		q.PrimariesPerPart[a.PrimaryOf[x]]++
+		replicaTotal += 1 + int64(a.replicas[x].Count())
+	}
+	for p := 0; p < a.N; p++ {
+		q.SecondariesPer[p] = len(a.SecondariesOn(p))
+	}
+	for s := 0; s < g.NumSamples; s++ {
+		p := a.SampleOf[s]
+		for _, x := range g.SampleFeatures(s) {
+			if a.IsLocal(x, p) {
+				continue
+			}
+			q.RemoteAccesses++
+			if weights != nil {
+				q.WeightedCost += weights[a.PrimaryOf[x]][p]
+			} else {
+				q.WeightedCost++
+			}
+		}
+	}
+	edges := g.NumEdges()
+	if edges > 0 {
+		q.LocalFraction = 1 - float64(q.RemoteAccesses)/float64(edges)
+	}
+	if g.NumFeatures > 0 {
+		q.ReplicationFactor = float64(replicaTotal) / float64(g.NumFeatures)
+	}
+	q.SampleImbalance = imbalance(q.SamplesPerPart)
+	q.FeatureImbalance = imbalance(q.PrimariesPerPart)
+	return q
+}
+
+func imbalance(loads []int) float64 {
+	if len(loads) == 0 {
+		return 1
+	}
+	var sum, max float64
+	for _, l := range loads {
+		v := float64(l)
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	mean := sum / float64(len(loads))
+	if mean == 0 {
+		return 1
+	}
+	return max / mean
+}
+
+// TrafficMatrix predicts the per-pair embedding fetch volume (in accesses)
+// the assignment implies: entry [from][to] counts fetches of embeddings
+// primary on from by samples on to. It is the partitioner-side analogue of
+// the paper's Figure 9b heatmap.
+func TrafficMatrix(g *bigraph.Bigraph, a *Assignment) [][]int64 {
+	m := make([][]int64, a.N)
+	for i := range m {
+		m[i] = make([]int64, a.N)
+	}
+	for s := 0; s < g.NumSamples; s++ {
+		p := a.SampleOf[s]
+		for _, x := range g.SampleFeatures(s) {
+			if a.IsLocal(x, p) {
+				m[p][p]++ // local hit
+				continue
+			}
+			m[a.PrimaryOf[x]][p]++
+		}
+	}
+	return m
+}
+
+// normalizedEntropy returns the entropy of the load distribution divided by
+// log(n); 1.0 means perfectly even. Used by tests and diagnostics.
+func normalizedEntropy(loads []int) float64 {
+	var tot float64
+	for _, l := range loads {
+		tot += float64(l)
+	}
+	if tot == 0 || len(loads) < 2 {
+		return 1
+	}
+	var h float64
+	for _, l := range loads {
+		if l == 0 {
+			continue
+		}
+		p := float64(l) / tot
+		h -= p * math.Log(p)
+	}
+	return h / math.Log(float64(len(loads)))
+}

@@ -1,0 +1,22 @@
+package partition
+
+import (
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/xrand"
+)
+
+// Random assigns samples and embedding primaries to partitions uniformly at
+// random with no replication. It is the paper's "Random" baseline in
+// Table 3, the initial state of Algorithm 1, and the partitioning model of
+// the HugeCTR/HET-MP baselines (hash-partitioned embedding tables).
+func Random(g *bigraph.Bigraph, n int, seed uint64) *Assignment {
+	a := NewAssignment(n, g.NumSamples, g.NumFeatures)
+	rng := xrand.New(seed ^ 0xabcdabcdabcdabcd)
+	for s := range a.SampleOf {
+		a.SampleOf[s] = rng.Intn(n)
+	}
+	for x := range a.PrimaryOf {
+		a.PrimaryOf[x] = rng.Intn(n)
+	}
+	return a
+}

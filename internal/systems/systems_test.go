@@ -1,0 +1,151 @@
+package systems
+
+import (
+	"testing"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/dataset"
+)
+
+func testOptions(t *testing.T) Options {
+	t.Helper()
+	ds, err := dataset.New(dataset.Avazu, 1e-4, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	train, test := ds.Split(0.9)
+	return Options{
+		Train: train, Test: test, ModelName: "wdl",
+		Topo: cluster.EightGPUQPI(),
+		Dim:  8, BatchPerWorker: 64, Epochs: 1,
+		Staleness: 100, EvalEvery: 1 << 30, Seed: 23,
+	}
+}
+
+func TestBuildAllSystems(t *testing.T) {
+	opt := testOptions(t)
+	for _, sys := range All {
+		tr, err := Build(sys, opt)
+		if err != nil {
+			t.Fatalf("%s: %v", sys, err)
+		}
+		res, err := tr.Run()
+		if err != nil {
+			t.Fatalf("%s run: %v", sys, err)
+		}
+		if res.FinalAUC < 0.5 {
+			t.Errorf("%s: AUC %v", sys, res.FinalAUC)
+		}
+		if res.TotalSimTime <= 0 {
+			t.Errorf("%s: no simulated time", sys)
+		}
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	opt := testOptions(t)
+	if _, err := Build("nope", opt); err == nil {
+		t.Error("unknown system accepted")
+	}
+	bad := opt
+	bad.ModelName = "transformer"
+	if _, err := Build(HETGMP, bad); err == nil {
+		t.Error("unknown model accepted")
+	}
+	if _, err := Build(HETGMP, Options{}); err == nil {
+		t.Error("empty options accepted")
+	}
+}
+
+func TestNewModel(t *testing.T) {
+	for _, name := range []string{"wdl", "dcn", ""} {
+		m, err := NewModel(name, 10, 8, 1)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if m.InputDim() != 80 {
+			t.Errorf("%q: input dim %d", name, m.InputDim())
+		}
+	}
+	if _, err := NewModel("mlp", 10, 8, 1); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestBuildAssignmentDiffersBySystem(t *testing.T) {
+	opt := testOptions(t)
+	g := bigraph.FromDataset(opt.Train)
+	random, err := BuildAssignment(HugeCTR, g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybrid, err := BuildAssignment(HETGMP, g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The hybrid assignment must have replicas; random must not.
+	var randomReps, hybridReps int
+	for x := int32(0); int(x) < g.NumFeatures; x++ {
+		randomReps += random.ReplicaCount(x)
+		hybridReps += hybrid.ReplicaCount(x)
+	}
+	if randomReps != 0 {
+		t.Errorf("random assignment has %d replicas", randomReps)
+	}
+	if hybridReps == 0 {
+		t.Error("HET-GMP assignment has no replicas")
+	}
+}
+
+func TestHETGMPBeatsHETMPOnCommunication(t *testing.T) {
+	opt := testOptions(t)
+	mp, err := Build(HETMP, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mpRes, err := mp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmp, err := Build(HETGMP, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gmpRes, err := gmp.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gmpRes.Breakdown.Bytes[0] >= mpRes.Breakdown.Bytes[0] {
+		t.Errorf("HET-GMP embedding bytes %d not below HET-MP %d",
+			gmpRes.Breakdown.Bytes[0], mpRes.Breakdown.Bytes[0])
+	}
+	if gmpRes.RemoteReads >= mpRes.RemoteReads {
+		t.Errorf("HET-GMP remote reads %d not below HET-MP %d",
+			gmpRes.RemoteReads, mpRes.RemoteReads)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	for _, sys := range All {
+		if Describe(sys) == string(sys) {
+			t.Errorf("%s: no description", sys)
+		}
+	}
+	if Describe("custom") != "custom" {
+		t.Error("unknown system description should echo the name")
+	}
+}
+
+func TestUniformWeightsOption(t *testing.T) {
+	opt := testOptions(t)
+	g := bigraph.FromDataset(opt.Train)
+	opt.UniformWeights = true
+	a, err := BuildAssignment(HETGMP, g, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

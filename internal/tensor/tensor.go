@@ -1,0 +1,235 @@
+// Package tensor implements the small dense linear-algebra substrate that
+// the HET-GMP reproduction trains on. The paper runs WDL and DCN on
+// CUDA/cuDNN; here the same float32 math runs on the CPU. Only the
+// operations the models need are provided — vectors, row-major matrices,
+// matrix multiplication with accumulation, and elementwise kernels — kept
+// allocation-conscious so the training engine can reuse buffers across
+// mini-batches.
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"hetgmp/internal/xrand"
+)
+
+// Matrix is a dense row-major float32 matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float32
+}
+
+// NewMatrix allocates a zeroed Rows×Cols matrix.
+func NewMatrix(rows, cols int) *Matrix {
+	if rows < 0 || cols < 0 {
+		panic(fmt.Sprintf("tensor: NewMatrix(%d, %d): negative dimension", rows, cols))
+	}
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float32, rows*cols)}
+}
+
+// Row returns a mutable view of row i.
+func (m *Matrix) Row(i int) []float32 {
+	return m.Data[i*m.Cols : (i+1)*m.Cols]
+}
+
+// At returns the element at (i, j).
+func (m *Matrix) At(i, j int) float32 { return m.Data[i*m.Cols+j] }
+
+// Set assigns the element at (i, j).
+func (m *Matrix) Set(i, j int, v float32) { m.Data[i*m.Cols+j] = v }
+
+// Clone returns a deep copy of m.
+func (m *Matrix) Clone() *Matrix {
+	c := NewMatrix(m.Rows, m.Cols)
+	copy(c.Data, m.Data)
+	return c
+}
+
+// Zero sets every element of m to zero.
+func (m *Matrix) Zero() {
+	for i := range m.Data {
+		m.Data[i] = 0
+	}
+}
+
+// XavierInit fills m with Glorot-uniform values scaled by the layer fan-in
+// and fan-out, the initialisation WDL/DCN implementations conventionally use.
+func (m *Matrix) XavierInit(r *xrand.RNG) {
+	limit := float32(math.Sqrt(6 / float64(m.Rows+m.Cols)))
+	for i := range m.Data {
+		m.Data[i] = (2*r.Float32() - 1) * limit
+	}
+}
+
+// MatMul computes dst = a · b. dst must be pre-allocated with shape
+// a.Rows×b.Cols and must not alias a or b. It panics on shape mismatch.
+func MatMul(dst, a, b *Matrix) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMul shape mismatch: (%dx%d)·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	// ikj loop order: the inner loop walks both b and dst rows sequentially.
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k := 0; k < a.Cols; k++ {
+			aik := arow[k]
+			if aik == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range brow {
+				drow[j] += aik * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulATB computes dst = aᵀ · b, used for weight gradients
+// (dW = xᵀ · dy). dst must have shape a.Cols×b.Cols.
+func MatMulATB(dst, a, b *Matrix) {
+	if a.Rows != b.Rows || dst.Rows != a.Cols || dst.Cols != b.Cols {
+		panic(fmt.Sprintf("tensor: MatMulATB shape mismatch: (%dx%d)ᵀ·(%dx%d)->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	dst.Zero()
+	for r := 0; r < a.Rows; r++ {
+		arow := a.Row(r)
+		brow := b.Row(r)
+		for i, av := range arow {
+			if av == 0 {
+				continue
+			}
+			drow := dst.Row(i)
+			for j, bv := range brow {
+				drow[j] += av * bv
+			}
+		}
+	}
+}
+
+// MatMulABT computes dst = a · bᵀ, used for input gradients
+// (dx = dy · Wᵀ). dst must have shape a.Rows×b.Rows.
+func MatMulABT(dst, a, b *Matrix) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch: (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+// Axpy computes y += alpha*x elementwise. The slices must be equal length.
+func Axpy(alpha float32, x, y []float32) {
+	if len(x) != len(y) {
+		panic("tensor: Axpy length mismatch")
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of x by alpha in place.
+func Scale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+// Dot returns the inner product of x and y.
+func Dot(x, y []float32) float32 {
+	if len(x) != len(y) {
+		panic("tensor: Dot length mismatch")
+	}
+	var s float32
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+// AddBias adds bias b to every row of m in place.
+func AddBias(m *Matrix, b []float32) {
+	if len(b) != m.Cols {
+		panic("tensor: AddBias length mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j := range row {
+			row[j] += b[j]
+		}
+	}
+}
+
+// ReLU applies max(0, x) elementwise in place and records the mask into
+// mask (1 where the unit was active) for the backward pass. mask may be nil.
+func ReLU(m *Matrix, mask []float32) {
+	if mask != nil && len(mask) != len(m.Data) {
+		panic("tensor: ReLU mask length mismatch")
+	}
+	for i, v := range m.Data {
+		if v > 0 {
+			if mask != nil {
+				mask[i] = 1
+			}
+		} else {
+			m.Data[i] = 0
+			if mask != nil {
+				mask[i] = 0
+			}
+		}
+	}
+}
+
+// ReLUBackward multiplies grad elementwise by the activation mask recorded
+// during the forward pass.
+func ReLUBackward(grad *Matrix, mask []float32) {
+	if len(mask) != len(grad.Data) {
+		panic("tensor: ReLUBackward mask length mismatch")
+	}
+	for i := range grad.Data {
+		grad.Data[i] *= mask[i]
+	}
+}
+
+// Sigmoid returns 1/(1+e^-x) computed in float64 for stability near the
+// saturated tails before rounding back to float32.
+func Sigmoid(x float32) float32 {
+	return float32(1 / (1 + math.Exp(-float64(x))))
+}
+
+// L2Norm returns the Euclidean norm of x.
+func L2Norm(x []float32) float64 {
+	var s float64
+	for _, v := range x {
+		s += float64(v) * float64(v)
+	}
+	return math.Sqrt(s)
+}
+
+// Clip bounds every element of x to [-c, c] in place. Gradient clipping
+// keeps the asynchronous runs numerically stable at large staleness.
+func Clip(x []float32, c float32) {
+	if c <= 0 {
+		return
+	}
+	for i, v := range x {
+		if v > c {
+			x[i] = c
+		} else if v < -c {
+			x[i] = -c
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package xrand provides deterministic, seedable random number generation
+// used throughout the HET-GMP reproduction. Every experiment in the paper
+// harness must be reproducible bit-for-bit across runs, so all randomness is
+// funneled through this package rather than math/rand's global state.
+//
+// The core generator is SplitMix64 (Steele et al., "Fast Splittable
+// Pseudorandom Number Generators", OOPSLA 2014): tiny state, excellent
+// statistical quality for simulation workloads, and trivially splittable so
+// per-worker streams never correlate.
+package xrand
+
+import "math"
+
+// RNG is a deterministic SplitMix64 pseudorandom generator. The zero value
+// is a valid generator seeded with 0; prefer New for explicit seeding.
+type RNG struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *RNG {
+	return &RNG{state: seed}
+}
+
+// Split returns a new independent generator derived from r. The derived
+// stream does not overlap with r's future output, which makes Split suitable
+// for handing one generator to each simulated worker.
+func (r *RNG) Split() *RNG {
+	return &RNG{state: r.Uint64()*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d}
+}
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniformly random int in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	v := r.Uint64()
+	hi, lo := mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := -uint64(n) % uint64(n)
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, uint64(n))
+		}
+	}
+	_ = lo
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t & mask32
+	w2 := t >> 32
+	w1 += x0 * y1
+	hi = x1*y1 + w2 + w1>>32
+	lo = x * y
+	return
+}
+
+// Float64 returns a uniformly random float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Float32 returns a uniformly random float32 in [0, 1).
+func (r *RNG) Float32() float32 {
+	return float32(r.Uint64()>>40) / (1 << 24)
+}
+
+// NormFloat64 returns a normally distributed float64 with mean 0 and
+// standard deviation 1, using the Box-Muller transform.
+func (r *RNG) NormFloat64() float64 {
+	// Marsaglia polar method: rejection but no trig.
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s >= 1 || s == 0 {
+			continue
+		}
+		return u * math.Sqrt(-2*math.Log(s)/s)
+	}
+}
+
+// Perm returns a random permutation of [0, n) as a slice.
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(len(p), func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}
+
+// Shuffle pseudo-randomizes the order of n elements using swap, matching the
+// contract of math/rand.Shuffle.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		swap(i, j)
+	}
+}
+
+// Zipf samples integers in [0, n) with probability proportional to
+// 1/(rank+1)^exponent. It is the workhorse behind the skewed feature
+// popularity the paper's datasets exhibit (Section 4, "Skewness").
+//
+// Sampling uses the alias method after a one-time O(n) table build, so a
+// sampler is cheap to draw from even for multi-million-element vocabularies.
+type Zipf struct {
+	n     int
+	prob  []float32
+	alias []int32
+}
+
+// NewZipf builds a Zipf sampler over [0, n) with the given exponent.
+// Exponent 0 degenerates to the uniform distribution. It panics if n <= 0 or
+// exponent < 0.
+func NewZipf(n int, exponent float64) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf called with n <= 0")
+	}
+	if exponent < 0 {
+		panic("xrand: NewZipf called with exponent < 0")
+	}
+	w := make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		w[i] = math.Pow(float64(i+1), -exponent)
+		sum += w[i]
+	}
+	z := &Zipf{
+		n:     n,
+		prob:  make([]float32, n),
+		alias: make([]int32, n),
+	}
+	// Vose's alias method.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i := 0; i < n; i++ {
+		scaled[i] = w[i] / sum * float64(n)
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		z.prob[s] = float32(scaled[s])
+		z.alias[s] = l
+		scaled[l] = scaled[l] + scaled[s] - 1
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, l := range large {
+		z.prob[l] = 1
+	}
+	for _, s := range small {
+		z.prob[s] = 1
+	}
+	return z
+}
+
+// N returns the size of the sampled domain.
+func (z *Zipf) N() int { return z.n }
+
+// Sample draws one value in [0, n) using r as the source of randomness.
+func (z *Zipf) Sample(r *RNG) int {
+	i := r.Intn(z.n)
+	if r.Float32() < z.prob[i] {
+		return i
+	}
+	return int(z.alias[i])
+}
+
+// PMF returns the probability of drawing value i. It recomputes the
+// normalisation on each call and is intended for tests and diagnostics, not
+// hot paths.
+func (z *Zipf) PMF(exponent float64, i int) float64 {
+	var sum float64
+	for k := 0; k < z.n; k++ {
+		sum += math.Pow(float64(k+1), -exponent)
+	}
+	return math.Pow(float64(i+1), -exponent) / sum
+}

@@ -1,0 +1,279 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("%d/100 outputs identical across seeds", same)
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	r := New(7)
+	s := r.Split()
+	// The split stream must not replay the parent stream.
+	parent := make([]uint64, 50)
+	for i := range parent {
+		parent[i] = r.Uint64()
+	}
+	matches := 0
+	for i := 0; i < 50; i++ {
+		v := s.Uint64()
+		for _, p := range parent {
+			if v == p {
+				matches++
+			}
+		}
+	}
+	if matches > 0 {
+		t.Errorf("split stream shares %d values with parent", matches)
+	}
+}
+
+func TestIntnRange(t *testing.T) {
+	r := New(3)
+	for _, n := range []int{1, 2, 7, 100, 1 << 20} {
+		for i := 0; i < 1000; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniformity(t *testing.T) {
+	r := New(11)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Intn(n)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if c < want*9/10 || c > want*11/10 {
+			t.Errorf("bucket %d: %d draws, want ~%d", i, c, want)
+		}
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	var sum float64
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+		sum += v
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean %v, want ~0.5", mean)
+	}
+}
+
+func TestFloat32Range(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 10000; i++ {
+		if v := r.Float32(); v < 0 || v >= 1 {
+			t.Fatalf("Float32() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestNormFloat64Moments(t *testing.T) {
+	r := New(9)
+	const draws = 200000
+	var sum, sumSq float64
+	for i := 0; i < draws; i++ {
+		v := r.NormFloat64()
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / draws
+	variance := sumSq/draws - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Errorf("variance %v, want ~1", variance)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(13)
+	for _, n := range []int{0, 1, 2, 17, 1000} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid at value %d", n, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleProperty(t *testing.T) {
+	// Property: shuffling preserves the multiset.
+	f := func(seed uint64, raw []byte) bool {
+		r := New(seed)
+		orig := make([]byte, len(raw))
+		copy(orig, raw)
+		r.Shuffle(len(raw), func(i, j int) { raw[i], raw[j] = raw[j], raw[i] })
+		counts := map[byte]int{}
+		for _, b := range orig {
+			counts[b]++
+		}
+		for _, b := range raw {
+			counts[b]--
+		}
+		for _, c := range counts {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestZipfRange(t *testing.T) {
+	z := NewZipf(100, 1.0)
+	r := New(17)
+	for i := 0; i < 10000; i++ {
+		v := z.Sample(r)
+		if v < 0 || v >= 100 {
+			t.Fatalf("Zipf sample %d out of [0,100)", v)
+		}
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	const n, draws = 1000, 200000
+	z := NewZipf(n, 1.0)
+	r := New(19)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(r)]++
+	}
+	// Rank 0 should dominate rank 99 by roughly 100x under exponent 1.
+	if counts[0] < counts[99]*20 {
+		t.Errorf("rank 0 drawn %d times, rank 99 %d times: not skewed enough", counts[0], counts[99])
+	}
+	// Head heaviness: the top 1% of ranks should carry a large share.
+	var head int
+	for _, c := range counts[:n/100] {
+		head += c
+	}
+	if share := float64(head) / draws; share < 0.2 {
+		t.Errorf("top-1%% share %v, want > 0.2 under exponent 1", share)
+	}
+}
+
+func TestZipfUniformWhenExponentZero(t *testing.T) {
+	const n, draws = 50, 100000
+	z := NewZipf(n, 0)
+	r := New(23)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(r)]++
+	}
+	want := draws / n
+	for i, c := range counts {
+		if c < want*8/10 || c > want*12/10 {
+			t.Errorf("bucket %d: %d draws, want ~%d (uniform)", i, c, want)
+		}
+	}
+}
+
+func TestZipfMatchesPMF(t *testing.T) {
+	const n, draws = 20, 400000
+	const exp = 1.2
+	z := NewZipf(n, exp)
+	r := New(29)
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[z.Sample(r)]++
+	}
+	for i := 0; i < n; i++ {
+		want := z.PMF(exp, i)
+		got := float64(counts[i]) / draws
+		if math.Abs(got-want) > 0.01+want*0.1 {
+			t.Errorf("rank %d: empirical %v, analytic %v", i, got, want)
+		}
+	}
+}
+
+func TestZipfPanics(t *testing.T) {
+	for _, tc := range []struct {
+		n   int
+		exp float64
+	}{{0, 1}, {-1, 1}, {10, -0.5}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewZipf(%d, %v) did not panic", tc.n, tc.exp)
+				}
+			}()
+			NewZipf(tc.n, tc.exp)
+		}()
+	}
+}
+
+func TestZipfN(t *testing.T) {
+	if got := NewZipf(42, 1).N(); got != 42 {
+		t.Errorf("N() = %d, want 42", got)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkZipfSample(b *testing.B) {
+	z := NewZipf(1_000_000, 1.05)
+	r := New(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = z.Sample(r)
+	}
+}
