@@ -29,6 +29,7 @@ func main() {
 		epochs  = flag.Int("epochs", 0, "training epochs for end-to-end runs (default 4)")
 		seed    = flag.Uint64("seed", 0, "random seed (default 22)")
 		quick   = flag.Bool("quick", false, "trim datasets and arms for a fast pass")
+		check   = flag.Bool("check", false, "enable runtime invariant checking on every training run")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
 	)
 	flag.Parse()
@@ -43,6 +44,7 @@ func main() {
 	p := experiments.Params{
 		Scale: *scale, Dim: *dim, Batch: *batch,
 		Epochs: *epochs, Seed: *seed, Quick: *quick,
+		CheckInvariants: *check,
 	}
 
 	ids := experiments.Order

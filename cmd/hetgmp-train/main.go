@@ -37,6 +37,7 @@ func main() {
 		target    = flag.Float64("target", 0, "stop once test AUC reaches this (0: run all epochs)")
 		csvPath   = flag.String("csv", "", "write the convergence history as CSV to this file")
 		ckptPath  = flag.String("checkpoint", "", "write a model+embedding checkpoint to this file after training")
+		check     = flag.Bool("check", false, "enable runtime invariant checking (clock monotonicity, staleness bounds, traffic accounting); a violation aborts with a structured report")
 		seed      = flag.Uint64("seed", 22, "random seed")
 	)
 	flag.Parse()
@@ -58,6 +59,7 @@ func main() {
 		Train: train, Test: test, ModelName: *model, Topo: topo,
 		Dim: *dim, BatchPerWorker: *batch, Epochs: *epochs,
 		Staleness: s, TargetAUC: *target, EvalSamples: 8192, Seed: *seed,
+		CheckInvariants: *check,
 	})
 	if err != nil {
 		fatal(err)
@@ -100,6 +102,10 @@ func main() {
 	sum.AddRow("reads: synced (intra)", res.SyncedIntra)
 	sum.AddRow("reads: synced (inter)", res.SyncedInter)
 	sum.AddRow("reads: remote", res.RemoteReads)
+	if res.Invariants.Checks > 0 {
+		sum.AddRow("invariant checks", res.Invariants.Checks)
+		sum.AddRow("invariant violations", res.Invariants.Violations)
+	}
 	fmt.Println(sum.String())
 
 	if *csvPath != "" {

@@ -27,6 +27,7 @@ import (
 	"hetgmp/internal/embed"
 	"hetgmp/internal/engine"
 	"hetgmp/internal/experiments"
+	"hetgmp/internal/invariant"
 	"hetgmp/internal/nn"
 	"hetgmp/internal/partition"
 	"hetgmp/internal/systems"
@@ -200,6 +201,21 @@ const (
 func ResolveProtocol(p Protocol, s int64) (consistency.Config, error) {
 	return consistency.Resolve(p, s)
 }
+
+// ---------------------------------------------------------------------------
+// Runtime invariants (internal/invariant)
+
+// InvariantViolation is the structured report a tripped runtime invariant
+// panics with: component, rule, worker, embedding id, the clock values in
+// play and the violated bound. Enable checking per run with
+// SystemOptions.CheckInvariants (or the CLIs' -check flag); it is always on
+// under `go test`.
+type InvariantViolation = invariant.Violation
+
+// InvariantCounts is the per-rule checks/violations snapshot a run exports
+// (TrainResult.Invariants), so callers can assert "N checks, 0 violations"
+// programmatically.
+type InvariantCounts = invariant.Counts
 
 // ---------------------------------------------------------------------------
 // Cluster profiling (internal/cluster)

@@ -14,9 +14,11 @@ package comm
 
 import (
 	"fmt"
+	"math"
 	"sync"
 
 	"hetgmp/internal/cluster"
+	"hetgmp/internal/invariant"
 )
 
 // Category classifies traffic for the Figure 8 breakdown.
@@ -52,6 +54,10 @@ func (c Category) String() string {
 type Fabric struct {
 	topo *cluster.Topology
 
+	// check, when non-nil, validates every simulated duration and the
+	// byte-accounting cross-check (Totals) as traffic is recorded.
+	check *invariant.Checker
+
 	mu       sync.Mutex
 	bytes    []int64 // [src*n+dst]
 	msgs     []int64
@@ -72,6 +78,29 @@ func NewFabric(t *cluster.Topology) *Fabric {
 // Topology returns the underlying cluster model.
 func (f *Fabric) Topology() *cluster.Topology { return f.topo }
 
+// SetChecker attaches a runtime invariant checker; nil detaches it. The
+// engine shares its checker with the fabric so one run has one ledger of
+// checks and violations.
+func (f *Fabric) SetChecker(c *invariant.Checker) { f.check = c }
+
+// checkTime validates one simulated duration: finite and non-negative.
+// Every public recording method funnels its result through it.
+func (f *Fabric) checkTime(src, dst int, t float64) {
+	ck := f.check
+	if ck == nil {
+		return
+	}
+	ck.Passed(invariant.SimTime)
+	if t >= 0 && !math.IsInf(t, 1) && !math.IsNaN(t) {
+		return
+	}
+	ck.Fail(&invariant.Violation{
+		Rule: invariant.SimTime, Component: "comm.Fabric",
+		Worker: src, Feature: -1,
+		Detail: fmt.Sprintf("simulated transfer %d→%d took %v seconds; durations must be finite and non-negative", src, dst, t),
+	})
+}
+
 // Transfer records a point-to-point message of size bytes from src to dst
 // and returns its simulated duration in seconds. Transfers between a worker
 // and itself cost device-memory time only.
@@ -87,6 +116,7 @@ func (f *Fabric) Transfer(src, dst int, bytes int64, cat Category) float64 {
 	f.catBytes[cat] += bytes
 	f.catTime[cat] += t
 	f.mu.Unlock()
+	f.checkTime(src, dst, t)
 	return t
 }
 
@@ -122,6 +152,7 @@ func (f *Fabric) TransferBatch(src, dst int, parts [3]int64) float64 {
 		f.catTime[c] += lat*float64(b)/float64(total) + float64(b)/bw
 	}
 	f.mu.Unlock()
+	f.checkTime(src, dst, t)
 	return t
 }
 
@@ -138,6 +169,7 @@ func (f *Fabric) HostTransfer(w, hostNode int, bytes int64, cat Category) float6
 	f.catBytes[cat] += bytes
 	f.catTime[cat] += t
 	f.mu.Unlock()
+	f.checkTime(w, w, t)
 	return t
 }
 
@@ -176,6 +208,7 @@ func (f *Fabric) AllReduceTime(bytesPerWorker int64) float64 {
 	f.catBytes[CatDense] += per * int64(n)
 	f.catTime[CatDense] += t
 	f.mu.Unlock()
+	f.checkTime(0, 1%n, t)
 	return t
 }
 
@@ -214,6 +247,54 @@ func (f *Fabric) Breakdown() Breakdown {
 		b.Seconds[c] = f.catTime[c]
 	}
 	return b
+}
+
+// Totals holds the two independent grand totals the fabric maintains over
+// the same bytes: the per-link traffic matrix (Figure 9b) and the
+// per-category ledger (Figures 1 and 8). Every recording method updates
+// both, so the totals must agree exactly; a divergence means some path
+// accounted bytes on one side only and the communication figures no longer
+// describe one consistent run.
+type Totals struct {
+	// MatrixBytes is the sum of the src×dst traffic matrix.
+	MatrixBytes int64
+	// CategoryBytes is the sum of the per-category byte ledger.
+	CategoryBytes int64
+}
+
+// Totals computes both grand totals under one lock acquisition.
+func (f *Fabric) Totals() Totals {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	var t Totals
+	for _, b := range f.bytes {
+		t.MatrixBytes += b
+	}
+	for _, b := range f.catBytes {
+		t.CategoryBytes += b
+	}
+	return t
+}
+
+// CheckTotals cross-checks the per-category ledger against the traffic
+// matrix. It reports the mismatch as an error and, when a checker is
+// attached, also records it there (panicking in panic mode). The engine
+// runs it at the end of every run; tests run it directly.
+func (f *Fabric) CheckTotals() error {
+	t := f.Totals()
+	ck := f.check
+	ck.Passed(invariant.FabricAccounting)
+	if t.MatrixBytes == t.CategoryBytes {
+		return nil
+	}
+	v := &invariant.Violation{
+		Rule: invariant.FabricAccounting, Component: "comm.Fabric",
+		Worker: -1, Feature: -1,
+		Primary: t.MatrixBytes, Replica: t.CategoryBytes,
+		Detail: fmt.Sprintf("traffic matrix holds %d bytes but category ledger holds %d", t.MatrixBytes, t.CategoryBytes),
+	}
+	ck.Fail(v)
+	return v
 }
 
 // Reset clears all accounting, keeping the topology.

@@ -1,0 +1,117 @@
+package comm
+
+import (
+	"testing"
+
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/invariant"
+)
+
+func newTotalsFabric(t *testing.T) *Fabric {
+	t.Helper()
+	return NewFabric(cluster.EightGPUQPI())
+}
+
+// TestTotalsCrossCheck exercises every recording path and proves the two
+// byte ledgers — the per-link matrix behind Figure 9b and the per-category
+// breakdown behind Figure 8 — stay equal.
+func TestTotalsCrossCheck(t *testing.T) {
+	f := newTotalsFabric(t)
+	f.Transfer(0, 1, 1024, CatEmbedding)
+	f.Transfer(1, 0, 512, CatMeta)
+	f.TransferBatch(2, 3, [3]int64{4096, 128, 0})
+	f.TransferBatch(3, 2, [3]int64{0, 0, 2048})
+	f.HostTransfer(4, 0, 8192, CatEmbedding)
+	f.AllReduceTime(1 << 16)
+
+	tot := f.Totals()
+	if tot.MatrixBytes == 0 {
+		t.Fatal("no traffic recorded")
+	}
+	if tot.MatrixBytes != tot.CategoryBytes {
+		t.Fatalf("matrix %d bytes, category ledger %d bytes", tot.MatrixBytes, tot.CategoryBytes)
+	}
+	if err := f.CheckTotals(); err != nil {
+		t.Fatal(err)
+	}
+	// The totals must also agree with the public per-view accessors.
+	var matrix int64
+	for _, row := range f.TrafficMatrix() {
+		for _, b := range row {
+			matrix += b
+		}
+	}
+	if matrix != tot.MatrixBytes {
+		t.Errorf("TrafficMatrix sums to %d, Totals reports %d", matrix, tot.MatrixBytes)
+	}
+	if bd := f.Breakdown(); bd.TotalBytes() != tot.CategoryBytes {
+		t.Errorf("Breakdown sums to %d, Totals reports %d", bd.TotalBytes(), tot.CategoryBytes)
+	}
+}
+
+func TestCheckTotalsDetectsDivergence(t *testing.T) {
+	f := newTotalsFabric(t)
+	f.Transfer(0, 1, 100, CatEmbedding)
+	// Corrupt one ledger behind the accounting methods' backs.
+	f.mu.Lock()
+	f.catBytes[CatMeta] += 7
+	f.mu.Unlock()
+	err := f.CheckTotals()
+	if err == nil {
+		t.Fatal("divergent ledgers passed CheckTotals")
+	}
+	v, ok := err.(*invariant.Violation)
+	if !ok {
+		t.Fatalf("error type %T, want *invariant.Violation", err)
+	}
+	if v.Rule != invariant.FabricAccounting || v.Primary != 100 || v.Replica != 107 {
+		t.Fatalf("report: %+v", v)
+	}
+}
+
+func TestCheckTotalsPanicsThroughChecker(t *testing.T) {
+	f := newTotalsFabric(t)
+	ck := invariant.New()
+	f.SetChecker(ck)
+	f.Transfer(0, 1, 100, CatEmbedding)
+	f.mu.Lock()
+	f.bytes[3] += 1
+	f.mu.Unlock()
+	defer func() {
+		if _, ok := recover().(*invariant.Violation); !ok {
+			t.Fatal("attached checker did not panic on ledger divergence")
+		}
+	}()
+	f.CheckTotals()
+	t.Fatal("no panic")
+}
+
+func TestResetClearsTotals(t *testing.T) {
+	f := newTotalsFabric(t)
+	f.Transfer(0, 1, 100, CatEmbedding)
+	f.Reset()
+	tot := f.Totals()
+	if tot.MatrixBytes != 0 || tot.CategoryBytes != 0 {
+		t.Fatalf("reset left %+v", tot)
+	}
+	if err := f.CheckTotals(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferTimesCheckedNonNegative(t *testing.T) {
+	f := newTotalsFabric(t)
+	ck := invariant.New()
+	f.SetChecker(ck)
+	f.Transfer(0, 1, 1024, CatEmbedding)
+	f.TransferBatch(1, 2, [3]int64{10, 10, 10})
+	f.HostTransfer(0, 0, 64, CatDense)
+	f.AllReduceTime(4096)
+	got := ck.Counts()
+	if got.PerRule[invariant.SimTime].Checks < 4 {
+		t.Fatalf("sim-time checks = %d, want ≥ 4", got.PerRule[invariant.SimTime].Checks)
+	}
+	if got.Violations != 0 {
+		t.Fatalf("violations: %v", ck.Violations())
+	}
+}

@@ -37,6 +37,10 @@ const (
 	GraphBounded
 )
 
+// Protocols lists every supported protocol in presentation order, for
+// table-driven tests and experiment sweeps.
+var Protocols = []Protocol{BSP, ASP, Bounded, GraphBounded}
+
 // String names the protocol.
 func (p Protocol) String() string {
 	switch p {

@@ -1,0 +1,77 @@
+package embed
+
+import (
+	"testing"
+
+	"hetgmp/internal/invariant"
+	"hetgmp/internal/optim"
+	"hetgmp/internal/tensor"
+)
+
+// FuzzTableClockHandling drives a checked table through arbitrary
+// interleavings of Read/Update/Commit/FlushAll decoded from the fuzz input.
+// Whatever the sequence, the clock invariants of Section 5.3 must hold: the
+// checker panics (failing the fuzz run) on any monotonicity or staleness
+// violation, and the final counters must show zero violations.
+func FuzzTableClockHandling(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x13, 0x21, 0x05, 0x30, 0x00, 0x42, 0xff})
+	f.Add([]byte{0x10, 0x81, 0x22, 0x17, 0x30, 0x00, 0x10, 0x33, 0x40, 0x01})
+	seq := make([]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		seq = append(seq, byte(i*37))
+	}
+	f.Add(seq)
+
+	// Read sets must be deduplicated (the engine's local reduction), so we
+	// index into fixed distinct-feature sets rather than decoding raw ids.
+	readSets := [][]int32{{0}, {3}, {4}, {0, 3}, {0, 3, 4}, {1, 3, 5}, {0, 1, 2, 3, 4, 5}}
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ck := invariant.New()
+		tbl, err := NewTable(Config{
+			NumFeatures: 6,
+			Dim:         4,
+			Assign:      testAssign(),
+			Freq:        []int32{10, 1, 1, 5, 1, 1},
+			Optimizer:   optim.NewSGD(0.5),
+			LocalLR:     0.5,
+			Seed:        11,
+			Check:       ck,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dst := tensor.NewMatrix(6, 4)
+		grads := tensor.NewMatrix(6, 4)
+		bounds := []int64{0, 1, 2, 7, StalenessInf}
+
+		for i := 0; i+1 < len(data); i += 2 {
+			op, arg := data[i]%8, data[i+1]
+			w := int(arg>>7) & 1
+			s := bounds[int(arg>>4)%len(bounds)]
+			feats := readSets[int(arg)%len(readSets)]
+			switch op {
+			case 0, 1: // plain bounded read
+				tbl.Read(w, feats, dst, ReadOptions{Staleness: s})
+			case 2: // graph-bounded read: inter check + normalisation
+				tbl.Read(w, feats, dst, ReadOptions{Staleness: s, InterCheck: true, Normalize: true})
+			case 3: // inter check over raw clocks
+				tbl.Read(w, feats, dst, ReadOptions{Staleness: s, InterCheck: true})
+			case 4, 5: // update with a data-dependent gradient
+				for j := range grads.Data[:len(feats)*4] {
+					grads.Data[j] = float32(int8(arg+byte(j))) / 16
+				}
+				tbl.Update(w, feats, grads, s)
+			case 6:
+				tbl.Commit()
+			case 7:
+				tbl.FlushAll()
+			}
+		}
+		tbl.Commit()
+		if got := ck.Counts(); got.Violations != 0 {
+			t.Fatalf("%d invariant violations: %v", got.Violations, ck.Violations())
+		}
+	})
+}

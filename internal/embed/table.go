@@ -31,6 +31,7 @@ import (
 	"math"
 	"sort"
 
+	"hetgmp/internal/invariant"
 	"hetgmp/internal/optim"
 	"hetgmp/internal/partition"
 	"hetgmp/internal/tensor"
@@ -59,6 +60,11 @@ type Config struct {
 	// InitScale bounds the uniform initialisation range. Defaults to 0.01.
 	InitScale float32
 	Seed      uint64
+	// Check, when non-nil, enforces the table's runtime invariants (clock
+	// monotonicity, replica bounds, the staleness bounds of Section 5.3)
+	// on every Read/Update/Commit. Nil disables all checking at the cost
+	// of one pointer comparison per site.
+	Check *invariant.Checker
 }
 
 // OwnerTraffic counts one worker's protocol traffic with one primary owner
@@ -106,6 +112,9 @@ type Table struct {
 
 	// freq is the relative access frequency used by clock normalisation.
 	freq []float64
+
+	// check enforces runtime invariants when non-nil.
+	check *invariant.Checker
 
 	// Theorem-1 instrumentation (see TrackStepNorms).
 	trackNorms  bool
@@ -171,6 +180,7 @@ func NewTable(cfg Config) (*Table, error) {
 		assign:       cfg.Assign,
 		primary:      tensor.NewMatrix(cfg.NumFeatures, cfg.Dim),
 		primaryClock: make([]int64, cfg.NumFeatures),
+		check:        cfg.Check,
 	}
 	rng := xrand.New(cfg.Seed ^ 0xe8bede8bede8bede)
 	for i := range t.primary.Data {
@@ -302,7 +312,36 @@ func (t *Table) Read(w int, feats []int32, dst *tensor.Matrix, opt ReadOptions) 
 	if opt.InterCheck && opt.Staleness != StalenessInf {
 		stats.SyncedInter = t.interCheck(w, sh, feats, dst, opt)
 	}
+	if t.check != nil {
+		t.verifyReadBound(w, sh, feats, opt.Staleness)
+	}
 	return stats
+}
+
+// verifyReadBound enforces the post-condition of the intra-embedding
+// synchronisation point (Section 5.3): after the protocol ran, no secondary
+// the worker holds for the read set lags its primary by more than s. The
+// observed gap is also fed to the checker so tests can compare the maximum
+// staleness different protocols actually exhibit (ASP ⊇ Bounded ⊇ BSP).
+func (t *Table) verifyReadBound(w int, sh *shard, feats []int32, s int64) {
+	ck := t.check
+	for _, x := range feats {
+		row, ok := sh.index[x]
+		if !ok || t.assign.PrimaryOf[x] == w {
+			continue
+		}
+		gap := t.primaryClock[x] - sh.baseClock[row]
+		ck.Observe(invariant.IntraStaleness, gap)
+		ck.Passed(invariant.IntraStaleness)
+		if s != StalenessInf && gap > s {
+			ck.Fail(&invariant.Violation{
+				Rule: invariant.IntraStaleness, Component: "embed.Table",
+				Worker: w, Feature: x,
+				Primary: t.primaryClock[x], Replica: sh.baseClock[row], Bound: s,
+				Detail: fmt.Sprintf("post-Read intra-embedding gap %d exceeds bound", gap),
+			})
+		}
+	}
 }
 
 // interCheck enforces the inter-embedding synchronisation point over one
@@ -358,6 +397,9 @@ func (t *Table) interCheck(w int, sh *shard, feats []int32, dst *tensor.Matrix, 
 				}
 				copy(dst.Row(i), sh.vals.Row(int(row)))
 			}
+			if t.check != nil {
+				t.checkInterBound(w, sh, x, row, rmax-ratio(x), opt.Staleness)
+			}
 		}
 		return synced
 	}
@@ -403,8 +445,30 @@ func (t *Table) interCheck(w int, sh *shard, feats []int32, dst *tensor.Matrix, 
 			}
 			copy(dst.Row(int(oi)), sh.vals.Row(int(row)))
 		}
+		if t.check != nil {
+			t.checkInterBound(w, sh, x, row, (prefixMax-ratio(x))*t.freq[x], opt.Staleness)
+		}
 	}
 	return synced
+}
+
+// checkInterBound enforces the post-condition of one inter-embedding
+// synchronisation decision (Section 5.3): after the decision, the pair's
+// (possibly frequency-normalised) clock gap is within the bound, or the
+// replica is already as fresh as its primary so there was nothing left to
+// synchronise. gap is recomputed from post-decision clocks by the caller.
+func (t *Table) checkInterBound(w int, sh *shard, x int32, row int32, gap float64, s int64) {
+	ck := t.check
+	ck.Passed(invariant.InterStaleness)
+	if gap <= float64(s) || sh.baseClock[row] >= t.primaryClock[x] {
+		return
+	}
+	ck.Fail(&invariant.Violation{
+		Rule: invariant.InterStaleness, Component: "embed.Table",
+		Worker: w, Feature: x,
+		Primary: t.primaryClock[x], Replica: sh.baseClock[row], Bound: s,
+		Detail: fmt.Sprintf("inter-embedding gap %.3f exceeds bound after synchronisation pass", gap),
+	})
 }
 
 // syncSecondary reconciles worker w's replica of x with its primary: the
@@ -493,6 +557,19 @@ func (t *Table) Update(w int, feats []int32, grads *tensor.Matrix, writeBound in
 			sh.pendCnt[row] = 0
 			stats.FlushedPending++
 		}
+		if ck := t.check; ck != nil {
+			// Write-side staleness: a secondary may run at most writeBound
+			// updates ahead of its last write-back (Section 5.3).
+			ck.Passed(invariant.ReplicaBound)
+			if writeBound != StalenessInf && int64(sh.pendCnt[row]) > writeBound {
+				ck.Fail(&invariant.Violation{
+					Rule: invariant.ReplicaBound, Component: "embed.Table",
+					Worker: w, Feature: x,
+					Primary: t.primaryClock[x], Replica: sh.baseClock[row], Bound: writeBound,
+					Detail: fmt.Sprintf("pending buffer holds %d updates past the write bound", sh.pendCnt[row]),
+				})
+			}
+		}
 	}
 	return stats
 }
@@ -511,6 +588,7 @@ func (t *Table) QueuePrimary(w int, x int32, grad []float32) {
 // and advances primary clocks. It must be called from a single goroutine
 // with no concurrent Read/Update in flight.
 func (t *Table) Commit() {
+	ck := t.check
 	for w := 0; w < t.n; w++ {
 		sh := t.shards[w]
 		for _, u := range sh.queue {
@@ -527,9 +605,61 @@ func (t *Table) Commit() {
 				}
 				t.stepNormSq += s
 			}
+			before := t.primaryClock[u.x]
 			t.primaryClock[u.x] += int64(u.count)
+			if ck != nil {
+				ck.Passed(invariant.ClockMonotonic)
+				if before < 0 || u.count <= 0 || t.primaryClock[u.x] <= before {
+					ck.Fail(&invariant.Violation{
+						Rule: invariant.ClockMonotonic, Component: "embed.Table",
+						Worker: w, Feature: u.x,
+						Primary: t.primaryClock[u.x], Replica: before, Bound: int64(u.count),
+						Detail: "primary clock must be non-negative and strictly advance per committed update",
+					})
+				}
+			}
 		}
 		sh.queue = sh.queue[:0]
+	}
+	if ck != nil {
+		t.VerifyCommitted()
+	}
+}
+
+// VerifyCommitted enforces the commit-point invariants against the whole
+// table: every queue is drained, every clock is non-negative, and no
+// secondary's base clock runs ahead of its primary (replicaClock ≤
+// primaryClock + its own pending updates, Section 5.3). Commit calls it
+// automatically when checking is on; tests may call it directly. It is a
+// no-op on a table without a checker.
+func (t *Table) VerifyCommitted() {
+	ck := t.check
+	if ck == nil {
+		return
+	}
+	for w := 0; w < t.n; w++ {
+		sh := t.shards[w]
+		if len(sh.queue) != 0 {
+			ck.Fail(&invariant.Violation{
+				Rule: invariant.CommitDiscipline, Component: "embed.Table",
+				Worker: w, Feature: -1,
+				Detail: fmt.Sprintf("commit left %d queued primary updates", len(sh.queue)),
+			})
+		}
+		for row, x := range sh.feats {
+			base, pend := sh.baseClock[row], sh.pendCnt[row]
+			if base >= 0 && pend >= 0 && base <= t.primaryClock[x] {
+				continue
+			}
+			ck.Fail(&invariant.Violation{
+				Rule: invariant.ReplicaBound, Component: "embed.Table",
+				Worker: w, Feature: x,
+				Primary: t.primaryClock[x], Replica: base, Bound: int64(pend),
+				Detail: "replica base clock must stay within [0, primaryClock] at commit points",
+			})
+		}
+		ck.Passed(invariant.CommitDiscipline)
+		ck.Passed(invariant.ReplicaBound)
 	}
 }
 

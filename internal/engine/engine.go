@@ -20,6 +20,7 @@ import (
 	"hetgmp/internal/comm"
 	"hetgmp/internal/dataset"
 	"hetgmp/internal/embed"
+	"hetgmp/internal/invariant"
 	"hetgmp/internal/nn"
 	"hetgmp/internal/optim"
 	"hetgmp/internal/partition"
@@ -89,6 +90,14 @@ type Config struct {
 	// movement ‖x(t+1) − x(t)‖ per iteration and the maximum replica
 	// deviation ‖x(t) − x_i(t)‖ at every evaluation point (Section 5.4).
 	TrackConvergence bool
+
+	// CheckInvariants enables the runtime invariant checker on the hot
+	// paths of the table, fabric and engine (package invariant): clock
+	// monotonicity, the Section 5.3 staleness bounds, byte-accounting
+	// cross-checks and shard coverage. Checks are always on under
+	// `go test` regardless of this flag; a violation panics with a
+	// structured report.
+	CheckInvariants bool
 
 	Seed uint64
 }
@@ -174,6 +183,12 @@ type Result struct {
 	// k-th evaluation point.
 	StepNorms  []float64
 	Deviations []float64
+
+	// Invariants snapshots the runtime invariant counters at the end of
+	// the run (zero when checking was disabled). Experiments assert
+	// Invariants.Violations == 0 to certify a run obeyed the Section 5.3
+	// and Section 6 contracts it claims to measure.
+	Invariants invariant.Counts
 }
 
 // MovementSum returns Σ_t ‖x(t+1) − x(t)‖, the series Theorem 1 proves
@@ -222,6 +237,7 @@ type Trainer struct {
 	cfg    Config
 	fabric *comm.Fabric
 	table  *embed.Table
+	check  *invariant.Checker
 	n      int
 
 	workers []*worker
@@ -246,6 +262,7 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		return nil, err
 	}
 	n := cfg.Topo.NumWorkers()
+	check := invariant.Auto(cfg.CheckInvariants)
 	freq := cfg.Train.FeatureFrequencies()
 	table, err := embed.NewTable(embed.Config{
 		NumFeatures: cfg.Train.NumFeatures,
@@ -255,17 +272,22 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		Optimizer:   cfg.EmbedOpt,
 		LocalLR:     cfg.LocalLR,
 		Seed:        cfg.Seed,
+		Check:       check,
 	})
 	if err != nil {
 		return nil, err
 	}
+	fabric := comm.NewFabric(cfg.Topo)
+	fabric.SetChecker(check)
 	t := &Trainer{
 		cfg:      cfg,
-		fabric:   comm.NewFabric(cfg.Topo),
+		fabric:   fabric,
 		table:    table,
+		check:    check,
 		n:        n,
 		denseAvg: make([]float32, cfg.Model.ParamCount()),
 	}
+	t.verifyShardCoverage()
 	if cfg.PS != nil {
 		t.psHome = make([]int8, cfg.Train.NumFeatures)
 		for x := range t.psHome {
@@ -283,6 +305,84 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		t.denseGrad = append(t.denseGrad, make([]float32, cfg.Model.ParamCount()))
 	}
 	return t, nil
+}
+
+// verifyShardCoverage enforces the data-sharding invariant at construction:
+// the assignment places every training sample on exactly one valid worker,
+// so each epoch trains the dataset exactly once with no overlap.
+func (t *Trainer) verifyShardCoverage() {
+	ck := t.check
+	if ck == nil {
+		return
+	}
+	cfg := &t.cfg
+	if len(cfg.Assign.SampleOf) != len(cfg.Train.Samples) {
+		ck.Fail(&invariant.Violation{
+			Rule: invariant.ShardCoverage, Component: "engine.Trainer",
+			Worker: -1, Feature: -1,
+			Primary: int64(len(cfg.Assign.SampleOf)), Replica: int64(len(cfg.Train.Samples)),
+			Detail: "assignment covers a different number of samples than the dataset holds",
+		})
+	}
+	for s, p := range cfg.Assign.SampleOf {
+		if p >= 0 && p < t.n {
+			continue
+		}
+		ck.Fail(&invariant.Violation{
+			Rule: invariant.ShardCoverage, Component: "engine.Trainer",
+			Worker: p, Feature: -1,
+			Primary: int64(s), Bound: int64(t.n),
+			Detail: fmt.Sprintf("sample %d assigned to worker %d outside [0,%d)", s, p, t.n),
+		})
+	}
+	ck.Passed(invariant.ShardCoverage)
+}
+
+// checkSimTime enforces monotonicity of the simulated cluster clock: one
+// barrier or flush may only move time forward, and never to NaN/Inf.
+func (t *Trainer) checkSimTime(prev, cur float64) {
+	ck := t.check
+	if ck == nil {
+		return
+	}
+	ck.Passed(invariant.SimTime)
+	if cur >= prev && !math.IsNaN(cur) && !math.IsInf(cur, 0) {
+		return
+	}
+	ck.Fail(&invariant.Violation{
+		Rule: invariant.SimTime, Component: "engine.Trainer",
+		Worker: -1, Feature: -1,
+		Detail: fmt.Sprintf("simulated clock moved %v → %v; it must be finite and non-decreasing", prev, cur),
+	})
+}
+
+// checkEpochCoverage enforces the per-epoch training discipline after a
+// fully-run epoch: every worker exhausted its shard and the epoch touched
+// the dataset exactly once.
+func (t *Trainer) checkEpochCoverage(epoch, processed int) {
+	ck := t.check
+	if ck == nil {
+		return
+	}
+	ck.Passed(invariant.ShardCoverage)
+	if processed != len(t.cfg.Train.Samples) {
+		ck.Fail(&invariant.Violation{
+			Rule: invariant.ShardCoverage, Component: "engine.Trainer",
+			Worker: -1, Feature: -1,
+			Primary: int64(processed), Replica: int64(len(t.cfg.Train.Samples)), Bound: int64(epoch),
+			Detail: fmt.Sprintf("epoch %d trained %d samples, dataset holds %d — a sample was skipped or trained twice", epoch, processed, len(t.cfg.Train.Samples)),
+		})
+	}
+	for _, w := range t.workers {
+		if w.cursor != len(w.order) {
+			ck.Fail(&invariant.Violation{
+				Rule: invariant.ShardCoverage, Component: "engine.Trainer",
+				Worker: w.id, Feature: -1,
+				Primary: int64(w.cursor), Replica: int64(len(w.order)), Bound: int64(epoch),
+				Detail: "worker ended the epoch with unprocessed shard samples",
+			})
+		}
+	}
 }
 
 // Run trains to completion (epochs or early stop) and returns the result.
@@ -320,6 +420,7 @@ func (t *Trainer) Run() (*Result, error) {
 		for _, w := range t.workers {
 			w.startEpoch()
 		}
+		epochSamples := 0
 		for it := 0; it < itersPerEpoch; it++ {
 			var wg sync.WaitGroup
 			for _, w := range t.workers {
@@ -356,10 +457,13 @@ func (t *Trainer) Run() (*Result, error) {
 					lossCnt++
 				}
 				res.SamplesProcessed += int64(w.iterSamples)
+				epochSamples += w.iterSamples
 			}
 			if nic := t.nicQueueDelay(); nic > maxDt {
 				maxDt = nic
 			}
+
+			prevSim := simTime
 
 			// Dense synchronisation. In PS mode the shared host link is a
 			// queueing point: the host serves all workers' bytes through
@@ -404,6 +508,7 @@ func (t *Trainer) Run() (*Result, error) {
 				simTime += maxDt + denseDt
 				res.DenseSeconds += denseDt
 			}
+			t.checkSimTime(prevSim, simTime)
 			t.table.Commit()
 			if cfg.TrackConvergence {
 				res.StepNorms = append(res.StepNorms, math.Sqrt(t.table.TakeStepNormSq()))
@@ -447,6 +552,7 @@ func (t *Trainer) Run() (*Result, error) {
 				}
 			}
 		}
+		t.checkEpochCoverage(epoch, epochSamples)
 		// Epoch boundary: reconcile replicas and charge the flush traffic.
 		// s = ∞ means *no* synchronisation: replicas drift for the whole
 		// run and their pending gradients reach primaries only at the very
@@ -475,7 +581,9 @@ func (t *Trainer) Run() (*Result, error) {
 				flushMax = dt
 			}
 		}
+		prevSim := simTime
 		simTime += flushMax
+		t.checkSimTime(prevSim, simTime)
 		res.EmbCommSeconds += flushMax
 	}
 	res.TotalSimTime = simTime
@@ -496,7 +604,18 @@ func (t *Trainer) finalize(res *Result) {
 		res.SyncedInter += w.totSyncedInter
 		res.RemoteReads += w.totRemoteReads
 	}
+	if t.check != nil {
+		// End-of-run sweep: the byte ledgers must still be two views of the
+		// same traffic, and the table must be in a clean committed state.
+		_ = t.fabric.CheckTotals()
+		t.table.VerifyCommitted()
+		res.Invariants = t.check.Counts()
+	}
 }
+
+// InvariantCounts snapshots the runtime invariant counters (zero counts
+// when checking is disabled).
+func (t *Trainer) InvariantCounts() invariant.Counts { return t.check.Counts() }
 
 // nicQueueDelay returns the time the busiest machine needs to push this
 // iteration's cross-node traffic through its (full-duplex) NIC. Without

@@ -1,0 +1,177 @@
+package engine
+
+import (
+	"testing"
+
+	"hetgmp/internal/consistency"
+	"hetgmp/internal/invariant"
+	"hetgmp/internal/partition"
+)
+
+// hybridAssign builds a replicated hybrid assignment so the consistency
+// protocols have secondaries to manage (random partitioning has none and
+// would make the metamorphic relations vacuous).
+func hybridAssign(t *testing.T, f *fixture, workers int) *partition.Assignment {
+	t.Helper()
+	cfg := partition.DefaultHybridConfig(workers)
+	cfg.Rounds = 2
+	cfg.Seed = 5
+	hr, err := partition.Hybrid(f.g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return hr.Assignment
+}
+
+// protocolConfig resolves protocol p at bound s onto the fixture config.
+func protocolConfig(t *testing.T, f *fixture, assign *partition.Assignment, p consistency.Protocol, s int64, epochs int) Config {
+	t.Helper()
+	pc, err := consistency.Resolve(p, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f.config(t, func(c *Config) {
+		c.Assign = assign
+		c.Staleness = pc.Staleness
+		c.InterCheck = pc.InterCheck
+		c.Normalize = pc.Normalize
+		c.Epochs = epochs
+		c.EvalEvery = 1 // record the loss trace at every commit point
+	})
+}
+
+// lossTrace extracts the per-iteration training losses.
+func lossTrace(res *Result) []float64 {
+	out := make([]float64, 0, len(res.History))
+	for _, pt := range res.History {
+		out = append(out, pt.Loss)
+	}
+	return out
+}
+
+// TestMetamorphicBSPEqualsGraphBoundedZero verifies the protocol-collapse
+// relation of Section 5.3: with the staleness bound at zero, the
+// graph-based protocol degenerates to BSP — every secondary synchronises
+// whenever its primary moved, and the inter-embedding check can find
+// nothing left to synchronise. The two runs must therefore be
+// bit-identical, loss trace included.
+func TestMetamorphicBSPEqualsGraphBoundedZero(t *testing.T) {
+	f := newFixture(t)
+	assign := hybridAssign(t, f, f.topo.NumWorkers())
+	bsp := run(t, protocolConfig(t, f, assign, consistency.BSP, 0, 2))
+	gmp := run(t, protocolConfig(t, f, assign, consistency.GraphBounded, 0, 2))
+
+	bspLoss, gmpLoss := lossTrace(bsp), lossTrace(gmp)
+	if len(bspLoss) == 0 || len(bspLoss) != len(gmpLoss) {
+		t.Fatalf("trace lengths %d vs %d", len(bspLoss), len(gmpLoss))
+	}
+	for i := range bspLoss {
+		if bspLoss[i] != gmpLoss[i] {
+			t.Fatalf("loss traces diverge at iteration %d: %v (bsp) vs %v (graph-bounded s=0)",
+				i, bspLoss[i], gmpLoss[i])
+		}
+	}
+	if bsp.FinalAUC != gmp.FinalAUC {
+		t.Errorf("final AUC %v (bsp) vs %v (graph-bounded s=0)", bsp.FinalAUC, gmp.FinalAUC)
+	}
+	if bsp.SamplesProcessed != gmp.SamplesProcessed {
+		t.Errorf("samples %d vs %d", bsp.SamplesProcessed, gmp.SamplesProcessed)
+	}
+}
+
+// TestMetamorphicStalenessOrdering verifies the containment ASP ⊇ Bounded ⊇
+// BSP on the staleness the protocols actually admit: the largest
+// intra-embedding gap any Read observed (exported by the invariant checker)
+// must be zero under BSP, within the bound under Bounded, and largest under
+// ASP, which never synchronises between epoch boundaries.
+func TestMetamorphicStalenessOrdering(t *testing.T) {
+	f := newFixture(t)
+	assign := hybridAssign(t, f, f.topo.NumWorkers())
+	const bound = 5
+
+	maxGap := func(p consistency.Protocol, s int64) int64 {
+		tr, err := NewTrainer(protocolConfig(t, f, assign, p, s, 2))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tr.check == nil {
+			t.Fatal("checker not auto-enabled under go test")
+		}
+		if _, err := tr.Run(); err != nil {
+			t.Fatal(err)
+		}
+		if c := tr.InvariantCounts(); c.Violations != 0 {
+			t.Fatalf("%s run violated invariants: %+v", p, c)
+		}
+		return tr.check.MaxObserved(invariant.IntraStaleness)
+	}
+
+	bsp := maxGap(consistency.BSP, 0)
+	bounded := maxGap(consistency.Bounded, bound)
+	asp := maxGap(consistency.ASP, 0)
+
+	if bsp != 0 {
+		t.Errorf("BSP admitted staleness %d, want 0", bsp)
+	}
+	if bounded > bound {
+		t.Errorf("Bounded(s=%d) admitted staleness %d past the bound", bound, bounded)
+	}
+	if bounded < bsp || asp < bounded {
+		t.Errorf("staleness ordering broken: bsp=%d bounded=%d asp=%d", bsp, bounded, asp)
+	}
+	if asp <= bound {
+		t.Errorf("ASP max gap %d not above the bounded protocol's bound %d; replicas never drifted", asp, bound)
+	}
+}
+
+// TestFabricTotalsConsistentAfterRun proves the Figure 8/9 accounting
+// cross-check over full engine runs: the per-category byte ledger and the
+// per-link traffic matrix must sum to the same total, in both the
+// peer-to-peer and parameter-server architectures.
+func TestFabricTotalsConsistentAfterRun(t *testing.T) {
+	f := newFixture(t)
+	cases := map[string]func(*Config){
+		"model-parallel": nil,
+		"graph-bounded": func(c *Config) {
+			c.Staleness = 40
+			c.InterCheck = true
+			c.Normalize = true
+		},
+		"ps": func(c *Config) { c.PS = &PSConfig{Hosts: 1} },
+		"parallax": func(c *Config) {
+			c.PS = &PSConfig{Hosts: 1, HybridDense: true}
+		},
+	}
+	assign := hybridAssign(t, f, f.topo.NumWorkers())
+	for name, mutate := range cases {
+		t.Run(name, func(t *testing.T) {
+			tr, err := NewTrainer(f.config(t, func(c *Config) {
+				c.Assign = assign
+				if mutate != nil {
+					mutate(c)
+				}
+			}))
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := tr.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			tot := tr.fabric.Totals()
+			if tot.MatrixBytes != tot.CategoryBytes {
+				t.Fatalf("traffic matrix %d bytes vs category ledger %d bytes",
+					tot.MatrixBytes, tot.CategoryBytes)
+			}
+			if err := tr.fabric.CheckTotals(); err != nil {
+				t.Fatal(err)
+			}
+			if tot.MatrixBytes == 0 {
+				t.Fatal("run moved no bytes; cross-check vacuous")
+			}
+			if res.Invariants.Checks == 0 || res.Invariants.Violations != 0 {
+				t.Fatalf("invariant summary %+v", res.Invariants)
+			}
+		})
+	}
+}

@@ -1,0 +1,99 @@
+package engine
+
+import (
+	"fmt"
+	"testing"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/consistency"
+	"hetgmp/internal/dataset"
+	"hetgmp/internal/nn"
+	"hetgmp/internal/partition"
+)
+
+// TestEngineRaceStress trains 4 workers for 3 epochs under every
+// consistency protocol with randomized seeds, invariant checking on. Run
+// with -race (CI does) it doubles as the concurrency soak for the engine's
+// two-phase execution discipline: worker goroutines sharing the table and
+// fabric must neither race nor violate the Section 5.3 clock contracts.
+func TestEngineRaceStress(t *testing.T) {
+	topo, err := cluster.ScaleOut(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		protocol  consistency.Protocol
+		staleness int64
+		seed      uint64
+	}{
+		{consistency.BSP, 0, 101},
+		{consistency.ASP, 0, 202},
+		{consistency.Bounded, 7, 303},
+		{consistency.GraphBounded, 7, 404},
+	}
+	for _, tc := range cases {
+		t.Run(tc.protocol.String(), func(t *testing.T) {
+			t.Parallel() // protocols stress the scheduler against each other
+			ds, err := dataset.New(dataset.Avazu, 1e-4, tc.seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			train, test := ds.Split(0.9)
+			g := bigraph.FromDataset(train)
+			pcfg := partition.DefaultHybridConfig(4)
+			pcfg.Rounds = 2
+			pcfg.Seed = tc.seed
+			hr, err := partition.Hybrid(g, pcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pc, err := consistency.Resolve(tc.protocol, tc.staleness)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := NewTrainer(Config{
+				Train: train, Test: test,
+				Model:           nn.NewWDL(nn.WDLConfig{Fields: train.NumFields, Dim: 8, Hidden: []int{16}, Seed: tc.seed}),
+				Dim:             8,
+				Topo:            topo,
+				Assign:          hr.Assignment,
+				BatchPerWorker:  48,
+				Epochs:          3,
+				Staleness:       pc.Staleness,
+				InterCheck:      pc.InterCheck,
+				Normalize:       pc.Normalize,
+				EvalEvery:       1 << 30,
+				CheckInvariants: true,
+				Seed:            tc.seed,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			res, err := tr.Run()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.SamplesProcessed != 3*int64(len(train.Samples)) {
+				t.Errorf("processed %d samples, want %d", res.SamplesProcessed, 3*len(train.Samples))
+			}
+			if res.Invariants.Checks == 0 {
+				t.Fatal("stress run evaluated no invariant checks")
+			}
+			if res.Invariants.Violations != 0 {
+				t.Fatalf("stress run violated invariants: %+v", res.Invariants)
+			}
+			if res.FinalAUC <= 0.45 {
+				t.Errorf("%s degenerate AUC %v", tc.protocol, res.FinalAUC)
+			}
+			if err := tr.fabric.CheckTotals(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// The protocol list itself is part of the contract: a new protocol must
+	// be added to this stress table.
+	if len(cases) != len(consistency.Protocols) {
+		t.Fatal(fmt.Sprintf("stress table covers %d protocols, consistency exports %d", len(cases), len(consistency.Protocols)))
+	}
+}

@@ -31,6 +31,9 @@ type Params struct {
 	Seed   uint64
 	// Quick trims datasets and epochs further for CI-speed runs.
 	Quick bool
+	// CheckInvariants turns on the runtime invariant checker for every
+	// training run an experiment performs (always on under `go test`).
+	CheckInvariants bool
 }
 
 // Defaults returns the standard experiment parameters: every experiment in

@@ -40,7 +40,7 @@ func RunFigure1(p Params) (*Figure1Result, error) {
 			tr, err := systems.Build(systems.HugeCTR, systems.Options{
 				Train: train, Test: test, ModelName: "wdl", Topo: topo,
 				Dim: p.Dim, BatchPerWorker: p.Batch, Epochs: 1,
-				EvalEvery: 1 << 30, Seed: p.Seed,
+				EvalEvery: 1 << 30, Seed: p.Seed, CheckInvariants: p.CheckInvariants,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("fig1 %s/%s: %w", topo.Name, name, err)

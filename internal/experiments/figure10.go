@@ -61,7 +61,7 @@ func RunFigure10(p Params) (*Figure10Result, error) {
 					Train: train, Test: test, ModelName: "wdl", Topo: topo,
 					Dim: p.Dim, BatchPerWorker: p.Batch, Epochs: 1,
 					Staleness: 100, ReplicaFraction: 0.05, PartitionRounds: 4,
-					EvalEvery: 1 << 30, Seed: p.Seed,
+					EvalEvery: 1 << 30, Seed: p.Seed, CheckInvariants: p.CheckInvariants,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("fig10 %s/%s/%d: %w", dsName, sys, n, err)

@@ -86,7 +86,7 @@ func RunFigure7(p Params) (*Figure7Result, error) {
 					Train: train, Test: test, ModelName: model, Topo: topo,
 					Dim: p.Dim, BatchPerWorker: p.Batch, Epochs: p.Epochs,
 					Staleness: v.Staleness, EvalEvery: evalCadence(train.Stats().NumSamples, p),
-					EvalSamples: 4096, Seed: p.Seed,
+					EvalSamples: 4096, Seed: p.Seed, CheckInvariants: p.CheckInvariants,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("fig7 %s/%s: %w", workload, v.Label, err)

@@ -101,7 +101,7 @@ func RunFigure8(p Params) (*Figure8Result, error) {
 					Staleness:  arm.Staleness,
 					InterCheck: arm.Replicas, Normalize: arm.Replicas,
 					Overlap:   0.6,
-					EvalEvery: 1 << 30, Seed: p.Seed,
+					EvalEvery: 1 << 30, CheckInvariants: p.CheckInvariants, Seed: p.Seed,
 				})
 				if err != nil {
 					return nil, fmt.Errorf("fig8 %s/%s: %w", workload, arm.Label, err)

@@ -91,7 +91,7 @@ func RunFigure9a(p Params) (*Figure9aResult, error) {
 				Topo: topo, Assign: assign,
 				BatchPerWorker: p.Batch, Epochs: 1,
 				Staleness: 0, Overlap: 0.6,
-				EvalEvery: 1 << 30, Seed: p.Seed,
+				EvalEvery: 1 << 30, CheckInvariants: p.CheckInvariants, Seed: p.Seed,
 			})
 			if err != nil {
 				return nil, err

@@ -51,6 +51,7 @@ func RunTable2(p Params) (*Table2Result, error) {
 				Train: train, Test: test, ModelName: "wdl", Topo: topo,
 				Dim: p.Dim, BatchPerWorker: p.Batch, Epochs: p.Epochs,
 				Staleness: s, EvalEvery: 1 << 30, EvalSamples: 8192, Seed: p.Seed,
+				CheckInvariants: p.CheckInvariants,
 			})
 			if err != nil {
 				return nil, fmt.Errorf("table2 %s/s=%s: %w", dsName, stalenessLabel(s), err)

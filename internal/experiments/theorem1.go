@@ -78,7 +78,7 @@ func RunTheorem1(p Params) (*Theorem1Result, error) {
 			BatchPerWorker: p.Batch, Epochs: p.Epochs,
 			Staleness: s, InterCheck: true, Normalize: true,
 			Overlap: 0.6, EvalEvery: 0, EvalSamples: 4096,
-			TrackConvergence: true, Seed: p.Seed,
+			TrackConvergence: true, CheckInvariants: p.CheckInvariants, Seed: p.Seed,
 		})
 		if err != nil {
 			return nil, fmt.Errorf("theorem1 s=%d: %w", s, err)

@@ -1,0 +1,286 @@
+// Package invariant is the runtime correctness floor of the reproduction:
+// a zero-cost-when-disabled checker layer the hot paths of the embedding
+// table (internal/embed), the communication fabric (internal/comm) and the
+// training engine (internal/engine) consult to enforce the guarantees the
+// paper proves or assumes but the code previously only intended:
+//
+//   - Clock discipline (Section 5.3): per-embedding clocks are non-negative
+//     and strictly monotone; replica base clocks never run ahead of their
+//     primaries at commit points.
+//   - Staleness bounds (Section 5.3): after every Read, no secondary's
+//     intra-embedding gap exceeds the configured bound s, and the
+//     frequency-normalised inter-embedding synchronisation point has fired
+//     for every pair it covers.
+//   - Traffic accounting (Section 6, Figures 1/8/9): the per-category byte
+//     ledger and the per-link traffic matrix are two views of the same
+//     bytes and must agree exactly; simulated durations are finite and
+//     non-negative, and the cluster clock is monotone.
+//   - Execution discipline: the sample shards cover the dataset exactly
+//     once per epoch, and the single-threaded commit phase leaves no queued
+//     work behind.
+//
+// A nil *Checker is valid and disabled: every method no-ops after a single
+// nil comparison, so production runs pay nothing. Checks are switched on by
+// Config.CheckInvariants at the engine layer (plumbed from the CLIs'
+// -check flags) and are always on under `go test`, where every existing
+// test doubles as an invariant exercise.
+//
+// On violation the checker panics with a *Violation — a structured report
+// carrying the component, rule, worker, embedding id, clock values and
+// bound — so a tripped invariant is immediately diagnosable. Record mode
+// (SetRecordOnly) collects violations instead, for tests that probe the
+// checker itself. Counters are exported via Counts so experiments can
+// assert "N checks ran, 0 violations" programmatically.
+package invariant
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Rule identifies one enforced invariant.
+type Rule int
+
+const (
+	// ClockMonotonic: embedding clocks are non-negative and advance by
+	// strictly positive amounts (Section 5.3's logical clocks).
+	ClockMonotonic Rule = iota
+	// ReplicaBound: at commit points every secondary's base clock is at
+	// most its primary's clock, and pending-update counts are non-negative
+	// and within the write bound.
+	ReplicaBound
+	// IntraStaleness: after a Read, every secondary the worker holds for
+	// the read set is within the intra-embedding bound s (Section 5.3).
+	IntraStaleness
+	// InterStaleness: the inter-embedding synchronisation point fired for
+	// every read pair whose frequency-normalised clock gap exceeded s
+	// (Section 5.3).
+	InterStaleness
+	// FabricAccounting: the fabric's per-category byte ledger equals the
+	// per-link traffic matrix sum (the cross-check behind Figures 1/8/9).
+	FabricAccounting
+	// SimTime: simulated durations are finite and non-negative, and the
+	// cluster clock never moves backwards.
+	SimTime
+	// ShardCoverage: the sample shards partition the dataset — every
+	// sample trains exactly once per epoch, on exactly one worker.
+	ShardCoverage
+	// CommitDiscipline: the single-threaded commit phase drains every
+	// worker's queue.
+	CommitDiscipline
+	// NumRules bounds the Rule space.
+	NumRules
+)
+
+// String names the rule for reports.
+func (r Rule) String() string {
+	switch r {
+	case ClockMonotonic:
+		return "clock-monotonic"
+	case ReplicaBound:
+		return "replica-bound"
+	case IntraStaleness:
+		return "intra-staleness"
+	case InterStaleness:
+		return "inter-staleness"
+	case FabricAccounting:
+		return "fabric-accounting"
+	case SimTime:
+		return "sim-time"
+	case ShardCoverage:
+		return "shard-coverage"
+	case CommitDiscipline:
+		return "commit-discipline"
+	}
+	return fmt.Sprintf("Rule(%d)", int(r))
+}
+
+// Violation is the structured report of one failed check. It is the panic
+// value when a checker in panic mode trips, and implements error.
+type Violation struct {
+	Rule      Rule
+	Component string // e.g. "embed.Table", "comm.Fabric", "engine.Trainer"
+	Worker    int    // worker id, -1 when not worker-specific
+	Feature   int32  // embedding id, -1 when not feature-specific
+	// Primary and Replica are the clock values in play (0 when the rule has
+	// no clocks); Bound is the staleness or accounting bound violated.
+	Primary int64
+	Replica int64
+	Bound   int64
+	Detail  string
+}
+
+// Error renders the single-line structured report.
+func (v *Violation) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "invariant violation [%s] in %s", v.Rule, v.Component)
+	if v.Worker >= 0 {
+		fmt.Fprintf(&b, " worker=%d", v.Worker)
+	}
+	if v.Feature >= 0 {
+		fmt.Fprintf(&b, " feature=%d", v.Feature)
+	}
+	fmt.Fprintf(&b, " primaryClock=%d replicaClock=%d bound=%d: %s",
+		v.Primary, v.Replica, v.Bound, v.Detail)
+	return b.String()
+}
+
+// Checker counts checks and enforces invariants. A nil *Checker is the
+// disabled state: all methods are safe to call and do nothing, so call
+// sites gate on a single pointer comparison. A non-nil Checker is safe for
+// concurrent use by worker goroutines.
+type Checker struct {
+	recordOnly atomic.Bool
+
+	checks     [NumRules]atomic.Int64
+	violations [NumRules]atomic.Int64
+	observed   [NumRules]atomic.Int64 // running maximum per rule
+
+	mu      sync.Mutex
+	reports []*Violation
+}
+
+// New returns an enabled checker in panic mode.
+func New() *Checker { return &Checker{} }
+
+// Auto returns an enabled checker when explicitly requested or when the
+// process is a `go test` binary, and nil — fully disabled — otherwise.
+func Auto(enabled bool) *Checker {
+	if enabled || UnderGoTest() {
+		return New()
+	}
+	return nil
+}
+
+var underGoTest = sync.OnceValue(func() bool {
+	exe := filepath.Base(os.Args[0])
+	// `go test` binaries are named pkg.test; fuzz workers inherit the name.
+	return strings.HasSuffix(exe, ".test") || strings.HasSuffix(exe, ".test.exe")
+})
+
+// UnderGoTest reports whether the process is a test binary, in which case
+// Auto enables checking unconditionally.
+func UnderGoTest() bool { return underGoTest() }
+
+// Enabled reports whether checks run at all.
+func (c *Checker) Enabled() bool { return c != nil }
+
+// SetRecordOnly switches between collecting violations (true) and panicking
+// on the first one (false, the default).
+func (c *Checker) SetRecordOnly(on bool) {
+	if c == nil {
+		return
+	}
+	c.recordOnly.Store(on)
+}
+
+// Passed records one successful evaluation of rule.
+func (c *Checker) Passed(r Rule) {
+	if c == nil {
+		return
+	}
+	c.checks[r].Add(1)
+}
+
+// Observe records quantity q under rule r, retaining the maximum seen. The
+// embedding table feeds post-Read staleness gaps through it, which is what
+// lets tests assert the ASP ⊇ Bounded ⊇ BSP staleness ordering.
+func (c *Checker) Observe(r Rule, q int64) {
+	if c == nil {
+		return
+	}
+	for {
+		cur := c.observed[r].Load()
+		if q <= cur || c.observed[r].CompareAndSwap(cur, q) {
+			return
+		}
+	}
+}
+
+// MaxObserved returns the largest quantity recorded for rule r.
+func (c *Checker) MaxObserved(r Rule) int64 {
+	if c == nil {
+		return 0
+	}
+	return c.observed[r].Load()
+}
+
+// Fail records a violation of v.Rule and, unless in record mode, panics
+// with the *Violation as the panic value.
+func (c *Checker) Fail(v *Violation) {
+	if c == nil {
+		return
+	}
+	c.checks[v.Rule].Add(1)
+	c.violations[v.Rule].Add(1)
+	c.mu.Lock()
+	if len(c.reports) < maxRetainedReports {
+		c.reports = append(c.reports, v)
+	}
+	c.mu.Unlock()
+	if !c.recordOnly.Load() {
+		panic(v)
+	}
+}
+
+// maxRetainedReports caps the record-mode report buffer so a hot loop with
+// a broken invariant cannot exhaust memory before the test inspects it.
+const maxRetainedReports = 64
+
+// Violations returns the retained violation reports (record mode, or the
+// one report captured before a panic).
+func (c *Checker) Violations() []*Violation {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]*Violation, len(c.reports))
+	copy(out, c.reports)
+	return out
+}
+
+// RuleCount is one rule's tally.
+type RuleCount struct {
+	Rule        Rule
+	Checks      int64
+	Violations  int64
+	MaxObserved int64
+}
+
+// Counts is a point-in-time snapshot of all counters.
+type Counts struct {
+	Checks     int64 // total checks evaluated
+	Violations int64 // total violations recorded
+	PerRule    [NumRules]RuleCount
+}
+
+// Counts snapshots the counters. The zero Counts is returned for a nil
+// (disabled) checker.
+func (c *Checker) Counts() Counts {
+	var out Counts
+	if c == nil {
+		return out
+	}
+	for r := Rule(0); r < NumRules; r++ {
+		rc := RuleCount{
+			Rule:        r,
+			Checks:      c.checks[r].Load(),
+			Violations:  c.violations[r].Load(),
+			MaxObserved: c.observed[r].Load(),
+		}
+		out.PerRule[r] = rc
+		out.Checks += rc.Checks
+		out.Violations += rc.Violations
+	}
+	return out
+}
+
+// String summarises the snapshot ("N checks, M violations").
+func (c Counts) String() string {
+	return fmt.Sprintf("%d invariant checks, %d violations", c.Checks, c.Violations)
+}

@@ -1,0 +1,142 @@
+package invariant
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilCheckerIsDisabledAndSafe(t *testing.T) {
+	var c *Checker
+	if c.Enabled() {
+		t.Fatal("nil checker reports enabled")
+	}
+	// Every method must be callable on nil without panicking.
+	c.Passed(ClockMonotonic)
+	c.Observe(IntraStaleness, 42)
+	c.Fail(&Violation{Rule: ClockMonotonic, Component: "test"})
+	c.SetRecordOnly(true)
+	if got := c.MaxObserved(IntraStaleness); got != 0 {
+		t.Fatalf("nil MaxObserved = %d", got)
+	}
+	if v := c.Violations(); v != nil {
+		t.Fatalf("nil Violations = %v", v)
+	}
+	if got := c.Counts(); got.Checks != 0 || got.Violations != 0 {
+		t.Fatalf("nil Counts = %+v", got)
+	}
+}
+
+func TestAuto(t *testing.T) {
+	if !UnderGoTest() {
+		t.Skip("not running under a test binary name")
+	}
+	if Auto(false) == nil {
+		t.Fatal("Auto(false) disabled under go test; checks must be always-on in tests")
+	}
+	if Auto(true) == nil {
+		t.Fatal("Auto(true) returned nil")
+	}
+}
+
+func TestPassedAndFailCounting(t *testing.T) {
+	c := New()
+	c.SetRecordOnly(true)
+	c.Passed(ClockMonotonic)
+	c.Passed(ClockMonotonic)
+	c.Passed(IntraStaleness)
+	c.Fail(&Violation{Rule: IntraStaleness, Component: "test", Worker: 1, Feature: 2})
+	got := c.Counts()
+	if got.Checks != 4 {
+		t.Errorf("Checks = %d, want 4", got.Checks)
+	}
+	if got.Violations != 1 {
+		t.Errorf("Violations = %d, want 1", got.Violations)
+	}
+	if pr := got.PerRule[ClockMonotonic]; pr.Checks != 2 || pr.Violations != 0 {
+		t.Errorf("clock rule counts %+v", pr)
+	}
+	if pr := got.PerRule[IntraStaleness]; pr.Checks != 2 || pr.Violations != 1 {
+		t.Errorf("intra rule counts %+v", pr)
+	}
+	if len(c.Violations()) != 1 {
+		t.Errorf("retained %d reports", len(c.Violations()))
+	}
+}
+
+func TestFailPanicsWithStructuredViolation(t *testing.T) {
+	c := New()
+	defer func() {
+		r := recover()
+		v, ok := r.(*Violation)
+		if !ok {
+			t.Fatalf("panic value %T, want *Violation", r)
+		}
+		if v.Rule != ClockMonotonic || v.Worker != 3 || v.Feature != 7 {
+			t.Fatalf("report fields lost: %+v", v)
+		}
+		msg := v.Error()
+		for _, want := range []string{"clock-monotonic", "embed.Table", "worker=3", "feature=7", "primaryClock=-1", "bound=5"} {
+			if !strings.Contains(msg, want) {
+				t.Errorf("report %q missing %q", msg, want)
+			}
+		}
+	}()
+	c.Fail(&Violation{
+		Rule: ClockMonotonic, Component: "embed.Table",
+		Worker: 3, Feature: 7, Primary: -1, Replica: 2, Bound: 5,
+		Detail: "clock went backwards",
+	})
+	t.Fatal("Fail did not panic in panic mode")
+}
+
+func TestObserveKeepsMaximumConcurrently(t *testing.T) {
+	c := New()
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				c.Observe(IntraStaleness, int64(g*1000+i))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := c.MaxObserved(IntraStaleness); got != 7999 {
+		t.Fatalf("MaxObserved = %d, want 7999", got)
+	}
+}
+
+func TestRecordModeCapsReports(t *testing.T) {
+	c := New()
+	c.SetRecordOnly(true)
+	for i := 0; i < 10*maxRetainedReports; i++ {
+		c.Fail(&Violation{Rule: SimTime, Component: "test"})
+	}
+	if n := len(c.Violations()); n != maxRetainedReports {
+		t.Fatalf("retained %d reports, want cap %d", n, maxRetainedReports)
+	}
+	if got := c.Counts().Violations; got != int64(10*maxRetainedReports) {
+		t.Fatalf("violation count %d not preserved past the report cap", got)
+	}
+}
+
+func TestRuleStrings(t *testing.T) {
+	for r := Rule(0); r < NumRules; r++ {
+		if s := r.String(); strings.HasPrefix(s, "Rule(") {
+			t.Errorf("rule %d has no name", r)
+		}
+	}
+	if s := Rule(99).String(); s != "Rule(99)" {
+		t.Errorf("unknown rule renders %q", s)
+	}
+}
+
+func TestCountsString(t *testing.T) {
+	c := New()
+	c.Passed(FabricAccounting)
+	if got := c.Counts().String(); !strings.Contains(got, "1 invariant checks, 0 violations") {
+		t.Errorf("Counts.String() = %q", got)
+	}
+}

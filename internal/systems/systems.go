@@ -74,6 +74,10 @@ type Options struct {
 	EvalEvery   int
 	EvalSamples int
 	Seed        uint64
+
+	// CheckInvariants enables the runtime invariant checker (package
+	// invariant) for the run; always on under `go test`.
+	CheckInvariants bool
 }
 
 // NewModel builds the named CTR network for a dataset shape. The paper
@@ -142,18 +146,19 @@ func Build(sys System, opt Options) (*engine.Trainer, error) {
 		return nil, err
 	}
 	cfg := engine.Config{
-		Train:          opt.Train,
-		Test:           opt.Test,
-		Model:          model,
-		Dim:            opt.Dim,
-		Topo:           opt.Topo,
-		Assign:         assign,
-		BatchPerWorker: opt.BatchPerWorker,
-		Epochs:         opt.Epochs,
-		TargetAUC:      opt.TargetAUC,
-		EvalEvery:      opt.EvalEvery,
-		EvalSamples:    opt.EvalSamples,
-		Seed:           opt.Seed,
+		Train:           opt.Train,
+		Test:            opt.Test,
+		Model:           model,
+		Dim:             opt.Dim,
+		Topo:            opt.Topo,
+		Assign:          assign,
+		BatchPerWorker:  opt.BatchPerWorker,
+		Epochs:          opt.Epochs,
+		TargetAUC:       opt.TargetAUC,
+		EvalEvery:       opt.EvalEvery,
+		EvalSamples:     opt.EvalSamples,
+		CheckInvariants: opt.CheckInvariants,
+		Seed:            opt.Seed,
 	}
 	var proto consistency.Config
 	switch sys {
