@@ -4,20 +4,29 @@
 // Usage:
 //
 //	hetgmp-bench [-exp id[,id...]] [-scale f] [-dim n] [-batch n] [-epochs n] [-seed n] [-quick]
+//	hetgmp-bench -perf [-perfout file] [-perfscales f,f,...] [-seed n]
 //
 // With no -exp flag every experiment runs in the paper's order. Experiment
 // IDs: fig1, fig3, fig7, fig8, table2, fig9a, fig9b, table3, fig10,
 // capacity.
+//
+// -perf runs the partitioner performance-baseline harness instead of the
+// paper experiments: it times the sequential reference greedy against the
+// parallel chunked-delta implementation at growing graph scales plus one
+// simulated training epoch, and writes the report to -perfout (default
+// BENCH_partition.json).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
 	"hetgmp/internal/experiments"
+	"hetgmp/internal/perfbench"
 )
 
 func main() {
@@ -31,6 +40,10 @@ func main() {
 		quick   = flag.Bool("quick", false, "trim datasets and arms for a fast pass")
 		check   = flag.Bool("check", false, "enable runtime invariant checking on every training run")
 		list    = flag.Bool("list", false, "list experiment IDs and exit")
+
+		perf       = flag.Bool("perf", false, "run the partitioner perf-baseline harness and exit")
+		perfOut    = flag.String("perfout", "BENCH_partition.json", "perf harness report path")
+		perfScales = flag.String("perfscales", "", "comma-separated dataset scales for -perf (default 1e-3,2.5e-3,5e-3)")
 	)
 	flag.Parse()
 
@@ -38,6 +51,39 @@ func main() {
 		for _, id := range experiments.Order {
 			fmt.Println(id)
 		}
+		return
+	}
+
+	if *perf {
+		opts := perfbench.Options{Seed: *seed, TrainEpoch: true}
+		if *perfScales != "" {
+			for _, s := range strings.Split(*perfScales, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "hetgmp-bench: bad -perfscales entry %q: %v\n", s, err)
+					os.Exit(2)
+				}
+				opts.Scales = append(opts.Scales, v)
+			}
+		}
+		rep, err := perfbench.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hetgmp-bench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(*perfOut); err != nil {
+			fmt.Fprintf(os.Stderr, "hetgmp-bench: perf: %v\n", err)
+			os.Exit(1)
+		}
+		for _, sr := range rep.Scales {
+			fmt.Printf("scale %-8g %8d samples: reference %12d ns/op, chunked %12d ns/op, speedup %.2fx, remote ratio %.4f\n",
+				sr.Scale, sr.Samples, sr.Reference.NsPerOp, sr.Chunked.NsPerOp, sr.Speedup, sr.RemoteRatio)
+		}
+		if rep.Epoch != nil {
+			fmt.Printf("epoch at scale %g: %.2fs wall, %d iterations, %d samples\n",
+				rep.Epoch.Scale, rep.Epoch.WallSeconds, rep.Epoch.Iterations, rep.Epoch.SamplesProcessed)
+		}
+		fmt.Printf("report written to %s (GOMAXPROCS=%d)\n", *perfOut, rep.GOMAXPROCS)
 		return
 	}
 

@@ -188,3 +188,50 @@ func (t *CountTable) MoveSample(s int, from, to int) {
 		}
 	}
 }
+
+// SampleMove is one accepted relocation of a sample vertex, the unit of the
+// partitioner's chunked delta application.
+type SampleMove struct {
+	Sample   int
+	From, To int
+}
+
+// ApplyMoves applies a batch of accepted sample moves in order. Because
+// count(x, i) depends only on the sample→partition map — not on the order
+// moves were decided — deferring table maintenance to one batch per delta
+// block keeps the hot scoring loops free of count-table writes.
+func (t *CountTable) ApplyMoves(moves []SampleMove) {
+	for _, m := range moves {
+		t.MoveSample(m.Sample, m.From, m.To)
+	}
+}
+
+// PartitionTotals returns Σ_x count(x, i) per partition: the number of
+// (sample, feature) edge endpoints each partition's sample set touches. It
+// is the count-table side of the partition-accounting invariant.
+func (t *CountTable) PartitionTotals() []int64 {
+	tot := make([]int64, t.N)
+	for off := 0; off < len(t.counts); off += t.N {
+		for i := 0; i < t.N; i++ {
+			tot[i] += int64(t.counts[off+i])
+		}
+	}
+	return tot
+}
+
+// VerifyRecount rebuilds count(x, i) from scratch for the given
+// sample→partition assignment and returns an error describing the first
+// cell where the incrementally maintained table disagrees. It is the
+// ground-truth check behind the partitioner's delta maintenance.
+func (t *CountTable) VerifyRecount(sampleOf []int) error {
+	fresh := NewCountTable(t.g, t.N, sampleOf)
+	for x := 0; x < t.g.NumFeatures; x++ {
+		for i := 0; i < t.N; i++ {
+			if got, want := t.counts[x*t.N+i], fresh.counts[x*t.N+i]; got != want {
+				return fmt.Errorf("bigraph: count(%d,%d) drifted: maintained %d, recount %d",
+					x, i, got, want)
+			}
+		}
+	}
+	return nil
+}

@@ -202,3 +202,71 @@ func TestCountTableMatchesRecount(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+func TestApplyMovesMatchesIndividualMoves(t *testing.T) {
+	g := FromDataset(tinyDataset())
+	assign := []int{0, 0, 1, 1}
+	batched := NewCountTable(g, 2, assign)
+	oneByOne := NewCountTable(g, 2, assign)
+
+	moves := []SampleMove{
+		{Sample: 0, From: 0, To: 1},
+		{Sample: 2, From: 1, To: 0},
+		{Sample: 0, From: 1, To: 0}, // moves back
+		{Sample: 3, From: 1, To: 1}, // no-op
+	}
+	batched.ApplyMoves(moves)
+	for _, m := range moves {
+		oneByOne.MoveSample(m.Sample, m.From, m.To)
+	}
+	for x := int32(0); x < 5; x++ {
+		for i := 0; i < 2; i++ {
+			if batched.Count(x, i) != oneByOne.Count(x, i) {
+				t.Errorf("count(%d,%d): batched %d, one-by-one %d",
+					x, i, batched.Count(x, i), oneByOne.Count(x, i))
+			}
+		}
+	}
+}
+
+func TestPartitionTotals(t *testing.T) {
+	g := FromDataset(tinyDataset())
+	// Samples 0,1 → partition 0 (edges: 0-0, 0-2, 1-0, 1-3), samples 2,3 →
+	// partition 1 (edges: 2-1, 2-2, 3-0, 3-4).
+	ct := NewCountTable(g, 2, []int{0, 0, 1, 1})
+	tot := ct.PartitionTotals()
+	if tot[0] != 4 || tot[1] != 4 {
+		t.Fatalf("totals %v, want [4 4]", tot)
+	}
+	ct.MoveSample(0, 0, 1)
+	tot = ct.PartitionTotals()
+	if tot[0] != 2 || tot[1] != 6 {
+		t.Fatalf("totals after move %v, want [2 6]", tot)
+	}
+	var sum int64
+	for _, v := range tot {
+		sum += v
+	}
+	if sum != g.NumEdges() {
+		t.Errorf("totals sum %d, want edge count %d", sum, g.NumEdges())
+	}
+}
+
+func TestVerifyRecountDetectsDrift(t *testing.T) {
+	g := FromDataset(tinyDataset())
+	assign := []int{0, 0, 1, 1}
+	ct := NewCountTable(g, 2, assign)
+	if err := ct.VerifyRecount(assign); err != nil {
+		t.Fatalf("fresh table failed verification: %v", err)
+	}
+	// Apply a move but "forget" to update the assignment slice: the table
+	// and the assignment now disagree and verification must say so.
+	ct.MoveSample(0, 0, 1)
+	if err := ct.VerifyRecount(assign); err == nil {
+		t.Fatal("drifted table passed verification")
+	}
+	assign[0] = 1
+	if err := ct.VerifyRecount(assign); err != nil {
+		t.Fatalf("consistent state failed verification: %v", err)
+	}
+}

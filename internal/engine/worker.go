@@ -22,8 +22,16 @@ type worker struct {
 	state nn.State
 
 	// Reusable buffers.
-	uniq     []int32
-	uniqIdx  map[int32]int32
+	uniq []int32
+	// Batch dedup runs per iteration over every (sample, field) edge, so it
+	// is a hot path: instead of a hash map cleared each batch, a dense
+	// generation-stamped index keyed by feature id — uniqSlot[x] is x's slot
+	// in uniq iff uniqGen[x] equals the current batch's generation. Bumping
+	// uniqGen invalidates the whole index in O(1) and the lookups are two
+	// array reads with no hashing or allocation.
+	uniqGen  []uint32
+	uniqSlot []int32
+	gen      uint32
 	embBuf   *tensor.Matrix // unique embeddings gathered by Read
 	gradBuf  *tensor.Matrix // per-unique embedding gradients
 	input    *tensor.Matrix // batch × (fields·dim)
@@ -64,7 +72,8 @@ func newWorker(id int, t *Trainer, samples []int32, rng *xrand.RNG) *worker {
 		rng:      rng,
 		state:    cfg.Model.NewState(b),
 		uniq:     make([]int32, 0, b*fields),
-		uniqIdx:  make(map[int32]int32, b*fields),
+		uniqGen:  make([]uint32, cfg.Train.NumFeatures),
+		uniqSlot: make([]int32, cfg.Train.NumFeatures),
 		embBuf:   tensor.NewMatrix(b*fields, cfg.Dim),
 		gradBuf:  tensor.NewMatrix(b*fields, cfg.Dim),
 		input:    tensor.NewMatrix(b, fields*cfg.Dim),
@@ -110,21 +119,24 @@ func (w *worker) runIteration() {
 	dim := cfg.Dim
 
 	// Deduplicate the batch's features — the paper's "local reduction".
-	w.uniq = w.uniq[:0]
-	for k := range w.uniqIdx {
-		delete(w.uniqIdx, k)
+	w.gen++
+	if w.gen == 0 {
+		// Generation counter wrapped: old stamps become ambiguous, so
+		// invalidate them all once and restart from 1.
+		clear(w.uniqGen)
+		w.gen = 1
 	}
+	w.uniq = w.uniq[:0]
 	for r, si := range batch {
 		s := &cfg.Train.Samples[si]
 		w.labels[r] = s.Label
 		for f, x := range s.Features {
-			idx, ok := w.uniqIdx[x]
-			if !ok {
-				idx = int32(len(w.uniq))
+			if w.uniqGen[x] != w.gen {
+				w.uniqGen[x] = w.gen
+				w.uniqSlot[x] = int32(len(w.uniq))
 				w.uniq = append(w.uniq, x)
-				w.uniqIdx[x] = idx
 			}
-			w.batchIdx[r*fields+f] = idx
+			w.batchIdx[r*fields+f] = w.uniqSlot[x]
 		}
 	}
 

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"testing"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/dataset"
+	"hetgmp/internal/nn"
+	"hetgmp/internal/partition"
+)
+
+// benchTrainer builds a trainer on a small Avazu slice for isolating one
+// worker's iteration cost.
+func benchTrainer(b *testing.B) *Trainer {
+	b.Helper()
+	ds, err := dataset.New(dataset.Avazu, 1e-4, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, test := ds.Split(0.9)
+	g := bigraph.FromDataset(train)
+	topo := cluster.EightGPUQPI()
+	cfg := Config{
+		Train: train, Test: test,
+		Model:          nn.NewWDL(nn.WDLConfig{Fields: train.NumFields, Dim: 8, Hidden: []int{16}, Seed: 5}),
+		Dim:            8,
+		Topo:           topo,
+		Assign:         partition.Random(g, topo.NumWorkers(), 5),
+		BatchPerWorker: 64,
+		Epochs:         1,
+		EvalEvery:      1 << 30,
+		Seed:           5,
+	}
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkWorkerIteration measures one worker's mini-batch step — the unit
+// the simulated training loop repeats millions of times. The allocs/op
+// figure guards the generation-stamped batch dedup: the map-based dedup it
+// replaced rehashed every (sample, field) edge and showed up as both time
+// and steady-state allocations.
+func BenchmarkWorkerIteration(b *testing.B) {
+	tr := benchTrainer(b)
+	w := tr.workers[0]
+	w.startEpoch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !w.hasWork() {
+			w.startEpoch()
+		}
+		w.runIteration()
+	}
+}

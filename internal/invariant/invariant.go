@@ -72,6 +72,11 @@ const (
 	// CommitDiscipline: the single-threaded commit phase drains every
 	// worker's queue.
 	CommitDiscipline
+	// PartitionAccounting: the hybrid partitioner's incrementally
+	// maintained per-partition load and communication totals agree with a
+	// from-scratch recomputation at round boundaries — the parallel
+	// chunked-delta passes and a sequential replay see the same state.
+	PartitionAccounting
 	// NumRules bounds the Rule space.
 	NumRules
 )
@@ -95,6 +100,8 @@ func (r Rule) String() string {
 		return "shard-coverage"
 	case CommitDiscipline:
 		return "commit-discipline"
+	case PartitionAccounting:
+		return "partition-accounting"
 	}
 	return fmt.Sprintf("Rule(%d)", int(r))
 }

@@ -2,10 +2,12 @@ package partition
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"time"
 
 	"hetgmp/internal/bigraph"
+	"hetgmp/internal/invariant"
 	"hetgmp/internal/xrand"
 )
 
@@ -39,6 +41,28 @@ type HybridConfig struct {
 	// Default 0.1.
 	BalanceSlack float64
 	Seed         uint64
+
+	// Parallelism caps the scoring goroutines of the chunked-delta passes;
+	// 0 means GOMAXPROCS. The assignment is a pure function of the graph
+	// and the seed — never of Parallelism or DeltaBlock — because the
+	// parallel chunks only precompute the pass-constant δc cost vectors
+	// and a single reducer makes every greedy decision in canonical order
+	// against live balance state (see hybrid_parallel.go).
+	Parallelism int
+	// DeltaBlock is the number of vertices whose δc vectors are
+	// precomputed per scoring wave — a streaming-granularity / memory
+	// knob (block × Partitions float64s) with no effect on the output.
+	// 0 picks a size proportional to the vertex set.
+	DeltaBlock int
+	// Reference selects the strictly sequential one-vertex-at-a-time
+	// greedy (the pre-parallel implementation): every vertex scores
+	// against fully up-to-date state. It is the quality and wall-time
+	// baseline the perfbench harness compares the chunked passes against.
+	Reference bool
+	// CheckInvariants enables partition-accounting checks (maintained
+	// per-partition load/communication totals vs. from-scratch
+	// recomputation at round boundaries) even outside `go test`.
+	CheckInvariants bool
 }
 
 // DefaultHybridConfig returns the paper's settings for n partitions:
@@ -70,6 +94,10 @@ func (c *HybridConfig) Validate() error {
 		return fmt.Errorf("partition: ReplicaBudget must be non-negative, got %d", c.ReplicaBudget)
 	case c.BalanceSlack < 0:
 		return fmt.Errorf("partition: BalanceSlack must be non-negative, got %g", c.BalanceSlack)
+	case c.Parallelism < 0:
+		return fmt.Errorf("partition: Parallelism must be non-negative, got %d", c.Parallelism)
+	case c.DeltaBlock < 0:
+		return fmt.Errorf("partition: DeltaBlock must be non-negative, got %d", c.DeltaBlock)
 	case c.Weights != nil && len(c.Weights) != c.Partitions:
 		return fmt.Errorf("partition: weight matrix is %d×?, want %d×%d",
 			len(c.Weights), c.Partitions, c.Partitions)
@@ -95,6 +123,14 @@ type HybridResult struct {
 // the score δg = δc + δb, followed by a 2D vertex-cut pass that replicates
 // the highest-δp embeddings into each partition up to the memory budget.
 //
+// The 1D passes run as parallel chunked-delta sweeps (see DESIGN.md): for
+// each fixed block of the visit order, scoring goroutines precompute the
+// pass-constant δc cost vectors concurrently, then a single reducer makes
+// every greedy decision in canonical order against live balance state. The
+// output is bit-identical for a fixed seed regardless of GOMAXPROCS,
+// cfg.Parallelism or cfg.DeltaBlock. Set cfg.Reference for the strictly
+// sequential pre-parallel baseline.
+//
 // Note on Eq. 2's sign: the paper writes δg = δc − δb but describes δb as
 // "the marginal cost of adding vertex v to partition Gi ... used to balance
 // workloads". A cost must make crowded partitions less attractive under
@@ -109,13 +145,15 @@ func Hybrid(g *bigraph.Bigraph, cfg HybridConfig) (*HybridResult, error) {
 	counts := bigraph.NewCountTable(g, n, a.SampleOf)
 
 	st := &hybridState{
-		g:      g,
-		a:      a,
-		cfg:    cfg,
-		counts: counts,
-		nSamp:  make([]int, n),
-		nFeat:  make([]int, n),
-		comm:   make([]float64, n),
+		g:           g,
+		a:           a,
+		cfg:         cfg,
+		counts:      counts,
+		nSamp:       make([]int, n),
+		nFeat:       make([]int, n),
+		comm:        make([]float64, n),
+		secondaries: make([][]int32, n),
+		check:       invariant.Auto(cfg.CheckInvariants),
 	}
 	for _, p := range a.SampleOf {
 		st.nSamp[p]++
@@ -128,32 +166,44 @@ func Hybrid(g *bigraph.Bigraph, cfg HybridConfig) (*HybridResult, error) {
 	// Deterministic visit orders: samples shuffled once, embeddings by
 	// descending degree so the heaviest vertices choose their homes first.
 	rng := xrand.New(cfg.Seed ^ 0x1d1d1d1d1d1d1d1d)
-	sampleOrder := rng.Perm(g.NumSamples)
+	sampleOrder := rng.Perm32(g.NumSamples)
 	featOrder := make([]int32, g.NumFeatures)
 	for i := range featOrder {
 		featOrder[i] = int32(i)
 	}
-	sort.Slice(featOrder, func(i, j int) bool {
-		di, dj := g.Degree[featOrder[i]], g.Degree[featOrder[j]]
-		if di != dj {
-			return di > dj
-		}
-		return featOrder[i] < featOrder[j]
-	})
+	sortFeatByDegree(featOrder, g.Degree)
 
 	res := &HybridResult{Assignment: a}
 	for t := 0; t < cfg.Rounds; t++ {
-		st.onePassSamples(sampleOrder)
-		st.onePassFeatures(featOrder)
-		st.replicate(featOrder)
-		q := Evaluate(g, a, cfg.Weights)
+		if cfg.Reference {
+			st.refPassSamples(sampleOrder)
+			st.refPassFeatures(featOrder)
+			st.refReplicate(featOrder)
+		} else {
+			st.chunkedPassSamples(sampleOrder)
+			st.chunkedPassFeatures(featOrder)
+			st.replicateTopK()
+		}
+		st.checkAccounting(t + 1)
 		res.Rounds = append(res.Rounds, RoundStat{
 			Round:          t + 1,
-			RemoteAccesses: q.RemoteAccesses,
+			RemoteAccesses: st.roundRemote(),
 			Elapsed:        time.Since(start),
 		})
 	}
 	return res, nil
+}
+
+// sortFeatByDegree orders feature ids by descending degree, id ascending on
+// ties — the canonical embedding visit order of both implementations.
+func sortFeatByDegree(order []int32, degree []int32) {
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := degree[order[i]], degree[order[j]]
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
 }
 
 type hybridState struct {
@@ -164,6 +214,19 @@ type hybridState struct {
 	nSamp  []int // samples per partition
 	nFeat  []int // primary embeddings per partition
 	comm   []float64
+	// commSum is Σ comm[i], maintained incrementally by moveSample and
+	// moveFeature so the per-vertex average needs no O(N) rescan.
+	commSum float64
+	// secondaries[i] lists the embeddings currently replicated on
+	// partition i, maintained by the 2D pass so clearing last round's
+	// choices needs no O(F) sweep over the replica bitsets.
+	secondaries [][]int32
+	check       *invariant.Checker
+
+	// Per-block δc staging the parallel scoring waves fill (see
+	// hybrid_parallel.go).
+	costBlock  []float64
+	worstBlock []float64
 }
 
 // weight prices a fetch of an embedding primary on from by a sample on to.
@@ -180,8 +243,22 @@ func (st *hybridState) weight(from, to int) float64 {
 // recomputeComm rebuilds the per-partition communication totals δc(Gi):
 // the priced remote accesses of embeddings whose primary lives on i.
 func (st *hybridState) recomputeComm() {
-	for i := range st.comm {
-		st.comm[i] = 0
+	st.comm = st.recomputeCommInto(st.comm)
+	st.commSum = 0
+	for _, c := range st.comm {
+		st.commSum += c
+	}
+}
+
+// recomputeCommInto computes the communication totals from scratch into dst
+// (allocated when nil) without touching the maintained state — the
+// ground-truth side of the partition-accounting invariant.
+func (st *hybridState) recomputeCommInto(dst []float64) []float64 {
+	if dst == nil {
+		dst = make([]float64, st.a.N)
+	}
+	for i := range dst {
+		dst[i] = 0
 	}
 	for x := int32(0); int(x) < st.g.NumFeatures; x++ {
 		home := st.a.PrimaryOf[x]
@@ -190,85 +267,16 @@ func (st *hybridState) recomputeComm() {
 			if j == home || c == 0 {
 				continue
 			}
-			st.comm[home] += float64(c) * st.weight(home, j)
+			dst[home] += float64(c) * st.weight(home, j)
 		}
 	}
+	return dst
 }
 
-// commAvg returns the mean of per-partition communication.
+// commAvg returns the mean of per-partition communication in O(1) from the
+// maintained sum.
 func (st *hybridState) commAvg() float64 {
-	var s float64
-	for _, c := range st.comm {
-		s += c
-	}
-	return s / float64(len(st.comm))
-}
-
-// onePassSamples performs the sample-vertex half of the 1D pass: each
-// sample moves to the partition minimising δc + δb.
-//
-// All score terms are normalised to comparable O(1) units: δc by the
-// sample's maximum possible cost, the load gap δξ by the average load, and
-// the communication gap δd by the average communication. Partitions at the
-// hard balance cap are not candidates.
-func (st *hybridState) onePassSamples(order []int) {
-	n := st.a.N
-	avgSamp := float64(st.g.NumSamples) / float64(n)
-	capSamp := int(avgSamp*(1+st.slack())) + 1
-	costs := make([]float64, n)
-	for _, s := range order {
-		cur := st.a.SampleOf[s]
-		feats := st.g.SampleFeatures(s)
-
-		// δc(v→i): priced fetches of this sample's non-local embeddings,
-		// normalised by the worst case (every feature remote at max
-		// weight).
-		for i := 0; i < n; i++ {
-			costs[i] = 0
-		}
-		var worst float64
-		for _, x := range feats {
-			home := st.a.PrimaryOf[x]
-			var wmax float64
-			for i := 0; i < n; i++ {
-				w := st.weight(home, i)
-				if home != i {
-					costs[i] += w
-				}
-				if w > wmax {
-					wmax = w
-				}
-			}
-			worst += wmax
-		}
-		if worst == 0 {
-			worst = 1
-		}
-		avgComm := st.commAvg()
-		normComm := avgComm
-		if normComm == 0 {
-			normComm = 1
-		}
-		best, bestScore := -1, 0.0
-		for i := 0; i < n; i++ {
-			if i != cur && st.nSamp[i] >= capSamp {
-				continue
-			}
-			load := st.nSamp[i]
-			if i != cur {
-				load++ // marginal: the sample would join i
-			}
-			deltaXi := (float64(load) - avgSamp) / avgSamp
-			deltaD := (st.comm[i] - avgComm) / normComm
-			score := costs[i]/worst + st.cfg.Alpha*deltaXi + st.cfg.Gamma*deltaD
-			if best < 0 || score < bestScore {
-				best, bestScore = i, score
-			}
-		}
-		if best >= 0 && best != cur {
-			st.moveSample(s, cur, best)
-		}
-	}
+	return st.commSum / float64(len(st.comm))
 }
 
 // slack returns the hard balance cap slack, defaulting to 0.1.
@@ -280,79 +288,25 @@ func (st *hybridState) slack() float64 {
 }
 
 // moveSample relocates sample s and incrementally maintains the count table
-// and the per-partition communication totals.
-func (st *hybridState) moveSample(s, from, to int) {
+// and the per-partition communication totals (and their sum).
+func (st *hybridState) moveSample(s int, from, to int) {
 	for _, x := range st.g.SampleFeatures(s) {
 		home := st.a.PrimaryOf[x]
 		if home != from {
-			st.comm[home] -= st.weight(home, from)
+			w := st.weight(home, from)
+			st.comm[home] -= w
+			st.commSum -= w
 		}
 		if home != to {
-			st.comm[home] += st.weight(home, to)
+			w := st.weight(home, to)
+			st.comm[home] += w
+			st.commSum += w
 		}
 	}
 	st.counts.MoveSample(s, from, to)
 	st.nSamp[from]--
 	st.nSamp[to]++
 	st.a.SampleOf[s] = to
-}
-
-// onePassFeatures performs the embedding-vertex half of the 1D pass: each
-// embedding's primary moves to the partition minimising δc + δb, with the
-// same normalisation and hard cap as the sample pass.
-func (st *hybridState) onePassFeatures(order []int32) {
-	n := st.a.N
-	avgFeat := float64(st.g.NumFeatures) / float64(n)
-	capFeat := int(avgFeat*(1+st.slack())) + 1
-	// Worst case per unit of degree: the maximum pairwise weight.
-	var wmax float64
-	for i := 0; i < n; i++ {
-		for j := 0; j < n; j++ {
-			if w := st.weight(i, j); w > wmax {
-				wmax = w
-			}
-		}
-	}
-	for _, x := range order {
-		cur := st.a.PrimaryOf[x]
-		row := st.counts.Row(x)
-		avgComm := st.commAvg()
-		normComm := avgComm
-		if normComm == 0 {
-			normComm = 1
-		}
-		worst := float64(st.g.Degree[x]) * wmax
-		if worst == 0 {
-			worst = 1
-		}
-		best, bestScore := -1, 0.0
-		for i := 0; i < n; i++ {
-			if i != cur && st.nFeat[i] >= capFeat {
-				continue
-			}
-			// δc: samples elsewhere fetch x from candidate home i.
-			var c float64
-			for j, cnt := range row {
-				if j == i || cnt == 0 {
-					continue
-				}
-				c += float64(cnt) * st.weight(i, j)
-			}
-			load := st.nFeat[i]
-			if i != cur {
-				load++
-			}
-			deltaX := (float64(load) - avgFeat) / avgFeat
-			deltaD := (st.comm[i] - avgComm) / normComm
-			score := c/worst + st.cfg.Beta*deltaX + st.cfg.Gamma*deltaD
-			if best < 0 || score < bestScore {
-				best, bestScore = i, score
-			}
-		}
-		if best >= 0 && best != cur {
-			st.moveFeature(x, cur, best)
-		}
-	}
 }
 
 // moveFeature relocates embedding x's primary, updating communication
@@ -364,10 +318,14 @@ func (st *hybridState) moveFeature(x int32, from, to int) {
 			continue
 		}
 		if j != from {
-			st.comm[from] -= float64(cnt) * st.weight(from, j)
+			w := float64(cnt) * st.weight(from, j)
+			st.comm[from] -= w
+			st.commSum -= w
 		}
 		if j != to {
-			st.comm[to] += float64(cnt) * st.weight(to, j)
+			w := float64(cnt) * st.weight(to, j)
+			st.comm[to] += w
+			st.commSum += w
 		}
 	}
 	st.nFeat[from]--
@@ -375,56 +333,84 @@ func (st *hybridState) moveFeature(x int32, from, to int) {
 	st.a.PrimaryOf[x] = to
 }
 
-// replicate performs the 2D vertex-cut pass: for every partition, replicate
-// the embeddings with the highest δp(x, Gi) = count(x,i) / Σ count(v,i)
-// (Eq. 6) until the memory budget is reached. Because the denominator is
-// shared by all candidates of a partition, ranking by count(x, i) suffices.
-func (st *hybridState) replicate(order []int32) {
-	budget := st.cfg.ReplicaBudget
-	if budget == 0 {
-		budget = int(st.cfg.ReplicaFraction * float64(st.g.NumFeatures))
-	}
-	if budget <= 0 {
-		return
-	}
-	type cand struct {
-		x int32
-		c int32
-	}
-	for i := 0; i < st.a.N; i++ {
-		cands := make([]cand, 0, 1024)
-		for _, x := range order {
-			if st.a.PrimaryOf[x] == i {
+// roundRemote computes the Table 3 quality metric from the count table in
+// O(F·N): an edge (s, x) with s on partition j is remote iff j holds
+// neither x's primary nor a secondary, and count(x, j) aggregates exactly
+// those edges — the same value as Evaluate's O(E) edge sweep.
+func (st *hybridState) roundRemote() int64 {
+	var remote int64
+	for x := int32(0); int(x) < st.g.NumFeatures; x++ {
+		home := st.a.PrimaryOf[x]
+		reps := st.a.replicas[x]
+		for j, c := range st.counts.Row(x) {
+			if c == 0 || j == home || reps.Has(j) {
 				continue
 			}
-			if c := st.counts.Count(x, i); c > 0 {
-				cands = append(cands, cand{x, c})
-			}
-		}
-		sort.Slice(cands, func(p, q int) bool {
-			if cands[p].c != cands[q].c {
-				return cands[p].c > cands[q].c
-			}
-			return cands[p].x < cands[q].x
-		})
-		// Re-derive this round's replica set from scratch: primaries may
-		// have moved since last round, invalidating earlier choices.
-		for _, x := range st.prevSecondaries(i) {
-			st.a.replicas[x].Clear(i)
-		}
-		for k := 0; k < len(cands) && k < budget; k++ {
-			st.a.AddReplica(cands[k].x, i)
+			remote += int64(c)
 		}
 	}
+	return remote
 }
 
-// prevSecondaries lists embeddings currently replicated on partition i.
-func (st *hybridState) prevSecondaries(i int) []int32 {
-	var out []int32
-	for x := range st.a.replicas {
-		if st.a.replicas[x].Has(i) {
-			out = append(out, int32(x))
+// checkAccounting enforces the partition-accounting invariant at a round
+// boundary: the incrementally maintained per-partition sample/primary loads
+// and communication totals must match a from-scratch recomputation — i.e.
+// the chunked-delta passes and a sequential replay of the same moves leave
+// identical state. No-op when the checker is disabled.
+func (st *hybridState) checkAccounting(round int) {
+	ck := st.check
+	if ck == nil {
+		return
+	}
+	fail := func(detail string, part int, got, want float64) {
+		ck.Fail(&invariant.Violation{
+			Rule: invariant.PartitionAccounting, Component: "partition.Hybrid",
+			Worker: part, Feature: -1,
+			Primary: int64(got), Replica: int64(want), Bound: int64(round),
+			Detail: detail,
+		})
+	}
+	nSamp := make([]int, st.a.N)
+	for _, p := range st.a.SampleOf {
+		nSamp[p]++
+	}
+	nFeat := make([]int, st.a.N)
+	for _, p := range st.a.PrimaryOf {
+		nFeat[p]++
+	}
+	for i := 0; i < st.a.N; i++ {
+		if nSamp[i] != st.nSamp[i] {
+			fail(fmt.Sprintf("round %d: maintained sample load %d, recount %d", round, st.nSamp[i], nSamp[i]),
+				i, float64(st.nSamp[i]), float64(nSamp[i]))
+		}
+		if nFeat[i] != st.nFeat[i] {
+			fail(fmt.Sprintf("round %d: maintained primary load %d, recount %d", round, st.nFeat[i], nFeat[i]),
+				i, float64(st.nFeat[i]), float64(nFeat[i]))
 		}
 	}
-	return out
+	if err := st.counts.VerifyRecount(st.a.SampleOf); err != nil {
+		fail(fmt.Sprintf("round %d: %v", round, err), -1, 0, 0)
+	}
+	fresh := st.recomputeCommInto(nil)
+	var freshSum float64
+	for i, want := range fresh {
+		freshSum += want
+		if !commClose(st.comm[i], want) {
+			fail(fmt.Sprintf("round %d: maintained comm[%d]=%g, recomputed %g", round, i, st.comm[i], want),
+				i, st.comm[i], want)
+		}
+	}
+	if !commClose(st.commSum, freshSum) {
+		fail(fmt.Sprintf("round %d: maintained commSum=%g, recomputed %g", round, st.commSum, freshSum),
+			-1, st.commSum, freshSum)
+	}
+	ck.Passed(invariant.PartitionAccounting)
+}
+
+// commClose compares incrementally maintained float totals against a fresh
+// recomputation, tolerating the rounding drift of ~|E| additions.
+func commClose(got, want float64) bool {
+	diff := math.Abs(got - want)
+	scale := math.Max(math.Abs(got), math.Abs(want))
+	return diff <= 1e-6*scale+1e-3
 }

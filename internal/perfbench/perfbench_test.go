@@ -1,0 +1,76 @@
+package perfbench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestRunSmallScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perfbench harness is slow")
+	}
+	rep, err := Run(Options{
+		Scales:     []float64{2e-4},
+		Rounds:     2,
+		TrainEpoch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Scales) != 1 {
+		t.Fatalf("got %d scale results, want 1", len(rep.Scales))
+	}
+	sr := rep.Scales[0]
+	if sr.Samples == 0 || sr.Features == 0 || sr.Edges == 0 {
+		t.Errorf("degenerate graph shape: %+v", sr)
+	}
+	if sr.Reference.NsPerOp <= 0 || sr.Chunked.NsPerOp <= 0 {
+		t.Errorf("non-positive timings: ref %d, chunked %d", sr.Reference.NsPerOp, sr.Chunked.NsPerOp)
+	}
+	if sr.Reference.RemoteAccesses <= 0 || sr.Chunked.RemoteAccesses <= 0 {
+		t.Errorf("non-positive remote accesses: %+v", sr)
+	}
+	// The acceptance bar for the parallel implementation: within 2% of the
+	// sequential greedy's partition quality.
+	if sr.RemoteRatio > 1.02 {
+		t.Errorf("chunked quality ratio %.4f exceeds 1.02", sr.RemoteRatio)
+	}
+	if rep.Epoch == nil {
+		t.Fatal("TrainEpoch requested but no epoch metrics")
+	}
+	if rep.Epoch.SamplesProcessed != int64(sr.Samples) {
+		t.Errorf("epoch processed %d samples, want %d", rep.Epoch.SamplesProcessed, sr.Samples)
+	}
+	if rep.Epoch.WallSeconds <= 0 || rep.Epoch.SimSeconds <= 0 {
+		t.Errorf("degenerate epoch timing: %+v", rep.Epoch)
+	}
+}
+
+func TestWriteJSONRoundTrip(t *testing.T) {
+	rep := &Report{
+		Dataset: "avazu", GOMAXPROCS: 4, Partitions: 8, Rounds: 5, Seed: 22,
+		Scales: []ScaleResult{{
+			Scale: 1e-3, Samples: 10, Features: 5, Edges: 20,
+			Reference: PartitionerMetrics{NsPerOp: 100, RemoteAccesses: 7},
+			Chunked:   PartitionerMetrics{NsPerOp: 50, RemoteAccesses: 7},
+			Speedup:   2, RemoteRatio: 1,
+		}},
+	}
+	path := filepath.Join(t.TempDir(), "bench.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Report
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Scales[0].Reference.NsPerOp != 100 || got.Scales[0].Speedup != 2 {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+}

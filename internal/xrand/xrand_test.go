@@ -277,3 +277,18 @@ func BenchmarkZipfSample(b *testing.B) {
 		_ = z.Sample(r)
 	}
 }
+
+func TestPerm32MatchesPerm(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 17, 1000} {
+		a := New(99).Perm(n)
+		b := New(99).Perm32(n)
+		if len(a) != n || len(b) != n {
+			t.Fatalf("n=%d: lengths %d, %d", n, len(a), len(b))
+		}
+		for i := range a {
+			if int32(a[i]) != b[i] {
+				t.Fatalf("n=%d: Perm and Perm32 diverge at %d: %d vs %d", n, i, a[i], b[i])
+			}
+		}
+	}
+}
