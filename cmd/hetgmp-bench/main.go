@@ -21,6 +21,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -44,8 +47,38 @@ func main() {
 		perf       = flag.Bool("perf", false, "run the partitioner perf-baseline harness and exit")
 		perfOut    = flag.String("perfout", "BENCH_partition.json", "perf harness report path")
 		perfScales = flag.String("perfscales", "", "comma-separated dataset scales for -perf (default 1e-3,2.5e-3,5e-3)")
+
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hetgmp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "hetgmp-bench: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hetgmp-bench: %v\n", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hetgmp-bench: %v\n", err)
+			}
+			f.Close()
+		}()
+	}
 
 	if *list {
 		for _, id := range experiments.Order {
@@ -80,8 +113,21 @@ func main() {
 				sr.Scale, sr.Samples, sr.Reference.NsPerOp, sr.Chunked.NsPerOp, sr.Speedup, sr.RemoteRatio)
 		}
 		if rep.Epoch != nil {
-			fmt.Printf("epoch at scale %g: %.2fs wall, %d iterations, %d samples\n",
-				rep.Epoch.Scale, rep.Epoch.WallSeconds, rep.Epoch.Iterations, rep.Epoch.SamplesProcessed)
+			fmt.Printf("epoch at scale %g: %.2fs wall, %d iterations, %d samples, comm fraction %.1f%%\n",
+				rep.Epoch.Scale, rep.Epoch.WallSeconds, rep.Epoch.Iterations, rep.Epoch.SamplesProcessed,
+				100*rep.Epoch.CommFraction)
+			if len(rep.Epoch.Phases) > 0 {
+				names := make([]string, 0, len(rep.Epoch.Phases))
+				for name := range rep.Epoch.Phases {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				fmt.Printf("  phase breakdown (summed sim s):")
+				for _, name := range names {
+					fmt.Printf(" %s=%.4g", name, rep.Epoch.Phases[name])
+				}
+				fmt.Println()
+			}
 		}
 		fmt.Printf("report written to %s (GOMAXPROCS=%d)\n", *perfOut, rep.GOMAXPROCS)
 		return

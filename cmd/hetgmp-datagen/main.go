@@ -13,6 +13,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"hetgmp/internal/bigraph"
 	"hetgmp/internal/dataset"
@@ -32,8 +34,37 @@ func main() {
 		noise    = flag.Float64("noise", 0.35, "custom: cluster escape probability")
 		seed     = flag.Uint64("seed", 22, "random seed")
 		stats    = flag.Bool("stats", true, "print dataset statistics to stderr")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile to this file at exit")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "hetgmp-datagen:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "hetgmp-datagen:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "hetgmp-datagen:", err)
+				return
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "hetgmp-datagen:", err)
+			}
+			f.Close()
+		}()
+	}
 
 	var (
 		ds  *dataset.Dataset

@@ -6,6 +6,10 @@
 //
 //	hetgmp-partition [-dataset name|-file path] [-scale f] [-parts n] [-rounds n]
 //	                 [-replicas f] [-hierarchical] [-reference] [-workers n] [-seed n]
+//	                 [-metrics out.json]
+//
+// -metrics writes the partitioner's metrics-registry snapshot (per-round
+// δg improvement, move counts, pass wall times) as JSON.
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"hetgmp/internal/bigraph"
 	"hetgmp/internal/cluster"
 	"hetgmp/internal/dataset"
+	"hetgmp/internal/obs"
 	"hetgmp/internal/partition"
 	"hetgmp/internal/report"
 )
@@ -32,6 +37,7 @@ func main() {
 		hier     = flag.Bool("hierarchical", false, "price edges by a 2-machine cluster-B bandwidth hierarchy")
 		refFlag  = flag.Bool("reference", false, "use the sequential reference greedy instead of the parallel chunked-delta passes")
 		workers  = flag.Int("workers", 0, "scoring goroutines for the chunked-delta passes (0 = GOMAXPROCS; never changes the output)")
+		metPath  = flag.String("metrics", "", "write the hybrid partitioner's metrics snapshot as JSON to this file")
 		seed     = flag.Uint64("seed", 22, "random seed")
 	)
 	flag.Parse()
@@ -86,6 +92,11 @@ func main() {
 	cfg.Seed = *seed
 	cfg.Reference = *refFlag
 	cfg.Parallelism = *workers
+	var reg *obs.Registry
+	if *metPath != "" {
+		reg = obs.NewRegistry(1)
+		cfg.Obs = reg
+	}
 	hybridLabel := "Hybrid"
 	if *refFlag {
 		hybridLabel = "Hybrid-ref"
@@ -106,6 +117,25 @@ func main() {
 		}
 	}
 	fmt.Println(t.String())
+
+	rt := report.New("hybrid rounds (Algorithm 1 passes)",
+		"round", "sample moves", "feature moves", "sample pass", "feature pass", "replicate pass")
+	for _, rs := range hr.Rounds {
+		rt.AddRow(rs.Round, rs.SampleMoves, rs.FeatureMoves,
+			rs.SamplePass.Round(time.Millisecond).String(),
+			rs.FeaturePass.Round(time.Millisecond).String(),
+			rs.ReplicatePass.Round(time.Millisecond).String())
+	}
+	fmt.Println(rt.String())
+
+	if reg != nil {
+		snap := reg.Snapshot()
+		if err := snap.WriteJSON(*metPath); err != nil {
+			fmt.Fprintln(os.Stderr, "hetgmp-partition:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d metrics to %s\n", len(snap.Metrics), *metPath)
+	}
 }
 
 func addRow(t *report.Table, name string, q, base partition.Quality, dt time.Duration) {

@@ -6,19 +6,28 @@
 //
 //	hetgmp-train [-system name] [-model wdl|dcn|deepfm] [-dataset name] [-scale f]
 //	             [-gpus n] [-staleness s] [-epochs n] [-dim n] [-batch n] [-seed n]
+//	             [-trace out.json] [-metrics out-metrics.json]
+//	             [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Systems: tf-ps, parallax, hugectr, het-mp, het-gmp.
+//
+// -trace writes a Chrome trace_event JSON of per-worker phase spans on the
+// simulated clock; open it at https://ui.perfetto.dev or chrome://tracing.
+// -metrics writes the full metrics-registry snapshot as JSON.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"hetgmp/internal/cluster"
 	"hetgmp/internal/comm"
 	"hetgmp/internal/dataset"
 	"hetgmp/internal/embed"
+	"hetgmp/internal/obs"
 	"hetgmp/internal/report"
 	"hetgmp/internal/systems"
 )
@@ -38,9 +47,37 @@ func main() {
 		csvPath   = flag.String("csv", "", "write the convergence history as CSV to this file")
 		ckptPath  = flag.String("checkpoint", "", "write a model+embedding checkpoint to this file after training")
 		check     = flag.Bool("check", false, "enable runtime invariant checking (clock monotonicity, staleness bounds, traffic accounting); a violation aborts with a structured report")
+		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of per-worker phase spans (simulated clock) to this file")
+		metPath   = flag.String("metrics", "", "write the metrics-registry snapshot as JSON to this file")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		seed      = flag.Uint64("seed", 22, "random seed")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			f.Close()
+		}()
+	}
 
 	ds, err := dataset.New(*dsName, *scale, *seed)
 	if err != nil {
@@ -55,11 +92,20 @@ func main() {
 	if s < 0 {
 		s = embed.StalenessInf
 	}
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metPath != "" || *tracePath != "" {
+		reg = obs.NewRegistry(topo.NumWorkers())
+	}
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
 	tr, err := systems.Build(systems.System(*sysName), systems.Options{
 		Train: train, Test: test, ModelName: *model, Topo: topo,
 		Dim: *dim, BatchPerWorker: *batch, Epochs: *epochs,
 		Staleness: s, TargetAUC: *target, EvalSamples: 8192, Seed: *seed,
 		CheckInvariants: *check,
+		Metrics:         reg, Tracer: tracer,
 	})
 	if err != nil {
 		fatal(err)
@@ -106,7 +152,55 @@ func main() {
 		sum.AddRow("invariant checks", res.Invariants.Checks)
 		sum.AddRow("invariant violations", res.Invariants.Violations)
 	}
+	if gap, ok := res.Metrics.Get("table.staleness.admitted_gap"); ok && gap.Count > 0 {
+		sum.AddRow("staleness gap (admitted) max", gap.Max)
+		sum.AddRow("staleness gap (admitted) mean", gap.MeanOf())
+	}
 	fmt.Println(sum.String())
+
+	if tracer != nil {
+		fmt.Println(tracer.Summary().String())
+	}
+	if *metPath != "" {
+		if err := res.Metrics.WriteJSON(*metPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %d metrics to %s\n", len(res.Metrics.Metrics), *metPath)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracer.WriteChrome(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		// Self-validate: re-read the file and require at least one span of
+		// every phase the run must exhibit. A single worker has no peers to
+		// exchange embeddings with or AllReduce against, so only compute is
+		// guaranteed there.
+		required := obs.CorePhases()
+		if topo.NumWorkers() == 1 {
+			required = []string{"compute"}
+		}
+		data, err := os.ReadFile(*tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		counts, err := obs.ValidateChrome(data, required)
+		if err != nil {
+			fatal(err)
+		}
+		total := 0
+		for _, c := range counts {
+			total += c
+		}
+		fmt.Printf("wrote %d spans (%d phases) to %s — load it at https://ui.perfetto.dev\n",
+			total, len(counts), *tracePath)
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)

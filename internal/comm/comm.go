@@ -19,6 +19,7 @@ import (
 
 	"hetgmp/internal/cluster"
 	"hetgmp/internal/invariant"
+	"hetgmp/internal/obs"
 )
 
 // Category classifies traffic for the Figure 8 breakdown.
@@ -58,11 +59,25 @@ type Fabric struct {
 	// byte-accounting cross-check (Totals) as traffic is recorded.
 	check *invariant.Checker
 
+	// met, when non-nil, mirrors the private ledgers into an obs.Registry:
+	// per-category byte counters, a message counter and a transfer-duration
+	// histogram on the hot path, plus a snapshot-time collector for the
+	// per-link matrix. Metric adds run outside the fabric mutex on the
+	// caller's stripe.
+	met *fabricMetrics
+
 	mu       sync.Mutex
 	bytes    []int64 // [src*n+dst]
 	msgs     []int64
 	catBytes [numCategories]int64
 	catTime  [numCategories]float64
+}
+
+// fabricMetrics are the registry instruments the fabric feeds.
+type fabricMetrics struct {
+	catBytes [numCategories]*obs.Counter
+	messages *obs.Counter
+	transfer *obs.Histogram
 }
 
 // NewFabric creates a fabric over the given topology.
@@ -82,6 +97,52 @@ func (f *Fabric) Topology() *cluster.Topology { return f.topo }
 // engine shares its checker with the fabric so one run has one ledger of
 // checks and violations.
 func (f *Fabric) SetChecker(c *invariant.Checker) { f.check = c }
+
+// SetObs attaches an observability registry; nil detaches it. The registry
+// receives per-category byte counters (fabric.bytes.*), a message counter, a
+// transfer-duration histogram (simulated nanoseconds), and a snapshot-time
+// collector exporting the per-link traffic matrix as fabric.link.* gauges.
+func (f *Fabric) SetObs(reg *obs.Registry) {
+	if reg == nil {
+		f.met = nil
+		return
+	}
+	m := &fabricMetrics{
+		messages: reg.Counter("fabric.messages"),
+		transfer: reg.Histogram("fabric.transfer.sim_nanos", obs.TimeEdges()),
+	}
+	names := [numCategories]string{"fabric.bytes.embedding", "fabric.bytes.meta", "fabric.bytes.dense"}
+	for c := range names {
+		m.catBytes[c] = reg.Counter(names[c])
+	}
+	reg.RegisterCollector(func(emit func(obs.Metric)) {
+		snap := f.Snapshot()
+		n := snap.NumWorkers
+		for src := 0; src < n; src++ {
+			for dst := 0; dst < n; dst++ {
+				if b := snap.Bytes[src*n+dst]; b > 0 {
+					emit(obs.Metric{
+						Name: fmt.Sprintf("fabric.link.%02d->%02d.bytes", src, dst),
+						Type: "counter", Value: b,
+					})
+				}
+			}
+		}
+	})
+	f.met = m
+}
+
+// observe mirrors one recorded transfer into the registry, striped by the
+// sending worker. Called outside the fabric mutex.
+func (f *Fabric) observe(src int, bytes int64, cat Category, t float64) {
+	m := f.met
+	if m == nil {
+		return
+	}
+	m.catBytes[cat].Add(src, bytes)
+	m.messages.Inc(src)
+	m.transfer.ObserveSeconds(src, t)
+}
 
 // checkTime validates one simulated duration: finite and non-negative.
 // Every public recording method funnels its result through it.
@@ -117,6 +178,7 @@ func (f *Fabric) Transfer(src, dst int, bytes int64, cat Category) float64 {
 	f.catTime[cat] += t
 	f.mu.Unlock()
 	f.checkTime(src, dst, t)
+	f.observe(src, bytes, cat, t)
 	return t
 }
 
@@ -153,6 +215,15 @@ func (f *Fabric) TransferBatch(src, dst int, parts [3]int64) float64 {
 	}
 	f.mu.Unlock()
 	f.checkTime(src, dst, t)
+	if m := f.met; m != nil {
+		for c, b := range parts {
+			if b > 0 {
+				m.catBytes[c].Add(src, b)
+			}
+		}
+		m.messages.Inc(src)
+		m.transfer.ObserveSeconds(src, t)
+	}
 	return t
 }
 
@@ -170,6 +241,7 @@ func (f *Fabric) HostTransfer(w, hostNode int, bytes int64, cat Category) float6
 	f.catTime[cat] += t
 	f.mu.Unlock()
 	f.checkTime(w, w, t)
+	f.observe(w, bytes, cat, t)
 	return t
 }
 
@@ -209,20 +281,93 @@ func (f *Fabric) AllReduceTime(bytesPerWorker int64) float64 {
 	f.catTime[CatDense] += t
 	f.mu.Unlock()
 	f.checkTime(0, 1%n, t)
+	if m := f.met; m != nil {
+		m.catBytes[CatDense].Add(0, per*int64(n))
+		m.messages.Add(0, 2*int64(n-1)*int64(n))
+		m.transfer.ObserveSeconds(0, t)
+	}
 	return t
+}
+
+// Snapshot is a race-safe, point-in-time copy of all fabric ledgers, taken
+// under one lock acquisition. Readers that previously pulled the matrix and
+// the breakdown in separate calls (and could observe them mid-update,
+// disagreeing about the same bytes) now take one Snapshot and derive both
+// views from it.
+type Snapshot struct {
+	// NumWorkers is the matrix dimension.
+	NumWorkers int
+	// Bytes and Msgs are [src*NumWorkers+dst] flattened copies of the
+	// per-link ledgers.
+	Bytes []int64
+	Msgs  []int64
+	// CatBytes and CatTime are the per-category ledgers.
+	CatBytes [numCategories]int64
+	CatTime  [numCategories]float64
+}
+
+// Snapshot copies every ledger under one lock acquisition.
+func (f *Fabric) Snapshot() Snapshot {
+	n := f.topo.NumWorkers()
+	s := Snapshot{
+		NumWorkers: n,
+		Bytes:      make([]int64, n*n),
+		Msgs:       make([]int64, n*n),
+	}
+	f.mu.Lock()
+	copy(s.Bytes, f.bytes)
+	copy(s.Msgs, f.msgs)
+	s.CatBytes = f.catBytes
+	s.CatTime = f.catTime
+	f.mu.Unlock()
+	return s
+}
+
+// Matrix reshapes the snapshot's per-link bytes into trafficked[src][dst].
+func (s Snapshot) Matrix() [][]int64 {
+	n := s.NumWorkers
+	m := make([][]int64, n)
+	for i := range m {
+		m[i] = make([]int64, n)
+		copy(m[i], s.Bytes[i*n:(i+1)*n])
+	}
+	return m
+}
+
+// Breakdown derives the per-category communication summary.
+func (s Snapshot) Breakdown() Breakdown {
+	var b Breakdown
+	for c := 0; c < int(numCategories); c++ {
+		b.Bytes[c] = s.CatBytes[c]
+		b.Seconds[c] = s.CatTime[c]
+	}
+	return b
+}
+
+// Totals derives both grand totals from the one consistent copy.
+func (s Snapshot) Totals() Totals {
+	var t Totals
+	for _, b := range s.Bytes {
+		t.MatrixBytes += b
+	}
+	for _, b := range s.CatBytes {
+		t.CategoryBytes += b
+	}
+	return t
+}
+
+// Messages sums the per-link message counts.
+func (s Snapshot) Messages() int64 {
+	var m int64
+	for _, c := range s.Msgs {
+		m += c
+	}
+	return m
 }
 
 // TrafficMatrix returns a copy of the per-pair byte counts, trafficked[src][dst].
 func (f *Fabric) TrafficMatrix() [][]int64 {
-	n := f.topo.NumWorkers()
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	m := make([][]int64, n)
-	for i := range m {
-		m[i] = make([]int64, n)
-		copy(m[i], f.bytes[i*n:(i+1)*n])
-	}
-	return m
+	return f.Snapshot().Matrix()
 }
 
 // Breakdown is the per-category communication summary behind Figure 8.
@@ -239,14 +384,7 @@ func (b Breakdown) TotalSeconds() float64 { return b.Seconds[0] + b.Seconds[1] +
 
 // Breakdown returns the accumulated per-category traffic.
 func (f *Fabric) Breakdown() Breakdown {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	var b Breakdown
-	for c := 0; c < int(numCategories); c++ {
-		b.Bytes[c] = f.catBytes[c]
-		b.Seconds[c] = f.catTime[c]
-	}
-	return b
+	return f.Snapshot().Breakdown()
 }
 
 // Totals holds the two independent grand totals the fabric maintains over
@@ -262,18 +400,9 @@ type Totals struct {
 	CategoryBytes int64
 }
 
-// Totals computes both grand totals under one lock acquisition.
+// Totals computes both grand totals from one consistent snapshot.
 func (f *Fabric) Totals() Totals {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	var t Totals
-	for _, b := range f.bytes {
-		t.MatrixBytes += b
-	}
-	for _, b := range f.catBytes {
-		t.CategoryBytes += b
-	}
-	return t
+	return f.Snapshot().Totals()
 }
 
 // CheckTotals cross-checks the per-category ledger against the traffic
@@ -313,11 +442,5 @@ func (f *Fabric) Reset() {
 
 // Messages returns the total number of point-to-point messages recorded.
 func (f *Fabric) Messages() int64 {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	var s int64
-	for _, m := range f.msgs {
-		s += m
-	}
-	return s
+	return f.Snapshot().Messages()
 }

@@ -1,0 +1,144 @@
+package comm
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"hetgmp/internal/obs"
+)
+
+func TestSnapshotIsConsistentCopy(t *testing.T) {
+	f := NewFabric(testTopo())
+	f.Transfer(0, 1, 1000, CatEmbedding)
+	f.Transfer(1, 2, 500, CatMeta)
+	f.AllReduceTime(256)
+
+	s := f.Snapshot()
+	if got := s.Matrix()[0][1]; got != f.TrafficMatrix()[0][1] {
+		t.Errorf("snapshot matrix[0][1] = %d, wrapper = %d", got, f.TrafficMatrix()[0][1])
+	}
+	if s.Breakdown() != f.Breakdown() {
+		t.Errorf("snapshot breakdown %+v, wrapper %+v", s.Breakdown(), f.Breakdown())
+	}
+	if s.Totals() != f.Totals() {
+		t.Errorf("snapshot totals %+v, wrapper %+v", s.Totals(), f.Totals())
+	}
+	if s.Messages() != f.Messages() {
+		t.Errorf("snapshot messages %d, wrapper %d", s.Messages(), f.Messages())
+	}
+	tot := s.Totals()
+	if tot.MatrixBytes != tot.CategoryBytes {
+		t.Errorf("snapshot ledgers disagree: matrix %d vs categories %d",
+			tot.MatrixBytes, tot.CategoryBytes)
+	}
+
+	// The snapshot must be a copy: later traffic must not leak into it.
+	before := s.Matrix()[0][1]
+	f.Transfer(0, 1, 9999, CatEmbedding)
+	if got := s.Matrix()[0][1]; got != before {
+		t.Errorf("snapshot aliased live ledger: %d became %d", before, got)
+	}
+}
+
+// TestSnapshotRace drives concurrent transfers against concurrent snapshots;
+// under -race this proves Snapshot never reads the ledgers unlocked, and the
+// invariant check proves every snapshot is internally consistent (both
+// ledgers account the same bytes).
+func TestSnapshotRace(t *testing.T) {
+	f := NewFabric(testTopo())
+	var writers, readers sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; i < 500; i++ {
+				f.Transfer(w, (w+1)%4, 64, CatEmbedding)
+				f.TransferBatch(w, (w+2)%4, [3]int64{32, 8, 0})
+			}
+		}(w)
+	}
+	readers.Add(1)
+	go func() {
+		defer readers.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := f.Snapshot()
+			tot := s.Totals()
+			if tot.MatrixBytes != tot.CategoryBytes {
+				t.Errorf("inconsistent snapshot: matrix %d vs categories %d",
+					tot.MatrixBytes, tot.CategoryBytes)
+				return
+			}
+		}
+	}()
+	writers.Wait()
+	close(stop)
+	readers.Wait()
+}
+
+// TestFabricObsMirrorsLedger checks that the metrics registry's view of the
+// fabric (counters plus the per-link collector) agrees byte-for-byte with
+// the fabric's own ledgers.
+func TestFabricObsMirrorsLedger(t *testing.T) {
+	f := NewFabric(testTopo())
+	reg := obs.NewRegistry(f.Topology().NumWorkers())
+	f.SetObs(reg)
+
+	f.Transfer(0, 1, 1000, CatEmbedding)
+	f.Transfer(0, 1, 200, CatMeta)
+	f.TransferBatch(2, 3, [3]int64{128, 16, 0})
+	f.HostTransfer(1, 0, 4096, CatEmbedding)
+	f.AllReduceTime(512)
+
+	snap := reg.Snapshot()
+	b := f.Breakdown()
+	for i, name := range []string{"fabric.bytes.embedding", "fabric.bytes.meta", "fabric.bytes.dense"} {
+		m, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("metric %s missing", name)
+		}
+		if m.Value != b.Bytes[i] {
+			t.Errorf("%s = %d, ledger says %d", name, m.Value, b.Bytes[i])
+		}
+	}
+	if m, ok := snap.Get("fabric.messages"); !ok || m.Value != f.Messages() {
+		t.Errorf("fabric.messages = %d, ledger says %d", m.Value, f.Messages())
+	}
+	if m, ok := snap.Get("fabric.transfer.sim_nanos"); !ok || m.Count == 0 {
+		t.Error("fabric.transfer.sim_nanos histogram missing or empty")
+	}
+
+	// The collector emits one counter per trafficked link, equal to the
+	// matrix cell.
+	mat := f.TrafficMatrix()
+	linked := 0
+	for src := range mat {
+		for dst, bytes := range mat[src] {
+			name := fmt.Sprintf("fabric.link.%02d->%02d.bytes", src, dst)
+			m, ok := snap.Get(name)
+			if bytes == 0 {
+				if ok {
+					t.Errorf("%s emitted for an idle link", name)
+				}
+				continue
+			}
+			linked++
+			if !ok {
+				t.Errorf("%s missing", name)
+				continue
+			}
+			if m.Value != bytes {
+				t.Errorf("%s = %d, matrix says %d", name, m.Value, bytes)
+			}
+		}
+	}
+	if linked == 0 {
+		t.Error("no per-link metrics emitted")
+	}
+}

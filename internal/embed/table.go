@@ -32,6 +32,7 @@ import (
 	"sort"
 
 	"hetgmp/internal/invariant"
+	"hetgmp/internal/obs"
 	"hetgmp/internal/optim"
 	"hetgmp/internal/partition"
 	"hetgmp/internal/tensor"
@@ -65,6 +66,11 @@ type Config struct {
 	// on every Read/Update/Commit. Nil disables all checking at the cost
 	// of one pointer comparison per site.
 	Check *invariant.Checker
+	// Obs, when non-nil, receives the table's metrics: staleness-gap
+	// histograms at every Read admission (Section 5.3), protocol-outcome
+	// counters, replica hit/miss counters, and snapshot-time clock gauges.
+	// Nil disables all metrics at the cost of one pointer comparison.
+	Obs *obs.Registry
 }
 
 // OwnerTraffic counts one worker's protocol traffic with one primary owner
@@ -116,6 +122,9 @@ type Table struct {
 	// check enforces runtime invariants when non-nil.
 	check *invariant.Checker
 
+	// met feeds the obs registry when non-nil.
+	met *tableMetrics
+
 	// Theorem-1 instrumentation (see TrackStepNorms).
 	trackNorms  bool
 	stepNormSq  float64
@@ -144,6 +153,77 @@ type primaryUpdate struct {
 	x     int32
 	count int32
 	delta []float32
+}
+
+// tableMetrics are the registry instruments the table feeds. All hot-path
+// writes land on the calling worker's stripe.
+type tableMetrics struct {
+	// observedGap is the raw primary−replica clock gap seen at each
+	// intra-embedding synchronisation point, before the protocol acts;
+	// admittedGap is the gap the read actually served (0 after a refresh).
+	// For a finite bound s, admittedGap's max must respect s — that is the
+	// measurable form of the Section 5.3 guarantee.
+	observedGap *obs.Histogram
+	admittedGap *obs.Histogram
+
+	readLocalPrimary *obs.Counter
+	readLocalFresh   *obs.Counter
+	readSyncedIntra  *obs.Counter
+	readSyncedInter  *obs.Counter
+	readRemote       *obs.Counter
+	replicaHit       *obs.Counter
+	replicaMiss      *obs.Counter
+
+	updLocalPrimary   *obs.Counter
+	updLocalSecondary *obs.Counter
+	updRemotePush     *obs.Counter
+	updFlushedPending *obs.Counter
+}
+
+func newTableMetrics(reg *obs.Registry, t *Table) *tableMetrics {
+	gapEdges := obs.PowerOfTwoEdges(30)
+	m := &tableMetrics{
+		observedGap: reg.Histogram("table.staleness.observed_gap", gapEdges),
+		admittedGap: reg.Histogram("table.staleness.admitted_gap", gapEdges),
+
+		readLocalPrimary: reg.Counter("table.read.local_primary"),
+		readLocalFresh:   reg.Counter("table.read.local_fresh"),
+		readSyncedIntra:  reg.Counter("table.read.synced_intra"),
+		readSyncedInter:  reg.Counter("table.read.synced_inter"),
+		readRemote:       reg.Counter("table.read.remote"),
+		replicaHit:       reg.Counter("table.replica.hit"),
+		replicaMiss:      reg.Counter("table.replica.miss"),
+
+		updLocalPrimary:   reg.Counter("table.update.local_primary"),
+		updLocalSecondary: reg.Counter("table.update.local_secondary"),
+		updRemotePush:     reg.Counter("table.update.remote_push"),
+		updFlushedPending: reg.Counter("table.update.flushed_pending"),
+	}
+	// Clock-skew gauges are derived at snapshot time; Snapshot runs only in
+	// single-threaded sections, so the unsynchronised scan is safe.
+	reg.RegisterCollector(func(emit func(obs.Metric)) {
+		var maxClock int64
+		for _, c := range t.primaryClock {
+			if c > maxClock {
+				maxClock = c
+			}
+		}
+		var rows int64
+		var maxSkew int64
+		for w := 0; w < t.n; w++ {
+			sh := t.shards[w]
+			rows += int64(len(sh.feats))
+			for row, x := range sh.feats {
+				if skew := t.primaryClock[x] - sh.baseClock[row]; skew > maxSkew {
+					maxSkew = skew
+				}
+			}
+		}
+		emit(obs.Metric{Name: "table.clock.primary_max", Type: "gauge", Gauge: float64(maxClock)})
+		emit(obs.Metric{Name: "table.clock.replica_skew_max", Type: "gauge", Gauge: float64(maxSkew)})
+		emit(obs.Metric{Name: "table.replica.rows", Type: "gauge", Gauge: float64(rows)})
+	})
+	return m
 }
 
 // NewTable builds the table: primary rows live once (logically sharded by
@@ -212,6 +292,9 @@ func NewTable(cfg Config) (*Table, error) {
 			copy(sh.vals.Row(row), t.primary.Row(int(x)))
 		}
 		t.shards[w] = sh
+	}
+	if cfg.Obs != nil {
+		t.met = newTableMetrics(cfg.Obs, t)
 	}
 	return t, nil
 }
@@ -300,11 +383,17 @@ func (t *Table) Read(w int, feats []int32, dst *tensor.Matrix, opt ReadOptions) 
 		// key of metadata per secondary per read regardless of outcome.
 		sh.perOwner[owner].MetaKeys++
 		gap := t.primaryClock[x] - sh.baseClock[row]
+		admitted := gap
 		if gap > opt.Staleness {
 			t.syncSecondary(w, sh, x, row, owner)
 			stats.SyncedIntra++
+			admitted = 0 // the read serves the just-refreshed replica
 		} else {
 			stats.LocalFresh++
+		}
+		if m := t.met; m != nil {
+			m.observedGap.Observe(w, gap)
+			m.admittedGap.Observe(w, admitted)
 		}
 		copy(dst.Row(i), sh.vals.Row(int(row)))
 	}
@@ -314,6 +403,15 @@ func (t *Table) Read(w int, feats []int32, dst *tensor.Matrix, opt ReadOptions) 
 	}
 	if t.check != nil {
 		t.verifyReadBound(w, sh, feats, opt.Staleness)
+	}
+	if m := t.met; m != nil {
+		m.readLocalPrimary.Add(w, int64(stats.LocalPrimary))
+		m.readLocalFresh.Add(w, int64(stats.LocalFresh))
+		m.readSyncedIntra.Add(w, int64(stats.SyncedIntra))
+		m.readSyncedInter.Add(w, int64(stats.SyncedInter))
+		m.readRemote.Add(w, int64(stats.RemoteReads))
+		m.replicaHit.Add(w, int64(stats.LocalFresh+stats.SyncedIntra))
+		m.replicaMiss.Add(w, int64(stats.RemoteReads))
 	}
 	return stats
 }
@@ -570,6 +668,12 @@ func (t *Table) Update(w int, feats []int32, grads *tensor.Matrix, writeBound in
 				})
 			}
 		}
+	}
+	if m := t.met; m != nil {
+		m.updLocalPrimary.Add(w, int64(stats.LocalPrimary))
+		m.updLocalSecondary.Add(w, int64(stats.LocalSecondary))
+		m.updRemotePush.Add(w, int64(stats.RemotePush))
+		m.updFlushedPending.Add(w, int64(stats.FlushedPending))
 	}
 	return stats
 }

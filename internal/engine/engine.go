@@ -22,6 +22,7 @@ import (
 	"hetgmp/internal/embed"
 	"hetgmp/internal/invariant"
 	"hetgmp/internal/nn"
+	"hetgmp/internal/obs"
 	"hetgmp/internal/optim"
 	"hetgmp/internal/partition"
 	"hetgmp/internal/tensor"
@@ -98,6 +99,16 @@ type Config struct {
 	// `go test` regardless of this flag; a violation panics with a
 	// structured report.
 	CheckInvariants bool
+
+	// Metrics, when non-nil, receives the run's metrics: iteration and
+	// per-phase time histograms from the engine, staleness-gap histograms
+	// and protocol counters from the table, byte/message counters from the
+	// fabric. The final snapshot is exported as Result.Metrics. Nil disables
+	// all metrics; a metrics-off run is bit-identical to a metrics-on run.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records per-worker phase spans on the simulated
+	// cluster clock, exportable as Chrome trace_event JSON.
+	Tracer *obs.Tracer
 
 	Seed uint64
 }
@@ -189,6 +200,12 @@ type Result struct {
 	// Invariants.Violations == 0 to certify a run obeyed the Section 5.3
 	// and Section 6 contracts it claims to measure.
 	Invariants invariant.Counts
+
+	// Metrics is the final registry snapshot (empty when Config.Metrics was
+	// nil). Notable entries: table.staleness.admitted_gap (its Max must
+	// respect the configured bound s), engine.phase.*.sim_nanos, and the
+	// fabric.* traffic series.
+	Metrics obs.Snapshot
 }
 
 // MovementSum returns Σ_t ‖x(t+1) − x(t)‖, the series Theorem 1 proves
@@ -238,6 +255,8 @@ type Trainer struct {
 	fabric *comm.Fabric
 	table  *embed.Table
 	check  *invariant.Checker
+	met    *engineMetrics
+	trace  *obs.Tracer
 	n      int
 
 	workers []*worker
@@ -273,12 +292,14 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		LocalLR:     cfg.LocalLR,
 		Seed:        cfg.Seed,
 		Check:       check,
+		Obs:         cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err
 	}
 	fabric := comm.NewFabric(cfg.Topo)
 	fabric.SetChecker(check)
+	fabric.SetObs(cfg.Metrics)
 	t := &Trainer{
 		cfg:      cfg,
 		fabric:   fabric,
@@ -304,6 +325,7 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		t.workers = append(t.workers, newWorker(w, t, shards[w], rng.Split()))
 		t.denseGrad = append(t.denseGrad, make([]float32, cfg.Model.ParamCount()))
 	}
+	t.initObs()
 	return t, nil
 }
 
@@ -427,6 +449,8 @@ func (t *Trainer) Run() (*Result, error) {
 				if !w.hasWork() {
 					w.iterTime = 0
 					w.iterCompute = 0
+					w.iterReadComm = 0
+					w.iterUpdateComm = 0
 					w.iterLoss = 0
 					w.iterSamples = 0
 					for h := range w.iterHostBytes {
@@ -494,11 +518,20 @@ func (t *Trainer) Run() (*Result, error) {
 					if denseBusy > dt {
 						dt = denseBusy
 					}
+					if t.obsOn() {
+						// No barrier: each worker's spans start at its own
+						// clock; the dense exchange and any host-queueing
+						// stall follow its busy interval.
+						end := t.emitWorkerPhases(w, psClock[wi], epoch, global)
+						t.obsSpan(wi, obs.PhaseAllReduce, end, denseDt, epoch, global)
+						t.obsSpan(wi, obs.PhaseWait, end+denseDt, dt-(w.iterTime+denseDt), epoch, global)
+					}
 					psClock[wi] += dt
 				}
 				// The shared simulated clock follows the slowest worker.
 				simTime = maxFloat(psClock)
 				res.DenseSeconds += maxDenseDt
+				t.observeIteration(simTime - prevSim)
 			} else {
 				denseDt := t.fabric.AllReduceTime(denseBytes)
 				t.reduceDense()
@@ -507,6 +540,7 @@ func (t *Trainer) Run() (*Result, error) {
 				}
 				simTime += maxDt + denseDt
 				res.DenseSeconds += denseDt
+				t.emitAllReduceObs(prevSim, maxDt, denseDt, epoch, global)
 			}
 			t.checkSimTime(prevSim, simTime)
 			t.table.Commit()
@@ -580,6 +614,9 @@ func (t *Trainer) Run() (*Result, error) {
 			if dt > flushMax {
 				flushMax = dt
 			}
+			if t.obsOn() {
+				t.obsSpan(wi, obs.PhaseFlush, simTime, dt, epoch, global)
+			}
 		}
 		prevSim := simTime
 		simTime += flushMax
@@ -595,8 +632,10 @@ func (t *Trainer) finalize(res *Result) {
 	if res.TotalSimTime > 0 {
 		res.Throughput = float64(res.SamplesProcessed) / res.TotalSimTime
 	}
-	res.Breakdown = t.fabric.Breakdown()
-	res.TrafficMatrix = t.fabric.TrafficMatrix()
+	// One consistent fabric snapshot backs both exported views.
+	snap := t.fabric.Snapshot()
+	res.Breakdown = snap.Breakdown()
+	res.TrafficMatrix = snap.Matrix()
 	for _, w := range t.workers {
 		res.LocalPrimary += w.totLocalPrimary
 		res.LocalFresh += w.totLocalFresh
@@ -610,6 +649,9 @@ func (t *Trainer) finalize(res *Result) {
 		_ = t.fabric.CheckTotals()
 		t.table.VerifyCommitted()
 		res.Invariants = t.check.Counts()
+	}
+	if t.cfg.Metrics != nil {
+		res.Metrics = t.cfg.Metrics.Snapshot()
 	}
 }
 

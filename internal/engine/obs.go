@@ -1,0 +1,105 @@
+package engine
+
+import (
+	"fmt"
+
+	"hetgmp/internal/obs"
+)
+
+// engineMetrics are the trainer's registry instruments: the per-iteration
+// simulated-time histogram and one histogram per training phase. Together
+// with the tracer spans they are the Section 6 time decomposition in
+// queryable form.
+type engineMetrics struct {
+	iterTime *obs.Histogram
+	phase    [obs.NumPhases]*obs.Histogram
+}
+
+func newEngineMetrics(reg *obs.Registry) *engineMetrics {
+	m := &engineMetrics{
+		iterTime: reg.Histogram("engine.iteration.sim_nanos", obs.TimeEdges()),
+	}
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		m.phase[p] = reg.Histogram("engine.phase."+p.String()+".sim_nanos", obs.TimeEdges())
+	}
+	return m
+}
+
+// obsOn reports whether any observability sink is attached. All span
+// emission is guarded by it so a metrics-off run pays one branch per
+// iteration, not per-phase float math.
+func (t *Trainer) obsOn() bool { return t.trace != nil || t.met != nil }
+
+// obsSpan records one phase interval on both sinks: a tracer span and the
+// phase-duration histogram. Called only from the engine's single-threaded
+// barrier sections, after worker goroutines have joined.
+func (t *Trainer) obsSpan(wid int, p obs.Phase, start, dur float64, epoch, iter int) {
+	if dur <= 0 {
+		return
+	}
+	t.trace.Span(wid, p, start, dur, epoch, iter)
+	if t.met != nil {
+		t.met.phase[p].ObserveSeconds(wid, dur)
+	}
+}
+
+// observeIteration records one iteration's simulated duration.
+func (t *Trainer) observeIteration(dt float64) {
+	if t.met != nil {
+		t.met.iterTime.ObserveSeconds(0, dt)
+	}
+}
+
+// emitWorkerPhases lays one worker's serial phase sequence (embed fetch →
+// dense compute → gradient push) onto the simulated interval
+// [start, start+iterTime]. Under the overlap model the three phases ran
+// partly concurrently, so each is scaled by iterTime/serial — the spans keep
+// their relative proportions and exactly fill the worker's busy interval.
+// Returns the interval's end.
+func (t *Trainer) emitWorkerPhases(w *worker, start float64, epoch, iter int) float64 {
+	serial := w.iterCompute + w.iterReadComm + w.iterUpdateComm
+	f := 1.0
+	if serial > 0 {
+		f = w.iterTime / serial
+	}
+	cur := start
+	t.obsSpan(w.id, obs.PhaseEmbedFetch, cur, w.iterReadComm*f, epoch, iter)
+	cur += w.iterReadComm * f
+	t.obsSpan(w.id, obs.PhaseCompute, cur, w.iterCompute*f, epoch, iter)
+	cur += w.iterCompute * f
+	t.obsSpan(w.id, obs.PhaseGradPush, cur, w.iterUpdateComm*f, epoch, iter)
+	return start + w.iterTime
+}
+
+// emitAllReduceObs emits one barrier-synchronised iteration's spans: each
+// active worker's phases, its wait until the barrier at start+barrier (the
+// slowest worker / busiest NIC), and the collective AllReduce; idle workers
+// wait out the whole iteration.
+func (t *Trainer) emitAllReduceObs(start, barrier, denseDt float64, epoch, iter int) {
+	if !t.obsOn() {
+		return
+	}
+	for _, w := range t.workers {
+		if w.iterSamples == 0 {
+			t.obsSpan(w.id, obs.PhaseWait, start, barrier+denseDt, epoch, iter)
+			continue
+		}
+		end := t.emitWorkerPhases(w, start, epoch, iter)
+		t.obsSpan(w.id, obs.PhaseWait, end, start+barrier-end, epoch, iter)
+		t.obsSpan(w.id, obs.PhaseAllReduce, start+barrier, denseDt, epoch, iter)
+	}
+	t.observeIteration(barrier + denseDt)
+}
+
+// initObs attaches the configured sinks and labels one trace track per
+// simulated GPU.
+func (t *Trainer) initObs() {
+	cfg := &t.cfg
+	if cfg.Metrics != nil {
+		t.met = newEngineMetrics(cfg.Metrics)
+	}
+	t.trace = cfg.Tracer
+	for w := 0; w < t.n; w++ {
+		t.trace.SetThreadName(w, fmt.Sprintf("gpu%02d", w))
+	}
+}

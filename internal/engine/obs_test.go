@@ -1,0 +1,127 @@
+package engine
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"hetgmp/internal/consistency"
+	"hetgmp/internal/obs"
+)
+
+// obsConfig is the graph-bounded fixture config with secondaries (so the
+// table's staleness instrumentation has replicas to observe) plus a live
+// registry and tracer.
+func obsConfig(t *testing.T, f *fixture, s int64, reg *obs.Registry, tr *obs.Tracer) Config {
+	t.Helper()
+	cfg := protocolConfig(t, f, hybridAssign(t, f, f.topo.NumWorkers()), consistency.GraphBounded, s, 2)
+	cfg.Metrics = reg
+	cfg.Tracer = tr
+	return cfg
+}
+
+// TestMetamorphicMetricsOffIdentical is the observability layer's
+// no-observer-effect relation: attaching the metrics registry and the tracer
+// must not perturb the simulation in any way. The convergence history, final
+// AUC, simulated clock, and traffic ledgers must be bit-identical to the
+// uninstrumented run.
+func TestMetamorphicMetricsOffIdentical(t *testing.T) {
+	f := newFixture(t)
+	const bound = 5
+
+	plain := run(t, obsConfig(t, f, bound, nil, nil))
+	reg := obs.NewRegistry(f.topo.NumWorkers())
+	traced := run(t, obsConfig(t, f, bound, reg, obs.NewTracer()))
+
+	if !reflect.DeepEqual(plain.History, traced.History) {
+		t.Errorf("history diverges with metrics on:\n  off: %+v\n  on:  %+v", plain.History, traced.History)
+	}
+	if plain.FinalAUC != traced.FinalAUC {
+		t.Errorf("final AUC %v (off) vs %v (on)", plain.FinalAUC, traced.FinalAUC)
+	}
+	if plain.TotalSimTime != traced.TotalSimTime {
+		t.Errorf("sim time %v (off) vs %v (on)", plain.TotalSimTime, traced.TotalSimTime)
+	}
+	if plain.SamplesProcessed != traced.SamplesProcessed {
+		t.Errorf("samples %d (off) vs %d (on)", plain.SamplesProcessed, traced.SamplesProcessed)
+	}
+	if plain.Breakdown != traced.Breakdown {
+		t.Errorf("traffic breakdown %+v (off) vs %+v (on)", plain.Breakdown, traced.Breakdown)
+	}
+	if len(plain.Metrics.Metrics) != 0 {
+		t.Errorf("uninstrumented run carries %d metrics", len(plain.Metrics.Metrics))
+	}
+	if len(traced.Metrics.Metrics) == 0 {
+		t.Error("instrumented run has an empty metrics snapshot")
+	}
+}
+
+// TestObsEndToEnd runs two instrumented epochs under a finite staleness
+// bound and checks the acceptance criteria: the admitted-gap histogram's max
+// respects the bound, every core phase has spans, spans cover every worker
+// track, and the exported trace is valid Chrome trace_event JSON.
+func TestObsEndToEnd(t *testing.T) {
+	f := newFixture(t)
+	const bound = 5
+	reg := obs.NewRegistry(f.topo.NumWorkers())
+	tracer := obs.NewTracer()
+	res := run(t, obsConfig(t, f, bound, reg, tracer))
+
+	gap, ok := res.Metrics.Get("table.staleness.admitted_gap")
+	if !ok || gap.Count == 0 {
+		t.Fatal("admitted-gap histogram missing or empty")
+	}
+	if gap.Max > bound {
+		t.Errorf("admitted staleness gap max %d exceeds bound %d", gap.Max, bound)
+	}
+	if gap.Max < 0 {
+		t.Errorf("admitted staleness gap max %d negative", gap.Max)
+	}
+	if it, ok := res.Metrics.Get("engine.iteration.sim_nanos"); !ok || it.Count != int64(res.Iterations) {
+		t.Errorf("iteration histogram count %d, want %d", it.Count, res.Iterations)
+	}
+	for _, name := range []string{"fabric.messages", "table.read.local_primary", "table.clock.primary_max"} {
+		if _, ok := res.Metrics.Get(name); !ok {
+			t.Errorf("metric %s missing from snapshot", name)
+		}
+	}
+
+	tids := make(map[int]bool)
+	phases := make(map[string]bool)
+	for _, sp := range tracer.Spans() {
+		tids[sp.TID] = true
+		phases[sp.Name] = true
+		if sp.Dur <= 0 || sp.Start < 0 {
+			t.Fatalf("degenerate span %+v", sp)
+		}
+	}
+	if len(tids) != f.topo.NumWorkers() {
+		t.Errorf("spans cover %d worker tracks, want %d", len(tids), f.topo.NumWorkers())
+	}
+	for _, p := range obs.CorePhases() {
+		if !phases[p] {
+			t.Errorf("no spans for phase %s", p)
+		}
+	}
+
+	data, err := tracer.MarshalChrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, err := obs.ValidateChrome(data, obs.CorePhases())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if counts["compute"] == 0 {
+		t.Error("no compute spans in exported trace")
+	}
+	var round struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &round); err != nil {
+		t.Fatalf("trace does not round-trip: %v", err)
+	}
+	if len(round.TraceEvents) < tracer.Len() {
+		t.Errorf("trace has %d events for %d spans", len(round.TraceEvents), tracer.Len())
+	}
+}

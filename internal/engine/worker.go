@@ -42,8 +42,13 @@ type worker struct {
 	// Per-iteration outputs.
 	iterTime    float64
 	iterCompute float64
-	iterLoss    float64
-	iterSamples int
+	// iterReadComm and iterUpdateComm split the iteration's communication
+	// time into the gather (embed fetch) and scatter (gradient push) sides,
+	// so the tracer can lay the phases out separately.
+	iterReadComm   float64
+	iterUpdateComm float64
+	iterLoss       float64
+	iterSamples    int
 	// iterHostBytes[h] counts this iteration's parameter-server traffic
 	// with host h (PS mode only); the engine turns the per-host totals
 	// into queueing delay at the shared host link.
@@ -141,9 +146,9 @@ func (w *worker) runIteration() {
 	}
 
 	// Gather embeddings under the consistency protocol.
-	var commTime float64
+	var readComm float64
 	if cfg.PS != nil {
-		commTime += w.psRead(bs)
+		readComm = w.psRead(bs)
 	} else {
 		stats := w.t.table.Read(w.id, w.uniq, w.embBuf, embed.ReadOptions{
 			Staleness:  cfg.Staleness,
@@ -155,7 +160,7 @@ func (w *worker) runIteration() {
 		w.totSyncedIntra += int64(stats.SyncedIntra)
 		w.totSyncedInter += int64(stats.SyncedInter)
 		w.totRemoteReads += int64(stats.RemoteReads)
-		commTime += w.chargeOwnerTraffic(stats.PerOwner)
+		readComm = w.chargeOwnerTraffic(stats.PerOwner)
 	}
 
 	// Build the dense input: per sample, concatenate its field embeddings.
@@ -188,15 +193,19 @@ func (w *worker) runIteration() {
 	}
 
 	// Apply updates under the protocol.
+	var updComm float64
 	if cfg.PS != nil {
-		commTime += w.psUpdate(gb)
+		updComm = w.psUpdate(gb)
 	} else {
 		ustats := w.t.table.Update(w.id, w.uniq, gb, cfg.Staleness)
 		w.totLocalSecondary += int64(ustats.LocalSecondary)
 		w.totRemotePush += int64(ustats.RemotePush)
 		w.totFlush += int64(ustats.FlushedPending)
-		commTime += w.chargeOwnerTraffic(ustats.PerOwner)
+		updComm = w.chargeOwnerTraffic(ustats.PerOwner)
 	}
+	w.iterReadComm = readComm
+	w.iterUpdateComm = updComm
+	commTime := readComm + updComm
 
 	// Simulated compute time: model FLOPs plus embedding gather/update,
 	// at the effective (not peak) GPU rate.

@@ -7,12 +7,14 @@ import (
 	"hetgmp/internal/cluster"
 	"hetgmp/internal/dataset"
 	"hetgmp/internal/nn"
+	"hetgmp/internal/obs"
 	"hetgmp/internal/partition"
 )
 
 // benchTrainer builds a trainer on a small Avazu slice for isolating one
-// worker's iteration cost.
-func benchTrainer(b *testing.B) *Trainer {
+// worker's iteration cost. A non-nil registry attaches the full metrics
+// instrumentation (table, fabric, engine).
+func benchTrainer(b *testing.B, reg *obs.Registry) *Trainer {
 	b.Helper()
 	ds, err := dataset.New(dataset.Avazu, 1e-4, 17)
 	if err != nil {
@@ -31,6 +33,7 @@ func benchTrainer(b *testing.B) *Trainer {
 		Epochs:         1,
 		EvalEvery:      1 << 30,
 		Seed:           5,
+		Metrics:        reg,
 	}
 	tr, err := NewTrainer(cfg)
 	if err != nil {
@@ -45,7 +48,25 @@ func benchTrainer(b *testing.B) *Trainer {
 // replaced rehashed every (sample, field) edge and showed up as both time
 // and steady-state allocations.
 func BenchmarkWorkerIteration(b *testing.B) {
-	tr := benchTrainer(b)
+	tr := benchTrainer(b, nil)
+	w := tr.workers[0]
+	w.startEpoch()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if !w.hasWork() {
+			w.startEpoch()
+		}
+		w.runIteration()
+	}
+}
+
+// BenchmarkWorkerIterationObs is the same step with the metrics registry
+// attached — every table read observes two histograms and bumps the striped
+// counters, every transfer ticks the fabric ledger metrics. The acceptance
+// bar is ≤5% over BenchmarkWorkerIteration.
+func BenchmarkWorkerIterationObs(b *testing.B) {
+	tr := benchTrainer(b, obs.NewRegistry(cluster.EightGPUQPI().NumWorkers()))
 	w := tr.workers[0]
 	w.startEpoch()
 	b.ReportAllocs()

@@ -1,0 +1,427 @@
+// Package obs is the zero-dependency observability layer of the
+// reproduction: a metrics registry (counters, gauges, fixed-bucket
+// histograms) plus a span tracer keyed to the simulated cluster clock
+// (trace.go). It exists because every claim the paper makes is a
+// time-decomposition claim — where iteration time goes (Section 6), how
+// staleness evolves under bounded asynchrony (Section 5.3), how partition
+// quality shapes cross-link traffic — and end-of-run aggregates cannot show
+// a single iteration's timeline or a staleness distribution.
+//
+// Design rules, mirroring package invariant:
+//
+//   - A nil *Registry (and every handle it would have produced) is valid and
+//     fully disabled: all methods no-op after one nil comparison, so a
+//     metrics-off run pays nothing and is bit-identical to a build without
+//     the instrumentation.
+//   - Hot-path instruments are lock-striped per worker: each worker writes
+//     its own cache-line-padded stripe, so a counter bump or histogram
+//     observation is one-or-few uncontended atomic adds and never a mutex.
+//   - Observability must never perturb training: instruments only read
+//     training state, and the engine's metamorphic test enforces that a
+//     metrics-on run is bit-identical to a metrics-off run.
+//   - Snapshots are stable-ordered (sorted by metric name) so exported JSON
+//     is directly comparable against golden files.
+//
+// Histogram values are int64; callers measuring simulated time observe
+// nanoseconds of simulated time (see TimeEdges), callers measuring clock
+// gaps observe raw clock deltas (see PowerOfTwoEdges).
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds named metrics. Construct with NewRegistry; a nil registry
+// is the disabled state and hands out nil (disabled) instruments.
+type Registry struct {
+	stripes int
+
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	hists      map[string]*Histogram
+	collectors []Collector
+}
+
+// Collector is a snapshot-time callback that emits derived or cheap-to-scan
+// metrics (per-link traffic gauges, clock maxima) without any hot-path cost.
+// Collectors run during Snapshot, which must not race with training — the
+// engine snapshots only from its single-threaded sections.
+type Collector func(emit func(Metric))
+
+// NewRegistry creates a registry whose striped instruments have one stripe
+// per expected writer (typically the worker count). Extra writers share
+// stripes by modulo; correctness never depends on the stripe count.
+func NewRegistry(stripes int) *Registry {
+	if stripes < 1 {
+		stripes = 1
+	}
+	return &Registry{
+		stripes:  stripes,
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
+	}
+}
+
+// Stripes returns the configured stripe count (0 for a nil registry).
+func (r *Registry) Stripes() int {
+	if r == nil {
+		return 0
+	}
+	return r.stripes
+}
+
+// Counter returns the named counter, creating it on first use. Nil registry
+// returns a nil, disabled counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok := r.counters[name]; ok {
+		return c
+	}
+	c := &Counter{stripes: make([]padInt64, r.stripes)}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.gauges[name]; ok {
+		return g
+	}
+	g := &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns the named histogram, creating it with the given bucket
+// upper edges (ascending; an implicit +Inf bucket is appended) on first use.
+// A later call with the same name returns the existing histogram regardless
+// of edges.
+func (r *Registry) Histogram(name string, edges []int64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok := r.hists[name]; ok {
+		return h
+	}
+	for i := 1; i < len(edges); i++ {
+		if edges[i] <= edges[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q edges not strictly ascending at %d", name, i))
+		}
+	}
+	h := &Histogram{edges: append([]int64(nil), edges...)}
+	h.stripes = make([]*histStripe, r.stripes)
+	for i := range h.stripes {
+		s := &histStripe{counts: make([]atomic.Int64, len(edges)+1)}
+		s.max.Store(math.MinInt64)
+		h.stripes[i] = s
+	}
+	r.hists[name] = h
+	return h
+}
+
+// RegisterCollector adds a snapshot-time metric source.
+func (r *Registry) RegisterCollector(c Collector) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// padInt64 is a cache-line-padded atomic so neighbouring stripes never
+// false-share.
+type padInt64 struct {
+	v atomic.Int64
+	_ [56]byte
+}
+
+// Counter is a monotonically increasing striped counter. The zero stripe is
+// fine for single-writer call sites.
+type Counter struct {
+	stripes []padInt64
+}
+
+// Add increments the counter by v on the given writer's stripe.
+func (c *Counter) Add(stripe int, v int64) {
+	if c == nil {
+		return
+	}
+	c.stripes[stripe%len(c.stripes)].v.Add(v)
+}
+
+// Inc adds one.
+func (c *Counter) Inc(stripe int) { c.Add(stripe, 1) }
+
+// Value sums all stripes.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var s int64
+	for i := range c.stripes {
+		s += c.stripes[i].v.Load()
+	}
+	return s
+}
+
+// Gauge is a float64 last-value (or running-maximum) cell.
+type Gauge struct {
+	bits atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.bits.Store(math.Float64bits(v))
+}
+
+// SetMax raises the gauge to v if v is larger than the current value.
+func (g *Gauge) SetMax(v float64) {
+	if g == nil {
+		return
+	}
+	for {
+		cur := g.bits.Load()
+		if v <= math.Float64frombits(cur) || g.bits.CompareAndSwap(cur, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+// Value reads the gauge.
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket int64 histogram: bucket i counts observations
+// v ≤ edges[i]; the final bucket counts everything above the last edge. Each
+// stripe additionally tracks sum and max, so snapshots report the exact
+// maximum (the staleness acceptance bound check needs it), not a bucketed
+// approximation.
+type Histogram struct {
+	edges   []int64
+	stripes []*histStripe
+}
+
+type histStripe struct {
+	counts []atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+	_      [48]byte // pad so adjacent stripes' scalars never false-share
+}
+
+// Observe records v on the given writer's stripe: one bucket add, one sum
+// add and a (usually skipped) max CAS.
+func (h *Histogram) Observe(stripe int, v int64) {
+	if h == nil {
+		return
+	}
+	s := h.stripes[stripe%len(h.stripes)]
+	i := 0
+	for i < len(h.edges) && v > h.edges[i] {
+		i++
+	}
+	s.counts[i].Add(1)
+	s.sum.Add(v)
+	for {
+		cur := s.max.Load()
+		if v <= cur || s.max.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// ObserveSeconds records a duration in seconds as simulated nanoseconds.
+func (h *Histogram) ObserveSeconds(stripe int, sec float64) {
+	h.Observe(stripe, int64(sec*1e9))
+}
+
+// Edges returns the configured bucket upper bounds.
+func (h *Histogram) Edges() []int64 {
+	if h == nil {
+		return nil
+	}
+	return append([]int64(nil), h.edges...)
+}
+
+// merge folds all stripes into one snapshot view.
+func (h *Histogram) merge() (buckets []Bucket, count, sum, max int64) {
+	buckets = make([]Bucket, len(h.edges)+1)
+	for i := range buckets {
+		if i < len(h.edges) {
+			buckets[i].Le = h.edges[i]
+		} else {
+			buckets[i].Le = math.MaxInt64
+		}
+	}
+	max = math.MinInt64
+	for _, s := range h.stripes {
+		for i := range s.counts {
+			buckets[i].Count += s.counts[i].Load()
+		}
+		sum += s.sum.Load()
+		if m := s.max.Load(); m > max {
+			max = m
+		}
+	}
+	for _, b := range buckets {
+		count += b.Count
+	}
+	if count == 0 {
+		max = 0
+	}
+	return buckets, count, sum, max
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	_, c, _, _ := h.merge()
+	return c
+}
+
+// Sum returns the total of all observed values.
+func (h *Histogram) Sum() int64 {
+	if h == nil {
+		return 0
+	}
+	_, _, s, _ := h.merge()
+	return s
+}
+
+// Max returns the exact largest observation (0 when empty).
+func (h *Histogram) Max() int64 {
+	if h == nil {
+		return 0
+	}
+	_, _, _, m := h.merge()
+	return m
+}
+
+// Bucket is one histogram bucket in a snapshot: Count observations with
+// value ≤ Le (Le is math.MaxInt64 for the overflow bucket).
+type Bucket struct {
+	Le    int64 `json:"le"`
+	Count int64 `json:"count"`
+}
+
+// Metric is one exported metric. Counter metrics carry Value; gauges carry
+// Gauge; histograms carry Count/Sum/Max/Buckets.
+type Metric struct {
+	Name    string   `json:"name"`
+	Type    string   `json:"type"`
+	Value   int64    `json:"value,omitempty"`
+	Gauge   float64  `json:"gauge,omitempty"`
+	Count   int64    `json:"count,omitempty"`
+	Sum     int64    `json:"sum,omitempty"`
+	Max     int64    `json:"max,omitempty"`
+	Buckets []Bucket `json:"buckets,omitempty"`
+}
+
+// Snapshot is a point-in-time, stable-ordered export of a registry.
+type Snapshot struct {
+	Metrics []Metric `json:"metrics"`
+}
+
+// Snapshot collects every registered metric and collector output, sorted by
+// name. It must not run concurrently with hot-path writers whose collectors
+// read unsynchronised state; the engine calls it only from single-threaded
+// sections. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	var snap Snapshot
+	if r == nil {
+		return snap
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		snap.Metrics = append(snap.Metrics, Metric{Name: name, Type: "counter", Value: c.Value()})
+	}
+	for name, g := range r.gauges {
+		snap.Metrics = append(snap.Metrics, Metric{Name: name, Type: "gauge", Gauge: g.Value()})
+	}
+	for name, h := range r.hists {
+		buckets, count, sum, max := h.merge()
+		snap.Metrics = append(snap.Metrics, Metric{
+			Name: name, Type: "histogram",
+			Count: count, Sum: sum, Max: max, Buckets: buckets,
+		})
+	}
+	emit := func(m Metric) { snap.Metrics = append(snap.Metrics, m) }
+	for _, c := range r.collectors {
+		c(emit)
+	}
+	sort.Slice(snap.Metrics, func(i, j int) bool { return snap.Metrics[i].Name < snap.Metrics[j].Name })
+	return snap
+}
+
+// Get finds a metric by name.
+func (s Snapshot) Get(name string) (Metric, bool) {
+	for _, m := range s.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// WriteJSON writes the snapshot, indented, to path.
+func (s Snapshot) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// MeanOf returns Sum/Count of a histogram metric (0 when empty).
+func (m Metric) MeanOf() float64 {
+	if m.Count == 0 {
+		return 0
+	}
+	return float64(m.Sum) / float64(m.Count)
+}
+
+// TimeEdges returns the standard bucket edges for simulated-time histograms,
+// in nanoseconds: decades from 100 ns to 10 s.
+func TimeEdges() []int64 {
+	return []int64{100, 1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9, 1e10}
+}
+
+// PowerOfTwoEdges returns {0, 1, 2, 4, ..., 2^maxExp} — the standard edges
+// for clock-gap histograms, whose natural scale is the staleness bound s.
+func PowerOfTwoEdges(maxExp int) []int64 {
+	edges := make([]int64, 0, maxExp+2)
+	edges = append(edges, 0)
+	for e := 0; e <= maxExp; e++ {
+		edges = append(edges, int64(1)<<e)
+	}
+	return edges
+}

@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestNilRegistryDisabled(t *testing.T) {
+	var r *Registry
+	if r.Stripes() != 0 {
+		t.Fatalf("nil registry stripes = %d", r.Stripes())
+	}
+	c := r.Counter("x")
+	c.Inc(0)
+	c.Add(3, 10)
+	if c.Value() != 0 {
+		t.Fatalf("nil counter value = %d", c.Value())
+	}
+	g := r.Gauge("x")
+	g.Set(4)
+	g.SetMax(9)
+	if g.Value() != 0 {
+		t.Fatalf("nil gauge value = %v", g.Value())
+	}
+	h := r.Histogram("x", TimeEdges())
+	h.Observe(0, 5)
+	h.ObserveSeconds(1, 2.5)
+	if h.Count() != 0 || h.Sum() != 0 || h.Max() != 0 || h.Edges() != nil {
+		t.Fatalf("nil histogram not disabled")
+	}
+	r.RegisterCollector(func(emit func(Metric)) { emit(Metric{Name: "boom"}) })
+	if snap := r.Snapshot(); len(snap.Metrics) != 0 {
+		t.Fatalf("nil registry snapshot has %d metrics", len(snap.Metrics))
+	}
+}
+
+func TestHistogramBucketEdges(t *testing.T) {
+	r := NewRegistry(1)
+	h := r.Histogram("h", []int64{0, 1, 2, 4, 8})
+	// One observation per interesting position: below first edge (negative),
+	// exactly at each edge, between edges, and above the last edge.
+	for _, v := range []int64{-5, 0, 1, 2, 3, 4, 8, 9, 1 << 40} {
+		h.Observe(0, v)
+	}
+	buckets, count, sum, max := h.merge()
+	wantCounts := []int64{
+		2, // ≤ 0: -5, 0
+		1, // ≤ 1: 1
+		1, // ≤ 2: 2
+		2, // ≤ 4: 3, 4
+		1, // ≤ 8: 8
+		2, // overflow: 9, 1<<40
+	}
+	if len(buckets) != len(wantCounts) {
+		t.Fatalf("bucket count = %d, want %d", len(buckets), len(wantCounts))
+	}
+	for i, w := range wantCounts {
+		if buckets[i].Count != w {
+			t.Errorf("bucket %d (le=%d) count = %d, want %d", i, buckets[i].Le, buckets[i].Count, w)
+		}
+	}
+	if buckets[len(buckets)-1].Le != math.MaxInt64 {
+		t.Errorf("overflow bucket le = %d", buckets[len(buckets)-1].Le)
+	}
+	if count != 9 {
+		t.Errorf("count = %d, want 9", count)
+	}
+	wantSum := int64(-5 + 0 + 1 + 2 + 3 + 4 + 8 + 9 + (1 << 40))
+	if sum != wantSum {
+		t.Errorf("sum = %d, want %d", sum, wantSum)
+	}
+	if max != 1<<40 {
+		t.Errorf("max = %d, want %d", max, int64(1)<<40)
+	}
+}
+
+func TestHistogramEmptyAndNegativeMax(t *testing.T) {
+	r := NewRegistry(4)
+	h := r.Histogram("h", PowerOfTwoEdges(4))
+	if h.Max() != 0 || h.Count() != 0 {
+		t.Fatalf("empty histogram max=%d count=%d", h.Max(), h.Count())
+	}
+	h.Observe(2, -7)
+	if h.Max() != -7 {
+		t.Fatalf("max after single negative observe = %d, want -7", h.Max())
+	}
+}
+
+func TestPowerOfTwoEdges(t *testing.T) {
+	got := PowerOfTwoEdges(3)
+	want := []int64{0, 1, 2, 4, 8}
+	if len(got) != len(want) {
+		t.Fatalf("edges = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("edges = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestHistogramBadEdgesPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("non-ascending edges did not panic")
+		}
+	}()
+	NewRegistry(1).Histogram("bad", []int64{1, 1})
+}
+
+// TestConcurrentCounters is the -race soak: many goroutines hammer the same
+// striped instruments, including stripe indices beyond the configured count
+// (which must wrap by modulo, not crash).
+func TestConcurrentCounters(t *testing.T) {
+	const writers, perWriter = 8, 5000
+	r := NewRegistry(4)
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h", PowerOfTwoEdges(8))
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				c.Inc(w)
+				g.SetMax(float64(w*perWriter + i))
+				h.Observe(w, int64(i%300))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := c.Value(); got != writers*perWriter {
+		t.Errorf("counter = %d, want %d", got, writers*perWriter)
+	}
+	if got := g.Value(); got != float64(writers*perWriter-1) {
+		t.Errorf("gauge max = %v, want %v", got, writers*perWriter-1)
+	}
+	if got := h.Count(); got != writers*perWriter {
+		t.Errorf("histogram count = %d, want %d", got, writers*perWriter)
+	}
+	if got := h.Max(); got != 299 {
+		t.Errorf("histogram max = %d, want 299", got)
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry(2)
+	if r.Counter("a") != r.Counter("a") {
+		t.Errorf("counter not deduplicated by name")
+	}
+	if r.Gauge("a") != r.Gauge("a") {
+		t.Errorf("gauge not deduplicated by name")
+	}
+	if r.Histogram("a", TimeEdges()) != r.Histogram("a", nil) {
+		t.Errorf("histogram not deduplicated by name")
+	}
+}
+
+func TestSnapshotStableOrderAndJSON(t *testing.T) {
+	r := NewRegistry(2)
+	r.Counter("z.counter").Add(0, 7)
+	r.Gauge("a.gauge").Set(1.5)
+	r.Histogram("m.hist", []int64{1, 2}).Observe(1, 2)
+	r.RegisterCollector(func(emit func(Metric)) {
+		emit(Metric{Name: "k.derived", Type: "gauge", Gauge: 3})
+	})
+	snap := r.Snapshot()
+	names := []string{"a.gauge", "k.derived", "m.hist", "z.counter"}
+	if len(snap.Metrics) != len(names) {
+		t.Fatalf("snapshot has %d metrics, want %d", len(snap.Metrics), len(names))
+	}
+	for i, n := range names {
+		if snap.Metrics[i].Name != n {
+			t.Errorf("metric %d = %q, want %q", i, snap.Metrics[i].Name, n)
+		}
+	}
+	if m, ok := snap.Get("z.counter"); !ok || m.Value != 7 {
+		t.Errorf("Get(z.counter) = %+v, %v", m, ok)
+	}
+	if _, ok := snap.Get("missing"); ok {
+		t.Errorf("Get(missing) found a metric")
+	}
+	// Marshal twice: identical bytes (stable ordering for golden files), and
+	// round-trips through encoding/json.
+	b1, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := json.Marshal(r.Snapshot())
+	if !bytes.Equal(b1, b2) {
+		t.Errorf("repeated snapshots marshal differently:\n%s\n%s", b1, b2)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(b1, &back); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	if m, ok := back.Get("m.hist"); !ok || m.Count != 1 || m.Max != 2 || len(m.Buckets) != 3 {
+		t.Errorf("round-tripped histogram = %+v, %v", m, ok)
+	}
+}
+
+func TestMetricMeanOf(t *testing.T) {
+	if got := (Metric{}).MeanOf(); got != 0 {
+		t.Errorf("empty MeanOf = %v", got)
+	}
+	if got := (Metric{Count: 4, Sum: 10}).MeanOf(); got != 2.5 {
+		t.Errorf("MeanOf = %v, want 2.5", got)
+	}
+}

@@ -1,0 +1,298 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"hetgmp/internal/report"
+)
+
+// Phase names one training-loop phase span. The engine emits one span per
+// worker per phase per iteration, laid out on the *simulated* cluster clock,
+// so a trace shows exactly the time decomposition the paper's Section 6
+// argues about: embedding exchange vs. AllReduce vs. compute, plus the
+// barrier time bounded asynchrony is supposed to shrink.
+type Phase int
+
+const (
+	// PhaseEmbedFetch is the embedding gather under the consistency
+	// protocol (Table.Read traffic priced by the fabric).
+	PhaseEmbedFetch Phase = iota
+	// PhaseCompute is the dense forward/backward pass on the GPU.
+	PhaseCompute
+	// PhaseGradPush is the embedding-gradient write-back (Table.Update
+	// traffic).
+	PhaseGradPush
+	// PhaseAllReduce is the dense-parameter synchronisation (ring AllReduce,
+	// or the PS dense exchange in the parameter-server baselines).
+	PhaseAllReduce
+	// PhaseWait is time a worker spends blocked on other workers' progress —
+	// the per-iteration barrier gap that staleness bounds trade against
+	// freshness (Section 5.3).
+	PhaseWait
+	// PhaseFlush is the epoch-boundary replica reconciliation (FlushAll).
+	PhaseFlush
+	// NumPhases bounds the Phase space.
+	NumPhases
+)
+
+// String names the phase as it appears in traces and metric names.
+func (p Phase) String() string {
+	switch p {
+	case PhaseEmbedFetch:
+		return "embed-fetch"
+	case PhaseCompute:
+		return "compute"
+	case PhaseGradPush:
+		return "grad-push"
+	case PhaseAllReduce:
+		return "allreduce"
+	case PhaseWait:
+		return "staleness-wait"
+	case PhaseFlush:
+		return "flush"
+	}
+	return fmt.Sprintf("Phase(%d)", int(p))
+}
+
+// Category buckets the phase for trace-viewer colouring.
+func (p Phase) Category() string {
+	switch p {
+	case PhaseCompute:
+		return "compute"
+	case PhaseWait:
+		return "wait"
+	default:
+		return "comm"
+	}
+}
+
+// CorePhases are the phases every multi-worker training run must exhibit;
+// trace validation requires at least one span of each.
+func CorePhases() []string {
+	return []string{
+		PhaseEmbedFetch.String(), PhaseCompute.String(),
+		PhaseGradPush.String(), PhaseAllReduce.String(),
+	}
+}
+
+// Span is one recorded interval on the simulated clock, in seconds.
+type Span struct {
+	Name  string
+	Cat   string
+	TID   int
+	Start float64
+	Dur   float64
+	Epoch int
+	Iter  int
+}
+
+// Tracer records spans keyed to the simulated clock. A nil *Tracer is valid
+// and disabled. Emission is cheap (one slice append under a mutex); the
+// engine emits from its single-threaded barrier sections, so the lock is
+// never contended in practice.
+type Tracer struct {
+	mu      sync.Mutex
+	spans   []Span
+	threads map[int]string
+}
+
+// NewTracer creates an empty tracer.
+func NewTracer() *Tracer {
+	return &Tracer{threads: make(map[int]string)}
+}
+
+// SetThreadName labels a track (tid) in the exported trace.
+func (t *Tracer) SetThreadName(tid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.threads[tid] = name
+	t.mu.Unlock()
+}
+
+// Span records one phase interval. Zero- or negative-duration spans are
+// dropped — they carry no information and clutter viewers.
+func (t *Tracer) Span(tid int, p Phase, start, dur float64, epoch, iter int) {
+	if t == nil || dur <= 0 {
+		return
+	}
+	t.mu.Lock()
+	t.spans = append(t.spans, Span{
+		Name: p.String(), Cat: p.Category(), TID: tid,
+		Start: start, Dur: dur, Epoch: epoch, Iter: iter,
+	})
+	t.mu.Unlock()
+}
+
+// Len returns the number of recorded spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.spans)
+}
+
+// Spans returns a copy of the recorded spans in emission order.
+func (t *Tracer) Spans() []Span {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return append([]Span(nil), t.spans...)
+}
+
+// chromeEvent is one entry of the Chrome trace_event format, loadable by
+// chrome://tracing and Perfetto (https://ui.perfetto.dev). Timestamps and
+// durations are microseconds — of simulated time here.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Cat  string         `json:"cat,omitempty"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// MarshalChrome renders the trace as Chrome trace_event JSON. Output is
+// deterministic for a fixed span sequence (thread metadata sorted by tid,
+// spans in emission order, map keys sorted by encoding/json), so golden-file
+// comparisons are byte-stable.
+func (t *Tracer) MarshalChrome() ([]byte, error) {
+	if t == nil {
+		return json.Marshal(chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}})
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	events := make([]chromeEvent, 0, len(t.spans)+len(t.threads))
+	tids := make([]int, 0, len(t.threads))
+	for tid := range t.threads {
+		tids = append(tids, tid)
+	}
+	sort.Ints(tids)
+	for _, tid := range tids {
+		events = append(events, chromeEvent{
+			Name: "thread_name", Ph: "M", PID: 0, TID: tid,
+			Args: map[string]any{"name": t.threads[tid]},
+		})
+	}
+	for _, s := range t.spans {
+		events = append(events, chromeEvent{
+			Name: s.Name, Cat: s.Cat, Ph: "X",
+			TS: s.Start * 1e6, Dur: s.Dur * 1e6,
+			PID: 0, TID: s.TID,
+			Args: map[string]any{"epoch": s.Epoch, "iter": s.Iter},
+		})
+	}
+	return json.MarshalIndent(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+}
+
+// WriteChrome writes the Chrome trace JSON to w.
+func (t *Tracer) WriteChrome(w io.Writer) error {
+	data, err := t.MarshalChrome()
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
+// ValidateChrome parses Chrome trace JSON and checks that every required
+// phase name has at least one complete ("X") span. It returns the per-name
+// span counts so callers can report them.
+func ValidateChrome(data []byte, required []string) (map[string]int, error) {
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("obs: trace is not valid trace_event JSON: %w", err)
+	}
+	counts := make(map[string]int)
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph == "X" {
+			counts[ev.Name]++
+		}
+	}
+	if len(counts) == 0 {
+		return counts, fmt.Errorf("obs: trace holds no complete spans")
+	}
+	for _, name := range required {
+		if counts[name] == 0 {
+			return counts, fmt.Errorf("obs: trace holds no %q spans", name)
+		}
+	}
+	return counts, nil
+}
+
+// Summary aggregates the recorded spans into a per-phase table: span count,
+// total simulated seconds, and each phase's share of the summed span time.
+// Phases appear in canonical Phase order, then any foreign names sorted.
+func (t *Tracer) Summary() *report.Table {
+	tab := report.New("trace summary (simulated time)",
+		"phase", "spans", "total sim s", "share")
+	if t == nil {
+		return tab
+	}
+	t.mu.Lock()
+	spans := append([]Span(nil), t.spans...)
+	t.mu.Unlock()
+	type agg struct {
+		count int
+		total float64
+	}
+	byName := make(map[string]*agg)
+	var grand float64
+	for _, s := range spans {
+		a := byName[s.Name]
+		if a == nil {
+			a = &agg{}
+			byName[s.Name] = a
+		}
+		a.count++
+		a.total += s.Dur
+		grand += s.Dur
+	}
+	names := make([]string, 0, len(byName))
+	for p := Phase(0); p < NumPhases; p++ {
+		if byName[p.String()] != nil {
+			names = append(names, p.String())
+		}
+	}
+	var foreign []string
+	for name := range byName {
+		known := false
+		for p := Phase(0); p < NumPhases; p++ {
+			if name == p.String() {
+				known = true
+				break
+			}
+		}
+		if !known {
+			foreign = append(foreign, name)
+		}
+	}
+	sort.Strings(foreign)
+	names = append(names, foreign...)
+	for _, name := range names {
+		a := byName[name]
+		share := 0.0
+		if grand > 0 {
+			share = a.total / grand
+		}
+		tab.AddRow(name, a.count, a.total, report.Percent(share))
+	}
+	return tab
+}

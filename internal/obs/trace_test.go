@@ -1,0 +1,184 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilTracerDisabled(t *testing.T) {
+	var tr *Tracer
+	tr.SetThreadName(0, "gpu00")
+	tr.Span(0, PhaseCompute, 1, 2, 0, 0)
+	if tr.Len() != 0 || tr.Spans() != nil {
+		t.Fatalf("nil tracer recorded spans")
+	}
+	data, err := tr.MarshalChrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var chrome struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &chrome); err != nil {
+		t.Fatalf("nil tracer chrome JSON invalid: %v", err)
+	}
+	if len(chrome.TraceEvents) != 0 {
+		t.Fatalf("nil tracer exported %d events", len(chrome.TraceEvents))
+	}
+	if tab := tr.Summary(); tab == nil {
+		t.Fatalf("nil tracer summary is nil")
+	}
+}
+
+func TestPhaseNamesAndCategories(t *testing.T) {
+	wantName := map[Phase]string{
+		PhaseEmbedFetch: "embed-fetch",
+		PhaseCompute:    "compute",
+		PhaseGradPush:   "grad-push",
+		PhaseAllReduce:  "allreduce",
+		PhaseWait:       "staleness-wait",
+		PhaseFlush:      "flush",
+	}
+	wantCat := map[Phase]string{
+		PhaseEmbedFetch: "comm",
+		PhaseCompute:    "compute",
+		PhaseGradPush:   "comm",
+		PhaseAllReduce:  "comm",
+		PhaseWait:       "wait",
+		PhaseFlush:      "comm",
+	}
+	for p := Phase(0); p < NumPhases; p++ {
+		if p.String() != wantName[p] {
+			t.Errorf("Phase(%d).String() = %q, want %q", p, p.String(), wantName[p])
+		}
+		if p.Category() != wantCat[p] {
+			t.Errorf("Phase(%d).Category() = %q, want %q", p, p.Category(), wantCat[p])
+		}
+	}
+	if !strings.Contains(Phase(99).String(), "99") {
+		t.Errorf("unknown phase String = %q", Phase(99).String())
+	}
+}
+
+func sampleTracer() *Tracer {
+	tr := NewTracer()
+	tr.SetThreadName(1, "gpu01")
+	tr.SetThreadName(0, "gpu00")
+	tr.Span(0, PhaseEmbedFetch, 0.0, 0.5, 0, 0)
+	tr.Span(0, PhaseCompute, 0.5, 1.0, 0, 0)
+	tr.Span(1, PhaseGradPush, 1.5, 0.25, 0, 0)
+	tr.Span(1, PhaseAllReduce, 1.75, 0.25, 1, 3)
+	tr.Span(0, PhaseWait, 2.0, 0, 0, 0)  // zero duration: dropped
+	tr.Span(0, PhaseWait, 2.0, -1, 0, 0) // negative: dropped
+	return tr
+}
+
+func TestTracerSpanRecording(t *testing.T) {
+	tr := sampleTracer()
+	if tr.Len() != 4 {
+		t.Fatalf("Len = %d, want 4 (zero/negative spans must be dropped)", tr.Len())
+	}
+	spans := tr.Spans()
+	if spans[0].Name != "embed-fetch" || spans[0].TID != 0 || spans[0].Dur != 0.5 {
+		t.Errorf("span 0 = %+v", spans[0])
+	}
+	if spans[3].Epoch != 1 || spans[3].Iter != 3 {
+		t.Errorf("span 3 args = %+v", spans[3])
+	}
+}
+
+// TestChromeRoundTrip covers the satellite requirement: the exported trace
+// parses with encoding/json, is byte-stable across repeated marshals (golden
+// comparable), and validates against the core phase list.
+func TestChromeRoundTrip(t *testing.T) {
+	tr := sampleTracer()
+	b1, err := tr.MarshalChrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, _ := tr.MarshalChrome()
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("repeated MarshalChrome differs")
+	}
+	var chrome struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			TID  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(b1, &chrome); err != nil {
+		t.Fatalf("round-trip: %v", err)
+	}
+	// 2 thread_name metadata events (sorted by tid) + 4 spans.
+	if len(chrome.TraceEvents) != 6 {
+		t.Fatalf("exported %d events, want 6", len(chrome.TraceEvents))
+	}
+	if chrome.TraceEvents[0].Ph != "M" || chrome.TraceEvents[0].Args["name"] != "gpu00" {
+		t.Errorf("event 0 = %+v, want tid-sorted thread_name gpu00", chrome.TraceEvents[0])
+	}
+	if chrome.TraceEvents[1].Args["name"] != "gpu01" {
+		t.Errorf("event 1 = %+v, want thread_name gpu01", chrome.TraceEvents[1])
+	}
+	first := chrome.TraceEvents[2]
+	if first.Ph != "X" || first.Name != "embed-fetch" || first.TS != 0 || first.Dur != 0.5e6 {
+		t.Errorf("first span = %+v (timestamps must be simulated microseconds)", first)
+	}
+	counts, err := ValidateChrome(b1, CorePhases())
+	if err != nil {
+		t.Fatalf("ValidateChrome: %v", err)
+	}
+	if counts["compute"] != 1 || counts["embed-fetch"] != 1 {
+		t.Errorf("counts = %v", counts)
+	}
+}
+
+func TestValidateChromeFailures(t *testing.T) {
+	if _, err := ValidateChrome([]byte("{not json"), nil); err == nil {
+		t.Errorf("bad JSON accepted")
+	}
+	empty, _ := NewTracer().MarshalChrome()
+	if _, err := ValidateChrome(empty, nil); err == nil {
+		t.Errorf("span-free trace accepted")
+	}
+	tr := NewTracer()
+	tr.Span(0, PhaseCompute, 0, 1, 0, 0)
+	data, _ := tr.MarshalChrome()
+	if _, err := ValidateChrome(data, []string{"compute"}); err != nil {
+		t.Errorf("valid trace rejected: %v", err)
+	}
+	if _, err := ValidateChrome(data, []string{"allreduce"}); err == nil {
+		t.Errorf("trace missing required phase accepted")
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	var buf bytes.Buffer
+	if err := sampleTracer().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasSuffix(buf.Bytes(), []byte("\n")) {
+		t.Errorf("WriteChrome output not newline-terminated")
+	}
+	if _, err := ValidateChrome(buf.Bytes(), CorePhases()); err != nil {
+		t.Errorf("written trace invalid: %v", err)
+	}
+}
+
+func TestSummaryTable(t *testing.T) {
+	got := sampleTracer().Summary().String()
+	// Canonical phase order, counts, and shares of the 2.0s total.
+	for _, want := range []string{"embed-fetch", "compute", "grad-push", "allreduce", "25.0%", "50.0%", "12.5%"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("summary missing %q:\n%s", want, got)
+		}
+	}
+	if strings.Contains(got, "staleness-wait") {
+		t.Errorf("summary lists a phase with no spans:\n%s", got)
+	}
+}

@@ -8,6 +8,7 @@ import (
 
 	"hetgmp/internal/bigraph"
 	"hetgmp/internal/invariant"
+	"hetgmp/internal/obs"
 	"hetgmp/internal/xrand"
 )
 
@@ -63,6 +64,11 @@ type HybridConfig struct {
 	// per-partition load/communication totals vs. from-scratch
 	// recomputation at round boundaries) even outside `go test`.
 	CheckInvariants bool
+	// Obs, when non-nil, receives per-round partitioner metrics (Algorithm 1
+	// progression: remote-access improvement, move counts, pass timings).
+	// All metrics are emitted once per round from the single-threaded round
+	// loop; nothing touches the parallel scoring goroutines.
+	Obs *obs.Registry
 }
 
 // DefaultHybridConfig returns the paper's settings for n partitions:
@@ -106,11 +112,25 @@ func (c *HybridConfig) Validate() error {
 }
 
 // RoundStat records partition quality after one full 1D+2D round, the rows
-// of the paper's Table 3 ("Ours (1 round)", "Ours (3 rounds)", ...).
+// of the paper's Table 3 ("Ours (1 round)", "Ours (3 rounds)", ...), plus
+// the round's work profile: how many greedy relocations each 1D pass made
+// and where the wall time went.
 type RoundStat struct {
 	Round          int
 	RemoteAccesses int64
 	Elapsed        time.Duration // cumulative wall time through this round
+
+	// SampleMoves and FeatureMoves count the greedy relocations the round's
+	// 1D passes performed; rounds converge as these approach zero.
+	SampleMoves  int64
+	FeatureMoves int64
+	// CommTotal is Σ δc(Gi) after the round — the priced remote-access
+	// objective of Eq. 3 the moves minimise.
+	CommTotal float64
+	// Per-pass wall time within this round.
+	SamplePass    time.Duration
+	FeaturePass   time.Duration
+	ReplicatePass time.Duration
 }
 
 // HybridResult is the partitioner output plus per-round history.
@@ -175,23 +195,70 @@ func Hybrid(g *bigraph.Bigraph, cfg HybridConfig) (*HybridResult, error) {
 
 	res := &HybridResult{Assignment: a}
 	for t := 0; t < cfg.Rounds; t++ {
+		st.sampleMoves, st.featureMoves = 0, 0
+		passStart := time.Now()
 		if cfg.Reference {
 			st.refPassSamples(sampleOrder)
-			st.refPassFeatures(featOrder)
-			st.refReplicate(featOrder)
 		} else {
 			st.chunkedPassSamples(sampleOrder)
+		}
+		sampleDone := time.Now()
+		if cfg.Reference {
+			st.refPassFeatures(featOrder)
+		} else {
 			st.chunkedPassFeatures(featOrder)
+		}
+		featureDone := time.Now()
+		if cfg.Reference {
+			st.refReplicate(featOrder)
+		} else {
 			st.replicateTopK()
 		}
+		replicateDone := time.Now()
 		st.checkAccounting(t + 1)
 		res.Rounds = append(res.Rounds, RoundStat{
 			Round:          t + 1,
 			RemoteAccesses: st.roundRemote(),
 			Elapsed:        time.Since(start),
+			SampleMoves:    st.sampleMoves,
+			FeatureMoves:   st.featureMoves,
+			CommTotal:      st.commSum,
+			SamplePass:     sampleDone.Sub(passStart),
+			FeaturePass:    featureDone.Sub(sampleDone),
+			ReplicatePass:  replicateDone.Sub(featureDone),
 		})
 	}
+	emitHybridMetrics(cfg.Obs, res)
 	return res, nil
+}
+
+// emitHybridMetrics exports the per-round history into the registry: move
+// counters, pass-time counters (wall nanoseconds — the partitioner runs
+// before the simulated clock exists), and per-round remote-access gauges
+// with their δ-improvement over the previous round (Table 3 progression).
+func emitHybridMetrics(reg *obs.Registry, res *HybridResult) {
+	if reg == nil {
+		return
+	}
+	var prev int64
+	for i, r := range res.Rounds {
+		reg.Counter("partition.moves.samples").Add(0, r.SampleMoves)
+		reg.Counter("partition.moves.features").Add(0, r.FeatureMoves)
+		reg.Counter("partition.pass.sample_wall_nanos").Add(0, r.SamplePass.Nanoseconds())
+		reg.Counter("partition.pass.feature_wall_nanos").Add(0, r.FeaturePass.Nanoseconds())
+		reg.Counter("partition.pass.replicate_wall_nanos").Add(0, r.ReplicatePass.Nanoseconds())
+		reg.Gauge(fmt.Sprintf("partition.round.%02d.remote_accesses", r.Round)).Set(float64(r.RemoteAccesses))
+		if i > 0 {
+			reg.Gauge(fmt.Sprintf("partition.round.%02d.improvement", r.Round)).Set(float64(prev - r.RemoteAccesses))
+		}
+		prev = r.RemoteAccesses
+	}
+	if n := len(res.Rounds); n > 0 {
+		last := res.Rounds[n-1]
+		reg.Gauge("partition.rounds").Set(float64(n))
+		reg.Gauge("partition.remote_accesses").Set(float64(last.RemoteAccesses))
+		reg.Gauge("partition.comm_total").Set(last.CommTotal)
+	}
 }
 
 // sortFeatByDegree orders feature ids by descending degree, id ascending on
@@ -222,6 +289,11 @@ type hybridState struct {
 	// choices needs no O(F) sweep over the replica bitsets.
 	secondaries [][]int32
 	check       *invariant.Checker
+
+	// Per-round move counters, reset by the round loop. Only the reducer
+	// (single goroutine) calls moveSample/moveFeature, so plain ints suffice.
+	sampleMoves  int64
+	featureMoves int64
 
 	// Per-block δc staging the parallel scoring waves fill (see
 	// hybrid_parallel.go).
@@ -307,6 +379,7 @@ func (st *hybridState) moveSample(s int, from, to int) {
 	st.nSamp[from]--
 	st.nSamp[to]++
 	st.a.SampleOf[s] = to
+	st.sampleMoves++
 }
 
 // moveFeature relocates embedding x's primary, updating communication
@@ -331,6 +404,7 @@ func (st *hybridState) moveFeature(x int32, from, to int) {
 	st.nFeat[from]--
 	st.nFeat[to]++
 	st.a.PrimaryOf[x] = to
+	st.featureMoves++
 }
 
 // roundRemote computes the Table 3 quality metric from the count table in

@@ -1,0 +1,126 @@
+package partition
+
+import (
+	"fmt"
+	"testing"
+
+	"hetgmp/internal/dataset"
+	"hetgmp/internal/obs"
+)
+
+// TestHybridRoundStatsPopulated checks the per-round pass accounting: every
+// round records its move counts and pass wall times, and movement tapers as
+// Algorithm 1 converges.
+func TestHybridRoundStatsPopulated(t *testing.T) {
+	g := testDataset(t, dataset.Avazu, 2e-4)
+	cfg := DefaultHybridConfig(8)
+	cfg.Rounds = 3
+	res, err := Hybrid(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var totalMoves int64
+	for i, rs := range res.Rounds {
+		if rs.SampleMoves < 0 || rs.FeatureMoves < 0 {
+			t.Errorf("round %d: negative move counts %d/%d", rs.Round, rs.SampleMoves, rs.FeatureMoves)
+		}
+		totalMoves += rs.SampleMoves + rs.FeatureMoves
+		if rs.SamplePass < 0 || rs.FeaturePass < 0 || rs.ReplicatePass < 0 {
+			t.Errorf("round %d: negative pass times", rs.Round)
+		}
+		if rs.SamplePass+rs.FeaturePass+rs.ReplicatePass > rs.Elapsed {
+			t.Errorf("round %d: pass times exceed cumulative elapsed", rs.Round)
+		}
+		if rs.CommTotal < 0 {
+			t.Errorf("round %d: negative comm total %v", rs.Round, rs.CommTotal)
+		}
+		_ = i
+	}
+	if totalMoves == 0 {
+		t.Error("no moves recorded across any round")
+	}
+	first, last := res.Rounds[0], res.Rounds[len(res.Rounds)-1]
+	if last.SampleMoves > first.SampleMoves {
+		t.Errorf("sample moves grew: round 1 %d, final round %d", first.SampleMoves, last.SampleMoves)
+	}
+}
+
+// TestHybridObsMetrics checks the registry view: per-round gauges mirror the
+// RoundStat ledger, improvements are the consecutive remote-access deltas,
+// and the totals line up.
+func TestHybridObsMetrics(t *testing.T) {
+	g := testDataset(t, dataset.Avazu, 2e-4)
+	cfg := DefaultHybridConfig(8)
+	cfg.Rounds = 3
+	reg := obs.NewRegistry(1)
+	cfg.Obs = reg
+	res, err := Hybrid(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+
+	if m, ok := snap.Get("partition.rounds"); !ok || m.Gauge != float64(len(res.Rounds)) {
+		t.Errorf("partition.rounds = %v, want %d", m.Gauge, len(res.Rounds))
+	}
+	last := res.Rounds[len(res.Rounds)-1]
+	if m, ok := snap.Get("partition.remote_accesses"); !ok || m.Gauge != float64(last.RemoteAccesses) {
+		t.Errorf("partition.remote_accesses = %v, want %d", m.Gauge, last.RemoteAccesses)
+	}
+
+	var wantSamples, wantFeatures int64
+	for _, rs := range res.Rounds {
+		wantSamples += rs.SampleMoves
+		wantFeatures += rs.FeatureMoves
+		name := fmt.Sprintf("partition.round.%02d.remote_accesses", rs.Round)
+		if m, ok := snap.Get(name); !ok || m.Gauge != float64(rs.RemoteAccesses) {
+			t.Errorf("%s = %v, want %d", name, m.Gauge, rs.RemoteAccesses)
+		}
+	}
+	if m, ok := snap.Get("partition.moves.samples"); !ok || m.Value != wantSamples {
+		t.Errorf("partition.moves.samples = %d, want %d", m.Value, wantSamples)
+	}
+	if m, ok := snap.Get("partition.moves.features"); !ok || m.Value != wantFeatures {
+		t.Errorf("partition.moves.features = %d, want %d", m.Value, wantFeatures)
+	}
+
+	for r := 2; r <= len(res.Rounds); r++ {
+		name := fmt.Sprintf("partition.round.%02d.improvement", r)
+		m, ok := snap.Get(name)
+		if !ok {
+			t.Errorf("%s missing", name)
+			continue
+		}
+		want := res.Rounds[r-2].RemoteAccesses - res.Rounds[r-1].RemoteAccesses
+		if m.Gauge != float64(want) {
+			t.Errorf("%s = %v, want %d", name, m.Gauge, want)
+		}
+	}
+}
+
+// TestHybridObsDoesNotChangeAssignment is the partitioner's no-observer
+// relation: attaching a registry must not perturb the output.
+func TestHybridObsDoesNotChangeAssignment(t *testing.T) {
+	g := testDataset(t, dataset.Avazu, 1e-4)
+	cfg := DefaultHybridConfig(4)
+	cfg.Rounds = 2
+	plain, err := Hybrid(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Obs = obs.NewRegistry(1)
+	observed, err := Hybrid(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range plain.Assignment.SampleOf {
+		if plain.Assignment.SampleOf[i] != observed.Assignment.SampleOf[i] {
+			t.Fatal("sample assignment changed with obs attached")
+		}
+	}
+	for x := range plain.Assignment.PrimaryOf {
+		if plain.Assignment.PrimaryOf[x] != observed.Assignment.PrimaryOf[x] {
+			t.Fatal("primary assignment changed with obs attached")
+		}
+	}
+}

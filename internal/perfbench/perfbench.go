@@ -27,6 +27,7 @@ import (
 	"hetgmp/internal/dataset"
 	"hetgmp/internal/engine"
 	"hetgmp/internal/nn"
+	"hetgmp/internal/obs"
 	"hetgmp/internal/partition"
 )
 
@@ -88,13 +89,24 @@ type ScaleResult struct {
 	RemoteRatio float64 `json:"remote_ratio"`
 }
 
-// EpochMetrics times one simulated training epoch.
+// EpochMetrics times one simulated training epoch, with the obs layer's
+// per-phase decomposition of where the simulated time went.
 type EpochMetrics struct {
 	Scale            float64 `json:"scale"`
 	WallSeconds      float64 `json:"wall_seconds"`
 	Iterations       int64   `json:"iterations"`
 	SamplesProcessed int64   `json:"samples_processed"`
 	SimSeconds       float64 `json:"sim_seconds"`
+
+	// Critical-path split from engine.Result.
+	ComputeSeconds float64 `json:"compute_seconds"`
+	EmbCommSeconds float64 `json:"emb_comm_seconds"`
+	DenseSeconds   float64 `json:"dense_seconds"`
+	CommFraction   float64 `json:"comm_fraction"`
+	// Phases maps each engine phase (embed-fetch, compute, grad-push,
+	// allreduce, staleness-wait, flush) to summed simulated seconds across
+	// all workers, from the engine.phase.* histograms.
+	Phases map[string]float64 `json:"phases,omitempty"`
 }
 
 // Report is the BENCH_partition.json payload.
@@ -203,6 +215,7 @@ func benchEpoch(ds *dataset.Dataset, g *bigraph.Bigraph, opts Options) (*EpochMe
 		return nil, fmt.Errorf("perfbench: epoch timing needs %d partitions to match the topology, got %d",
 			topo.NumWorkers(), opts.Partitions)
 	}
+	reg := obs.NewRegistry(opts.Partitions)
 	tr, err := engine.NewTrainer(engine.Config{
 		Train: ds, Test: ds,
 		Model: nn.NewWDL(nn.WDLConfig{
@@ -215,6 +228,7 @@ func benchEpoch(ds *dataset.Dataset, g *bigraph.Bigraph, opts Options) (*EpochMe
 		Epochs:         1,
 		EvalEvery:      1 << 30,
 		Seed:           opts.Seed,
+		Metrics:        reg,
 	})
 	if err != nil {
 		return nil, err
@@ -224,13 +238,24 @@ func benchEpoch(ds *dataset.Dataset, g *bigraph.Bigraph, opts Options) (*EpochMe
 	if err != nil {
 		return nil, err
 	}
-	return &EpochMetrics{
+	em := &EpochMetrics{
 		Scale:            opts.Scales[len(opts.Scales)-1],
 		WallSeconds:      time.Since(start).Seconds(),
 		Iterations:       int64(res.Iterations),
 		SamplesProcessed: res.SamplesProcessed,
 		SimSeconds:       res.TotalSimTime,
-	}, nil
+		ComputeSeconds:   res.ComputeSeconds,
+		EmbCommSeconds:   res.EmbCommSeconds,
+		DenseSeconds:     res.DenseSeconds,
+		CommFraction:     res.CommFraction(),
+		Phases:           make(map[string]float64),
+	}
+	for p := obs.Phase(0); p < obs.NumPhases; p++ {
+		if m, ok := res.Metrics.Get("engine.phase." + p.String() + ".sim_nanos"); ok && m.Count > 0 {
+			em.Phases[p.String()] = float64(m.Sum) / 1e9
+		}
+	}
+	return em, nil
 }
 
 // WriteJSON writes the report, indented, to path.

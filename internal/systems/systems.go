@@ -27,6 +27,7 @@ import (
 	"hetgmp/internal/embed"
 	"hetgmp/internal/engine"
 	"hetgmp/internal/nn"
+	"hetgmp/internal/obs"
 	"hetgmp/internal/partition"
 )
 
@@ -78,6 +79,14 @@ type Options struct {
 	// CheckInvariants enables the runtime invariant checker (package
 	// invariant) for the run; always on under `go test`.
 	CheckInvariants bool
+
+	// Metrics, when non-nil, receives metrics from every layer of the run
+	// (engine, table, fabric, and — via BuildAssignment — the partitioner);
+	// the final snapshot surfaces in engine.Result.Metrics.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, records per-worker phase spans on the simulated
+	// clock (Chrome trace_event exportable).
+	Tracer *obs.Tracer
 }
 
 // NewModel builds the named CTR network for a dataset shape. The paper
@@ -119,6 +128,7 @@ func BuildAssignment(sys System, g *bigraph.Bigraph, opt Options) (*partition.As
 		if !opt.UniformWeights {
 			cfg.Weights = opt.Topo.WeightMatrix(cluster.WeightHierarchical)
 		}
+		cfg.Obs = opt.Metrics
 		res, err := partition.Hybrid(g, cfg)
 		if err != nil {
 			return nil, err
@@ -158,6 +168,8 @@ func Build(sys System, opt Options) (*engine.Trainer, error) {
 		EvalEvery:       opt.EvalEvery,
 		EvalSamples:     opt.EvalSamples,
 		CheckInvariants: opt.CheckInvariants,
+		Metrics:         opt.Metrics,
+		Tracer:          opt.Tracer,
 		Seed:            opt.Seed,
 	}
 	var proto consistency.Config
