@@ -1,0 +1,215 @@
+// Command hetgmp-obs works with run reports post-hoc: it rebuilds a
+// RunReport from exported telemetry files, renders reports, compares two
+// reports under explicit tolerances, and perturbs a report for testing the
+// gate itself.
+//
+// Subcommands:
+//
+//	hetgmp-obs analyze -trace trace.json [-metrics metrics.json] [-o report.json] [-label name]
+//	hetgmp-obs show report.json
+//	hetgmp-obs diff -base baseline.json -cand report.json [tolerance flags] [-allow-meta]
+//	hetgmp-obs perturb -in report.json -o out.json [-overlap-scale f] [-time-scale f] [-share-shift f]
+//
+// `analyze` consumes the files `hetgmp-train -trace/-metrics` writes and
+// produces the same RunReport the engine attaches in-process, minus the
+// engine-only exact scalars it reconstructs from the metrics snapshot.
+//
+// `diff` is the regression gate: exit 0 when the candidate is within
+// tolerance of the baseline, exit 1 on a regression, exit 2 on usage errors
+// or incomparable reports (schema or config-hash mismatch) — CI can tell "it
+// got slower" apart from "you compared the wrong runs".
+//
+// `perturb` exists so the gate can be tested end-to-end: CI perturbs a
+// report beyond tolerance and requires diff to fail.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"hetgmp/internal/obs"
+	"hetgmp/internal/obs/analyze"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "analyze":
+		cmdAnalyze(os.Args[2:])
+	case "show":
+		cmdShow(os.Args[2:])
+	case "diff":
+		cmdDiff(os.Args[2:])
+	case "perturb":
+		cmdPerturb(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hetgmp-obs <analyze|show|diff|perturb> [flags]
+
+  analyze  build a RunReport from exported trace (+ metrics) files
+  show     render a RunReport JSON as text
+  diff     gate a candidate report against a baseline (exit 1 on regression)
+  perturb  distort a report beyond tolerance, for testing the gate`)
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hetgmp-obs:", err)
+	os.Exit(2)
+}
+
+func cmdAnalyze(args []string) {
+	fs := flag.NewFlagSet("analyze", flag.ExitOnError)
+	tracePath := fs.String("trace", "", "Chrome trace_event JSON from hetgmp-train -trace (required)")
+	metPath := fs.String("metrics", "", "metrics snapshot JSON from hetgmp-train -metrics")
+	out := fs.String("o", "", "write the RunReport JSON to this file")
+	label := fs.String("label", "", "free-form run label stamped into the report")
+	topLinks := fs.Int("top-links", 10, "heatmap: number of hottest links to keep")
+	fs.Parse(args)
+	if *tracePath == "" {
+		fatal(fmt.Errorf("analyze: -trace is required"))
+	}
+
+	data, err := os.ReadFile(*tracePath)
+	if err != nil {
+		fatal(err)
+	}
+	spans, err := obs.ParseChrome(data)
+	if err != nil {
+		fatal(err)
+	}
+	// Input validation: the engine lays phases out contiguously, so a span
+	// set that doesn't partition its iteration timelines was not produced by
+	// (this version of) the engine.
+	if err := analyze.VerifySpanAccounting(spans, 1e-6); err != nil {
+		fatal(err)
+	}
+
+	var snap obs.Snapshot
+	if *metPath != "" {
+		mdata, err := os.ReadFile(*metPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(mdata, &snap); err != nil {
+			fatal(fmt.Errorf("%s is not a metrics snapshot: %w", *metPath, err))
+		}
+	}
+
+	meta := analyze.CollectMeta("")
+	meta.Label = *label
+	rep, err := analyze.Analyze(analyze.Input{
+		Spans: spans, Metrics: snap, TopLinks: *topLinks, Meta: meta,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep.String())
+	if *out != "" {
+		if err := rep.WriteJSON(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote run report to %s\n", *out)
+	}
+	if *metPath == "" {
+		fmt.Println("note: no -metrics file — overlap efficiency, traffic and quantiles are absent")
+	}
+	fmt.Println("note: post-hoc reports carry no config hash; `diff` against them needs -allow-meta")
+}
+
+func cmdShow(args []string) {
+	fs := flag.NewFlagSet("show", flag.ExitOnError)
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fatal(fmt.Errorf("show: want exactly one report.json argument"))
+	}
+	rep, err := analyze.ReadReport(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(rep.String())
+}
+
+func cmdDiff(args []string) {
+	fs := flag.NewFlagSet("diff", flag.ExitOnError)
+	basePath := fs.String("base", "", "baseline report JSON (required)")
+	candPath := fs.String("cand", "", "candidate report JSON (required)")
+	def := analyze.DefaultTolerance()
+	tolOverlap := fs.Float64("tol-overlap", def.Overlap, "allowed absolute drop in overlap efficiency")
+	tolShare := fs.Float64("tol-share", def.PhaseShare, "allowed absolute drift of any phase's time share")
+	tolTime := fs.Float64("tol-time", def.SimTimeFrac, "allowed fractional increase of total simulated time")
+	tolBytes := fs.Float64("tol-bytes", def.BytesFrac, "allowed fractional increase of total bytes moved")
+	allowMeta := fs.Bool("allow-meta", false, "compare despite config-hash mismatch (schema must still match)")
+	fs.Parse(args)
+	if *basePath == "" || *candPath == "" {
+		fatal(fmt.Errorf("diff: -base and -cand are required"))
+	}
+
+	base, err := analyze.ReadReport(*basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := analyze.ReadReport(*candPath)
+	if err != nil {
+		fatal(err)
+	}
+	tol := analyze.Tolerance{
+		Overlap: *tolOverlap, PhaseShare: *tolShare,
+		SimTimeFrac: *tolTime, BytesFrac: *tolBytes,
+	}
+	v, err := analyze.Diff(base, cand, tol, *allowMeta)
+	if err != nil {
+		fatal(err) // incomparable → exit 2, distinct from a regression
+	}
+	fmt.Println(v.Render())
+	if !v.OK {
+		os.Exit(1)
+	}
+}
+
+func cmdPerturb(args []string) {
+	fs := flag.NewFlagSet("perturb", flag.ExitOnError)
+	in := fs.String("in", "", "report JSON to perturb (required)")
+	out := fs.String("o", "", "write the perturbed report here (required)")
+	ovScale := fs.Float64("overlap-scale", 1, "multiply overlap efficiency by this")
+	tScale := fs.Float64("time-scale", 1, "multiply total simulated time and bytes by this")
+	shift := fs.Float64("share-shift", 0, "move this much share from the largest phase to the smallest")
+	fs.Parse(args)
+	if *in == "" || *out == "" {
+		fatal(fmt.Errorf("perturb: -in and -o are required"))
+	}
+	rep, err := analyze.ReadReport(*in)
+	if err != nil {
+		fatal(err)
+	}
+	rep.Overlap.Efficiency *= *ovScale
+	rep.TotalSimSeconds *= *tScale
+	rep.Traffic.TotalBytes = int64(float64(rep.Traffic.TotalBytes) * *tScale)
+	if *shift != 0 && len(rep.Phases) >= 2 {
+		var largest, smallest string
+		for name, ps := range rep.Phases {
+			if largest == "" || ps.Share > rep.Phases[largest].Share {
+				largest = name
+			}
+			if smallest == "" || ps.Share < rep.Phases[smallest].Share {
+				smallest = name
+			}
+		}
+		l, s := rep.Phases[largest], rep.Phases[smallest]
+		l.Share -= *shift
+		s.Share += *shift
+		rep.Phases[largest], rep.Phases[smallest] = l, s
+	}
+	if err := rep.WriteJSON(*out); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("wrote perturbed report to %s\n", *out)
+}

@@ -6,7 +6,7 @@
 //
 //	hetgmp-train [-system name] [-model wdl|dcn|deepfm] [-dataset name] [-scale f]
 //	             [-gpus n] [-staleness s] [-epochs n] [-dim n] [-batch n] [-seed n]
-//	             [-trace out.json] [-metrics out-metrics.json]
+//	             [-trace out.json] [-metrics out-metrics.json] [-report report.json]
 //	             [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Systems: tf-ps, parallax, hugectr, het-mp, het-gmp.
@@ -14,6 +14,9 @@
 // -trace writes a Chrome trace_event JSON of per-worker phase spans on the
 // simulated clock; open it at https://ui.perfetto.dev or chrome://tracing.
 // -metrics writes the full metrics-registry snapshot as JSON.
+// -report runs the critical-path analyzer over the finished run, writes the
+// typed RunReport as JSON and appends its rendering to the run summary;
+// compare two reports with `hetgmp-obs diff`.
 package main
 
 import (
@@ -49,6 +52,7 @@ func main() {
 		check     = flag.Bool("check", false, "enable runtime invariant checking (clock monotonicity, staleness bounds, traffic accounting); a violation aborts with a structured report")
 		tracePath = flag.String("trace", "", "write a Chrome trace_event JSON of per-worker phase spans (simulated clock) to this file")
 		metPath   = flag.String("metrics", "", "write the metrics-registry snapshot as JSON to this file")
+		repPath   = flag.String("report", "", "analyze the run and write the critical-path RunReport as JSON to this file")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		seed      = flag.Uint64("seed", 22, "random seed")
@@ -94,10 +98,10 @@ func main() {
 	}
 	var reg *obs.Registry
 	var tracer *obs.Tracer
-	if *metPath != "" || *tracePath != "" {
+	if *metPath != "" || *tracePath != "" || *repPath != "" {
 		reg = obs.NewRegistry(topo.NumWorkers())
 	}
-	if *tracePath != "" {
+	if *tracePath != "" || *repPath != "" {
 		tracer = obs.NewTracer()
 	}
 	tr, err := systems.Build(systems.System(*sysName), systems.Options{
@@ -105,7 +109,7 @@ func main() {
 		Dim: *dim, BatchPerWorker: *batch, Epochs: *epochs,
 		Staleness: s, TargetAUC: *target, EvalSamples: 8192, Seed: *seed,
 		CheckInvariants: *check,
-		Metrics:         reg, Tracer: tracer,
+		Metrics:         reg, Tracer: tracer, Report: *repPath != "",
 	})
 	if err != nil {
 		fatal(err)
@@ -160,6 +164,17 @@ func main() {
 
 	if tracer != nil {
 		fmt.Println(tracer.Summary().String())
+	}
+	if *repPath != "" {
+		if res.Report == nil {
+			fatal(fmt.Errorf("run produced no report"))
+		}
+		fmt.Println(res.Report.String())
+		if err := res.Report.WriteJSON(*repPath); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote run report to %s — compare with `hetgmp-obs diff -base <baseline> -cand %s`\n",
+			*repPath, *repPath)
 	}
 	if *metPath != "" {
 		if err := res.Metrics.WriteJSON(*metPath); err != nil {

@@ -23,6 +23,7 @@ import (
 	"hetgmp/internal/invariant"
 	"hetgmp/internal/nn"
 	"hetgmp/internal/obs"
+	"hetgmp/internal/obs/analyze"
 	"hetgmp/internal/optim"
 	"hetgmp/internal/partition"
 	"hetgmp/internal/tensor"
@@ -50,6 +51,11 @@ type Config struct {
 
 	Topo   *cluster.Topology
 	Assign *partition.Assignment
+	// PartitionHistory is the partitioner's per-round quality trace, when
+	// the assignment came from partition.Hybrid. Purely informational: it
+	// is folded into Result.Report so one artifact carries the whole
+	// partition-quality → traffic → time chain (§4 → §6).
+	PartitionHistory []partition.RoundStat
 
 	// BatchPerWorker is the per-GPU mini-batch size.
 	BatchPerWorker int
@@ -110,6 +116,13 @@ type Config struct {
 	// cluster clock, exportable as Chrome trace_event JSON.
 	Tracer *obs.Tracer
 
+	// Report runs the critical-path analyzer over the finished run's
+	// telemetry and attaches the result as Result.Report. It requires both
+	// Metrics and Tracer (the analyzer consumes spans and counters); the
+	// analysis is strictly post-hoc, so a report-on run is bit-identical to
+	// a report-off run.
+	Report bool
+
 	Seed uint64
 }
 
@@ -148,7 +161,29 @@ func (c *Config) defaults() error {
 	if c.PS != nil && c.PS.Hosts <= 0 {
 		c.PS.Hosts = 1
 	}
+	if c.Report && (c.Metrics == nil || c.Tracer == nil) {
+		return fmt.Errorf("engine: Report requires both Metrics and Tracer")
+	}
 	return nil
+}
+
+// Hash fingerprints the run-defining parameters: two runs share a hash iff
+// their reports measure the same configuration, which is what lets
+// `hetgmp-obs diff` refuse to compare incomparable runs. Environment
+// (GOMAXPROCS, go version) is deliberately excluded — the simulation is
+// deterministic at any parallelism.
+func (c *Config) Hash() string {
+	ps, hosts, hybrid := 0, 0, false
+	if c.PS != nil {
+		ps, hosts, hybrid = 1, c.PS.Hosts, c.PS.HybridDense
+	}
+	return analyze.HashConfig(
+		c.Train.Name, len(c.Train.Samples), c.Train.NumFeatures, c.Train.NumFields,
+		c.Model.Name(), c.Dim, c.Topo.Name, c.Topo.NumWorkers(),
+		c.BatchPerWorker, c.Epochs, c.Staleness, c.InterCheck, c.Normalize,
+		c.Overlap, c.TargetAUC, c.EvalEvery, c.EvalSamples,
+		ps, hosts, hybrid, c.Seed,
+	)
 }
 
 // EvalPoint is one point of a Figure 7 convergence curve.
@@ -206,6 +241,12 @@ type Result struct {
 	// respect the configured bound s), engine.phase.*.sim_nanos, and the
 	// fabric.* traffic series.
 	Metrics obs.Snapshot
+
+	// Report is the critical-path analyzer's interpretation of the run
+	// (nil unless Config.Report was set): per-worker/per-epoch phase
+	// decomposition, overlap efficiency, stragglers, traffic heatmap and
+	// sim-time quantiles, stamped with the run's config hash.
+	Report *analyze.RunReport
 }
 
 // MovementSum returns Σ_t ‖x(t+1) − x(t)‖, the series Theorem 1 proves
@@ -524,7 +565,7 @@ func (t *Trainer) Run() (*Result, error) {
 						// stall follow its busy interval.
 						end := t.emitWorkerPhases(w, psClock[wi], epoch, global)
 						t.obsSpan(wi, obs.PhaseAllReduce, end, denseDt, epoch, global)
-						t.obsSpan(wi, obs.PhaseWait, end+denseDt, dt-(w.iterTime+denseDt), epoch, global)
+						t.obsSpan(wi, t.waitPhase(), end+denseDt, dt-(w.iterTime+denseDt), epoch, global)
 					}
 					psClock[wi] += dt
 				}
@@ -652,6 +693,24 @@ func (t *Trainer) finalize(res *Result) {
 	}
 	if t.cfg.Metrics != nil {
 		res.Metrics = t.cfg.Metrics.Snapshot()
+	}
+	if t.cfg.Report {
+		// Post-hoc interpretation of the telemetry gathered above; a
+		// failure (e.g. a run too degenerate to produce spans) leaves
+		// Report nil rather than failing the training result.
+		rep, err := analyze.Analyze(analyze.Input{
+			Spans:           t.trace.Spans(),
+			Metrics:         res.Metrics,
+			Fabric:          &snap,
+			Rounds:          t.cfg.PartitionHistory,
+			TotalSimSeconds: res.TotalSimTime,
+			Iterations:      res.Iterations,
+			PS:              t.cfg.PS != nil,
+			Meta:            analyze.CollectMeta(t.cfg.Hash()),
+		})
+		if err == nil {
+			res.Report = rep
+		}
 	}
 }
 

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 
+	"hetgmp/internal/embed"
 	"hetgmp/internal/obs"
 )
 
@@ -13,11 +14,20 @@ import (
 type engineMetrics struct {
 	iterTime *obs.Histogram
 	phase    [obs.NumPhases]*obs.Histogram
+	// overlapHidden and overlapComm record, per worker-iteration, the
+	// simulated nanoseconds of embedding communication the overlap model
+	// hid under compute and the serial communication demand it hid them
+	// from. Their ratio is the run's overlap efficiency (Section 6) — the
+	// analyzer reads it exactly instead of estimating it from scaled spans.
+	overlapHidden *obs.Counter
+	overlapComm   *obs.Counter
 }
 
 func newEngineMetrics(reg *obs.Registry) *engineMetrics {
 	m := &engineMetrics{
-		iterTime: reg.Histogram("engine.iteration.sim_nanos", obs.TimeEdges()),
+		iterTime:      reg.Histogram("engine.iteration.sim_nanos", obs.TimeEdges()),
+		overlapHidden: reg.Counter("engine.overlap.hidden_sim_nanos"),
+		overlapComm:   reg.Counter("engine.overlap.serial_comm_sim_nanos"),
 	}
 	for p := obs.Phase(0); p < obs.NumPhases; p++ {
 		m.phase[p] = reg.Histogram("engine.phase."+p.String()+".sim_nanos", obs.TimeEdges())
@@ -62,6 +72,12 @@ func (t *Trainer) emitWorkerPhases(w *worker, start float64, epoch, iter int) fl
 	if serial > 0 {
 		f = w.iterTime / serial
 	}
+	if t.met != nil {
+		// serial − iterTime is exactly the communication the overlap model
+		// hid this iteration: Overlap·min(compute, comm).
+		t.met.overlapComm.Add(w.id, int64((w.iterReadComm+w.iterUpdateComm)*1e9))
+		t.met.overlapHidden.Add(w.id, int64((serial-w.iterTime)*1e9))
+	}
 	cur := start
 	t.obsSpan(w.id, obs.PhaseEmbedFetch, cur, w.iterReadComm*f, epoch, iter)
 	cur += w.iterReadComm * f
@@ -69,6 +85,20 @@ func (t *Trainer) emitWorkerPhases(w *worker, start float64, epoch, iter int) fl
 	cur += w.iterCompute * f
 	t.obsSpan(w.id, obs.PhaseGradPush, cur, w.iterUpdateComm*f, epoch, iter)
 	return start + w.iterTime
+}
+
+// waitPhase attributes worker wait time by protocol: under a finite
+// staleness bound s > 0 the per-iteration gap is the price of bounded
+// asynchrony (staleness-wait, §5.3); under BSP (s = 0) the same gap is the
+// synchronous barrier itself, and under ASP (s = ∞) it is a simulation
+// artifact — both report as barrier-wait, so "staleness-wait" in a report
+// is exactly the waiting a staleness bound caused. The analyzer's
+// metamorphic suite pins this: BSP runs must report zero staleness-wait.
+func (t *Trainer) waitPhase() obs.Phase {
+	if t.cfg.Staleness > 0 && t.cfg.Staleness != embed.StalenessInf {
+		return obs.PhaseWait
+	}
+	return obs.PhaseBarrier
 }
 
 // emitAllReduceObs emits one barrier-synchronised iteration's spans: each
@@ -79,13 +109,14 @@ func (t *Trainer) emitAllReduceObs(start, barrier, denseDt float64, epoch, iter 
 	if !t.obsOn() {
 		return
 	}
+	wait := t.waitPhase()
 	for _, w := range t.workers {
 		if w.iterSamples == 0 {
-			t.obsSpan(w.id, obs.PhaseWait, start, barrier+denseDt, epoch, iter)
+			t.obsSpan(w.id, wait, start, barrier+denseDt, epoch, iter)
 			continue
 		}
 		end := t.emitWorkerPhases(w, start, epoch, iter)
-		t.obsSpan(w.id, obs.PhaseWait, end, start+barrier-end, epoch, iter)
+		t.obsSpan(w.id, wait, end, start+barrier-end, epoch, iter)
 		t.obsSpan(w.id, obs.PhaseAllReduce, start+barrier, denseDt, epoch, iter)
 	}
 	t.observeIteration(barrier + denseDt)

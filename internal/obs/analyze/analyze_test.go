@@ -1,0 +1,302 @@
+package analyze
+
+import (
+	"math"
+	"testing"
+
+	"hetgmp/internal/comm"
+	"hetgmp/internal/obs"
+	"hetgmp/internal/partition"
+)
+
+// span builds one test span in the engine's emission shape.
+func span(tid int, p obs.Phase, start, dur float64, epoch, iter int) obs.Span {
+	return obs.Span{Name: p.String(), Cat: p.Category(), TID: tid, Start: start, Dur: dur, Epoch: epoch, Iter: iter}
+}
+
+// syntheticSpans lays out two workers over two contiguous iterations the way
+// emitAllReduceObs does: fetch → compute → push → wait-to-barrier →
+// allreduce. Worker 0 is slower (busier); worker 1 waits longer.
+func syntheticSpans() []obs.Span {
+	var spans []obs.Span
+	start := 0.0
+	for iter := 0; iter < 2; iter++ {
+		// Worker 0: 1+4+1 busy, barrier at 6, then 0.5 allreduce.
+		spans = append(spans,
+			span(0, obs.PhaseEmbedFetch, start, 1, 0, iter),
+			span(0, obs.PhaseCompute, start+1, 4, 0, iter),
+			span(0, obs.PhaseGradPush, start+5, 1, 0, iter),
+			span(0, obs.PhaseAllReduce, start+6, 0.5, 0, iter),
+		)
+		// Worker 1: 1+2+1 busy, waits 2 to the barrier.
+		spans = append(spans,
+			span(1, obs.PhaseEmbedFetch, start, 1, 0, iter),
+			span(1, obs.PhaseCompute, start+1, 2, 0, iter),
+			span(1, obs.PhaseGradPush, start+3, 1, 0, iter),
+			span(1, obs.PhaseWait, start+4, 2, 0, iter),
+			span(1, obs.PhaseAllReduce, start+6, 0.5, 0, iter),
+		)
+		start += 6.5
+	}
+	return spans
+}
+
+func TestAnalyzeNoSpans(t *testing.T) {
+	if _, err := Analyze(Input{}); err == nil {
+		t.Fatal("Analyze with no spans should fail")
+	}
+}
+
+func TestAnalyzePhaseDecomposition(t *testing.T) {
+	rep, err := Analyze(Input{Spans: syntheticSpans()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var shareSum float64
+	for _, ps := range rep.Phases {
+		shareSum += ps.Share
+	}
+	if math.Abs(shareSum-1) > 1e-12 {
+		t.Fatalf("phase shares sum to %g, want 1", shareSum)
+	}
+	if got := rep.Phases[obs.PhaseCompute.String()].Seconds; math.Abs(got-12) > 1e-12 {
+		t.Fatalf("compute seconds = %g, want 12", got)
+	}
+	if got := rep.Phases[obs.PhaseWait.String()].Spans; got != 2 {
+		t.Fatalf("wait spans = %d, want 2", got)
+	}
+	// TotalSimSeconds falls back to the span extent: 2 × 6.5.
+	if math.Abs(rep.TotalSimSeconds-13) > 1e-12 {
+		t.Fatalf("TotalSimSeconds = %g, want 13", rep.TotalSimSeconds)
+	}
+}
+
+func TestAnalyzeWorkerAttribution(t *testing.T) {
+	rep, err := Analyze(Input{Spans: syntheticSpans()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Workers) != 2 {
+		t.Fatalf("got %d workers, want 2", len(rep.Workers))
+	}
+	w0, w1 := rep.Workers[0], rep.Workers[1]
+	if w0.Worker != 0 || w1.Worker != 1 {
+		t.Fatalf("workers not sorted by id: %d, %d", w0.Worker, w1.Worker)
+	}
+	if math.Abs(w0.BusySeconds-13) > 1e-12 || w0.WaitSeconds != 0 {
+		t.Fatalf("worker 0 busy/wait = %g/%g, want 13/0", w0.BusySeconds, w0.WaitSeconds)
+	}
+	if math.Abs(w1.BusySeconds-9) > 1e-12 || math.Abs(w1.WaitSeconds-4) > 1e-12 {
+		t.Fatalf("worker 1 busy/wait = %g/%g, want 9/4", w1.BusySeconds, w1.WaitSeconds)
+	}
+	// Worker 0: compute 8 > comm 5 → compute-bound. Worker 1: compute 4,
+	// comm 5 → comm-bound.
+	if w0.Bound != "compute-bound" {
+		t.Fatalf("worker 0 bound = %q, want compute-bound", w0.Bound)
+	}
+	if w1.Bound != "comm-bound" {
+		t.Fatalf("worker 1 bound = %q, want comm-bound", w1.Bound)
+	}
+	// Straggler: worker 0 busy 13 vs mean 11 → 18% over, under the default
+	// 20% threshold, so slowest is flagged-free but identified.
+	if rep.Stragglers.Slowest != 0 {
+		t.Fatalf("slowest = %d, want 0", rep.Stragglers.Slowest)
+	}
+	if math.Abs(rep.Stragglers.MaxOverMean-13.0/11.0) > 1e-12 {
+		t.Fatalf("max/mean = %g, want %g", rep.Stragglers.MaxOverMean, 13.0/11.0)
+	}
+	if len(rep.Stragglers.Flagged) != 0 {
+		t.Fatalf("flagged = %v, want none at default threshold", rep.Stragglers.Flagged)
+	}
+}
+
+func TestAnalyzeStragglerFlagging(t *testing.T) {
+	rep, err := Analyze(Input{Spans: syntheticSpans(), StragglerThreshold: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Stragglers.Flagged) != 1 || rep.Stragglers.Flagged[0] != 0 {
+		t.Fatalf("flagged = %v, want [0] at 10%% threshold", rep.Stragglers.Flagged)
+	}
+}
+
+func TestAnalyzeEpochs(t *testing.T) {
+	spans := syntheticSpans()
+	// Second epoch, one worker, one iteration of 3 s starting at 13.
+	spans = append(spans,
+		span(0, obs.PhaseCompute, 13, 3, 1, 0),
+	)
+	rep, err := Analyze(Input{Spans: spans})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Epochs) != 2 {
+		t.Fatalf("got %d epochs, want 2", len(rep.Epochs))
+	}
+	if rep.Epochs[0].Epoch != 0 || math.Abs(rep.Epochs[0].Seconds-13) > 1e-12 {
+		t.Fatalf("epoch 0 = %+v, want extent 13", rep.Epochs[0])
+	}
+	if rep.Epochs[1].Epoch != 1 || math.Abs(rep.Epochs[1].Seconds-3) > 1e-12 {
+		t.Fatalf("epoch 1 = %+v, want extent 3", rep.Epochs[1])
+	}
+}
+
+func TestAnalyzeOverlapFromCounters(t *testing.T) {
+	snap := obs.Snapshot{Metrics: []obs.Metric{
+		{Name: "engine.overlap.hidden_sim_nanos", Type: "counter", Value: 3e9},
+		{Name: "engine.overlap.serial_comm_sim_nanos", Type: "counter", Value: 4e9},
+	}}
+	rep, err := Analyze(Input{Spans: syntheticSpans(), Metrics: snap, PS: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overlap.Branch != "ps" {
+		t.Fatalf("branch = %q, want ps", rep.Overlap.Branch)
+	}
+	if math.Abs(rep.Overlap.Efficiency-0.75) > 1e-12 {
+		t.Fatalf("efficiency = %g, want 0.75", rep.Overlap.Efficiency)
+	}
+	if math.Abs(rep.Overlap.HiddenSeconds-3) > 1e-12 || math.Abs(rep.Overlap.SerialCommSeconds-4) > 1e-12 {
+		t.Fatalf("hidden/serial = %g/%g, want 3/4", rep.Overlap.HiddenSeconds, rep.Overlap.SerialCommSeconds)
+	}
+}
+
+func TestAnalyzeOverlapNoComm(t *testing.T) {
+	rep, err := Analyze(Input{Spans: syntheticSpans()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Overlap.Efficiency != 0 {
+		t.Fatalf("efficiency with no counters = %g, want 0", rep.Overlap.Efficiency)
+	}
+	if rep.Overlap.Branch != "allreduce" {
+		t.Fatalf("branch = %q, want allreduce", rep.Overlap.Branch)
+	}
+}
+
+func TestAnalyzeTrafficFromFabricSnapshot(t *testing.T) {
+	fs := &comm.Snapshot{
+		NumWorkers: 2,
+		Bytes:      []int64{0, 100, 300, 0},
+		Msgs:       make([]int64, 4),
+	}
+	fs.CatBytes[comm.CatEmbedding] = 350
+	fs.CatBytes[comm.CatDense] = 50
+	rep, err := Analyze(Input{Spans: syntheticSpans(), Fabric: fs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Traffic.TotalBytes != 400 {
+		t.Fatalf("total bytes = %d, want 400", rep.Traffic.TotalBytes)
+	}
+	if got := rep.Traffic.Categories[comm.CatEmbedding.String()]; got != 350 {
+		t.Fatalf("embedding bytes = %d, want 350", got)
+	}
+	if len(rep.Traffic.TopLinks) != 2 {
+		t.Fatalf("got %d links, want 2", len(rep.Traffic.TopLinks))
+	}
+	hot := rep.Traffic.TopLinks[0]
+	if hot.Src != 1 || hot.Dst != 0 || hot.Bytes != 300 {
+		t.Fatalf("hottest link = %+v, want 1->0 300B", hot)
+	}
+	if math.Abs(hot.Share-0.75) > 1e-12 {
+		t.Fatalf("hottest share = %g, want 0.75", hot.Share)
+	}
+}
+
+func TestAnalyzeTrafficFallbackFromMetrics(t *testing.T) {
+	snap := obs.Snapshot{Metrics: []obs.Metric{
+		{Name: "fabric.bytes.embedding", Type: "counter", Value: 700},
+		{Name: "fabric.bytes.dense", Type: "counter", Value: 300},
+		{Name: "fabric.link.0->1.bytes", Type: "counter", Value: 600},
+		{Name: "fabric.link.1->0.bytes", Type: "counter", Value: 400},
+		{Name: "fabric.link.0->1.msgs", Type: "counter", Value: 9},
+	}}
+	rep, err := Analyze(Input{Spans: syntheticSpans(), Metrics: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Traffic.TotalBytes != 1000 {
+		t.Fatalf("total bytes = %d, want 1000", rep.Traffic.TotalBytes)
+	}
+	if len(rep.Traffic.TopLinks) != 2 {
+		t.Fatalf("got %d links, want 2 (msgs metric must not parse as a link)", len(rep.Traffic.TopLinks))
+	}
+	if rep.Traffic.TopLinks[0].Bytes != 600 || rep.Traffic.TopLinks[0].Dst != 1 {
+		t.Fatalf("hottest link = %+v, want 0->1 600B", rep.Traffic.TopLinks[0])
+	}
+}
+
+func TestAnalyzeTopLinksCap(t *testing.T) {
+	fs := &comm.Snapshot{NumWorkers: 4, Bytes: make([]int64, 16), Msgs: make([]int64, 16)}
+	for i := range fs.Bytes {
+		fs.Bytes[i] = int64(i + 1)
+	}
+	rep, err := Analyze(Input{Spans: syntheticSpans(), Fabric: fs, TopLinks: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Traffic.TopLinks) != 3 {
+		t.Fatalf("got %d links, want capped 3", len(rep.Traffic.TopLinks))
+	}
+	if rep.Traffic.TopLinks[0].Bytes != 16 {
+		t.Fatalf("hottest = %+v, want 16 bytes", rep.Traffic.TopLinks[0])
+	}
+}
+
+func TestAnalyzeIterationsFallback(t *testing.T) {
+	snap := obs.Snapshot{Metrics: []obs.Metric{
+		{Name: "engine.iteration.sim_nanos", Type: "histogram", Count: 42, Sum: 1, Max: 1,
+			Buckets: []obs.Bucket{{Le: 100, Count: 42}}},
+	}}
+	rep, err := Analyze(Input{Spans: syntheticSpans(), Metrics: snap})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Iterations != 42 {
+		t.Fatalf("iterations = %d, want 42 from histogram count", rep.Iterations)
+	}
+	if _, ok := rep.Quantiles["engine.iteration.sim_nanos"]; !ok {
+		t.Fatal("missing quantile set for iteration histogram")
+	}
+}
+
+func TestAnalyzePartitionRounds(t *testing.T) {
+	rep, err := Analyze(Input{
+		Spans:  syntheticSpans(),
+		Rounds: []partition.RoundStat{{Round: 1, RemoteAccesses: 10, CommTotal: 2.5}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Partition) != 1 || rep.Partition[0].RemoteAccesses != 10 {
+		t.Fatalf("partition rounds = %+v, want one round with 10 remote accesses", rep.Partition)
+	}
+}
+
+func TestVerifySpanAccountingPasses(t *testing.T) {
+	if err := VerifySpanAccounting(syntheticSpans(), 1e-9); err != nil {
+		t.Fatalf("contiguous spans must verify: %v", err)
+	}
+}
+
+func TestVerifySpanAccountingDetectsGap(t *testing.T) {
+	spans := []obs.Span{
+		span(0, obs.PhaseCompute, 0, 1, 0, 0),
+		// Gap of 0.5 before the next phase of the same iteration.
+		span(0, obs.PhaseGradPush, 1.5, 1, 0, 0),
+	}
+	if err := VerifySpanAccounting(spans, 1e-9); err == nil {
+		t.Fatal("gapped spans must fail verification")
+	}
+}
+
+func TestVerifySpanAccountingDetectsOverlap(t *testing.T) {
+	spans := []obs.Span{
+		span(0, obs.PhaseCompute, 0, 2, 0, 0),
+		span(0, obs.PhaseGradPush, 1, 2, 0, 0),
+	}
+	if err := VerifySpanAccounting(spans, 1e-9); err == nil {
+		t.Fatal("overlapping spans must fail verification")
+	}
+}

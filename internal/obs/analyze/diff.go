@@ -1,0 +1,199 @@
+package analyze
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"sort"
+
+	"hetgmp/internal/report"
+)
+
+// Tolerance bounds how far a candidate report may drift from a baseline
+// before Diff declares a regression. All gated quantities are *simulated*
+// (deterministic given config + seed), so the defaults are tight: they
+// absorb float noise and benign re-bucketing, not behaviour change.
+type Tolerance struct {
+	// Overlap is the allowed absolute drop in overlap efficiency
+	// (improvements never fail).
+	Overlap float64 `json:"overlap"`
+	// PhaseShare is the allowed absolute drift of any phase's share of
+	// total span time, in either direction — shares sum to 1, so a shift
+	// either way means the time decomposition changed.
+	PhaseShare float64 `json:"phase_share"`
+	// SimTimeFrac is the allowed fractional increase of total simulated
+	// time (speedups never fail).
+	SimTimeFrac float64 `json:"sim_time_frac"`
+	// BytesFrac is the allowed fractional increase of total bytes moved.
+	BytesFrac float64 `json:"bytes_frac"`
+}
+
+// DefaultTolerance is the CI gate's documented tolerance set.
+func DefaultTolerance() Tolerance {
+	return Tolerance{
+		Overlap:     0.02,
+		PhaseShare:  0.03,
+		SimTimeFrac: 0.02,
+		BytesFrac:   0.01,
+	}
+}
+
+// Finding is one gated comparison.
+type Finding struct {
+	Field      string  `json:"field"`
+	Baseline   float64 `json:"baseline"`
+	Candidate  float64 `json:"candidate"`
+	Delta      float64 `json:"delta"`
+	Tolerance  float64 `json:"tolerance"`
+	Regression bool    `json:"regression"`
+}
+
+// Verdict is Diff's threshold-gated result.
+type Verdict struct {
+	OK       bool      `json:"ok"`
+	Findings []Finding `json:"findings"`
+	// Notes are non-gated observations (environment drift, informational
+	// quantile movement).
+	Notes []string `json:"notes,omitempty"`
+}
+
+// Regressions lists only the failing findings.
+func (v *Verdict) Regressions() []Finding {
+	var out []Finding
+	for _, f := range v.Findings {
+		if f.Regression {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// Diff compares a candidate report against a baseline under the given
+// tolerances. It returns an error (not a verdict) when the reports are
+// incomparable — different schema or config hash — which callers should
+// treat as a distinct failure mode from a regression. allowMeta skips the
+// config-hash comparability check.
+func Diff(base, cand *RunReport, tol Tolerance, allowMeta bool) (*Verdict, error) {
+	if base == nil || cand == nil {
+		return nil, fmt.Errorf("analyze: nil report")
+	}
+	if err := Comparable(base.Meta, cand.Meta, allowMeta); err != nil {
+		return nil, err
+	}
+	v := &Verdict{OK: true, Notes: EnvironmentNotes(base.Meta, cand.Meta)}
+	add := func(field string, baseV, candV, delta, tolV float64, regressed bool) {
+		v.Findings = append(v.Findings, Finding{
+			Field: field, Baseline: baseV, Candidate: candV,
+			Delta: delta, Tolerance: tolV, Regression: regressed,
+		})
+		if regressed {
+			v.OK = false
+		}
+	}
+
+	// Overlap efficiency: only a drop beyond tolerance fails.
+	dOv := cand.Overlap.Efficiency - base.Overlap.Efficiency
+	add("overlap.efficiency", base.Overlap.Efficiency, cand.Overlap.Efficiency,
+		dOv, tol.Overlap, dOv < -tol.Overlap)
+
+	// Phase shares: drift in either direction fails. Compare the union of
+	// phase names; a phase present in only one report has share 0 in the
+	// other.
+	names := make(map[string]bool)
+	for n := range base.Phases {
+		names[n] = true
+	}
+	for n := range cand.Phases {
+		names[n] = true
+	}
+	ordered := make([]string, 0, len(names))
+	for n := range names {
+		ordered = append(ordered, n)
+	}
+	sort.Strings(ordered)
+	for _, n := range ordered {
+		b := base.Phases[n].Share
+		c := cand.Phases[n].Share
+		d := c - b
+		add("phase."+n+".share", b, c, d, tol.PhaseShare, math.Abs(d) > tol.PhaseShare)
+	}
+
+	// Total simulated time: fractional increase fails.
+	dT := fracDelta(base.TotalSimSeconds, cand.TotalSimSeconds)
+	add("total_sim_seconds", base.TotalSimSeconds, cand.TotalSimSeconds,
+		dT, tol.SimTimeFrac, dT > tol.SimTimeFrac)
+
+	// Bytes moved: fractional increase fails.
+	dB := fracDelta(float64(base.Traffic.TotalBytes), float64(cand.Traffic.TotalBytes))
+	add("traffic.total_bytes", float64(base.Traffic.TotalBytes), float64(cand.Traffic.TotalBytes),
+		dB, tol.BytesFrac, dB > tol.BytesFrac)
+
+	// Informational: straggler skew and the iteration-time tail.
+	if base.Stragglers.MaxOverMean > 0 && cand.Stragglers.MaxOverMean > base.Stragglers.MaxOverMean*1.1 {
+		v.Notes = append(v.Notes, fmt.Sprintf("straggler skew grew: max/mean %.3f → %.3f (not gated)",
+			base.Stragglers.MaxOverMean, cand.Stragglers.MaxOverMean))
+	}
+	if bq, ok := base.Quantiles["engine.iteration.sim_nanos"]; ok {
+		if cq, ok := cand.Quantiles["engine.iteration.sim_nanos"]; ok && bq.P99 > 0 {
+			v.Notes = append(v.Notes, fmt.Sprintf("iteration p99: %.4g → %.4g sim ns (not gated)", bq.P99, cq.P99))
+		}
+	}
+	return v, nil
+}
+
+// fracDelta returns (cand-base)/base, treating a zero baseline as equal
+// only to a zero candidate.
+func fracDelta(base, cand float64) float64 {
+	if base == 0 {
+		if cand == 0 {
+			return 0
+		}
+		return math.Inf(1)
+	}
+	return (cand - base) / base
+}
+
+// Render formats the verdict as the gate's human-readable table.
+func (v *Verdict) Render() string {
+	tab := report.New("perf gate: candidate vs baseline",
+		"field", "baseline", "candidate", "delta", "tolerance", "verdict")
+	for _, f := range v.Findings {
+		verdict := "ok"
+		if f.Regression {
+			verdict = "REGRESSION"
+		}
+		tab.AddRow(f.Field, f.Baseline, f.Candidate, f.Delta, f.Tolerance, verdict)
+	}
+	for _, n := range v.Notes {
+		tab.AddNote("%s", n)
+	}
+	if v.OK {
+		tab.AddNote("verdict: PASS")
+	} else {
+		tab.AddNote("verdict: FAIL (%d regression(s))", len(v.Regressions()))
+	}
+	return tab.String()
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *RunReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadReport loads a RunReport from a JSON file.
+func ReadReport(path string) (*RunReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r RunReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("analyze: %s is not a RunReport: %w", path, err)
+	}
+	return &r, nil
+}

@@ -1,0 +1,231 @@
+package analyze
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetgmp/internal/obs"
+)
+
+// baseReport builds a minimal comparable report for diff tests.
+func baseReport() *RunReport {
+	return &RunReport{
+		Meta:            Meta{Schema: Schema, ConfigHash: "deadbeef00000000"},
+		TotalSimSeconds: 10,
+		Iterations:      100,
+		Phases: map[string]PhaseStat{
+			"compute":        {Spans: 100, Seconds: 6, Share: 0.6},
+			"embed-fetch":    {Spans: 100, Seconds: 3, Share: 0.3},
+			"staleness-wait": {Spans: 100, Seconds: 1, Share: 0.1},
+		},
+		Overlap: OverlapStat{Branch: "allreduce", Efficiency: 0.5, HiddenSeconds: 2, SerialCommSeconds: 4},
+		Traffic: TrafficStat{TotalBytes: 1 << 20},
+		Quantiles: map[string]obs.QuantileSet{
+			"engine.iteration.sim_nanos": {Count: 100, P50: 1e8, P95: 1.5e8, P99: 2e8, Max: 3e8},
+		},
+	}
+}
+
+// clone deep-copies via the phase map (the only shared mutable state the
+// tests touch).
+func clone(r *RunReport) *RunReport {
+	c := *r
+	c.Phases = make(map[string]PhaseStat, len(r.Phases))
+	for k, v := range r.Phases {
+		c.Phases[k] = v
+	}
+	return &c
+}
+
+func TestDiffSelfPass(t *testing.T) {
+	base := baseReport()
+	v, err := Diff(base, clone(base), DefaultTolerance(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Fatalf("self-diff must pass, got regressions %+v", v.Regressions())
+	}
+	if len(v.Findings) == 0 {
+		t.Fatal("verdict should carry per-field findings even when passing")
+	}
+}
+
+func TestDiffOverlapDrop(t *testing.T) {
+	base := baseReport()
+	cand := clone(base)
+	cand.Overlap.Efficiency = base.Overlap.Efficiency - 0.05
+	v, err := Diff(base, cand, DefaultTolerance(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK {
+		t.Fatal("overlap drop beyond tolerance must fail")
+	}
+	regs := v.Regressions()
+	if len(regs) != 1 || regs[0].Field != "overlap.efficiency" {
+		t.Fatalf("regressions = %+v, want exactly overlap.efficiency", regs)
+	}
+	// Improvement never fails.
+	cand.Overlap.Efficiency = base.Overlap.Efficiency + 0.2
+	if v, _ := Diff(base, cand, DefaultTolerance(), false); !v.OK {
+		t.Fatal("overlap improvement must pass")
+	}
+}
+
+func TestDiffPhaseShareDrift(t *testing.T) {
+	base := baseReport()
+	for _, delta := range []float64{+0.05, -0.05} {
+		cand := clone(base)
+		ps := cand.Phases["compute"]
+		ps.Share += delta
+		cand.Phases["compute"] = ps
+		v, err := Diff(base, cand, DefaultTolerance(), false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.OK {
+			t.Fatalf("share drift %+g must fail", delta)
+		}
+	}
+	// A phase present only in the candidate gates against share 0.
+	cand := clone(base)
+	cand.Phases["barrier-wait"] = PhaseStat{Spans: 10, Seconds: 0.5, Share: 0.05}
+	v, err := Diff(base, cand, DefaultTolerance(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK {
+		t.Fatal("a new phase with share above tolerance must fail")
+	}
+}
+
+func TestDiffSimTime(t *testing.T) {
+	base := baseReport()
+	cand := clone(base)
+	cand.TotalSimSeconds = base.TotalSimSeconds * 1.05
+	if v, _ := Diff(base, cand, DefaultTolerance(), false); v.OK {
+		t.Fatal("5% sim-time growth must fail the 2% gate")
+	}
+	cand.TotalSimSeconds = base.TotalSimSeconds * 0.5
+	if v, _ := Diff(base, cand, DefaultTolerance(), false); !v.OK {
+		t.Fatal("a speedup must pass")
+	}
+}
+
+func TestDiffBytes(t *testing.T) {
+	base := baseReport()
+	cand := clone(base)
+	cand.Traffic.TotalBytes = base.Traffic.TotalBytes + base.Traffic.TotalBytes/50
+	if v, _ := Diff(base, cand, DefaultTolerance(), false); v.OK {
+		t.Fatal("2% byte growth must fail the 1% gate")
+	}
+	cand.Traffic.TotalBytes = base.Traffic.TotalBytes - 1
+	if v, _ := Diff(base, cand, DefaultTolerance(), false); !v.OK {
+		t.Fatal("fewer bytes must pass")
+	}
+}
+
+func TestDiffIncomparableConfig(t *testing.T) {
+	base := baseReport()
+	cand := clone(base)
+	cand.Meta.ConfigHash = "0123456789abcdef"
+	if _, err := Diff(base, cand, DefaultTolerance(), false); err == nil {
+		t.Fatal("differing config hashes must be an error, not a verdict")
+	}
+	// -allow-meta overrides the config check…
+	if _, err := Diff(base, cand, DefaultTolerance(), true); err != nil {
+		t.Fatalf("allowMeta must permit cross-config diffs: %v", err)
+	}
+	// …but never the schema check.
+	cand.Meta.Schema = Schema + 1
+	if _, err := Diff(base, cand, DefaultTolerance(), true); err == nil {
+		t.Fatal("schema mismatch must error even with allowMeta")
+	}
+}
+
+func TestDiffUnstampedReports(t *testing.T) {
+	base := baseReport()
+	cand := clone(base)
+	cand.Meta.ConfigHash = ""
+	if _, err := Diff(base, cand, DefaultTolerance(), false); err == nil {
+		t.Fatal("an unstamped report must be refused by default")
+	}
+}
+
+func TestDiffEnvironmentNotGated(t *testing.T) {
+	base := baseReport()
+	base.Meta.GoVersion = "go1.21.0"
+	base.Meta.GOMAXPROCS = 4
+	cand := clone(base)
+	cand.Meta.GoVersion = "go1.22.0"
+	cand.Meta.GOMAXPROCS = 16
+	v, err := Diff(base, cand, DefaultTolerance(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Fatal("environment drift must never gate")
+	}
+	if len(v.Notes) < 2 {
+		t.Fatalf("notes = %v, want go-version and GOMAXPROCS drift noted", v.Notes)
+	}
+}
+
+func TestDiffZeroBaselineBytes(t *testing.T) {
+	base := baseReport()
+	base.Traffic.TotalBytes = 0
+	cand := clone(base)
+	cand.Traffic.TotalBytes = 1
+	if v, _ := Diff(base, cand, DefaultTolerance(), false); v.OK {
+		t.Fatal("bytes appearing where the baseline had none must fail")
+	}
+}
+
+func TestVerdictRender(t *testing.T) {
+	base := baseReport()
+	cand := clone(base)
+	cand.Overlap.Efficiency = 0.1
+	v, err := Diff(base, cand, DefaultTolerance(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := v.Render()
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "FAIL") {
+		t.Fatalf("render missing regression marks:\n%s", out)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	base := baseReport()
+	path := filepath.Join(t.TempDir(), "report.json")
+	if err := base.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Meta.ConfigHash != base.Meta.ConfigHash || got.TotalSimSeconds != base.TotalSimSeconds {
+		t.Fatalf("round trip lost fields: %+v", got.Meta)
+	}
+	// A round-tripped report must still self-diff clean.
+	if v, err := Diff(base, got, DefaultTolerance(), false); err != nil || !v.OK {
+		t.Fatalf("round-tripped report fails self-diff: %v %+v", err, v)
+	}
+}
+
+func TestHashConfigStable(t *testing.T) {
+	a := HashConfig("avazu", 4, int64(100), 0.6)
+	b := HashConfig("avazu", 4, int64(100), 0.6)
+	if a != b {
+		t.Fatalf("HashConfig not deterministic: %s vs %s", a, b)
+	}
+	if c := HashConfig("avazu", 4, int64(101), 0.6); c == a {
+		t.Fatal("HashConfig ignored a changed parameter")
+	}
+	if len(a) != 16 {
+		t.Fatalf("hash %q not 16 hex chars", a)
+	}
+}

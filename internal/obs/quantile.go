@@ -1,0 +1,93 @@
+package obs
+
+import "math"
+
+// Quantile estimates the q-th quantile (q ∈ [0,1]) of a histogram from its
+// fixed buckets by linear interpolation within the bucket that holds the
+// target rank, the same estimator Prometheus' histogram_quantile uses. The
+// estimate is exact at bucket edges and bounded by the histogram's tracked
+// exact maximum, so the overflow bucket never extrapolates to +Inf.
+//
+// Observations are assumed non-negative (every histogram in this repo
+// measures simulated nanoseconds or clock gaps); the first bucket
+// interpolates from max(0, a value below the first edge). An empty
+// histogram yields 0; q ≤ 0 yields the lower edge of the first occupied
+// bucket and q ≥ 1 yields the exact maximum.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	buckets, count, _, max := h.merge()
+	return bucketQuantile(q, buckets, count, max)
+}
+
+// Quantile estimates the q-th quantile of a snapshot histogram metric; see
+// Histogram.Quantile for the estimator. Non-histogram metrics yield 0.
+func (m Metric) Quantile(q float64) float64 {
+	return bucketQuantile(q, m.Buckets, m.Count, m.Max)
+}
+
+// bucketQuantile interpolates rank q·count across cumulative bucket counts.
+func bucketQuantile(q float64, buckets []Bucket, count, max int64) float64 {
+	if count <= 0 || len(buckets) == 0 {
+		return 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	var cum int64
+	lo := 0.0
+	for _, b := range buckets {
+		if b.Count == 0 {
+			if b.Le != math.MaxInt64 && float64(b.Le) > lo {
+				lo = float64(b.Le)
+			}
+			continue
+		}
+		prev := cum
+		cum += b.Count
+		if float64(cum) >= rank {
+			hi := float64(b.Le)
+			if b.Le == math.MaxInt64 || hi > float64(max) {
+				// Overflow bucket (or a tail bucket whose edge exceeds the
+				// exact tracked maximum): the true values lie in [lo, max].
+				hi = float64(max)
+			}
+			if hi <= lo {
+				return hi
+			}
+			frac := (rank - float64(prev)) / float64(b.Count)
+			if frac < 0 {
+				frac = 0
+			}
+			if frac > 1 {
+				frac = 1
+			}
+			return lo + (hi-lo)*frac
+		}
+		lo = float64(b.Le)
+	}
+	return float64(max)
+}
+
+// QuantileSet is the standard p50/p95/p99 summary of one histogram.
+type QuantileSet struct {
+	Count int64   `json:"count"`
+	P50   float64 `json:"p50"`
+	P95   float64 `json:"p95"`
+	P99   float64 `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+// Quantiles summarises a snapshot histogram metric as p50/p95/p99 plus the
+// exact count and maximum.
+func (m Metric) Quantiles() QuantileSet {
+	return QuantileSet{
+		Count: m.Count,
+		P50:   m.Quantile(0.50),
+		P95:   m.Quantile(0.95),
+		P99:   m.Quantile(0.99),
+		Max:   m.Max,
+	}
+}

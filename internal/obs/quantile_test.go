@@ -1,0 +1,162 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func quantileFixture(t *testing.T, edges []int64, values []int64) *Histogram {
+	t.Helper()
+	h := NewRegistry(2).Histogram("q", edges)
+	for i, v := range values {
+		h.Observe(i, v)
+	}
+	return h
+}
+
+func TestQuantileEmptyHistogram(t *testing.T) {
+	h := quantileFixture(t, []int64{10, 20}, nil)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 0 {
+			t.Errorf("empty histogram Quantile(%g) = %g, want 0", q, got)
+		}
+	}
+	var nilH *Histogram
+	if got := nilH.Quantile(0.5); got != 0 {
+		t.Errorf("nil histogram Quantile = %g, want 0", got)
+	}
+	if got := (Metric{}).Quantile(0.5); got != 0 {
+		t.Errorf("empty metric Quantile = %g, want 0", got)
+	}
+}
+
+// TestQuantileSingleBucket checks interpolation inside one bucket: 4 values
+// all ≤ 100 interpolate linearly across [0, 100], clamped by the exact max.
+func TestQuantileSingleBucket(t *testing.T) {
+	h := quantileFixture(t, []int64{100, 200}, []int64{50, 50, 50, 50})
+	// All mass in bucket [0,100]; rank q·4 interpolates lo=0 → hi=50 (the
+	// exact max caps the bucket's upper edge... max=50 < edge 100? No: the
+	// edge 100 > max 50 only matters for the overflow bucket; within an
+	// interior bucket whose edge exceeds the max the cap also applies).
+	if got := h.Quantile(0.5); got != 25 {
+		t.Errorf("Quantile(0.5) = %g, want 25 (rank 2 of 4 across [0,50])", got)
+	}
+	if got := h.Quantile(1); got != 50 {
+		t.Errorf("Quantile(1) = %g, want exact max 50", got)
+	}
+}
+
+// TestQuantileBucketEdges checks the estimator is exact at bucket edges:
+// with counts 2|2 in buckets (0,10] and (10,20], the median falls exactly on
+// the shared edge 10.
+func TestQuantileBucketEdges(t *testing.T) {
+	h := quantileFixture(t, []int64{10, 20}, []int64{5, 5, 15, 20})
+	if got := h.Quantile(0.5); got != 10 {
+		t.Errorf("Quantile(0.5) = %g, want bucket edge 10", got)
+	}
+	if got := h.Quantile(0.25); got != 5 {
+		t.Errorf("Quantile(0.25) = %g, want 5 (half of bucket [0,10])", got)
+	}
+	// Third quartile: rank 3 of 4, one into the (10,20] bucket of 2 → 15.
+	if got := h.Quantile(0.75); got != 15 {
+		t.Errorf("Quantile(0.75) = %g, want 15", got)
+	}
+	if got := h.Quantile(0); got != 0 {
+		t.Errorf("Quantile(0) = %g, want lower edge 0", got)
+	}
+}
+
+// TestQuantileOverflowBucket: observations above the last edge interpolate
+// toward the tracked exact maximum, never to +Inf.
+func TestQuantileOverflowBucket(t *testing.T) {
+	h := quantileFixture(t, []int64{10}, []int64{5, 100, 100, 1000})
+	got := h.Quantile(0.99)
+	if math.IsInf(got, 0) || got > 1000 {
+		t.Fatalf("Quantile(0.99) = %g, must be bounded by exact max 1000", got)
+	}
+	if got <= 10 {
+		t.Errorf("Quantile(0.99) = %g, want inside overflow bucket (10,1000]", got)
+	}
+	if got := h.Quantile(1); got != 1000 {
+		t.Errorf("Quantile(1) = %g, want exact max 1000", got)
+	}
+}
+
+// TestQuantileSkipsEmptyBuckets: leading and interior empty buckets advance
+// the interpolation lower bound instead of dragging estimates to zero.
+func TestQuantileSkipsEmptyBuckets(t *testing.T) {
+	h := quantileFixture(t, []int64{1, 10, 100, 1000}, []int64{500, 600, 700, 800})
+	got := h.Quantile(0.5)
+	if got <= 100 || got > 1000 {
+		t.Errorf("Quantile(0.5) = %g, want inside (100,1000] where all mass lives", got)
+	}
+}
+
+// TestQuantileMonotone: quantile estimates are non-decreasing in q.
+func TestQuantileMonotone(t *testing.T) {
+	h := quantileFixture(t, TimeEdges(), []int64{50, 500, 5e3, 5e4, 5e5, 5e6, 5e7, 2e10})
+	prev := math.Inf(-1)
+	for q := 0.0; q <= 1.0; q += 0.05 {
+		cur := h.Quantile(q)
+		if cur < prev {
+			t.Fatalf("Quantile(%g) = %g < previous %g: not monotone", q, cur, prev)
+		}
+		prev = cur
+	}
+}
+
+// TestQuantileSnapshotAgrees: the snapshot-level Metric.Quantile matches the
+// live histogram's estimate, and Quantiles fills the standard summary.
+func TestQuantileSnapshotAgrees(t *testing.T) {
+	reg := NewRegistry(2)
+	h := reg.Histogram("snap", []int64{10, 100, 1000})
+	for _, v := range []int64{3, 30, 300, 900} {
+		h.Observe(0, v)
+	}
+	m, ok := reg.Snapshot().Get("snap")
+	if !ok {
+		t.Fatal("snapshot missing histogram")
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if live, snap := h.Quantile(q), m.Quantile(q); live != snap {
+			t.Errorf("Quantile(%g): live %g vs snapshot %g", q, live, snap)
+		}
+	}
+	qs := m.Quantiles()
+	if qs.Count != 4 || qs.Max != 900 {
+		t.Errorf("Quantiles summary = %+v, want count 4 max 900", qs)
+	}
+	if qs.P50 > qs.P95 || qs.P95 > qs.P99 {
+		t.Errorf("quantile summary not ordered: %+v", qs)
+	}
+}
+
+// TestParseChromeRoundTrip: spans survive a Marshal→Parse cycle.
+func TestParseChromeRoundTrip(t *testing.T) {
+	tr := NewTracer()
+	tr.SetThreadName(0, "gpu00")
+	tr.Span(0, PhaseCompute, 1.5, 0.25, 2, 7)
+	tr.Span(1, PhaseWait, 2.0, 0.5, 2, 7)
+	tr.Span(1, PhaseBarrier, 2.5, 0.5, 2, 8)
+	data, err := tr.MarshalChrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spans, err := ParseChrome(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig := tr.Spans()
+	if len(spans) != len(orig) {
+		t.Fatalf("parsed %d spans, want %d", len(spans), len(orig))
+	}
+	for i, s := range spans {
+		o := orig[i]
+		if s.Name != o.Name || s.TID != o.TID || s.Epoch != o.Epoch || s.Iter != o.Iter {
+			t.Errorf("span %d: parsed %+v, want %+v", i, s, o)
+		}
+		if math.Abs(s.Start-o.Start) > 1e-9 || math.Abs(s.Dur-o.Dur) > 1e-9 {
+			t.Errorf("span %d timing: parsed %+v, want %+v", i, s, o)
+		}
+	}
+}

@@ -29,10 +29,17 @@ const (
 	// PhaseAllReduce is the dense-parameter synchronisation (ring AllReduce,
 	// or the PS dense exchange in the parameter-server baselines).
 	PhaseAllReduce
-	// PhaseWait is time a worker spends blocked on other workers' progress —
-	// the per-iteration barrier gap that staleness bounds trade against
-	// freshness (Section 5.3).
+	// PhaseWait is time a worker spends blocked on other workers' progress
+	// under a *bounded-staleness* protocol — the per-iteration gap that
+	// staleness bounds trade against freshness (Section 5.3). The engine
+	// emits it only when a finite bound s > 0 is in force; synchronous and
+	// fully-asynchronous runs attribute the same gap to PhaseBarrier, so
+	// "staleness-wait" in a report is exactly the cost of bounded asynchrony.
 	PhaseWait
+	// PhaseBarrier is wait time inherent to the execution model rather than
+	// to a staleness bound: the BSP barrier gap, the ASP simulation barrier,
+	// and PS host-queueing stalls.
+	PhaseBarrier
 	// PhaseFlush is the epoch-boundary replica reconciliation (FlushAll).
 	PhaseFlush
 	// NumPhases bounds the Phase space.
@@ -52,6 +59,8 @@ func (p Phase) String() string {
 		return "allreduce"
 	case PhaseWait:
 		return "staleness-wait"
+	case PhaseBarrier:
+		return "barrier-wait"
 	case PhaseFlush:
 		return "flush"
 	}
@@ -63,7 +72,7 @@ func (p Phase) Category() string {
 	switch p {
 	case PhaseCompute:
 		return "compute"
-	case PhaseWait:
+	case PhaseWait, PhaseBarrier:
 		return "wait"
 	default:
 		return "comm"
@@ -235,6 +244,35 @@ func ValidateChrome(data []byte, required []string) (map[string]int, error) {
 		}
 	}
 	return counts, nil
+}
+
+// ParseChrome is the inverse of MarshalChrome: it reads Chrome trace_event
+// JSON back into spans (complete "X" events only; metadata events are
+// skipped), converting microsecond timestamps back to simulated seconds.
+// It lets hetgmp-obs analyze a trace file a previous run exported.
+func ParseChrome(data []byte) ([]Span, error) {
+	var tr chromeTrace
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return nil, fmt.Errorf("obs: trace is not valid trace_event JSON: %w", err)
+	}
+	spans := make([]Span, 0, len(tr.TraceEvents))
+	for _, ev := range tr.TraceEvents {
+		if ev.Ph != "X" {
+			continue
+		}
+		s := Span{
+			Name: ev.Name, Cat: ev.Cat, TID: ev.TID,
+			Start: ev.TS / 1e6, Dur: ev.Dur / 1e6,
+		}
+		if v, ok := ev.Args["epoch"].(float64); ok {
+			s.Epoch = int(v)
+		}
+		if v, ok := ev.Args["iter"].(float64); ok {
+			s.Iter = int(v)
+		}
+		spans = append(spans, s)
+	}
+	return spans, nil
 }
 
 // Summary aggregates the recorded spans into a per-phase table: span count,

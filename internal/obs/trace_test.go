@@ -39,6 +39,7 @@ func TestPhaseNamesAndCategories(t *testing.T) {
 		PhaseGradPush:   "grad-push",
 		PhaseAllReduce:  "allreduce",
 		PhaseWait:       "staleness-wait",
+		PhaseBarrier:    "barrier-wait",
 		PhaseFlush:      "flush",
 	}
 	wantCat := map[Phase]string{
@@ -47,6 +48,7 @@ func TestPhaseNamesAndCategories(t *testing.T) {
 		PhaseGradPush:   "comm",
 		PhaseAllReduce:  "comm",
 		PhaseWait:       "wait",
+		PhaseBarrier:    "wait",
 		PhaseFlush:      "comm",
 	}
 	for p := Phase(0); p < NumPhases; p++ {

@@ -28,6 +28,7 @@ import (
 	"hetgmp/internal/engine"
 	"hetgmp/internal/nn"
 	"hetgmp/internal/obs"
+	"hetgmp/internal/obs/analyze"
 	"hetgmp/internal/partition"
 )
 
@@ -111,6 +112,10 @@ type EpochMetrics struct {
 
 // Report is the BENCH_partition.json payload.
 type Report struct {
+	// Meta stamps the run's identity and environment (go version,
+	// GOMAXPROCS, git commit, config hash) so two baseline files can be
+	// checked for comparability before their numbers are.
+	Meta       analyze.Meta  `json:"meta"`
 	Dataset    string        `json:"dataset"`
 	GOMAXPROCS int           `json:"gomaxprocs"`
 	Partitions int           `json:"partitions"`
@@ -125,6 +130,8 @@ type Report struct {
 func Run(opts Options) (*Report, error) {
 	opts.defaults()
 	rep := &Report{
+		Meta: analyze.CollectMeta(analyze.HashConfig(
+			opts.Dataset, opts.Scales, opts.Partitions, opts.Rounds, opts.Seed, opts.TrainEpoch)),
 		Dataset:    opts.Dataset,
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Partitions: opts.Partitions,

@@ -87,6 +87,10 @@ type Options struct {
 	// Tracer, when non-nil, records per-worker phase spans on the simulated
 	// clock (Chrome trace_event exportable).
 	Tracer *obs.Tracer
+	// Report, when true, asks the engine to run the critical-path analyzer
+	// over the finished run and attach the RunReport to engine.Result.
+	// Requires both Metrics and Tracer.
+	Report bool
 }
 
 // NewModel builds the named CTR network for a dataset shape. The paper
@@ -106,10 +110,18 @@ func NewModel(name string, fields, dim int, seed uint64) (nn.Network, error) {
 
 // BuildAssignment produces the partitioning each system trains with.
 func BuildAssignment(sys System, g *bigraph.Bigraph, opt Options) (*partition.Assignment, error) {
+	assign, _, err := buildAssignment(sys, g, opt)
+	return assign, err
+}
+
+// buildAssignment additionally returns the partitioner's per-round quality
+// trace (nil for the random-partition systems), which Build threads into the
+// engine so a run report carries the full partition→traffic→time chain.
+func buildAssignment(sys System, g *bigraph.Bigraph, opt Options) (*partition.Assignment, []partition.RoundStat, error) {
 	n := opt.Topo.NumWorkers()
 	switch sys {
 	case TFPS, Parallax, HugeCTR, HETMP:
-		return partition.Random(g, n, opt.Seed), nil
+		return partition.Random(g, n, opt.Seed), nil, nil
 	case HETGMP:
 		cfg := partition.DefaultHybridConfig(n)
 		cfg.Seed = opt.Seed
@@ -131,11 +143,11 @@ func BuildAssignment(sys System, g *bigraph.Bigraph, opt Options) (*partition.As
 		cfg.Obs = opt.Metrics
 		res, err := partition.Hybrid(g, cfg)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
-		return res.Assignment, nil
+		return res.Assignment, res.Rounds, nil
 	}
-	return nil, fmt.Errorf("systems: unknown system %q", sys)
+	return nil, nil, fmt.Errorf("systems: unknown system %q", sys)
 }
 
 // Build assembles a ready-to-run trainer for the given system.
@@ -147,7 +159,7 @@ func Build(sys System, opt Options) (*engine.Trainer, error) {
 		opt.Dim = 16
 	}
 	g := bigraph.FromDataset(opt.Train)
-	assign, err := BuildAssignment(sys, g, opt)
+	assign, rounds, err := buildAssignment(sys, g, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -156,21 +168,23 @@ func Build(sys System, opt Options) (*engine.Trainer, error) {
 		return nil, err
 	}
 	cfg := engine.Config{
-		Train:           opt.Train,
-		Test:            opt.Test,
-		Model:           model,
-		Dim:             opt.Dim,
-		Topo:            opt.Topo,
-		Assign:          assign,
-		BatchPerWorker:  opt.BatchPerWorker,
-		Epochs:          opt.Epochs,
-		TargetAUC:       opt.TargetAUC,
-		EvalEvery:       opt.EvalEvery,
-		EvalSamples:     opt.EvalSamples,
-		CheckInvariants: opt.CheckInvariants,
-		Metrics:         opt.Metrics,
-		Tracer:          opt.Tracer,
-		Seed:            opt.Seed,
+		Train:            opt.Train,
+		Test:             opt.Test,
+		Model:            model,
+		Dim:              opt.Dim,
+		Topo:             opt.Topo,
+		Assign:           assign,
+		BatchPerWorker:   opt.BatchPerWorker,
+		Epochs:           opt.Epochs,
+		TargetAUC:        opt.TargetAUC,
+		EvalEvery:        opt.EvalEvery,
+		EvalSamples:      opt.EvalSamples,
+		CheckInvariants:  opt.CheckInvariants,
+		Metrics:          opt.Metrics,
+		Tracer:           opt.Tracer,
+		Report:           opt.Report,
+		PartitionHistory: rounds,
+		Seed:             opt.Seed,
 	}
 	var proto consistency.Config
 	switch sys {
