@@ -5,6 +5,8 @@
 //
 //	hetgmp-bench [-exp id[,id...]] [-scale f] [-dim n] [-batch n] [-epochs n] [-seed n] [-quick]
 //	hetgmp-bench -perf [-perfout file] [-perfscales f,f,...] [-seed n]
+//	hetgmp-bench -perf-train [-perftrainout file] [-perftrainscale f] [-seed n]
+//	hetgmp-bench -perf-train-verify file
 //
 // With no -exp flag every experiment runs in the paper's order. Experiment
 // IDs: fig1, fig3, fig7, fig8, table2, fig9a, fig9b, table3, fig10,
@@ -15,6 +17,13 @@
 // parallel chunked-delta implementation at growing graph scales plus one
 // simulated training epoch, and writes the report to -perfout (default
 // BENCH_partition.json).
+//
+// -perf-train runs the end-to-end training throughput harness: full
+// Trainer.Run timings under the Reference execution strategy vs the
+// optimized one (persistent pool, arena deltas, parallel commit), plus the
+// queue→commit allocation microbenchmark, written to -perftrainout
+// (default BENCH_train.json). -perf-train-verify checks a committed report
+// against the harness config hash, for the CI perf gate.
 package main
 
 import (
@@ -47,6 +56,11 @@ func main() {
 		perf       = flag.Bool("perf", false, "run the partitioner perf-baseline harness and exit")
 		perfOut    = flag.String("perfout", "BENCH_partition.json", "perf harness report path")
 		perfScales = flag.String("perfscales", "", "comma-separated dataset scales for -perf (default 1e-3,2.5e-3,5e-3)")
+
+		perfTrain       = flag.Bool("perf-train", false, "run the end-to-end training throughput harness and exit")
+		perfTrainOut    = flag.String("perftrainout", "BENCH_train.json", "train harness report path")
+		perfTrainScale  = flag.Float64("perftrainscale", 0, "dataset scale for -perf-train (default 2.5e-3)")
+		perfTrainVerify = flag.String("perf-train-verify", "", "verify a committed train report against the harness config and exit")
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -84,6 +98,39 @@ func main() {
 		for _, id := range experiments.Order {
 			fmt.Println(id)
 		}
+		return
+	}
+
+	if *perfTrainVerify != "" {
+		rep, err := perfbench.VerifyTrainReport(*perfTrainVerify, perfbench.TrainOptions{})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hetgmp-bench: perf-train-verify: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("%s: config hash %s matches harness config (GOMAXPROCS=%d, speedup %.2fx, commit arena %d allocs/op)\n",
+			*perfTrainVerify, rep.Meta.ConfigHash, rep.GOMAXPROCS, rep.Speedup, rep.Commit.Arena.AllocsPerOp)
+		return
+	}
+
+	if *perfTrain {
+		rep, err := perfbench.RunTrain(perfbench.TrainOptions{Seed: *seed, Scale: *perfTrainScale})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "hetgmp-bench: perf-train: %v\n", err)
+			os.Exit(1)
+		}
+		if err := rep.WriteJSON(*perfTrainOut); err != nil {
+			fmt.Fprintf(os.Stderr, "hetgmp-bench: perf-train: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("train scale %-8g %8d samples, %d iterations: reference %12d ns/iter (%d allocs/iter), optimized %12d ns/iter (%d allocs/iter), speedup %.2fx\n",
+			rep.Scale, rep.Samples, rep.Iterations,
+			rep.Reference.NsPerIter, rep.Reference.AllocsPerIter,
+			rep.Optimized.NsPerIter, rep.Optimized.AllocsPerIter, rep.Speedup)
+		fmt.Printf("queue→commit (%d updates/op): reference %d ns/op %d allocs/op, arena %d ns/op %d allocs/op\n",
+			rep.Commit.UpdatesPerOp,
+			rep.Commit.Reference.NsPerOp, rep.Commit.Reference.AllocsPerOp,
+			rep.Commit.Arena.NsPerOp, rep.Commit.Arena.AllocsPerOp)
+		fmt.Printf("report written to %s (GOMAXPROCS=%d)\n", *perfTrainOut, rep.GOMAXPROCS)
 		return
 	}
 

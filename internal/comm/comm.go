@@ -70,7 +70,14 @@ type Fabric struct {
 	bytes    []int64 // [src*n+dst]
 	msgs     []int64
 	catBytes [numCategories]int64
-	catTime  [numCategories]float64
+	// catTime is striped by the recording worker (the sender, except for
+	// TransferBatchRecv) and folded in worker order at Snapshot. A single
+	// shared accumulator would sum in mutex-arrival order — a float
+	// reassociation that made per-category seconds drift by ulps between
+	// otherwise identical runs; each stripe is only ever written by one
+	// goroutine per phase, so its sum follows program order and the folded
+	// total is exactly reproducible at any goroutine interleaving.
+	catTime [][numCategories]float64
 }
 
 // fabricMetrics are the registry instruments the fabric feeds.
@@ -84,9 +91,10 @@ type fabricMetrics struct {
 func NewFabric(t *cluster.Topology) *Fabric {
 	n := t.NumWorkers()
 	return &Fabric{
-		topo:  t,
-		bytes: make([]int64, n*n),
-		msgs:  make([]int64, n*n),
+		topo:    t,
+		bytes:   make([]int64, n*n),
+		msgs:    make([]int64, n*n),
+		catTime: make([][numCategories]float64, n),
 	}
 }
 
@@ -175,7 +183,7 @@ func (f *Fabric) Transfer(src, dst int, bytes int64, cat Category) float64 {
 	f.bytes[src*n+dst] += bytes
 	f.msgs[src*n+dst]++
 	f.catBytes[cat] += bytes
-	f.catTime[cat] += t
+	f.catTime[src][cat] += t
 	f.mu.Unlock()
 	f.checkTime(src, dst, t)
 	f.observe(src, bytes, cat, t)
@@ -187,7 +195,22 @@ func (f *Fabric) Transfer(src, dst int, bytes int64, cat Category) float64 {
 // repeated Transfer calls, the per-message latency is charged once — the
 // paper's implementation batches indexes, clocks and embeddings of one
 // iteration into single NCCL sends.
+//
+// The time ledger stripe is src's: callers recording a transfer on behalf
+// of the sender. A receiving worker's goroutine recording its own inbound
+// traffic must use TransferBatchRecv instead, so that two workers fetching
+// from the same owner concurrently never share a stripe.
 func (f *Fabric) TransferBatch(src, dst int, parts [3]int64) float64 {
+	return f.transferBatch(src, dst, src, parts)
+}
+
+// TransferBatchRecv is TransferBatch with the time credited to dst's ledger
+// stripe — for recording done by the receiving worker's goroutine.
+func (f *Fabric) TransferBatchRecv(src, dst int, parts [3]int64) float64 {
+	return f.transferBatch(src, dst, dst, parts)
+}
+
+func (f *Fabric) transferBatch(src, dst, rec int, parts [3]int64) float64 {
 	var total int64
 	for _, b := range parts {
 		if b < 0 {
@@ -211,7 +234,7 @@ func (f *Fabric) TransferBatch(src, dst int, parts [3]int64) float64 {
 		}
 		f.catBytes[c] += b
 		// Attribute the shared latency proportionally to payload share.
-		f.catTime[c] += lat*float64(b)/float64(total) + float64(b)/bw
+		f.catTime[rec][c] += lat*float64(b)/float64(total) + float64(b)/bw
 	}
 	f.mu.Unlock()
 	f.checkTime(src, dst, t)
@@ -238,7 +261,7 @@ func (f *Fabric) HostTransfer(w, hostNode int, bytes int64, cat Category) float6
 	f.bytes[w*n+w] += bytes
 	f.msgs[w*n+w]++
 	f.catBytes[cat] += bytes
-	f.catTime[cat] += t
+	f.catTime[w][cat] += t
 	f.mu.Unlock()
 	f.checkTime(w, w, t)
 	f.observe(w, bytes, cat, t)
@@ -278,7 +301,7 @@ func (f *Fabric) AllReduceTime(bytesPerWorker int64) float64 {
 		f.msgs[i*n+j] += 2 * int64(n-1)
 	}
 	f.catBytes[CatDense] += per * int64(n)
-	f.catTime[CatDense] += t
+	f.catTime[0][CatDense] += t
 	f.mu.Unlock()
 	f.checkTime(0, 1%n, t)
 	if m := f.met; m != nil {
@@ -318,7 +341,13 @@ func (f *Fabric) Snapshot() Snapshot {
 	copy(s.Bytes, f.bytes)
 	copy(s.Msgs, f.msgs)
 	s.CatBytes = f.catBytes
-	s.CatTime = f.catTime
+	// Fold the time stripes in fixed worker order so the exported seconds
+	// are identical no matter how the recording goroutines interleaved.
+	for src := range f.catTime {
+		for c := 0; c < int(numCategories); c++ {
+			s.CatTime[c] += f.catTime[src][c]
+		}
+	}
 	f.mu.Unlock()
 	return s
 }
@@ -436,7 +465,9 @@ func (f *Fabric) Reset() {
 	}
 	for c := range f.catBytes {
 		f.catBytes[c] = 0
-		f.catTime[c] = 0
+	}
+	for src := range f.catTime {
+		f.catTime[src] = [numCategories]float64{}
 	}
 }
 

@@ -93,7 +93,7 @@ func (t *Table) ReadFrom(r io.Reader) (int64, error) {
 				pend[i] = 0
 			}
 		}
-		sh.queue = sh.queue[:0]
+		sh.resetQueues()
 	}
 	return cr.n, nil
 }

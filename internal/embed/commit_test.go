@@ -1,0 +1,234 @@
+package embed
+
+import (
+	"math"
+	"runtime"
+	"testing"
+
+	"hetgmp/internal/optim"
+	"hetgmp/internal/partition"
+	"hetgmp/internal/tensor"
+	"hetgmp/internal/xrand"
+)
+
+// commitFixture builds a table large enough that Commit crosses the
+// parallel-drain spawn threshold: 8 workers, 512 features, replicas of
+// every fourth feature on every worker.
+func commitFixture(t *testing.T, optimizer optim.Sparse, commit CommitConfig) *Table {
+	t.Helper()
+	const (
+		workers  = 8
+		features = 512
+		dim      = 8
+	)
+	a := partition.NewAssignment(workers, 1, features)
+	a.SampleOf[0] = 0
+	for x := 0; x < features; x++ {
+		a.PrimaryOf[x] = x % workers
+		if x%4 == 0 {
+			for p := 0; p < workers; p++ {
+				a.AddReplica(int32(x), p)
+			}
+		}
+	}
+	tbl, err := NewTable(Config{
+		NumFeatures: features, Dim: dim, Assign: a,
+		Optimizer: optimizer, LocalLR: 0.1, Seed: 21,
+		Commit: commit,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl
+}
+
+// driveCommitWorkload pushes a deterministic mixed workload through tbl:
+// every round each worker reads, updates a batch (hitting local primaries,
+// secondaries, and remote pushes), queues a few PS-style direct updates,
+// and then the table commits. Each commit window queues well over
+// commitSpawnThreshold updates so the parallel drain actually engages.
+func driveCommitWorkload(tbl *Table, rounds int) {
+	r := xrand.New(99)
+	features := tbl.cfg.NumFeatures
+	batch := 64
+	feats := make([]int32, batch)
+	grads := tensor.NewMatrix(batch, tbl.Dim())
+	dst := tensor.NewMatrix(batch, tbl.Dim())
+	for round := 0; round < rounds; round++ {
+		for w := 0; w < tbl.Workers(); w++ {
+			seen := make(map[int32]bool, batch)
+			k := 0
+			for k < batch {
+				x := int32(r.Intn(features))
+				if seen[x] {
+					continue
+				}
+				seen[x] = true
+				feats[k] = x
+				k++
+			}
+			tbl.Read(w, feats, dst, ReadOptions{Staleness: 2, InterCheck: true})
+			for i := 0; i < batch*tbl.Dim(); i++ {
+				grads.Data[i] = 2*r.Float32() - 1
+			}
+			tbl.Update(w, feats, grads, 3)
+			// PS-style direct pushes, including duplicates for fusion.
+			for j := 0; j < 8; j++ {
+				x := feats[j%4]
+				tbl.QueuePrimary(w, x, grads.Row(j))
+			}
+		}
+		tbl.Commit()
+	}
+	tbl.FlushAll()
+}
+
+type commitSnapshot struct {
+	primary []float32
+	clocks  []int64
+	normSq  float64
+}
+
+func snapshotCommit(tbl *Table) commitSnapshot {
+	s := commitSnapshot{
+		primary: append([]float32(nil), tbl.primary.Data...),
+		clocks:  append([]int64(nil), tbl.primaryClock...),
+		normSq:  tbl.TakeStepNormSq(),
+	}
+	return s
+}
+
+// TestCommitParallelBitIdentical pins the tentpole contract: the
+// owner-sharded parallel drain produces bit-identical primaries, clocks,
+// and tracked step norms to the Reference serial drain, at GOMAXPROCS 1,
+// 4, and 8 and at several explicit parallelism caps.
+func TestCommitParallelBitIdentical(t *testing.T) {
+	run := func(commit CommitConfig) commitSnapshot {
+		tbl := commitFixture(t, optim.NewSGD(0.05), commit)
+		tbl.TrackStepNorms(true)
+		driveCommitWorkload(tbl, 4)
+		return tbl.snapshotForTest()
+	}
+	ref := run(CommitConfig{Reference: true})
+
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 4, 8} {
+		runtime.GOMAXPROCS(procs)
+		for _, commit := range []CommitConfig{
+			{},               // GOMAXPROCS-wide parallel drain
+			{Parallelism: 3}, // cap that does not divide the owner count
+			{Parallelism: 8},
+		} {
+			got := run(commit)
+			if len(got.primary) != len(ref.primary) {
+				t.Fatalf("GOMAXPROCS=%d %+v: primary size mismatch", procs, commit)
+			}
+			for i := range ref.primary {
+				if got.primary[i] != ref.primary[i] {
+					t.Fatalf("GOMAXPROCS=%d %+v: primary[%d] = %v, reference %v",
+						procs, commit, i, got.primary[i], ref.primary[i])
+				}
+			}
+			for x := range ref.clocks {
+				if got.clocks[x] != ref.clocks[x] {
+					t.Fatalf("GOMAXPROCS=%d %+v: clock[%d] = %d, reference %d",
+						procs, commit, x, got.clocks[x], ref.clocks[x])
+				}
+			}
+			if got.normSq != ref.normSq {
+				t.Fatalf("GOMAXPROCS=%d %+v: stepNormSq = %v, reference %v",
+					procs, commit, got.normSq, ref.normSq)
+			}
+		}
+	}
+}
+
+// snapshotForTest captures the commit-visible state compared by the
+// equivalence tests.
+func (t *Table) snapshotForTest() commitSnapshot {
+	return snapshotCommit(t)
+}
+
+// TestCommitFusedClockEquivalence pins the fusion contract for a linear
+// optimizer: clocks (and hence everything the engine prices — sim time,
+// traffic) match the sequential drain exactly, while primary values agree
+// to float rounding (fusing folds g1+g2 before the lr multiply, which
+// reassociates the float32 arithmetic).
+func TestCommitFusedClockEquivalence(t *testing.T) {
+	seq := commitFixture(t, optim.NewSGD(0.05), CommitConfig{})
+	fused := commitFixture(t, optim.NewSGD(0.05), CommitConfig{Fuse: true})
+	if !fused.fuse {
+		t.Fatal("fusion not engaged for SGD")
+	}
+	driveCommitWorkload(seq, 4)
+	driveCommitWorkload(fused, 4)
+	for x := range seq.primaryClock {
+		if seq.primaryClock[x] != fused.primaryClock[x] {
+			t.Fatalf("clock[%d]: sequential %d, fused %d", x, seq.primaryClock[x], fused.primaryClock[x])
+		}
+	}
+	// Values agree to rounding: bound the divergence relative to the step
+	// scale rather than demanding bit equality.
+	for i := range seq.primary.Data {
+		a, b := float64(seq.primary.Data[i]), float64(fused.primary.Data[i])
+		if math.Abs(a-b) > 1e-4*(1+math.Abs(a)) {
+			t.Fatalf("primary[%d]: sequential %v, fused %v", i, a, b)
+		}
+	}
+}
+
+// TestCommitFuseIgnoredForNonlinear pins the gating: AdaGrad does not
+// declare optim.Linearizable, so a Fuse request is ignored and the run is
+// bit-identical to the unfused path.
+func TestCommitFuseIgnoredForNonlinear(t *testing.T) {
+	mk := func(commit CommitConfig) *Table {
+		return commitFixture(t, optim.NewAdaGrad(0.05, 512, 8), commit)
+	}
+	fused := mk(CommitConfig{Fuse: true})
+	if fused.fuse {
+		t.Fatal("fusion engaged for AdaGrad, which keeps the sequential apply")
+	}
+	plain := mk(CommitConfig{})
+	driveCommitWorkload(fused, 3)
+	driveCommitWorkload(plain, 3)
+	for i := range plain.primary.Data {
+		if plain.primary.Data[i] != fused.primary.Data[i] {
+			t.Fatalf("primary[%d] differs: %v vs %v", i, plain.primary.Data[i], fused.primary.Data[i])
+		}
+	}
+}
+
+// TestQueueCommitAllocationFree pins the arena claim: after a warmup
+// window grows the arena and queues to steady-state capacity, the
+// queue→commit path runs without heap allocation. The Reference path must
+// keep the seed's one-allocation-per-update behaviour so the benchmark's
+// A/B comparison stays honest.
+func TestQueueCommitAllocationFree(t *testing.T) {
+	const updates = 100
+	grad := make([]float32, 8)
+	for i := range grad {
+		grad[i] = 0.01
+	}
+	run := func(tbl *Table) float64 {
+		// Warmup grows the arena and per-owner queue capacity.
+		for j := 0; j < updates; j++ {
+			tbl.QueuePrimary(j%tbl.Workers(), int32(j%tbl.cfg.NumFeatures), grad)
+		}
+		tbl.Commit()
+		return testing.AllocsPerRun(10, func() {
+			for j := 0; j < updates; j++ {
+				tbl.QueuePrimary(j%tbl.Workers(), int32(j%tbl.cfg.NumFeatures), grad)
+			}
+			tbl.Commit()
+		})
+	}
+	// Parallelism 1 keeps the drain on the calling goroutine so the number
+	// below is the per-update path itself, not goroutine-spawn overhead.
+	if allocs := run(commitFixture(t, optim.NewSGD(0.05), CommitConfig{Parallelism: 1})); allocs > 0 {
+		t.Fatalf("arena path: %v allocs per %d-update window, want 0", allocs, updates)
+	}
+	if allocs := run(commitFixture(t, optim.NewSGD(0.05), CommitConfig{Reference: true})); allocs < updates {
+		t.Fatalf("reference path: %v allocs per %d-update window, want one per update", allocs, updates)
+	}
+}

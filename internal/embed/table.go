@@ -19,17 +19,25 @@
 //  1. Read/compute phase (concurrent across workers): Read and Update may
 //     be called for distinct workers in parallel. They mutate only that
 //     worker's secondary shard and read primary state; every primary-side
-//     effect is queued.
-//  2. Commit phase (single goroutine): Commit applies all queued primary
-//     updates in deterministic worker order and advances primary clocks.
+//     effect is queued, bucketed by the touched feature's primary owner.
+//  2. Commit phase: Commit drains the queues with one goroutine per
+//     primary owner. Each feature has exactly one owner, so the owner
+//     sweeps touch disjoint primary rows and clocks (the single-writer
+//     invariant survives the parallelism), and each sweep applies a
+//     feature's updates in deterministic (worker, queue-position) order —
+//     the same per-feature order the serial drain used.
 //
-// This yields bit-reproducible runs regardless of GOMAXPROCS.
+// This yields bit-reproducible runs regardless of GOMAXPROCS. See
+// CommitConfig for the retained serial reference mode and the queue-side
+// delta fusion available to linear optimizers.
 package embed
 
 import (
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
+	"sync"
 
 	"hetgmp/internal/invariant"
 	"hetgmp/internal/obs"
@@ -71,6 +79,34 @@ type Config struct {
 	// counters, replica hit/miss counters, and snapshot-time clock gauges.
 	// Nil disables all metrics at the cost of one pointer comparison.
 	Obs *obs.Registry
+	// Commit selects the queue→commit implementation.
+	Commit CommitConfig
+}
+
+// CommitConfig selects the Table's queue→commit implementation.
+type CommitConfig struct {
+	// Reference retains the seed implementation — a heap-allocated delta
+	// copy per queued update and a strictly serial single-goroutine drain —
+	// as the measurable baseline, à la partition.HybridConfig.Reference.
+	// The default path is bit-identical to it at any parallelism; the flag
+	// exists so hetgmp-bench -perf-train can time the serial iteration
+	// tail this mode preserves.
+	Reference bool
+	// Fuse merges duplicate per-feature deltas queue-side: when a worker
+	// queues a second update for a feature inside one commit window, the
+	// deltas add in place and the entry's count grows, so the primary is
+	// touched once but its clock still advances by the full update count.
+	// Fusion is honoured only when the optimizer declares
+	// optim.Linearizable — for AdaGrad-style rules the accumulator makes a
+	// fused apply a different trajectory, not just different rounding, so
+	// they keep the sequential apply. Fused commits preserve clocks and
+	// traffic exactly and primary values to float rounding; the default is
+	// off so runs stay bit-identical to the reference path.
+	Fuse bool
+	// Parallelism caps the commit's owner-sweep goroutines. 0 means
+	// GOMAXPROCS; the effective value never exceeds the worker count, and
+	// small queues fall back to the serial drain to skip the spawn cost.
+	Parallelism int
 }
 
 // OwnerTraffic counts one worker's protocol traffic with one primary owner
@@ -125,10 +161,18 @@ type Table struct {
 	// met feeds the obs registry when non-nil.
 	met *tableMetrics
 
-	// Theorem-1 instrumentation (see TrackStepNorms).
-	trackNorms  bool
-	stepNormSq  float64
-	normScratch []float32
+	// commitCfg is the resolved commit configuration; fuse is true only
+	// when CommitConfig.Fuse was requested AND the optimizer is linear.
+	commitCfg CommitConfig
+	fuse      bool
+
+	// Theorem-1 instrumentation (see TrackStepNorms). Norm accumulation is
+	// sharded by primary owner so parallel owner sweeps never share a cell;
+	// finishCommit folds the shards into stepNormSq in fixed owner order.
+	trackNorms    bool
+	stepNormSq    float64
+	stepNormShard []float64
+	normScratch   [][]float32 // one scratch row per owner sweep
 }
 
 // shard is one worker's secondary replica store plus its queued primary
@@ -143,10 +187,42 @@ type shard struct {
 	pendCnt   []int32
 	baseClock []int64 // primary clock captured at last synchronisation
 
-	queue      []primaryUpdate
+	// queues holds the worker's queued primary effects bucketed by the
+	// touched feature's primary owner, so the commit phase can drain each
+	// owner's bucket with a dedicated goroutine without crossing another
+	// sweep's rows.
+	queues [][]primaryUpdate
+	// arena backs the queued delta slices: deltas are carved from one
+	// append-grown buffer that is reset (not freed) every commit, so the
+	// steady-state queue→commit path allocates nothing. Reference mode
+	// bypasses it and heap-allocates per update like the seed did.
+	arena []float32
+	// Generation-stamped fusion index (allocated only when fusion is on):
+	// fuseGen[x] == gen marks feature x as already queued this window, with
+	// fuseSlot[x] holding its entry's index in queues[owner].
+	fuseGen  []uint32
+	fuseSlot []int32
+	gen      uint32
+
 	interOrder []int32
 	// scratch reused by Read/Update.
 	perOwner []OwnerTraffic
+}
+
+// resetQueues empties every owner bucket and the delta arena, retaining
+// capacity, and opens a new fusion generation.
+func (sh *shard) resetQueues() {
+	for o := range sh.queues {
+		sh.queues[o] = sh.queues[o][:0]
+	}
+	sh.arena = sh.arena[:0]
+	sh.gen++
+	if sh.gen == 0 { // wraparound: invalidate all stamps the slow way
+		for i := range sh.fuseGen {
+			sh.fuseGen[i] = 0
+		}
+		sh.gen = 1
+	}
 }
 
 type primaryUpdate struct {
@@ -261,7 +337,9 @@ func NewTable(cfg Config) (*Table, error) {
 		primary:      tensor.NewMatrix(cfg.NumFeatures, cfg.Dim),
 		primaryClock: make([]int64, cfg.NumFeatures),
 		check:        cfg.Check,
+		commitCfg:    cfg.Commit,
 	}
+	t.fuse = cfg.Commit.Fuse && !cfg.Commit.Reference && optim.IsLinear(cfg.Optimizer)
 	rng := xrand.New(cfg.Seed ^ 0xe8bede8bede8bede)
 	for i := range t.primary.Data {
 		t.primary.Data[i] = (2*rng.Float32() - 1) * cfg.InitScale
@@ -285,7 +363,13 @@ func NewTable(cfg Config) (*Table, error) {
 			pending:   tensor.NewMatrix(len(feats), cfg.Dim),
 			pendCnt:   make([]int32, len(feats)),
 			baseClock: make([]int64, len(feats)),
+			queues:    make([][]primaryUpdate, t.n),
+			gen:       1,
 			perOwner:  make([]OwnerTraffic, t.n),
+		}
+		if t.fuse {
+			sh.fuseGen = make([]uint32, cfg.NumFeatures)
+			sh.fuseSlot = make([]int32, cfg.NumFeatures)
 		}
 		for row, x := range feats {
 			sh.index[x] = int32(row)
@@ -576,9 +660,7 @@ func (t *Table) checkInterBound(w int, sh *shard, x int32, row int32, gap float6
 // advances to the primary clock plus the in-flight flush.
 func (t *Table) syncSecondary(w int, sh *shard, x int32, row int32, owner int) {
 	if sh.pendCnt[row] > 0 {
-		delta := make([]float32, t.dim)
-		copy(delta, sh.pending.Row(int(row)))
-		sh.queue = append(sh.queue, primaryUpdate{x: x, count: sh.pendCnt[row], delta: delta})
+		t.queueUpdate(sh, owner, x, sh.pendCnt[row], sh.pending.Row(int(row)))
 		sh.perOwner[owner].FlushVecs++
 	}
 	val := sh.vals.Row(int(row))
@@ -617,17 +699,13 @@ func (t *Table) Update(w int, feats []int32, grads *tensor.Matrix, writeBound in
 		g := grads.Row(i)
 		owner := t.assign.PrimaryOf[x]
 		if owner == w {
-			delta := make([]float32, t.dim)
-			copy(delta, g)
-			sh.queue = append(sh.queue, primaryUpdate{x: x, count: 1, delta: delta})
+			t.queueUpdate(sh, owner, x, 1, g)
 			stats.LocalPrimary++
 			continue
 		}
 		row, ok := sh.index[x]
 		if !ok {
-			delta := make([]float32, t.dim)
-			copy(delta, g)
-			sh.queue = append(sh.queue, primaryUpdate{x: x, count: 1, delta: delta})
+			t.queueUpdate(sh, owner, x, 1, g)
 			stats.RemotePush++
 			sh.perOwner[owner].FlushVecs++
 			sh.perOwner[owner].MetaKeys++
@@ -643,9 +721,7 @@ func (t *Table) Update(w int, feats []int32, grads *tensor.Matrix, writeBound in
 		sh.pendCnt[row]++
 		stats.LocalSecondary++
 		if writeBound != StalenessInf && int64(sh.pendCnt[row]) > writeBound {
-			delta := make([]float32, t.dim)
-			copy(delta, pend)
-			sh.queue = append(sh.queue, primaryUpdate{x: x, count: sh.pendCnt[row], delta: delta})
+			t.queueUpdate(sh, owner, x, sh.pendCnt[row], pend)
 			sh.perOwner[owner].FlushVecs++
 			sh.perOwner[owner].MetaKeys++
 			for j := range pend {
@@ -682,32 +758,121 @@ func (t *Table) Update(w int, feats []int32, grads *tensor.Matrix, writeBound in
 // worker w, bypassing the replica machinery. The parameter-server baselines
 // use it: every update goes straight to the (host-resident) primary.
 func (t *Table) QueuePrimary(w int, x int32, grad []float32) {
-	sh := t.shards[w]
-	delta := make([]float32, t.dim)
-	copy(delta, grad)
-	sh.queue = append(sh.queue, primaryUpdate{x: x, count: 1, delta: delta})
+	t.queueUpdate(t.shards[w], t.assign.PrimaryOf[x], x, 1, grad)
 }
 
-// Commit applies every queued primary update in deterministic worker order
-// and advances primary clocks. It must be called from a single goroutine
-// with no concurrent Read/Update in flight.
+// queueUpdate buckets one primary effect for feature x (owned by owner)
+// into sh's owner queues. The default path carves the delta copy from the
+// shard's arena, so the steady-state queue→commit path allocates nothing;
+// Reference mode heap-allocates per update exactly like the seed path did,
+// so the A/B benchmark includes the allocation cost the arena removes. When
+// fusion is on and x already holds an entry this window, the delta and
+// count fold into it in place: the clock advance is identical, and the
+// value is what a linear optimizer produces from the summed gradient.
+func (t *Table) queueUpdate(sh *shard, owner int, x int32, count int32, grad []float32) {
+	if t.fuse && sh.fuseGen[x] == sh.gen {
+		u := &sh.queues[owner][sh.fuseSlot[x]]
+		for i, g := range grad {
+			u.delta[i] += g
+		}
+		u.count += count
+		return
+	}
+	var delta []float32
+	if t.commitCfg.Reference {
+		delta = make([]float32, t.dim)
+	} else {
+		n := len(sh.arena)
+		if n+t.dim <= cap(sh.arena) {
+			sh.arena = sh.arena[:n+t.dim]
+		} else {
+			sh.arena = append(sh.arena, make([]float32, t.dim)...)
+		}
+		delta = sh.arena[n : n+t.dim : n+t.dim]
+	}
+	copy(delta, grad)
+	sh.queues[owner] = append(sh.queues[owner], primaryUpdate{x: x, count: count, delta: delta})
+	if t.fuse {
+		sh.fuseGen[x] = sh.gen
+		sh.fuseSlot[x] = int32(len(sh.queues[owner]) - 1)
+	}
+}
+
+// commitSpawnThreshold is the queued-update count below which Commit keeps
+// the serial drain: spawning owner sweeps for a handful of updates costs
+// more than the parallelism recovers.
+const commitSpawnThreshold = 256
+
+// Commit applies every queued primary update and advances primary clocks.
+// It must be called with no concurrent Read/Update in flight.
+//
+// The drain runs one goroutine per primary owner (see the package comment):
+// each feature has exactly one owner, so the owner sweeps write disjoint
+// primary rows and clocks, and each sweep applies a feature's updates in
+// the same (worker ascending, queue-position ascending) order the serial
+// reference drain uses — the result is bit-identical at any parallelism.
 func (t *Table) Commit() {
+	if par := t.commitParallelism(); par > 1 && t.queuedUpdates() >= commitSpawnThreshold {
+		t.commitParallel(par)
+	} else {
+		for o := 0; o < t.n; o++ {
+			t.commitOwner(o)
+		}
+	}
+	t.finishCommit()
+}
+
+// commitParallelism resolves the effective owner-sweep goroutine count.
+func (t *Table) commitParallelism() int {
+	if t.commitCfg.Reference {
+		return 1
+	}
+	par := t.commitCfg.Parallelism
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > t.n {
+		par = t.n
+	}
+	return par
+}
+
+// queuedUpdates counts the updates pending across all shards and owners.
+func (t *Table) queuedUpdates() int {
+	total := 0
+	for _, sh := range t.shards {
+		for _, q := range sh.queues {
+			total += len(q)
+		}
+	}
+	return total
+}
+
+// commitOwner drains owner o's bucket of every worker's queue in worker
+// order. It is the single writer of o's primary rows and clocks during the
+// commit phase; the only cross-owner state it touches is its own slot of
+// stepNormShard and the (atomic) invariant checker.
+func (t *Table) commitOwner(o int) {
 	ck := t.check
+	var scratch []float32
+	var normSq float64
+	if t.trackNorms {
+		scratch = t.normScratch[o]
+	}
 	for w := 0; w < t.n; w++ {
-		sh := t.shards[w]
-		for _, u := range sh.queue {
+		for _, u := range t.shards[w].queues[o] {
 			row := t.primary.Row(int(u.x))
 			if t.trackNorms {
-				copy(t.normScratch, row)
+				copy(scratch, row)
 			}
 			t.cfg.Optimizer.Apply(u.x, row, u.delta)
 			if t.trackNorms {
 				var s float64
 				for i, v := range row {
-					d := float64(v - t.normScratch[i])
+					d := float64(v - scratch[i])
 					s += d * d
 				}
-				t.stepNormSq += s
+				normSq += s
 			}
 			before := t.primaryClock[u.x]
 			t.primaryClock[u.x] += int64(u.count)
@@ -723,9 +888,53 @@ func (t *Table) Commit() {
 				}
 			}
 		}
-		sh.queue = sh.queue[:0]
 	}
-	if ck != nil {
+	if t.trackNorms {
+		t.stepNormShard[o] += normSq
+	}
+}
+
+// commitParallel runs the owner sweeps on par goroutines striding the owner
+// space. A sweep that panics (an invariant checker in panic mode, say) is
+// re-raised on the calling goroutine after every sweep has finished, so the
+// failure surfaces deterministically instead of crashing the process from a
+// worker goroutine.
+func (t *Table) commitParallel(par int) {
+	var wg sync.WaitGroup
+	panics := make([]any, par)
+	for g := 0; g < par; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			defer func() { panics[g] = recover() }()
+			for o := g; o < t.n; o += par {
+				t.commitOwner(o)
+			}
+		}(g)
+	}
+	wg.Wait()
+	for _, p := range panics {
+		if p != nil {
+			panic(p)
+		}
+	}
+}
+
+// finishCommit resets every queue and arena for the next window, folds the
+// per-owner norm partials into stepNormSq in fixed owner order (so tracked
+// norms are deterministic at any commit parallelism), and runs the
+// commit-point invariant pass.
+func (t *Table) finishCommit() {
+	for _, sh := range t.shards {
+		sh.resetQueues()
+	}
+	if t.trackNorms {
+		for o := range t.stepNormShard {
+			t.stepNormSq += t.stepNormShard[o]
+			t.stepNormShard[o] = 0
+		}
+	}
+	if t.check != nil {
 		t.VerifyCommitted()
 	}
 }
@@ -743,11 +952,15 @@ func (t *Table) VerifyCommitted() {
 	}
 	for w := 0; w < t.n; w++ {
 		sh := t.shards[w]
-		if len(sh.queue) != 0 {
+		queued := 0
+		for _, q := range sh.queues {
+			queued += len(q)
+		}
+		if queued != 0 {
 			ck.Fail(&invariant.Violation{
 				Rule: invariant.CommitDiscipline, Component: "embed.Table",
 				Worker: w, Feature: -1,
-				Detail: fmt.Sprintf("commit left %d queued primary updates", len(sh.queue)),
+				Detail: fmt.Sprintf("commit left %d queued primary updates", queued),
 			})
 		}
 		for row, x := range sh.feats {
@@ -772,7 +985,11 @@ func (t *Table) VerifyCommitted() {
 func (t *Table) TrackStepNorms(on bool) {
 	t.trackNorms = on
 	if on && t.normScratch == nil {
-		t.normScratch = make([]float32, t.dim)
+		t.stepNormShard = make([]float64, t.n)
+		t.normScratch = make([][]float32, t.n)
+		for o := range t.normScratch {
+			t.normScratch[o] = make([]float32, t.dim)
+		}
 	}
 }
 
@@ -822,9 +1039,7 @@ func (t *Table) FlushAll() [][]OwnerTraffic {
 				continue
 			}
 			owner := t.assign.PrimaryOf[x]
-			delta := make([]float32, t.dim)
-			copy(delta, sh.pending.Row(row))
-			sh.queue = append(sh.queue, primaryUpdate{x: x, count: sh.pendCnt[row], delta: delta})
+			t.queueUpdate(sh, owner, x, sh.pendCnt[row], sh.pending.Row(row))
 			traffic[owner].FlushVecs++
 			traffic[owner].MetaKeys++
 			pend := sh.pending.Row(row)

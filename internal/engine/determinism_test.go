@@ -35,17 +35,11 @@ func TestDeterministicAcrossGOMAXPROCS(t *testing.T) {
 		t.Errorf("sim time differs: %v vs %v", serial.TotalSimTime, parallel.TotalSimTime)
 	}
 	// Byte counts are integers and exactly reproducible. The per-category
-	// *seconds* are float sums whose accumulation order follows mutex
-	// acquisition, so they may differ in the last few ulps — diagnostics,
-	// not training state.
-	if serial.Breakdown.Bytes != parallel.Breakdown.Bytes {
-		t.Errorf("traffic bytes differ: %+v vs %+v", serial.Breakdown.Bytes, parallel.Breakdown.Bytes)
-	}
-	for c := range serial.Breakdown.Seconds {
-		a, b := serial.Breakdown.Seconds[c], parallel.Breakdown.Seconds[c]
-		if diff := a - b; diff > 1e-12 || diff < -1e-12 {
-			t.Errorf("category %d seconds differ beyond ulps: %v vs %v", c, a, b)
-		}
+	// seconds are too: the fabric stripes its time ledger by source worker
+	// and folds the stripes in fixed order at snapshot, so the float sums
+	// no longer depend on goroutine interleaving.
+	if serial.Breakdown != parallel.Breakdown {
+		t.Errorf("traffic breakdown differs: %+v vs %+v", serial.Breakdown, parallel.Breakdown)
 	}
 	for i := range serial.TrafficMatrix {
 		for j := range serial.TrafficMatrix[i] {

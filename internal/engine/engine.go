@@ -13,7 +13,6 @@ package engine
 import (
 	"fmt"
 	"math"
-	"runtime"
 	"sync"
 
 	"hetgmp/internal/cluster"
@@ -40,6 +39,27 @@ type PSConfig struct {
 	// HybridDense keeps dense parameters on GPUs synchronised by AllReduce
 	// (Parallax). False routes dense traffic through the PS too (TF-PS).
 	HybridDense bool
+}
+
+// ExecConfig selects the engine's wall-clock execution strategy. The
+// simulated run — AUC history, sim time, traffic — is invariant to every
+// field here; the knobs only trade host CPU time, which is why Config.Hash
+// excludes them.
+type ExecConfig struct {
+	// Reference retains the seed execution end to end: one goroutine
+	// spawned per worker per iteration through a semaphore, a serial dense
+	// reduce and apply, and the embedding table's serial reference commit
+	// with per-update heap allocation. The default path is bit-identical to
+	// it; the flag exists so hetgmp-bench -perf-train can time the serial
+	// iteration tail this mode preserves.
+	Reference bool
+	// Fuse requests queue-side delta fusion in the embedding table
+	// (embed.CommitConfig.Fuse). Honoured only for linear optimizers;
+	// clocks and traffic stay exact, primary values agree to rounding.
+	Fuse bool
+	// Parallelism caps the worker pool, the commit's owner sweeps and the
+	// dense-sweep goroutines. 0 means GOMAXPROCS.
+	Parallelism int
 }
 
 // Config parameterises one training run.
@@ -115,6 +135,10 @@ type Config struct {
 	// Tracer, when non-nil, records per-worker phase spans on the simulated
 	// cluster clock, exportable as Chrome trace_event JSON.
 	Tracer *obs.Tracer
+
+	// Exec selects the wall-clock execution strategy. It never changes the
+	// simulated result (Hash excludes it); see ExecConfig.
+	Exec ExecConfig
 
 	// Report runs the critical-path analyzer over the finished run's
 	// telemetry and attaches the result as Result.Report. It requires both
@@ -334,6 +358,11 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		Seed:        cfg.Seed,
 		Check:       check,
 		Obs:         cfg.Metrics,
+		Commit: embed.CommitConfig{
+			Reference:   cfg.Exec.Reference,
+			Fuse:        cfg.Exec.Fuse,
+			Parallelism: cfg.Exec.Parallelism,
+		},
 	})
 	if err != nil {
 		return nil, err
@@ -477,7 +506,18 @@ func (t *Trainer) Run() (*Result, error) {
 	if cfg.TrackConvergence {
 		t.table.TrackStepNorms(true)
 	}
-	sem := make(chan struct{}, maxParallelism())
+	// The per-iteration fan-out: the default is a pool of long-lived
+	// per-worker goroutines signalled over channels, so the hot loop's only
+	// per-iteration cost is channel sends. Reference mode keeps the seed's
+	// spawn-per-iteration-through-a-semaphore form.
+	var pool *workerPool
+	var sem chan struct{}
+	if cfg.Exec.Reference {
+		sem = make(chan struct{}, maxParallelism())
+	} else {
+		pool = newWorkerPool(t.workers)
+		defer pool.stop()
+	}
 	global := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
 		for _, w := range t.workers {
@@ -485,29 +525,32 @@ func (t *Trainer) Run() (*Result, error) {
 		}
 		epochSamples := 0
 		for it := 0; it < itersPerEpoch; it++ {
-			var wg sync.WaitGroup
-			for _, w := range t.workers {
-				if !w.hasWork() {
-					w.iterTime = 0
-					w.iterCompute = 0
-					w.iterReadComm = 0
-					w.iterUpdateComm = 0
-					w.iterLoss = 0
-					w.iterSamples = 0
-					for h := range w.iterHostBytes {
-						w.iterHostBytes[h] = 0
+			if pool != nil {
+				for _, w := range t.workers {
+					if !w.hasWork() {
+						w.resetIdle()
+						continue
 					}
-					continue
+					pool.dispatch(w.id)
 				}
-				wg.Add(1)
-				sem <- struct{}{}
-				go func(w *worker) {
-					defer wg.Done()
-					defer func() { <-sem }()
-					w.runIteration()
-				}(w)
+				pool.wait()
+			} else {
+				var wg sync.WaitGroup
+				for _, w := range t.workers {
+					if !w.hasWork() {
+						w.resetIdle()
+						continue
+					}
+					wg.Add(1)
+					sem <- struct{}{}
+					go func(w *worker) {
+						defer wg.Done()
+						defer func() { <-sem }()
+						w.runIteration()
+					}(w)
+				}
+				wg.Wait()
 			}
-			wg.Wait()
 
 			// Barrier: the slowest worker gates the iteration — or the
 			// busiest NIC, since a machine's GPUs share one network port
@@ -793,36 +836,68 @@ func (t *Trainer) slowestWorker() *worker {
 }
 
 // reduceDense averages all workers' dense gradients (the AllReduce payload)
-// and applies the result once — exact data-parallel semantics.
+// and applies the result once — exact data-parallel semantics. The reduce
+// is a chunked sweep over the flattened vector: every element's sum keeps
+// the worker-ascending order of the serial loop, so any chunking is
+// bit-identical.
 func (t *Trainer) reduceDense() {
 	n := 0
-	for i := range t.denseAvg {
-		t.denseAvg[i] = 0
-	}
-	for wi, w := range t.workers {
-		if w.iterSamples == 0 {
-			continue
+	for _, w := range t.workers {
+		if w.iterSamples > 0 {
+			n++
 		}
-		g := t.denseGrad[wi]
-		for i, v := range g {
-			t.denseAvg[i] += v
-		}
-		n++
 	}
 	if n == 0 {
 		return
 	}
 	inv := float32(1) / float32(n)
-	for i := range t.denseAvg {
-		t.denseAvg[i] *= inv
+	sweep := func(a, b int) {
+		avg := t.denseAvg[a:b]
+		for i := range avg {
+			avg[i] = 0
+		}
+		for wi, w := range t.workers {
+			if w.iterSamples == 0 {
+				continue
+			}
+			g := t.denseGrad[wi][a:b]
+			for i, v := range g {
+				avg[i] += v
+			}
+		}
+		for i := range avg {
+			avg[i] *= inv
+		}
 	}
-	t.cfg.Model.ApplyDense(t.cfg.DenseOpt.Step, t.denseAvg)
+	if par := t.execParallelism(); par > 1 && len(t.denseAvg) >= denseChunkMin {
+		runChunks(len(t.denseAvg), par, sweep)
+	} else {
+		sweep(0, len(t.denseAvg))
+	}
+	t.cfg.Model.ApplyDense(t.parallelStep, t.denseAvg)
 }
 
 // applyWorkerDense applies one worker's dense gradient directly (PS/ASP
 // path: no averaging barrier).
 func (t *Trainer) applyWorkerDense(wi int) {
-	t.cfg.Model.ApplyDense(t.cfg.DenseOpt.Step, t.denseGrad[wi])
+	t.cfg.Model.ApplyDense(t.parallelStep, t.denseGrad[wi])
+}
+
+// parallelStep is the dense optimizer step handed to Model.ApplyDense:
+// when the rule supports chunked application (optim.ChunkedDense), the
+// flattened vector is swept by several goroutines over disjoint chunks.
+// The updates are elementwise with the accumulator addressed at the chunk
+// offset, so any chunking is bit-identical to one whole-vector Step.
+func (t *Trainer) parallelStep(params, grad []float32) {
+	par := t.execParallelism()
+	cd, ok := t.cfg.DenseOpt.(optim.ChunkedDense)
+	if !ok || par <= 1 || len(params) < denseChunkMin {
+		t.cfg.DenseOpt.Step(params, grad)
+		return
+	}
+	runChunks(len(params), par, func(a, b int) {
+		cd.StepAt(a, params[a:b], grad[a:b])
+	})
 }
 
 func maxFloat(xs []float64) float64 {
@@ -833,12 +908,4 @@ func maxFloat(xs []float64) float64 {
 		}
 	}
 	return m
-}
-
-func maxParallelism() int {
-	p := runtime.GOMAXPROCS(0)
-	if p < 1 {
-		p = 1
-	}
-	return p
 }

@@ -1,0 +1,141 @@
+package engine
+
+import (
+	"runtime"
+	"testing"
+
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/partition"
+)
+
+// TestExecPoolMatchesReference pins the tentpole contract on the engine
+// side: the persistent worker pool, chunked dense sweeps and parallel
+// sharded commit produce a Result — history, AUC, sim time, step norms,
+// traffic — bit-identical to the Reference execution (per-iteration
+// goroutine spawns, serial reduce, serial commit) at any GOMAXPROCS.
+func TestExecPoolMatchesReference(t *testing.T) {
+	f := newFixture(t)
+	runWith := func(procs int, exec ExecConfig) *Result {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		cfg := f.config(t, func(c *Config) {
+			c.Epochs = 2
+			c.EvalEvery = 3
+			c.TrackConvergence = true
+			c.Exec = exec
+		})
+		return run(t, cfg)
+	}
+	ref := runWith(1, ExecConfig{Reference: true})
+	for _, procs := range []int{1, 4, 8} {
+		got := runWith(procs, ExecConfig{})
+		if got.FinalAUC != ref.FinalAUC {
+			t.Errorf("GOMAXPROCS=%d: AUC %v, reference %v", procs, got.FinalAUC, ref.FinalAUC)
+		}
+		if got.TotalSimTime != ref.TotalSimTime {
+			t.Errorf("GOMAXPROCS=%d: sim time %v, reference %v", procs, got.TotalSimTime, ref.TotalSimTime)
+		}
+		if len(got.History) != len(ref.History) {
+			t.Fatalf("GOMAXPROCS=%d: %d eval points, reference %d", procs, len(got.History), len(ref.History))
+		}
+		for i := range ref.History {
+			if got.History[i] != ref.History[i] {
+				t.Errorf("GOMAXPROCS=%d: eval point %d = %+v, reference %+v",
+					procs, i, got.History[i], ref.History[i])
+			}
+		}
+		if len(got.StepNorms) != len(ref.StepNorms) {
+			t.Fatalf("GOMAXPROCS=%d: %d step norms, reference %d", procs, len(got.StepNorms), len(ref.StepNorms))
+		}
+		for i := range ref.StepNorms {
+			if got.StepNorms[i] != ref.StepNorms[i] {
+				t.Errorf("GOMAXPROCS=%d: step norm %d = %v, reference %v",
+					procs, i, got.StepNorms[i], ref.StepNorms[i])
+			}
+		}
+		if got.Breakdown.Bytes != ref.Breakdown.Bytes {
+			t.Errorf("GOMAXPROCS=%d: traffic bytes %+v, reference %+v",
+				procs, got.Breakdown.Bytes, ref.Breakdown.Bytes)
+		}
+		for i := range ref.TrafficMatrix {
+			for j := range ref.TrafficMatrix[i] {
+				if got.TrafficMatrix[i][j] != ref.TrafficMatrix[i][j] {
+					t.Fatalf("GOMAXPROCS=%d: traffic[%d][%d] differs", procs, i, j)
+				}
+			}
+		}
+	}
+}
+
+// TestExecPSModeMatchesReference covers the PS path (applyWorkerDense, host
+// queueing) under the pool and chunked dense apply.
+func TestExecPSModeMatchesReference(t *testing.T) {
+	f := newFixture(t)
+	runWith := func(exec ExecConfig) *Result {
+		cfg := f.config(t, func(c *Config) {
+			c.PS = &PSConfig{Hosts: 2}
+			c.Exec = exec
+		})
+		return run(t, cfg)
+	}
+	ref := runWith(ExecConfig{Reference: true})
+	got := runWith(ExecConfig{})
+	if got.FinalAUC != ref.FinalAUC || got.TotalSimTime != ref.TotalSimTime {
+		t.Errorf("PS mode: AUC %v/%v, sim time %v/%v",
+			got.FinalAUC, ref.FinalAUC, got.TotalSimTime, ref.TotalSimTime)
+	}
+	if got.Breakdown.Bytes != ref.Breakdown.Bytes {
+		t.Errorf("PS mode: traffic bytes %+v, reference %+v", got.Breakdown.Bytes, ref.Breakdown.Bytes)
+	}
+}
+
+// TestIdleWorkerZeroNICQueueDelay is the regression test for the stale
+// NIC-counter bug: a worker that goes idle right after a busy iteration
+// used to keep its last iteration's cross-node byte counts, charging its
+// node's NIC for traffic that had already gated an earlier barrier.
+func TestIdleWorkerZeroNICQueueDelay(t *testing.T) {
+	f := newFixture(t)
+	cfg := f.config(t, func(c *Config) {
+		c.Topo = cluster.ClusterA(2)
+		c.Assign = partition.Random(f.g, cluster.ClusterA(2).NumWorkers(), 5)
+	})
+	tr, err := NewTrainer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Simulate the hand-off: every worker finished a busy iteration with
+	// cross-node traffic, then has no work in the next one.
+	for _, w := range tr.workers {
+		w.iterNICOut, w.iterNICIn = 1<<30, 1<<30
+	}
+	if d := tr.nicQueueDelay(); d <= 0 {
+		t.Fatal("fixture is degenerate: busy NIC counters produce no queueing delay")
+	}
+	for _, w := range tr.workers {
+		w.resetIdle()
+	}
+	if d := tr.nicQueueDelay(); d != 0 {
+		t.Fatalf("idle workers contribute NIC queueing delay %v, want 0", d)
+	}
+}
+
+// TestPoolStress drives the persistent pool through repeated short runs so
+// `go test -race` covers the dispatch/complete hand-off and the parallel
+// commit + dense sweeps under real concurrency.
+func TestPoolStress(t *testing.T) {
+	f := newFixture(t)
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	var first *Result
+	for i := 0; i < 3; i++ {
+		res := run(t, f.config(t, func(c *Config) { c.TrackConvergence = true }))
+		if first == nil {
+			first = res
+			continue
+		}
+		if res.FinalAUC != first.FinalAUC || res.TotalSimTime != first.TotalSimTime {
+			t.Fatalf("run %d diverged: AUC %v/%v, sim time %v/%v",
+				i, res.FinalAUC, first.FinalAUC, res.TotalSimTime, first.TotalSimTime)
+		}
+	}
+}

@@ -103,6 +103,24 @@ func (w *worker) startEpoch() {
 // hasWork reports whether any local samples remain this epoch.
 func (w *worker) hasWork() bool { return w.cursor < len(w.order) }
 
+// resetIdle clears every per-iteration counter of a worker that runs no
+// batch this iteration. The NIC counters matter most: nicQueueDelay sums
+// them after the barrier, so a count left over from the worker's last busy
+// iteration would keep charging its node's NIC for traffic that already
+// gated an earlier barrier.
+func (w *worker) resetIdle() {
+	w.iterTime = 0
+	w.iterCompute = 0
+	w.iterReadComm = 0
+	w.iterUpdateComm = 0
+	w.iterLoss = 0
+	w.iterSamples = 0
+	w.iterNICOut, w.iterNICIn = 0, 0
+	for h := range w.iterHostBytes {
+		w.iterHostBytes[h] = 0
+	}
+}
+
 // runIteration processes one mini-batch: gather (Read) → forward → loss →
 // backward → scatter (Update), charging simulated time for each stage.
 func (w *worker) runIteration() {
@@ -244,7 +262,7 @@ func (w *worker) chargeOwnerTraffic(per []embed.OwnerTraffic) float64 {
 		// Inbound: refreshed/fetched embedding vectors.
 		var in [3]int64
 		in[comm.CatEmbedding] = int64(tr.SyncVecs) * vecBytes
-		dt += w.t.fabric.TransferBatch(owner, w.id, in)
+		dt += w.t.fabric.TransferBatchRecv(owner, w.id, in)
 		if crossNode(owner) {
 			w.iterNICOut += out[0] + out[1] + out[2]
 			w.iterNICIn += in[0] + in[1] + in[2]

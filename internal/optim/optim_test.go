@@ -113,3 +113,49 @@ func TestDenseAdaGradPanics(t *testing.T) {
 	}()
 	NewDenseAdaGrad(-1, 1)
 }
+
+func TestIsLinear(t *testing.T) {
+	if !IsLinear(NewSGD(0.1)) {
+		t.Error("SGD must declare linear apply")
+	}
+	if IsLinear(NewAdaGrad(0.1, 2, 3)) {
+		t.Error("AdaGrad must not declare linear apply: its accumulator makes fused and sequential applies diverge")
+	}
+}
+
+// TestChunkedDenseBitIdentical pins the ChunkedDense contract: sweeping one
+// dense step in arbitrary chunks must produce bit-identical parameters and
+// accumulator state to a whole-vector Step, because the update is
+// elementwise.
+func TestChunkedDenseBitIdentical(t *testing.T) {
+	const n = 37 // deliberately not a multiple of any chunk size
+	grad := make([]float32, n)
+	for i := range grad {
+		grad[i] = float32(i%7) - 2.5
+	}
+	for name, mk := range map[string]func() Dense{
+		"sgd":     func() Dense { return NewSGD(0.05) },
+		"adagrad": func() Dense { return NewDenseAdaGrad(0.05, n) },
+	} {
+		whole := mk()
+		chunked := mk()
+		pw := make([]float32, n)
+		pc := make([]float32, n)
+		for step := 0; step < 3; step++ { // repeat so AdaGrad state matters
+			whole.Step(pw, grad)
+			cd := chunked.(ChunkedDense)
+			for lo := 0; lo < n; lo += 8 {
+				hi := lo + 8
+				if hi > n {
+					hi = n
+				}
+				cd.StepAt(lo, pc[lo:hi], grad[lo:hi])
+			}
+		}
+		for i := range pw {
+			if pw[i] != pc[i] {
+				t.Fatalf("%s: param %d diverged: %v (whole) vs %v (chunked)", name, i, pw[i], pc[i])
+			}
+		}
+	}
+}

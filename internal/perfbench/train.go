@@ -1,0 +1,365 @@
+// End-to-end training throughput harness: times the full Trainer.Run loop
+// under the Reference execution strategy (per-iteration goroutine spawns,
+// per-update heap-allocated deltas, serial commit and dense reduce) against
+// the optimized one (persistent worker pool, arena-backed deltas, parallel
+// sharded commit), and microbenchmarks the queue→commit path so the
+// allocation-free claim is a gated number rather than prose. hetgmp-bench
+// -perf-train writes the report to BENCH_train.json.
+//
+// Both execution strategies are required to produce a bit-identical
+// simulated Result before any timing is reported: a speedup over different
+// work would be meaningless.
+
+package perfbench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/dataset"
+	"hetgmp/internal/embed"
+	"hetgmp/internal/engine"
+	"hetgmp/internal/nn"
+	"hetgmp/internal/obs/analyze"
+	"hetgmp/internal/optim"
+	"hetgmp/internal/partition"
+	"hetgmp/internal/xrand"
+)
+
+// TrainOptions selects the end-to-end throughput measurement. The zero
+// value measures one epoch on avazu at scale 2.5e-3 with the paper's 8
+// partitions.
+type TrainOptions struct {
+	// Scale is the dataset scale factor; default 2.5e-3 (~100k samples).
+	Scale float64
+	// Dataset preset name; default "avazu".
+	Dataset string
+	// Partitions must match the benchmark topology (EightGPUQPI, 8).
+	Partitions int
+	// Epochs per timed run; default 1.
+	Epochs int
+	Seed   uint64
+}
+
+func (o *TrainOptions) defaults() {
+	if o.Scale == 0 {
+		o.Scale = 2.5e-3
+	}
+	if o.Dataset == "" {
+		o.Dataset = dataset.Avazu
+	}
+	if o.Partitions == 0 {
+		o.Partitions = 8
+	}
+	if o.Epochs == 0 {
+		o.Epochs = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 22
+	}
+}
+
+// configHash fingerprints the run-defining train-harness parameters. The
+// perf gate recomputes this and refuses a committed BENCH_train.json
+// stamped with anything else — numbers from a different workload must not
+// pass as the baseline.
+func (o TrainOptions) configHash() string {
+	o.defaults()
+	return analyze.HashConfig("perf-train", o.Dataset, o.Scale, o.Partitions, o.Epochs, o.Seed)
+}
+
+// TrainExecMetrics is one execution strategy's end-to-end measurement.
+// Per-iteration numbers divide the benchmark machinery's per-run totals by
+// the run's iteration count, so AllocsPerIter is the whole worker-iteration
+// path including queueing, commit, and dense reduce.
+type TrainExecMetrics struct {
+	WallSeconds   float64 `json:"wall_seconds"`
+	NsPerIter     int64   `json:"ns_per_iter"`
+	AllocsPerIter int64   `json:"allocs_per_iter"`
+	BytesPerIter  int64   `json:"bytes_per_iter"`
+	SamplesPerSec float64 `json:"samples_per_sec"`
+}
+
+// PathMetrics is one microbenchmark path's standard benchmark numbers.
+type PathMetrics struct {
+	NsPerOp     int64 `json:"ns_per_op"`
+	AllocsPerOp int64 `json:"allocs_per_op"`
+	BytesPerOp  int64 `json:"bytes_per_op"`
+}
+
+// CommitMetrics microbenchmarks the queue→commit path in isolation: one op
+// queues UpdatesPerOp primary deltas across all workers and commits.
+// Parallelism is pinned to 1 on the arena path so the number isolates the
+// delta-buffer strategy (arena reslice vs per-update make) from
+// goroutine-spawn overhead; the arena path's AllocsPerOp is the gated
+// ~0-allocations claim.
+type CommitMetrics struct {
+	Workers      int         `json:"workers"`
+	Features     int         `json:"features"`
+	Dim          int         `json:"dim"`
+	UpdatesPerOp int         `json:"updates_per_op"`
+	Reference    PathMetrics `json:"reference"`
+	Arena        PathMetrics `json:"arena"`
+}
+
+// TrainReport is the BENCH_train.json payload.
+type TrainReport struct {
+	// Meta stamps the run's identity; ConfigHash covers the TrainOptions so
+	// the perf gate can refuse a baseline produced by a different workload.
+	Meta       analyze.Meta `json:"meta"`
+	Dataset    string       `json:"dataset"`
+	Scale      float64      `json:"scale"`
+	GOMAXPROCS int          `json:"gomaxprocs"`
+	Partitions int          `json:"partitions"`
+	Epochs     int          `json:"epochs"`
+	Seed       uint64       `json:"seed"`
+	Samples    int          `json:"samples"`
+	Iterations int64        `json:"iterations"`
+
+	Reference TrainExecMetrics `json:"reference"`
+	Optimized TrainExecMetrics `json:"optimized"`
+	// Speedup is reference ns/iter over optimized ns/iter.
+	Speedup float64 `json:"speedup"`
+
+	Commit CommitMetrics `json:"commit"`
+
+	// Equivalence fingerprint: both execution strategies produced exactly
+	// this simulated result (checked before timing is reported), so the
+	// speedup compares identical work.
+	FinalAUC     float64 `json:"final_auc"`
+	TotalSimTime float64 `json:"total_sim_time"`
+}
+
+// RunTrain executes the end-to-end throughput harness.
+func RunTrain(opts TrainOptions) (*TrainReport, error) {
+	opts.defaults()
+	ds, err := dataset.New(opts.Dataset, opts.Scale, opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	g := bigraph.FromDataset(ds)
+	pcfg := partition.DefaultHybridConfig(opts.Partitions)
+	pcfg.Seed = opts.Seed
+	pres, err := partition.Hybrid(g, pcfg)
+	if err != nil {
+		return nil, err
+	}
+	topo := cluster.EightGPUQPI()
+	if topo.NumWorkers() != opts.Partitions {
+		return nil, fmt.Errorf("perfbench: train harness needs %d partitions to match the topology, got %d",
+			topo.NumWorkers(), opts.Partitions)
+	}
+	mkConfig := func(exec engine.ExecConfig) engine.Config {
+		return engine.Config{
+			Train: ds, Test: ds,
+			Model: nn.NewWDL(nn.WDLConfig{
+				Fields: ds.NumFields, Dim: 8, Hidden: []int{16}, Seed: opts.Seed,
+			}),
+			Dim:            8,
+			Topo:           topo,
+			Assign:         pres.Assignment,
+			BatchPerWorker: 256,
+			Epochs:         opts.Epochs,
+			EvalEvery:      1 << 30,
+			Seed:           opts.Seed,
+			Exec:           exec,
+		}
+	}
+	fmt.Fprintf(os.Stderr, "perfbench: train scale %g (%d samples), reference pass\n", opts.Scale, len(ds.Samples))
+	refMetrics, refRes, err := benchTrainExec(mkConfig, engine.ExecConfig{Reference: true})
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(os.Stderr, "perfbench: train scale %g, optimized pass\n", opts.Scale)
+	optMetrics, optRes, err := benchTrainExec(mkConfig, engine.ExecConfig{})
+	if err != nil {
+		return nil, err
+	}
+	// Equivalence gate: the execution strategy must never change the
+	// simulated result. A mismatch here means the two-phase discipline was
+	// broken somewhere, and no throughput number is worth reporting.
+	if refRes.FinalAUC != optRes.FinalAUC ||
+		refRes.TotalSimTime != optRes.TotalSimTime ||
+		refRes.Breakdown != optRes.Breakdown {
+		return nil, fmt.Errorf("perfbench: execution strategies diverged: "+
+			"AUC %v vs %v, sim time %v vs %v — refusing to report a speedup over different work",
+			refRes.FinalAUC, optRes.FinalAUC, refRes.TotalSimTime, optRes.TotalSimTime)
+	}
+	fmt.Fprintf(os.Stderr, "perfbench: queue→commit microbenchmark\n")
+	commit, err := benchCommitMetrics(opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	rep := &TrainReport{
+		Meta:       analyze.CollectMeta(opts.configHash()),
+		Dataset:    opts.Dataset,
+		Scale:      opts.Scale,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Partitions: opts.Partitions,
+		Epochs:     opts.Epochs,
+		Seed:       opts.Seed,
+		Samples:    len(ds.Samples),
+		Iterations: int64(refRes.Iterations),
+		Reference:  refMetrics,
+		Optimized:  optMetrics,
+		Speedup:    float64(refMetrics.NsPerIter) / float64(optMetrics.NsPerIter),
+		Commit:     commit,
+
+		FinalAUC:     refRes.FinalAUC,
+		TotalSimTime: refRes.TotalSimTime,
+	}
+	return rep, nil
+}
+
+// benchTrainExec times full training runs under one execution strategy with
+// the standard benchmark machinery and keeps the last run's Result for the
+// equivalence gate.
+func benchTrainExec(mkConfig func(engine.ExecConfig) engine.Config, exec engine.ExecConfig) (TrainExecMetrics, *engine.Result, error) {
+	var last *engine.Result
+	var runErr error
+	br := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			tr, err := engine.NewTrainer(mkConfig(exec))
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			res, err := tr.Run()
+			if err != nil {
+				runErr = err
+				b.FailNow()
+			}
+			last = res
+		}
+	})
+	if runErr != nil {
+		return TrainExecMetrics{}, nil, runErr
+	}
+	if last == nil || last.Iterations == 0 {
+		return TrainExecMetrics{}, nil, fmt.Errorf("perfbench: degenerate training run (no iterations)")
+	}
+	iters := int64(last.Iterations)
+	wall := float64(br.NsPerOp()) / 1e9
+	m := TrainExecMetrics{
+		WallSeconds:   wall,
+		NsPerIter:     br.NsPerOp() / iters,
+		AllocsPerIter: br.AllocsPerOp() / iters,
+		BytesPerIter:  br.AllocedBytesPerOp() / iters,
+		SamplesPerSec: float64(last.SamplesProcessed) / wall,
+	}
+	return m, last, nil
+}
+
+// benchCommitMetrics runs the queue→commit microbenchmark on both delta
+// paths over an identical deterministic update stream.
+func benchCommitMetrics(seed uint64) (CommitMetrics, error) {
+	const (
+		workers         = 8
+		features        = 2048
+		dim             = 16
+		pushesPerWorker = 64
+	)
+	cm := CommitMetrics{
+		Workers: workers, Features: features, Dim: dim,
+		UpdatesPerOp: workers * pushesPerWorker,
+	}
+	// Precomputed feature stream so both paths queue the exact same work.
+	r := xrand.New(seed)
+	feats := make([]int32, workers*pushesPerWorker)
+	for i := range feats {
+		feats[i] = int32(r.Intn(features))
+	}
+	grad := make([]float32, dim)
+	for i := range grad {
+		grad[i] = 2*r.Float32() - 1
+	}
+	bench := func(commit embed.CommitConfig) (PathMetrics, error) {
+		a := partition.NewAssignment(workers, 1, features)
+		a.SampleOf[0] = 0
+		for x := 0; x < features; x++ {
+			a.PrimaryOf[x] = x % workers
+		}
+		tbl, err := embed.NewTable(embed.Config{
+			NumFeatures: features, Dim: dim, Assign: a,
+			Optimizer: optim.NewSGD(0.05), LocalLR: 0.1, Seed: seed,
+			Commit: commit,
+		})
+		if err != nil {
+			return PathMetrics{}, err
+		}
+		br := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				k := 0
+				for w := 0; w < workers; w++ {
+					for j := 0; j < pushesPerWorker; j++ {
+						tbl.QueuePrimary(w, feats[k], grad)
+						k++
+					}
+				}
+				tbl.Commit()
+			}
+		})
+		return PathMetrics{
+			NsPerOp:     br.NsPerOp(),
+			AllocsPerOp: br.AllocsPerOp(),
+			BytesPerOp:  br.AllocedBytesPerOp(),
+		}, nil
+	}
+	var err error
+	if cm.Reference, err = bench(embed.CommitConfig{Reference: true}); err != nil {
+		return cm, err
+	}
+	if cm.Arena, err = bench(embed.CommitConfig{Parallelism: 1}); err != nil {
+		return cm, err
+	}
+	return cm, nil
+}
+
+// WriteJSON writes the report, indented, to path.
+func (r *TrainReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// VerifyTrainReport loads a committed BENCH_train.json and checks it was
+// produced by the given harness configuration: the Meta config hash must
+// match what the current harness would stamp, and the report must carry a
+// plausible measurement. The perf gate calls this so a stale or
+// hand-edited baseline cannot pass as the current workload's numbers.
+func VerifyTrainReport(path string, opts TrainOptions) (*TrainReport, error) {
+	opts.defaults()
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep TrainReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	want := opts.configHash()
+	if rep.Meta.ConfigHash == "" {
+		return nil, fmt.Errorf("%s: no Meta config hash — regenerate with hetgmp-bench -perf-train", path)
+	}
+	if rep.Meta.ConfigHash != want {
+		return nil, fmt.Errorf("%s: config hash %s does not match harness config %s (dataset=%s scale=%g partitions=%d epochs=%d seed=%d) — the committed baseline was produced by a different workload",
+			path, rep.Meta.ConfigHash, want, opts.Dataset, opts.Scale, opts.Partitions, opts.Epochs, opts.Seed)
+	}
+	if rep.Iterations <= 0 || rep.Reference.NsPerIter <= 0 || rep.Optimized.NsPerIter <= 0 {
+		return nil, fmt.Errorf("%s: degenerate measurement (%d iterations, ref %d ns/iter, opt %d ns/iter)",
+			path, rep.Iterations, rep.Reference.NsPerIter, rep.Optimized.NsPerIter)
+	}
+	if rep.FinalAUC == 0 || rep.TotalSimTime == 0 {
+		return nil, fmt.Errorf("%s: missing equivalence fingerprint", path)
+	}
+	return &rep, nil
+}

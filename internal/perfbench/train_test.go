@@ -1,0 +1,164 @@
+package perfbench
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/dataset"
+	"hetgmp/internal/engine"
+	"hetgmp/internal/nn"
+	"hetgmp/internal/partition"
+)
+
+// trainProbeResult runs one small normal training run, the same workload
+// the train harness would benchmark, and returns its Result. Used to
+// detect observer effects: harness runs must leave a subsequent normal
+// run's simulated result untouched.
+func trainProbeResult(t *testing.T) *engine.Result {
+	t.Helper()
+	ds, err := dataset.New(dataset.Avazu, 2e-4, 22)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := bigraph.FromDataset(ds)
+	pcfg := partition.DefaultHybridConfig(8)
+	pcfg.Seed = 22
+	pres, err := partition.Hybrid(g, pcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := engine.NewTrainer(engine.Config{
+		Train: ds, Test: ds,
+		Model: nn.NewWDL(nn.WDLConfig{
+			Fields: ds.NumFields, Dim: 8, Hidden: []int{16}, Seed: 22,
+		}),
+		Dim:            8,
+		Topo:           cluster.EightGPUQPI(),
+		Assign:         pres.Assignment,
+		BatchPerWorker: 64,
+		Epochs:         1,
+		EvalEvery:      1 << 30,
+		Seed:           22,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := tr.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestTrainReportNoObserverEffect pins that generating BENCH_train.json is
+// side-effect free: a normal training run after the harness has timed both
+// execution strategies (and mutated GOMAXPROCS-sensitive state, arenas,
+// pools) is bit-identical to one run before it.
+func TestTrainReportNoObserverEffect(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perfbench harness is slow")
+	}
+	before := trainProbeResult(t)
+	rep, err := RunTrain(TrainOptions{Scale: 2e-4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := trainProbeResult(t)
+	if before.FinalAUC != after.FinalAUC {
+		t.Errorf("AUC changed under observation: %v before, %v after", before.FinalAUC, after.FinalAUC)
+	}
+	if before.TotalSimTime != after.TotalSimTime {
+		t.Errorf("sim time changed under observation: %v before, %v after", before.TotalSimTime, after.TotalSimTime)
+	}
+	if before.Breakdown != after.Breakdown {
+		t.Errorf("traffic changed under observation: %+v before, %+v after", before.Breakdown, after.Breakdown)
+	}
+
+	// The report itself must be coherent.
+	if rep.Iterations <= 0 || rep.Samples <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	if rep.Reference.NsPerIter <= 0 || rep.Optimized.NsPerIter <= 0 || rep.Speedup <= 0 {
+		t.Errorf("non-positive timings: %+v vs %+v", rep.Reference, rep.Optimized)
+	}
+	if rep.FinalAUC == 0 || rep.TotalSimTime == 0 {
+		t.Errorf("missing equivalence fingerprint: %+v", rep)
+	}
+	// The allocation-free claim, as a gated number: the arena path's
+	// queue→commit op must allocate nothing in steady state, while the
+	// Reference path pays at least one allocation per queued update.
+	if rep.Commit.Arena.AllocsPerOp != 0 {
+		t.Errorf("arena queue→commit path allocates %d allocs/op, want 0", rep.Commit.Arena.AllocsPerOp)
+	}
+	if rep.Commit.Reference.AllocsPerOp < int64(rep.Commit.UpdatesPerOp) {
+		t.Errorf("reference queue→commit path allocates %d allocs/op, want >= %d (one per update)",
+			rep.Commit.Reference.AllocsPerOp, rep.Commit.UpdatesPerOp)
+	}
+}
+
+// TestVerifyTrainReport covers the perf gate's acceptance and rejection
+// paths without running the full harness: a well-formed report with the
+// harness's config hash passes, a hash from different options is refused.
+func TestVerifyTrainReport(t *testing.T) {
+	rep := &TrainReport{
+		Dataset: "avazu", Scale: 2.5e-3, GOMAXPROCS: 4,
+		Partitions: 8, Epochs: 1, Seed: 22,
+		Samples: 1000, Iterations: 50,
+		Reference: TrainExecMetrics{NsPerIter: 200, AllocsPerIter: 500},
+		Optimized: TrainExecMetrics{NsPerIter: 100, AllocsPerIter: 3},
+		Speedup:   2,
+		Commit: CommitMetrics{
+			Workers: 8, Features: 2048, Dim: 16, UpdatesPerOp: 512,
+			Reference: PathMetrics{NsPerOp: 100, AllocsPerOp: 512},
+			Arena:     PathMetrics{NsPerOp: 50, AllocsPerOp: 0},
+		},
+		FinalAUC: 0.7, TotalSimTime: 1.5,
+	}
+	rep.Meta.ConfigHash = TrainOptions{}.configHash()
+	path := filepath.Join(t.TempDir(), "BENCH_train.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := VerifyTrainReport(path, TrainOptions{})
+	if err != nil {
+		t.Fatalf("well-formed report refused: %v", err)
+	}
+	if got.Speedup != 2 || got.Commit.Arena.AllocsPerOp != 0 {
+		t.Errorf("round-trip mismatch: %+v", got)
+	}
+
+	// A report generated under different harness options must be refused.
+	rep.Meta.ConfigHash = TrainOptions{Scale: 5e-3}.configHash()
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyTrainReport(path, TrainOptions{}); err == nil {
+		t.Error("report with mismatched config hash passed verification")
+	} else if !strings.Contains(err.Error(), "different workload") {
+		t.Errorf("unexpected refusal reason: %v", err)
+	}
+
+	// A report with no hash at all must also be refused.
+	rep.Meta.ConfigHash = ""
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyTrainReport(path, TrainOptions{}); err == nil {
+		t.Error("report without a config hash passed verification")
+	}
+
+	// Corrupt JSON and a missing file are errors, not panics.
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyTrainReport(path, TrainOptions{}); err == nil {
+		t.Error("corrupt report passed verification")
+	}
+	if _, err := VerifyTrainReport(filepath.Join(t.TempDir(), "absent.json"), TrainOptions{}); err == nil {
+		t.Error("missing report passed verification")
+	}
+}

@@ -1,0 +1,204 @@
+package tensor
+
+import (
+	"math"
+	"testing"
+
+	"hetgmp/internal/xrand"
+)
+
+// Reference straight-line kernels the unrolled/blocked implementations are
+// pinned against. These are the pre-optimisation loops, kept verbatim.
+
+func refDot(x, y []float32) float32 {
+	var s float32
+	for i, v := range x {
+		s += v * y[i]
+	}
+	return s
+}
+
+func refAxpy(alpha float32, x, y []float32) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+func refScale(alpha float32, x []float32) {
+	for i := range x {
+		x[i] *= alpha
+	}
+}
+
+func refMatMulABT(dst, a, b *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for j := 0; j < b.Rows; j++ {
+			brow := b.Row(j)
+			var s float32
+			for k, av := range arow {
+				s += av * brow[k]
+			}
+			drow[j] = s
+		}
+	}
+}
+
+func randSlice(r *xrand.RNG, n int) []float32 {
+	s := make([]float32, n)
+	for i := range s {
+		s[i] = 2*r.Float32() - 1
+	}
+	return s
+}
+
+// TestAxpyScaleBitIdentical pins the exactness contract of the unrolled
+// elementwise kernels: every element runs the same single multiply(-add)
+// as the straight loop, so any length — including the 1..3 element tails —
+// must match bit for bit.
+func TestAxpyScaleBitIdentical(t *testing.T) {
+	r := xrand.New(7)
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 33, 100, 257} {
+		x := randSlice(r, n)
+		y := randSlice(r, n)
+		yRef := append([]float32(nil), y...)
+		Axpy(0.37, x, y)
+		refAxpy(0.37, x, yRef)
+		for i := range y {
+			if y[i] != yRef[i] {
+				t.Fatalf("Axpy n=%d: element %d differs: %v vs %v", n, i, y[i], yRef[i])
+			}
+		}
+		sRef := append([]float32(nil), x...)
+		Scale(-1.83, x)
+		refScale(-1.83, sRef)
+		for i := range x {
+			if x[i] != sRef[i] {
+				t.Fatalf("Scale n=%d: element %d differs: %v vs %v", n, i, x[i], sRef[i])
+			}
+		}
+	}
+}
+
+// TestMatMulABTBitIdentical pins the blocked kernel's exactness: blocking
+// runs four output elements per pass but each element is still one
+// left-to-right k-sum, so the result must match the straight-line version
+// bit for bit at any shape, including j-tails of 1..3 rows.
+func TestMatMulABTBitIdentical(t *testing.T) {
+	r := xrand.New(11)
+	for _, shape := range [][3]int{{1, 1, 1}, {3, 5, 2}, {4, 4, 4}, {7, 9, 13}, {16, 6, 8}, {5, 17, 33}} {
+		m, n, k := shape[0], shape[1], shape[2]
+		a := &Matrix{Rows: m, Cols: k, Data: randSlice(r, m*k)}
+		b := &Matrix{Rows: n, Cols: k, Data: randSlice(r, n*k)}
+		got := NewMatrix(m, n)
+		want := NewMatrix(m, n)
+		MatMulABT(got, a, b)
+		refMatMulABT(want, a, b)
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("shape %v: element %d differs: %v vs %v", shape, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+}
+
+// TestDotULPBound documents and bounds the one deliberate reassociation:
+// Dot sums in four chains, so it may differ from the left-to-right
+// reference by rounding only. Both float32 sums are compared against a
+// float64 reference; the unrolled kernel must stay within the same error
+// envelope the straight loop satisfies (n·eps·Σ|x·y|, eps = 2⁻²³ — the
+// standard worst-case bound for recursive float32 summation).
+func TestDotULPBound(t *testing.T) {
+	r := xrand.New(13)
+	for _, n := range []int{1, 3, 4, 5, 16, 33, 128, 1000} {
+		x := randSlice(r, n)
+		y := randSlice(r, n)
+		var exact, absSum float64
+		for i := range x {
+			p := float64(x[i]) * float64(y[i])
+			exact += p
+			absSum += math.Abs(p)
+		}
+		bound := float64(n) * (1.0 / (1 << 23)) * absSum
+		got := float64(Dot(x, y))
+		ref := float64(refDot(x, y))
+		if math.Abs(got-exact) > bound {
+			t.Fatalf("n=%d: Dot error %g exceeds bound %g", n, math.Abs(got-exact), bound)
+		}
+		if math.Abs(ref-exact) > bound {
+			t.Fatalf("n=%d: reference loop error %g exceeds bound %g", n, math.Abs(ref-exact), bound)
+		}
+	}
+}
+
+// TestDotExactTail pins the tail handling: for n < 4 no unrolled chain runs
+// at all, so the result must equal the reference bit for bit.
+func TestDotExactTail(t *testing.T) {
+	r := xrand.New(17)
+	for _, n := range []int{0, 1, 2, 3} {
+		x := randSlice(r, n)
+		y := randSlice(r, n)
+		if got, want := Dot(x, y), refDot(x, y); got != want {
+			t.Fatalf("n=%d: %v vs %v", n, got, want)
+		}
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	r := xrand.New(3)
+	x := randSlice(r, 256)
+	y := randSlice(r, 256)
+	b.ReportAllocs()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += Dot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkDotReference(b *testing.B) {
+	r := xrand.New(3)
+	x := randSlice(r, 256)
+	y := randSlice(r, 256)
+	b.ReportAllocs()
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink += refDot(x, y)
+	}
+	_ = sink
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	r := xrand.New(3)
+	x := randSlice(r, 256)
+	y := randSlice(r, 256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Axpy(0.5, x, y)
+	}
+}
+
+func BenchmarkMatMulABT(b *testing.B) {
+	r := xrand.New(3)
+	a := &Matrix{Rows: 64, Cols: 128, Data: randSlice(r, 64*128)}
+	bm := &Matrix{Rows: 96, Cols: 128, Data: randSlice(r, 96*128)}
+	dst := NewMatrix(64, 96)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		MatMulABT(dst, a, bm)
+	}
+}
+
+func BenchmarkMatMulABTReference(b *testing.B) {
+	r := xrand.New(3)
+	a := &Matrix{Rows: 64, Cols: 128, Data: randSlice(r, 64*128)}
+	bm := &Matrix{Rows: 96, Cols: 128, Data: randSlice(r, 96*128)}
+	dst := NewMatrix(64, 96)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		refMatMulABT(dst, a, bm)
+	}
+}

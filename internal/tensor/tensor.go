@@ -62,6 +62,27 @@ func (m *Matrix) XavierInit(r *xrand.RNG) {
 	}
 }
 
+// axpyCore is the shared 4-wide unrolled kernel behind Axpy and the inner
+// loops of MatMul/MatMulATB: y[i] += alpha·x[i]. Each element runs exactly
+// one multiply-add, so the unrolled sweep is bit-identical to the straight
+// loop at any length; the unroll only breaks the loop-carried bookkeeping so
+// the four independent element updates can issue back to back. Callers
+// guarantee len(x) == len(y).
+func axpyCore(alpha float32, x, y []float32) {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		y4[0] += alpha * x4[0]
+		y4[1] += alpha * x4[1]
+		y4[2] += alpha * x4[2]
+		y4[3] += alpha * x4[3]
+	}
+	for ; i < len(x); i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
 // MatMul computes dst = a · b. dst must be pre-allocated with shape
 // a.Rows×b.Cols and must not alias a or b. It panics on shape mismatch.
 func MatMul(dst, a, b *Matrix) {
@@ -79,10 +100,7 @@ func MatMul(dst, a, b *Matrix) {
 			if aik == 0 {
 				continue
 			}
-			brow := b.Row(k)
-			for j := range brow {
-				drow[j] += aik * brow[j]
-			}
+			axpyCore(aik, b.Row(k), drow)
 		}
 	}
 }
@@ -102,16 +120,19 @@ func MatMulATB(dst, a, b *Matrix) {
 			if av == 0 {
 				continue
 			}
-			drow := dst.Row(i)
-			for j, bv := range brow {
-				drow[j] += av * bv
-			}
+			axpyCore(av, brow, dst.Row(i))
 		}
 	}
 }
 
 // MatMulABT computes dst = a · bᵀ, used for input gradients
 // (dx = dy · Wᵀ). dst must have shape a.Rows×b.Rows.
+//
+// The j loop is blocked four b-rows at a time: one pass over arow feeds four
+// independent accumulator chains, so arow loads amortise across four output
+// elements and the chains overlap in the pipeline. Every dst element is
+// still one left-to-right sum over k, so the blocked kernel is bit-identical
+// to the straight-line version.
 func MatMulABT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch: (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
@@ -120,7 +141,20 @@ func MatMulABT(dst, a, b *Matrix) {
 	for i := 0; i < a.Rows; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
-		for j := 0; j < b.Rows; j++ {
+		j := 0
+		for ; j+4 <= b.Rows; j += 4 {
+			b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
+			var s0, s1, s2, s3 float32
+			for k, av := range arow {
+				s0 += av * b0[k]
+				s1 += av * b1[k]
+				s2 += av * b2[k]
+				s3 += av * b3[k]
+			}
+			d4 := drow[j : j+4 : j+4]
+			d4[0], d4[1], d4[2], d4[3] = s0, s1, s2, s3
+		}
+		for ; j < b.Rows; j++ {
 			brow := b.Row(j)
 			var s float32
 			for k, av := range arow {
@@ -131,31 +165,56 @@ func MatMulABT(dst, a, b *Matrix) {
 	}
 }
 
-// Axpy computes y += alpha*x elementwise. The slices must be equal length.
+// Axpy computes y += alpha*x elementwise, 4-wide unrolled; the result is
+// bit-identical to the straight loop (one multiply-add per element either
+// way). The slices must be equal length.
 func Axpy(alpha float32, x, y []float32) {
 	if len(x) != len(y) {
 		panic("tensor: Axpy length mismatch")
 	}
-	for i, v := range x {
-		y[i] += alpha * v
-	}
+	axpyCore(alpha, x, y)
 }
 
-// Scale multiplies every element of x by alpha in place.
+// Scale multiplies every element of x by alpha in place, 4-wide unrolled;
+// bit-identical to the straight loop.
 func Scale(alpha float32, x []float32) {
-	for i := range x {
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		x4[0] *= alpha
+		x4[1] *= alpha
+		x4[2] *= alpha
+		x4[3] *= alpha
+	}
+	for ; i < len(x); i++ {
 		x[i] *= alpha
 	}
 }
 
 // Dot returns the inner product of x and y.
+//
+// The sum runs in four independent accumulator chains combined as
+// (s0+s1)+(s2+s3), so the float32 additions are reassociated relative to the
+// straight left-to-right loop: results may differ from the reference sum by
+// a few ULPs (the property test bounds the divergence against a float64
+// reference), in exchange for breaking the loop-carried add dependency.
 func Dot(x, y []float32) float32 {
 	if len(x) != len(y) {
 		panic("tensor: Dot length mismatch")
 	}
-	var s float32
-	for i, v := range x {
-		s += v * y[i]
+	var s0, s1, s2, s3 float32
+	i := 0
+	for ; i+4 <= len(x); i += 4 {
+		x4 := x[i : i+4 : i+4]
+		y4 := y[i : i+4 : i+4]
+		s0 += x4[0] * y4[0]
+		s1 += x4[1] * y4[1]
+		s2 += x4[2] * y4[2]
+		s3 += x4[3] * y4[3]
+	}
+	s := (s0 + s1) + (s2 + s3)
+	for ; i < len(x); i++ {
+		s += x[i] * y[i]
 	}
 	return s
 }
