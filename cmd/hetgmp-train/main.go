@@ -6,10 +6,17 @@
 //
 //	hetgmp-train [-system name] [-model wdl|dcn|deepfm] [-dataset name] [-scale f]
 //	             [-gpus n] [-staleness s] [-epochs n] [-dim n] [-batch n] [-seed n]
+//	             [-transport sim|tcp] [-rank r] [-peers host:port,...]
 //	             [-trace out.json] [-metrics out-metrics.json] [-report report.json]
 //	             [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Systems: tf-ps, parallax, hugectr, het-mp, het-gmp.
+//
+// -transport=tcp runs one worker per OS process, shared-nothing, over real
+// sockets: launch one process per rank with the same flags, -rank set to
+// its index into -peers. Every rank's output (and checkpoint) is
+// bit-identical to a single-process -transport=sim run of the same seed
+// with -gpus equal to the peer count.
 //
 // -trace writes a Chrome trace_event JSON of per-worker phase spans on the
 // simulated clock; open it at https://ui.perfetto.dev or chrome://tracing.
@@ -25,11 +32,15 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
+	"time"
 
 	"hetgmp/internal/cluster"
 	"hetgmp/internal/comm"
+	"hetgmp/internal/comm/tcpnet"
 	"hetgmp/internal/dataset"
 	"hetgmp/internal/embed"
+	"hetgmp/internal/engine"
 	"hetgmp/internal/obs"
 	"hetgmp/internal/report"
 	"hetgmp/internal/systems"
@@ -56,6 +67,9 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		seed      = flag.Uint64("seed", 22, "random seed")
+		transport = flag.String("transport", "sim", "execution backend: 'sim' runs all workers in this process; 'tcp' runs one worker per process over real sockets (requires -rank and -peers)")
+		rank      = flag.Int("rank", 0, "this process's rank for -transport=tcp")
+		peers     = flag.String("peers", "", "comma-separated host:port listen addresses, one per rank, for -transport=tcp (overrides -gpus: one GPU per peer)")
 	)
 	flag.Parse()
 
@@ -81,6 +95,31 @@ func main() {
 			}
 			f.Close()
 		}()
+	}
+
+	// Multi-process mode: every rank builds the identical job (same seed,
+	// same dataset, same partition) and the engine exchanges per-iteration
+	// effects over the transport; any rank's results and checkpoint are
+	// bit-identical to a single-process -transport=sim run with the same
+	// flags and -gpus equal to the number of peers.
+	var dist *engine.DistConfig
+	switch *transport {
+	case "sim":
+	case "tcp":
+		addrs := strings.Split(*peers, ",")
+		if *peers == "" || len(addrs) < 2 {
+			fatal(fmt.Errorf("-transport=tcp needs -peers with at least two comma-separated addresses"))
+		}
+		*gpus = len(addrs)
+		tr, err := tcpnet.Connect(tcpnet.Config{Rank: *rank, Peers: addrs})
+		if err != nil {
+			fatal(err)
+		}
+		defer tr.Close()
+		fmt.Printf("transport: tcp, rank %d of %d (%s)\n", *rank, len(addrs), addrs[*rank])
+		dist = &engine.DistConfig{Transport: tr, RecvTimeout: 2 * time.Minute}
+	default:
+		fatal(fmt.Errorf("unknown -transport %q (want sim or tcp)", *transport))
 	}
 
 	ds, err := dataset.New(*dsName, *scale, *seed)
@@ -110,6 +149,7 @@ func main() {
 		Staleness: s, TargetAUC: *target, EvalSamples: 8192, Seed: *seed,
 		CheckInvariants: *check,
 		Metrics:         reg, Tracer: tracer, Report: *repPath != "",
+		Dist: dist,
 	})
 	if err != nil {
 		fatal(err)

@@ -1,0 +1,396 @@
+// Package conformance is the table-driven contract suite every
+// comm.Transport backend must pass. A backend plugs in via a Factory that
+// builds a connected n-rank mesh; the suite then verifies the properties
+// the distributed engine depends on — message round-trips, per-link FIFO
+// ordering, byte-ledger totals identical across backends, concurrent-sender
+// safety (run it under -race), typed fault surfacing on peer close, and the
+// Coordinator's collective protocol. The companion oracle test
+// (oracle_test.go) closes the loop end to end: a multi-rank training run
+// over any conforming backend must be bit-identical to the single-process
+// simulation.
+package conformance
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"hetgmp/internal/comm"
+)
+
+// Factory builds a connected n-rank mesh of the backend under test. The
+// returned transports are closed by the suite.
+type Factory func(t *testing.T, n int) []comm.Transport
+
+// Run executes the full conformance suite against one backend.
+func Run(t *testing.T, name string, factory Factory) {
+	t.Run(name+"/RoundTrip", func(t *testing.T) { testRoundTrip(t, factory) })
+	t.Run(name+"/Ordering", func(t *testing.T) { testOrdering(t, factory) })
+	t.Run(name+"/LedgerTotals", func(t *testing.T) { testLedgerTotals(t, factory) })
+	t.Run(name+"/ConcurrentSenders", func(t *testing.T) { testConcurrentSenders(t, factory) })
+	t.Run(name+"/SendValidation", func(t *testing.T) { testSendValidation(t, factory) })
+	t.Run(name+"/RecvTimeout", func(t *testing.T) { testRecvTimeout(t, factory) })
+	t.Run(name+"/PeerClose", func(t *testing.T) { testPeerClose(t, factory) })
+	t.Run(name+"/LocalClose", func(t *testing.T) { testLocalClose(t, factory) })
+	t.Run(name+"/ExchangeBarrier", func(t *testing.T) { testExchangeBarrier(t, factory) })
+}
+
+// guard bounds a test body so a contract violation surfaces as a failure,
+// never a hang.
+func guard(t *testing.T, d time.Duration, body func()) {
+	t.Helper()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		body()
+	}()
+	select {
+	case <-done:
+	case <-time.After(d):
+		t.Fatalf("test body did not finish within %v — transport hung instead of surfacing an error", d)
+	}
+}
+
+func closeAll(ts []comm.Transport) {
+	for _, tr := range ts {
+		tr.Close()
+	}
+}
+
+// testRoundTrip sends one message of every type (including empty and
+// multi-kB payloads) across every ordered pair and checks type, sequence
+// and payload survive intact.
+func testRoundTrip(t *testing.T, factory Factory) {
+	ts := factory(t, 3)
+	defer closeAll(ts)
+	guard(t, 30*time.Second, func() {
+		payloads := [][]byte{
+			nil,
+			{0xde},
+			bytes.Repeat([]byte{0xa5, 0x00, 0xff}, 1024),
+		}
+		for src := range ts {
+			for dst := range ts {
+				if src == dst {
+					continue
+				}
+				for mt := 0; mt < comm.NumMsgTypes; mt++ {
+					for pi, p := range payloads {
+						seq := uint64(src*1000 + dst*100 + mt*10 + pi)
+						var own []byte
+						if p != nil {
+							own = append([]byte(nil), p...) // transport takes ownership
+						}
+						if err := ts[src].Send(dst, &comm.Message{Type: comm.MsgType(mt), Seq: seq, Payload: own}); err != nil {
+							t.Fatalf("send %d→%d type %d: %v", src, dst, mt, err)
+						}
+						m, err := ts[dst].Recv(src)
+						if err != nil {
+							t.Fatalf("recv %d→%d type %d: %v", src, dst, mt, err)
+						}
+						if m.Type != comm.MsgType(mt) || m.Seq != seq || !bytes.Equal(m.Payload, p) {
+							t.Fatalf("round-trip %d→%d corrupted: got type %v seq %d payload %d bytes, want type %v seq %d payload %d bytes",
+								src, dst, m.Type, m.Seq, len(m.Payload), comm.MsgType(mt), seq, len(p))
+						}
+					}
+				}
+			}
+		}
+	})
+}
+
+// testOrdering checks per-link FIFO: a burst on every ordered link must
+// arrive in send order, even with all links active at once.
+func testOrdering(t *testing.T, factory Factory) {
+	const burst = 500
+	ts := factory(t, 3)
+	defer closeAll(ts)
+	guard(t, 30*time.Second, func() {
+		var wg sync.WaitGroup
+		for src := range ts {
+			wg.Add(1)
+			go func(src int) {
+				defer wg.Done()
+				for i := 0; i < burst; i++ {
+					for dst := range ts {
+						if dst == src {
+							continue
+						}
+						p := []byte{byte(i), byte(i >> 8), byte(src)}
+						if err := ts[src].Send(dst, &comm.Message{Type: comm.MsgGradPush, Seq: uint64(i), Payload: p}); err != nil {
+							t.Errorf("send %d→%d #%d: %v", src, dst, i, err)
+							return
+						}
+					}
+				}
+			}(src)
+		}
+		for dst := range ts {
+			for src := range ts {
+				if src == dst {
+					continue
+				}
+				for i := 0; i < burst; i++ {
+					m, err := ts[dst].Recv(src)
+					if err != nil {
+						t.Fatalf("recv %d→%d #%d: %v", src, dst, i, err)
+					}
+					if m.Seq != uint64(i) {
+						t.Fatalf("link %d→%d out of order: got seq %d at position %d", src, dst, m.Seq, i)
+					}
+				}
+			}
+		}
+		wg.Wait()
+	})
+}
+
+// testLedgerTotals sends a fixed message sequence and checks both ends'
+// ledgers against the exact per-type counts and FrameSize-priced bytes —
+// the invariant that makes accounting identical across backends.
+func testLedgerTotals(t *testing.T, factory Factory) {
+	ts := factory(t, 2)
+	defer closeAll(ts)
+	guard(t, 30*time.Second, func() {
+		sizes := map[comm.MsgType][]int{
+			comm.MsgControl:   {0},
+			comm.MsgClockSync: {16, 64},
+			comm.MsgGradPush:  {128, 1 << 12},
+			comm.MsgEmbedPull: {256},
+			comm.MsgAllReduce: {1 << 16},
+		}
+		var wantMsgs, wantBytes [comm.NumMsgTypes]int64
+		total := 0
+		for mt, ss := range sizes {
+			for _, s := range ss {
+				if err := ts[0].Send(1, &comm.Message{Type: mt, Payload: make([]byte, s)}); err != nil {
+					t.Fatal(err)
+				}
+				wantMsgs[mt]++
+				wantBytes[mt] += comm.FrameSize(s)
+				total++
+			}
+		}
+		for i := 0; i < total; i++ {
+			if _, err := ts[1].Recv(0); err != nil {
+				t.Fatal(err)
+			}
+		}
+		sent := ts[0].Stats()
+		recv := ts[1].Stats()
+		for mt := 0; mt < comm.NumMsgTypes; mt++ {
+			if sent.SentMsgs[mt] != wantMsgs[mt] || sent.SentBytes[mt] != wantBytes[mt] {
+				t.Errorf("sender ledger type %v: %d msgs / %d bytes, want %d / %d",
+					comm.MsgType(mt), sent.SentMsgs[mt], sent.SentBytes[mt], wantMsgs[mt], wantBytes[mt])
+			}
+			if recv.RecvMsgs[mt] != wantMsgs[mt] || recv.RecvBytes[mt] != wantBytes[mt] {
+				t.Errorf("receiver ledger type %v: %d msgs / %d bytes, want %d / %d",
+					comm.MsgType(mt), recv.RecvMsgs[mt], recv.RecvBytes[mt], wantMsgs[mt], wantBytes[mt])
+			}
+		}
+		if m, b := recv.TotalSent(); m != 0 || b != 0 {
+			t.Errorf("idle endpoint reports %d sent msgs / %d bytes", m, b)
+		}
+	})
+}
+
+// testConcurrentSenders hammers one receiver from many goroutines on many
+// ranks; under -race this is the data-race soak for Send. Totals must
+// account for every message exactly once.
+func testConcurrentSenders(t *testing.T, factory Factory) {
+	const senders, perSender = 8, 200
+	ts := factory(t, 3)
+	defer closeAll(ts)
+	guard(t, 60*time.Second, func() {
+		var wg sync.WaitGroup
+		for src := 1; src < 3; src++ {
+			for g := 0; g < senders; g++ {
+				wg.Add(1)
+				go func(src, g int) {
+					defer wg.Done()
+					for i := 0; i < perSender; i++ {
+						m := &comm.Message{Type: comm.MsgGradPush, Seq: uint64(g), Payload: []byte{byte(g), byte(i)}}
+						if err := ts[src].Send(0, m); err != nil {
+							t.Errorf("concurrent send rank %d goroutine %d: %v", src, g, err)
+							return
+						}
+					}
+				}(src, g)
+			}
+		}
+		wg.Wait()
+		got := 0
+		for src := 1; src < 3; src++ {
+			for i := 0; i < senders*perSender; i++ {
+				if _, err := ts[0].Recv(src); err != nil {
+					t.Fatalf("recv from %d after %d messages: %v", src, i, err)
+				}
+				got++
+			}
+		}
+		if want := 2 * senders * perSender; got != want {
+			t.Fatalf("received %d messages, want %d", got, want)
+		}
+		st := ts[0].Stats()
+		if m, _ := st.TotalRecv(); m != int64(2*senders*perSender) {
+			t.Fatalf("receiver ledger counts %d msgs, want %d", m, 2*senders*perSender)
+		}
+	})
+}
+
+// testSendValidation checks a backend rejects what the wire format cannot
+// carry, with the shared typed errors.
+func testSendValidation(t *testing.T, factory Factory) {
+	ts := factory(t, 2)
+	defer closeAll(ts)
+	guard(t, 30*time.Second, func() {
+		if err := ts[0].Send(1, &comm.Message{Type: comm.MsgType(comm.NumMsgTypes)}); !errors.Is(err, comm.ErrBadType) {
+			t.Errorf("unknown type: got %v, want ErrBadType", err)
+		}
+		if err := ts[0].Send(7, &comm.Message{Type: comm.MsgControl}); err == nil {
+			t.Error("send outside the mesh succeeded")
+		}
+		// Oversized payloads must be rejected without materialising a frame.
+		huge := &comm.Message{Type: comm.MsgGradPush, Payload: make([]byte, comm.MaxPayload+1)}
+		if err := ts[0].Send(1, huge); !errors.Is(err, comm.ErrFrameTooLarge) {
+			t.Errorf("oversized payload: got %v, want ErrFrameTooLarge", err)
+		}
+		if m, b := ts[0].Stats().TotalSent(); m != 0 || b != 0 {
+			t.Errorf("rejected sends were ledgered: %d msgs / %d bytes", m, b)
+		}
+	})
+}
+
+// testRecvTimeout checks a bounded Recv on a silent link returns
+// ErrTimeout instead of blocking forever.
+func testRecvTimeout(t *testing.T, factory Factory) {
+	ts := factory(t, 2)
+	defer closeAll(ts)
+	guard(t, 30*time.Second, func() {
+		ts[0].SetRecvTimeout(50 * time.Millisecond)
+		start := time.Now()
+		_, err := ts[0].Recv(1)
+		if !errors.Is(err, comm.ErrTimeout) {
+			t.Fatalf("silent link: got %v, want ErrTimeout", err)
+		}
+		if time.Since(start) > 10*time.Second {
+			t.Fatal("timeout fired far past its bound")
+		}
+		// Disabling the bound and delivering a message must still work.
+		ts[0].SetRecvTimeout(0)
+		if err := ts[1].Send(0, &comm.Message{Type: comm.MsgControl, Seq: 9}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := ts[0].Recv(1)
+		if err != nil || m.Seq != 9 {
+			t.Fatalf("recv after timeout reset: %v / %+v", err, m)
+		}
+	})
+}
+
+// testPeerClose closes one endpoint and requires every peer to observe a
+// typed ErrPeerClosed (with the peer attributed via *comm.PeerError) on
+// its link — never a hang. Queued messages must still drain first.
+func testPeerClose(t *testing.T, factory Factory) {
+	ts := factory(t, 3)
+	defer closeAll(ts)
+	guard(t, 30*time.Second, func() {
+		// Rank 0 sends one message to rank 1, then closes.
+		if err := ts[0].Send(1, &comm.Message{Type: comm.MsgClockSync, Seq: 5}); err != nil {
+			t.Fatal(err)
+		}
+		// Make sure the frame is on rank 1's side before the close races it.
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			if m, _ := ts[1].Stats().TotalRecv(); m > 0 {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("frame never arrived at peer")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		ts[0].Close()
+
+		// The queued message drains, then the fault surfaces.
+		m, err := ts[1].Recv(0)
+		if err != nil || m.Seq != 5 {
+			t.Fatalf("queued message lost on close: %v / %+v", err, m)
+		}
+		for _, dst := range []int{1, 2} {
+			ts[dst].SetRecvTimeout(10 * time.Second)
+			_, err := ts[dst].Recv(0)
+			if !errors.Is(err, comm.ErrPeerClosed) {
+				t.Fatalf("rank %d link from closed peer: got %v, want ErrPeerClosed", dst, err)
+			}
+			var pe *comm.PeerError
+			if !errors.As(err, &pe) || pe.Peer != 0 {
+				t.Fatalf("rank %d: fault not attributed to peer 0: %v", dst, err)
+			}
+		}
+	})
+}
+
+// testLocalClose checks Close unblocks this endpoint's own pending
+// receives with ErrClosed and fails subsequent sends.
+func testLocalClose(t *testing.T, factory Factory) {
+	ts := factory(t, 2)
+	defer closeAll(ts)
+	guard(t, 30*time.Second, func() {
+		errc := make(chan error, 1)
+		go func() {
+			_, err := ts[0].Recv(1)
+			errc <- err
+		}()
+		time.Sleep(20 * time.Millisecond) // let the Recv block
+		ts[0].Close()
+		if err := <-errc; !errors.Is(err, comm.ErrClosed) {
+			t.Fatalf("pending recv after local close: got %v, want ErrClosed", err)
+		}
+		if err := ts[0].Send(1, &comm.Message{Type: comm.MsgControl}); !errors.Is(err, comm.ErrClosed) {
+			t.Fatalf("send after local close: got %v, want ErrClosed", err)
+		}
+	})
+}
+
+// testExchangeBarrier drives the Coordinator's all-gather over the backend:
+// every rank must see every rank's payload at the right index, across
+// repeated rounds, and Barrier must release only when all ranks arrive.
+func testExchangeBarrier(t *testing.T, factory Factory) {
+	const n, rounds = 4, 25
+	ts := factory(t, n)
+	defer closeAll(ts)
+	guard(t, 60*time.Second, func() {
+		var wg sync.WaitGroup
+		for r := 0; r < n; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				coord := comm.NewCoordinator(ts[r])
+				for round := 0; round < rounds; round++ {
+					payload := []byte(fmt.Sprintf("rank %d round %d", r, round))
+					got, err := coord.Exchange(comm.MsgClockSync, payload)
+					if err != nil {
+						t.Errorf("rank %d round %d: %v", r, round, err)
+						return
+					}
+					for p := 0; p < n; p++ {
+						want := fmt.Sprintf("rank %d round %d", p, round)
+						if string(got[p]) != want {
+							t.Errorf("rank %d round %d: slot %d holds %q, want %q", r, round, p, got[p], want)
+							return
+						}
+					}
+					if err := coord.Barrier(); err != nil {
+						t.Errorf("rank %d round %d barrier: %v", r, round, err)
+						return
+					}
+				}
+			}(r)
+		}
+		wg.Wait()
+	})
+}

@@ -1,0 +1,145 @@
+package conformance
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"hetgmp/internal/comm"
+	"hetgmp/internal/comm/tcpnet"
+)
+
+// memFactory builds the in-process reference mesh.
+func memFactory(t *testing.T, n int) []comm.Transport {
+	t.Helper()
+	mts := comm.NewMemNetwork(n)
+	ts := make([]comm.Transport, n)
+	for i, m := range mts {
+		ts[i] = m
+	}
+	return ts
+}
+
+// tcpFactory builds a real-socket loopback mesh inside the test process:
+// every rank pre-binds port 0 so the peer list is known before any rank
+// connects, then all ranks connect concurrently (as N processes would).
+func tcpFactory(t *testing.T, n int) []comm.Transport {
+	t.Helper()
+	listeners := make([]net.Listener, n)
+	peers := make([]string, n)
+	for r := 0; r < n; r++ {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		listeners[r] = lis
+		peers[r] = lis.Addr().String()
+	}
+	ts := make([]comm.Transport, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			tr, err := tcpnet.Connect(tcpnet.Config{
+				Rank: r, Peers: peers, Listener: listeners[r], DialTimeout: 30 * time.Second,
+			})
+			ts[r], errs[r] = tr, err
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			closeAll(ts)
+			t.Fatalf("rank %d connect: %v", r, err)
+		}
+	}
+	return ts
+}
+
+// TestMemTransportConformance runs the contract suite against the
+// in-process reference backend.
+func TestMemTransportConformance(t *testing.T) {
+	Run(t, "mem", memFactory)
+}
+
+// TestTCPTransportConformance runs the contract suite against the real
+// socket backend on loopback.
+func TestTCPTransportConformance(t *testing.T) {
+	Run(t, "tcp", tcpFactory)
+}
+
+// TestTCPPeerCloseMidFrame kills a connection in the middle of a frame: a
+// fake peer completes the hello handshake, sends one valid frame, then
+// writes half of a second frame and slams the socket. The surviving
+// endpoint must deliver the whole frame, then surface a typed *PeerError —
+// a torn stream must never hang a Recv or deliver a short payload.
+func TestTCPPeerCloseMidFrame(t *testing.T) {
+	lis0, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis1, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis1.Close()
+	peers := []string{lis0.Addr().String(), lis1.Addr().String()}
+
+	// The fake rank 1: accept rank... no — rank 0 accepts from nobody and
+	// dials rank 1, so the fake peer accepts, handshakes, misbehaves.
+	fakeDone := make(chan error, 1)
+	go func() {
+		sock, err := lis1.Accept()
+		if err != nil {
+			fakeDone <- err
+			return
+		}
+		defer sock.Close()
+		// Handshake: read rank 0's hello, answer as rank 1.
+		if _, _, err := comm.ReadFrame(sock); err != nil {
+			fakeDone <- err
+			return
+		}
+		hello, _ := comm.EncodeFrame(1, &comm.Message{Type: comm.MsgControl, Seq: 2})
+		if _, err := sock.Write(hello); err != nil {
+			fakeDone <- err
+			return
+		}
+		// One whole frame, then half a frame, then hang up.
+		whole, _ := comm.EncodeFrame(1, &comm.Message{Type: comm.MsgGradPush, Seq: 7, Payload: []byte("intact")})
+		torn, _ := comm.EncodeFrame(1, &comm.Message{Type: comm.MsgGradPush, Seq: 8, Payload: make([]byte, 4096)})
+		if _, err := sock.Write(whole); err != nil {
+			fakeDone <- err
+			return
+		}
+		_, err = sock.Write(torn[:len(torn)/2])
+		fakeDone <- err
+	}()
+
+	tr, err := tcpnet.Connect(tcpnet.Config{Rank: 0, Peers: peers, Listener: lis0, DialTimeout: 10 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer tr.Close()
+	if err := <-fakeDone; err != nil {
+		t.Fatalf("fake peer: %v", err)
+	}
+
+	tr.SetRecvTimeout(10 * time.Second)
+	m, err := tr.Recv(1)
+	if err != nil || m.Seq != 7 || string(m.Payload) != "intact" {
+		t.Fatalf("whole frame before the tear: %v / %+v", err, m)
+	}
+	_, err = tr.Recv(1)
+	var pe *comm.PeerError
+	if !errors.As(err, &pe) || pe.Peer != 1 {
+		t.Fatalf("torn stream: got %v, want a *comm.PeerError for peer 1", err)
+	}
+	if !errors.Is(err, comm.ErrShortFrame) && !errors.Is(err, comm.ErrPeerClosed) {
+		t.Fatalf("torn stream error %v is neither ErrShortFrame nor ErrPeerClosed", err)
+	}
+}

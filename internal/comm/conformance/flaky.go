@@ -1,0 +1,93 @@
+// Deterministic fault injection: flakyTransport wraps any backend and
+// corrupts its delivery — seeded drops and duplicate deliveries — so tests
+// can prove the collective layer turns every fault into a typed error
+// (comm.ErrTimeout, *comm.ProtocolError, comm.ErrPeerClosed) instead of a
+// hang or silent corruption. The fault schedule is a pure function of the
+// seed, so every failure a test provokes is reproducible.
+package conformance
+
+import (
+	"sync"
+	"time"
+
+	"hetgmp/internal/comm"
+	"hetgmp/internal/xrand"
+)
+
+// faultPlan configures one flakyTransport's misbehaviour. Probabilities
+// are evaluated per Send in [0,1).
+type faultPlan struct {
+	// drop is the probability a sent message silently never arrives.
+	drop float64
+	// duplicate is the probability a sent message is delivered twice.
+	duplicate float64
+}
+
+// flakyTransport decorates a Transport with seeded delivery faults. Only
+// Send misbehaves; everything else forwards.
+type flakyTransport struct {
+	comm.Transport
+	plan faultPlan
+
+	mu  sync.Mutex
+	rng *xrand.RNG
+}
+
+func newFlaky(tr comm.Transport, seed uint64, plan faultPlan) *flakyTransport {
+	return &flakyTransport{Transport: tr, plan: plan, rng: xrand.New(seed)}
+}
+
+// Send applies the fault schedule: drop, duplicate, or pass through.
+func (f *flakyTransport) Send(to int, m *comm.Message) error {
+	f.mu.Lock()
+	roll := f.rng.Float64()
+	f.mu.Unlock()
+	switch {
+	case roll < f.plan.drop:
+		// Swallowed: the sender believes it succeeded, the receiver waits.
+		return nil
+	case roll < f.plan.drop+f.plan.duplicate:
+		if err := f.Transport.Send(to, m); err != nil {
+			return err
+		}
+		dup := &comm.Message{Type: m.Type, Seq: m.Seq, Payload: append([]byte(nil), m.Payload...)}
+		return f.Transport.Send(to, dup)
+	default:
+		return f.Transport.Send(to, m)
+	}
+}
+
+// flakyMesh wraps every endpoint of a mesh with its own seeded fault
+// stream; rank r's faults derive from seed+r so runs are reproducible but
+// ranks are decorrelated.
+func flakyMesh(ts []comm.Transport, seed uint64, plan faultPlan) []comm.Transport {
+	out := make([]comm.Transport, len(ts))
+	for r, tr := range ts {
+		out[r] = newFlaky(tr, seed+uint64(r), plan)
+	}
+	return out
+}
+
+// runExchangeRounds drives all ranks of a (possibly faulty) mesh through
+// collective rounds until one errors or the round budget is exhausted; it
+// returns every rank's first error, index-aligned.
+func runExchangeRounds(ts []comm.Transport, rounds int, timeout time.Duration) []error {
+	errs := make([]error, len(ts))
+	var wg sync.WaitGroup
+	for r := range ts {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			ts[r].SetRecvTimeout(timeout)
+			coord := comm.NewCoordinator(ts[r])
+			for round := 0; round < rounds; round++ {
+				if _, err := coord.Exchange(comm.MsgClockSync, []byte{byte(r), byte(round)}); err != nil {
+					errs[r] = err
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	return errs
+}

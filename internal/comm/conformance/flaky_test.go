@@ -1,0 +1,118 @@
+package conformance
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hetgmp/internal/comm"
+)
+
+// TestFlakyDropSurfacesTimeout drops a third of all sends: some collective
+// round must starve a receiver, and the starvation must surface as
+// comm.ErrTimeout — not a hang (the guard enforces that) and not a wrong
+// result.
+func TestFlakyDropSurfacesTimeout(t *testing.T) {
+	base := memFactory(t, 3)
+	defer closeAll(base)
+	ts := flakyMesh(base, 42, faultPlan{drop: 0.33})
+	guard(t, 60*time.Second, func() {
+		errs := runExchangeRounds(ts, 50, 250*time.Millisecond)
+		sawTimeout := false
+		for r, err := range errs {
+			if err == nil {
+				continue
+			}
+			if errors.Is(err, comm.ErrTimeout) {
+				sawTimeout = true
+				continue
+			}
+			// A dropped message can also desynchronise sequence numbers on
+			// a rank that keeps running; that must be the typed protocol
+			// error, nothing else.
+			var proto *comm.ProtocolError
+			if !errors.As(err, &proto) {
+				t.Errorf("rank %d: fault surfaced as %v, want ErrTimeout or *ProtocolError", r, err)
+			}
+		}
+		if !sawTimeout {
+			t.Error("a 33% drop rate over 50 rounds never produced ErrTimeout")
+		}
+	})
+}
+
+// TestFlakyDuplicateSurfacesProtocolError duplicates a third of all sends:
+// the doubled delivery lands in a later round's Recv with a stale sequence
+// number, and the Coordinator must reject it as *comm.ProtocolError
+// instead of consuming a wrong payload.
+func TestFlakyDuplicateSurfacesProtocolError(t *testing.T) {
+	base := memFactory(t, 3)
+	defer closeAll(base)
+	ts := flakyMesh(base, 1337, faultPlan{duplicate: 0.33})
+	guard(t, 60*time.Second, func() {
+		errs := runExchangeRounds(ts, 50, 2*time.Second)
+		sawProto := false
+		for r, err := range errs {
+			if err == nil {
+				continue
+			}
+			var proto *comm.ProtocolError
+			if errors.As(err, &proto) {
+				sawProto = true
+				if proto.GotSeq >= proto.WantSeq {
+					t.Errorf("rank %d: duplicate should replay an older seq, got want=%d got=%d",
+						r, proto.WantSeq, proto.GotSeq)
+				}
+				continue
+			}
+			if !errors.Is(err, comm.ErrTimeout) {
+				t.Errorf("rank %d: fault surfaced as %v, want *ProtocolError or ErrTimeout", r, err)
+			}
+		}
+		if !sawProto {
+			t.Error("a 33% duplicate rate over 50 rounds never produced a *ProtocolError")
+		}
+	})
+}
+
+// TestPeerDeathMidCollective closes one rank partway through a run of
+// collective rounds; the survivors must come back with typed errors
+// (ErrPeerClosed once the death is visible, or ErrTimeout if they were
+// already waiting) rather than deadlock.
+func TestPeerDeathMidCollective(t *testing.T) {
+	for _, backend := range []struct {
+		name    string
+		factory Factory
+	}{
+		{"mem", memFactory},
+		{"tcp", tcpFactory},
+	} {
+		t.Run(backend.name, func(t *testing.T) {
+			ts := backend.factory(t, 3)
+			defer closeAll(ts)
+			guard(t, 60*time.Second, func() {
+				// Rank 2 participates for 5 rounds, then dies.
+				go func() {
+					ts[2].SetRecvTimeout(10 * time.Second)
+					coord := comm.NewCoordinator(ts[2])
+					for round := 0; round < 5; round++ {
+						if _, err := coord.Exchange(comm.MsgClockSync, []byte{2}); err != nil {
+							break
+						}
+					}
+					ts[2].Close()
+				}()
+				errs := runExchangeRounds(ts[:2], 1000, 10*time.Second)
+				for r, err := range errs {
+					if err == nil {
+						t.Errorf("rank %d finished 1000 rounds against a dead peer", r)
+						continue
+					}
+					if !errors.Is(err, comm.ErrPeerClosed) && !errors.Is(err, comm.ErrTimeout) {
+						t.Errorf("rank %d: peer death surfaced as %v, want ErrPeerClosed or ErrTimeout", r, err)
+					}
+				}
+			})
+		})
+	}
+}

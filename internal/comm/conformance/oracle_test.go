@@ -1,0 +1,331 @@
+package conformance
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hetgmp/internal/bigraph"
+	"hetgmp/internal/cluster"
+	"hetgmp/internal/comm"
+	"hetgmp/internal/comm/tcpnet"
+	"hetgmp/internal/consistency"
+	"hetgmp/internal/dataset"
+	"hetgmp/internal/engine"
+	"hetgmp/internal/nn"
+	"hetgmp/internal/partition"
+)
+
+// Oracle job parameters: small enough to finish in seconds, rich enough to
+// exercise reads, flushes, dense allreduce and evaluation across epochs.
+const (
+	oracleRanks  = 3
+	oracleSeed   = 7321
+	oracleEpochs = 2
+)
+
+// buildOracleTrainer constructs the fixed-seed job every backend trains.
+// All inputs are pure functions of the seed, so every rank (and every
+// process) that calls this builds bit-identical state.
+func buildOracleTrainer(dist *engine.DistConfig) (*engine.Trainer, *dataset.Dataset, error) {
+	topo, err := cluster.ScaleOut(oracleRanks)
+	if err != nil {
+		return nil, nil, err
+	}
+	ds, err := dataset.New(dataset.Avazu, 1e-4, oracleSeed)
+	if err != nil {
+		return nil, nil, err
+	}
+	train, test := ds.Split(0.9)
+	g := bigraph.FromDataset(train)
+	pcfg := partition.DefaultHybridConfig(oracleRanks)
+	pcfg.Rounds = 2
+	pcfg.Seed = oracleSeed
+	hr, err := partition.Hybrid(g, pcfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	pc, err := consistency.Resolve(consistency.GraphBounded, 7)
+	if err != nil {
+		return nil, nil, err
+	}
+	tr, err := engine.NewTrainer(engine.Config{
+		Train: train, Test: test,
+		Model:           nn.NewWDL(nn.WDLConfig{Fields: train.NumFields, Dim: 8, Hidden: []int{16}, Seed: oracleSeed}),
+		Dim:             8,
+		Topo:            topo,
+		Assign:          hr.Assignment,
+		BatchPerWorker:  48,
+		Epochs:          oracleEpochs,
+		Staleness:       pc.Staleness,
+		InterCheck:      pc.InterCheck,
+		Normalize:       pc.Normalize,
+		EvalEvery:       40,
+		CheckInvariants: true,
+		Seed:            oracleSeed,
+		Dist:            dist,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return tr, train, nil
+}
+
+// oracleRun captures everything a backend must reproduce exactly.
+type oracleRun struct {
+	res  *engine.Result
+	ckpt []byte
+}
+
+func runOracle(dist *engine.DistConfig) (*oracleRun, error) {
+	tr, _, err := buildOracleTrainer(dist)
+	if err != nil {
+		return nil, err
+	}
+	res, err := tr.Run()
+	if err != nil {
+		return nil, err
+	}
+	var buf bytes.Buffer
+	if err := tr.SaveCheckpoint(&buf); err != nil {
+		return nil, err
+	}
+	return &oracleRun{res: res, ckpt: buf.Bytes()}, nil
+}
+
+// runDistMesh trains one full replica per rank over a connected mesh and
+// returns each rank's run, index-aligned. Every rank runs in its own
+// goroutine exactly as N processes would.
+func runDistMesh(ts []comm.Transport) ([]*oracleRun, []error) {
+	runs := make([]*oracleRun, len(ts))
+	errs := make([]error, len(ts))
+	var wg sync.WaitGroup
+	for r := range ts {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			runs[r], errs[r] = runOracle(&engine.DistConfig{
+				Transport:   ts[r],
+				RecvTimeout: 2 * time.Minute,
+			})
+		}(r)
+	}
+	wg.Wait()
+	return runs, errs
+}
+
+// assertOracleEqual asserts a backend's run reproduced the reference run
+// exactly: final embedding bytes (the checkpoint embeds table state and
+// clocks), the whole evaluation history (AUC + simulated time), the traffic
+// accounting, and the protocol counters.
+func assertOracleEqual(t *testing.T, name string, ref, got *oracleRun) {
+	t.Helper()
+	if got.res.Invariants.Violations != 0 {
+		t.Errorf("%s: %d invariant violations", name, got.res.Invariants.Violations)
+	}
+	if !bytes.Equal(ref.ckpt, got.ckpt) {
+		t.Errorf("%s: checkpoint bytes differ from reference (%d vs %d bytes)",
+			name, len(got.ckpt), len(ref.ckpt))
+	}
+	if len(got.res.History) != len(ref.res.History) {
+		t.Fatalf("%s: %d eval points, reference %d", name, len(got.res.History), len(ref.res.History))
+	}
+	for i := range ref.res.History {
+		if got.res.History[i] != ref.res.History[i] {
+			t.Errorf("%s: eval point %d = %+v, reference %+v", name, i, got.res.History[i], ref.res.History[i])
+		}
+	}
+	if got.res.FinalAUC != ref.res.FinalAUC {
+		t.Errorf("%s: final AUC %v, reference %v", name, got.res.FinalAUC, ref.res.FinalAUC)
+	}
+	if got.res.TotalSimTime != ref.res.TotalSimTime {
+		t.Errorf("%s: simulated clock %v, reference %v", name, got.res.TotalSimTime, ref.res.TotalSimTime)
+	}
+	if got.res.SamplesProcessed != ref.res.SamplesProcessed {
+		t.Errorf("%s: %d samples, reference %d", name, got.res.SamplesProcessed, ref.res.SamplesProcessed)
+	}
+	if got.res.Breakdown != ref.res.Breakdown {
+		t.Errorf("%s: traffic breakdown %+v, reference %+v", name, got.res.Breakdown, ref.res.Breakdown)
+	}
+	for i := range ref.res.TrafficMatrix {
+		for j := range ref.res.TrafficMatrix[i] {
+			if got.res.TrafficMatrix[i][j] != ref.res.TrafficMatrix[i][j] {
+				t.Errorf("%s: traffic[%d][%d] = %d, reference %d",
+					name, i, j, got.res.TrafficMatrix[i][j], ref.res.TrafficMatrix[i][j])
+			}
+		}
+	}
+	gotCounters := [5]int64{got.res.LocalPrimary, got.res.LocalFresh, got.res.SyncedIntra, got.res.SyncedInter, got.res.RemoteReads}
+	refCounters := [5]int64{ref.res.LocalPrimary, ref.res.LocalFresh, ref.res.SyncedIntra, ref.res.SyncedInter, ref.res.RemoteReads}
+	if gotCounters != refCounters {
+		t.Errorf("%s: protocol counters %v, reference %v", name, gotCounters, refCounters)
+	}
+}
+
+// TestCrossBackendOracle is the end-to-end oracle: the same fixed-seed job
+// trained (a) single-process on the simulated fabric, (b) as three
+// replicated ranks over the in-memory transport, and (c) as three
+// replicated ranks over real loopback TCP sockets must produce
+// byte-identical final embeddings, identical simulated clocks, and
+// identical AUC histories — on every rank.
+func TestCrossBackendOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a full job per backend")
+	}
+	ref, err := runOracle(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.res.Invariants.Checks == 0 {
+		t.Fatal("reference run never checked invariants")
+	}
+	if ref.res.FinalAUC <= 0.45 {
+		t.Fatalf("reference run did not learn: AUC %v", ref.res.FinalAUC)
+	}
+
+	for _, backend := range []struct {
+		name    string
+		factory Factory
+	}{
+		{"mem", memFactory},
+		{"tcp", tcpFactory},
+	} {
+		t.Run(backend.name, func(t *testing.T) {
+			ts := backend.factory(t, oracleRanks)
+			defer closeAll(ts)
+			runs, errs := runDistMesh(ts)
+			for r, err := range errs {
+				if err != nil {
+					t.Fatalf("rank %d: %v", r, err)
+				}
+			}
+			for r, run := range runs {
+				assertOracleEqual(t, fmt.Sprintf("%s/rank%d", backend.name, r), ref, run)
+			}
+		})
+	}
+}
+
+// Environment contract between TestMultiProcessOracle and its helper.
+const (
+	oracleHelperEnv = "HETGMP_ORACLE_HELPER"
+	oracleRankEnv   = "HETGMP_ORACLE_RANK"
+	oraclePeersEnv  = "HETGMP_ORACLE_PEERS"
+	oracleOutEnv    = "HETGMP_ORACLE_OUT"
+)
+
+// TestDistHelperProcess is not a test: it is the body of one worker process
+// for TestMultiProcessOracle, entered by re-executing the test binary. It
+// connects the TCP mesh, trains the oracle job, and writes the checkpoint
+// plus a result digest where the parent told it to.
+func TestDistHelperProcess(t *testing.T) {
+	if os.Getenv(oracleHelperEnv) != "1" {
+		t.Skip("helper process entry point")
+	}
+	rank, err := strconv.Atoi(os.Getenv(oracleRankEnv))
+	if err != nil {
+		t.Fatalf("bad rank: %v", err)
+	}
+	peers := strings.Split(os.Getenv(oraclePeersEnv), ",")
+	tr, err := tcpnet.Connect(tcpnet.Config{Rank: rank, Peers: peers, DialTimeout: 30 * time.Second})
+	if err != nil {
+		t.Fatalf("rank %d connect: %v", rank, err)
+	}
+	defer tr.Close()
+	run, err := runOracle(&engine.DistConfig{Transport: tr, RecvTimeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatalf("rank %d train: %v", rank, err)
+	}
+	out := os.Getenv(oracleOutEnv)
+	if err := os.WriteFile(out+".ckpt", run.ckpt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	digest := fmt.Sprintf("%016x %016x %d %d\n",
+		math.Float64bits(run.res.FinalAUC), math.Float64bits(run.res.TotalSimTime),
+		run.res.SamplesProcessed, run.res.Invariants.Violations)
+	if err := os.WriteFile(out+".digest", []byte(digest), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiProcessOracle runs the oracle job as three real OS processes
+// talking TCP over loopback — the same shape as `hetgmp-train
+// -transport=tcp` — and checks every process's final checkpoint is
+// byte-identical to the single-process simulated reference.
+func TestMultiProcessOracle(t *testing.T) {
+	if testing.Short() {
+		t.Skip("spawns worker processes that each train a full job")
+	}
+	ref, err := runOracle(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick loopback ports by bind-then-release; the helper processes rebind
+	// them. The tiny reuse window is acceptable on a test loopback.
+	peers := make([]string, oracleRanks)
+	for r := range peers {
+		lis, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		peers[r] = lis.Addr().String()
+		lis.Close()
+	}
+	peerList := strings.Join(peers, ",")
+
+	dir := t.TempDir()
+	cmds := make([]*exec.Cmd, oracleRanks)
+	outs := make([]bytes.Buffer, oracleRanks)
+	for r := 0; r < oracleRanks; r++ {
+		cmd := exec.Command(os.Args[0], "-test.run=^TestDistHelperProcess$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			oracleHelperEnv+"=1",
+			oracleRankEnv+"="+strconv.Itoa(r),
+			oraclePeersEnv+"="+peerList,
+			oracleOutEnv+"="+filepath.Join(dir, "rank"+strconv.Itoa(r)),
+		)
+		cmd.Stdout = &outs[r]
+		cmd.Stderr = &outs[r]
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		cmds[r] = cmd
+	}
+	for r, cmd := range cmds {
+		if err := cmd.Wait(); err != nil {
+			t.Fatalf("rank %d process failed: %v\n%s", r, err, outs[r].String())
+		}
+	}
+
+	refDigest := fmt.Sprintf("%016x %016x %d %d\n",
+		math.Float64bits(ref.res.FinalAUC), math.Float64bits(ref.res.TotalSimTime),
+		ref.res.SamplesProcessed, int64(0))
+	for r := 0; r < oracleRanks; r++ {
+		base := filepath.Join(dir, "rank"+strconv.Itoa(r))
+		ckpt, err := os.ReadFile(base + ".ckpt")
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		if !bytes.Equal(ckpt, ref.ckpt) {
+			t.Errorf("rank %d: process checkpoint differs from simulated reference (%d vs %d bytes)",
+				r, len(ckpt), len(ref.ckpt))
+		}
+		digest, err := os.ReadFile(base + ".digest")
+		if err != nil {
+			t.Fatalf("rank %d: %v", r, err)
+		}
+		if string(digest) != refDigest {
+			t.Errorf("rank %d: result digest %q, reference %q", r, digest, refDigest)
+		}
+	}
+}

@@ -1,0 +1,397 @@
+// Package tcpnet is the real-socket Transport backend: a full mesh of TCP
+// connections carrying the shared wire format (comm/wire.go). Each process
+// is one rank; rank i accepts connections from every lower rank and dials
+// every higher rank, so exactly one connection exists per unordered pair.
+//
+// Concurrency model: Send never writes to the socket inline — it enqueues
+// on an unbounded per-connection outbox drained by a dedicated writer
+// goroutine. That preserves the deadlock-freedom the collective layer
+// relies on (every rank can send all its round's messages before any rank
+// receives) even when kernel socket buffers are full. A reader goroutine
+// per connection decodes frames into the per-peer inbox, so Recv is a
+// queue pop with the same timeout/fault semantics as the in-memory
+// reference backend.
+package tcpnet
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"hetgmp/internal/comm"
+)
+
+// Config describes one endpoint of the mesh.
+type Config struct {
+	// Rank is this process's identity in [0, len(Peers)).
+	Rank int
+	// Peers lists every rank's listen address, index-aligned with ranks.
+	// Peers[Rank] is the address this process listens on.
+	Peers []string
+	// Listener optionally supplies a pre-bound listener for Peers[Rank]
+	// (tests bind port 0 and pass the listener in to avoid races on port
+	// choice). Connect takes ownership and closes it.
+	Listener net.Listener
+	// DialTimeout bounds the whole connection-establishment phase,
+	// including retries while peer processes are still starting.
+	// Zero means 30s.
+	DialTimeout time.Duration
+}
+
+// Transport is a connected TCP mesh endpoint implementing comm.Transport.
+type Transport struct {
+	rank  int
+	size  int
+	stats comm.Ledger
+
+	conns  []*conn // index by peer rank; nil at own rank
+	inbox  []*comm.MessageQueue
+	lis    net.Listener
+	closed atomic.Bool
+
+	mu      sync.Mutex
+	timeout time.Duration
+}
+
+// conn is one established link to a peer.
+type conn struct {
+	peer   int
+	sock   net.Conn
+	outbox *comm.MessageQueue
+	done   chan struct{} // closed when the writer goroutine exits
+}
+
+const defaultDialTimeout = 30 * time.Second
+
+// Connect establishes the full mesh and returns once every link is up and
+// has completed its hello handshake. Rank r accepts from ranks < r and
+// dials ranks > r, retrying dials until DialTimeout to absorb startup skew
+// between processes.
+func Connect(cfg Config) (*Transport, error) {
+	n := len(cfg.Peers)
+	if n == 0 {
+		return nil, fmt.Errorf("tcpnet: empty peer list")
+	}
+	if cfg.Rank < 0 || cfg.Rank >= n {
+		return nil, fmt.Errorf("tcpnet: rank %d outside peer list of %d", cfg.Rank, n)
+	}
+	dialTimeout := cfg.DialTimeout
+	if dialTimeout <= 0 {
+		dialTimeout = defaultDialTimeout
+	}
+
+	t := &Transport{
+		rank:  cfg.Rank,
+		size:  n,
+		conns: make([]*conn, n),
+		inbox: make([]*comm.MessageQueue, n),
+	}
+	for p := range t.inbox {
+		t.inbox[p] = &comm.MessageQueue{}
+	}
+	if n == 1 {
+		return t, nil
+	}
+
+	lis := cfg.Listener
+	if lis == nil {
+		var err error
+		lis, err = net.Listen("tcp", cfg.Peers[cfg.Rank])
+		if err != nil {
+			return nil, fmt.Errorf("tcpnet: listen %s: %w", cfg.Peers[cfg.Rank], err)
+		}
+	}
+	t.lis = lis
+
+	type dialed struct {
+		peer int
+		sock net.Conn
+		err  error
+	}
+	results := make(chan dialed, n)
+
+	// Accept one connection per lower rank; the hello frame identifies
+	// which rank dialed.
+	go func() {
+		for p := 0; p < cfg.Rank; p++ {
+			sock, err := lis.Accept()
+			if err != nil {
+				results <- dialed{err: fmt.Errorf("tcpnet: accept: %w", err)}
+				return
+			}
+			peer, err := readHello(sock, n)
+			if err != nil {
+				sock.Close()
+				results <- dialed{err: err}
+				return
+			}
+			if err := writeHello(sock, cfg.Rank, n); err != nil {
+				sock.Close()
+				results <- dialed{err: err}
+				return
+			}
+			results <- dialed{peer: peer, sock: sock}
+		}
+	}()
+
+	// Dial every higher rank concurrently, retrying while its process
+	// may still be binding its listener.
+	for p := cfg.Rank + 1; p < n; p++ {
+		go func(p int) {
+			deadline := time.Now().Add(dialTimeout)
+			var lastErr error
+			for {
+				remain := time.Until(deadline)
+				if remain <= 0 {
+					results <- dialed{err: fmt.Errorf("tcpnet: dial rank %d at %s: %w (last: %v)",
+						p, cfg.Peers[p], comm.ErrTimeout, lastErr)}
+					return
+				}
+				sock, err := net.DialTimeout("tcp", cfg.Peers[p], remain)
+				if err == nil {
+					if err = writeHello(sock, cfg.Rank, n); err == nil {
+						var peer int
+						if peer, err = readHello(sock, n); err == nil {
+							if peer != p {
+								err = fmt.Errorf("tcpnet: dialed rank %d but peer identifies as %d", p, peer)
+							}
+						}
+					}
+					if err == nil {
+						results <- dialed{peer: p, sock: sock}
+						return
+					}
+					sock.Close()
+					results <- dialed{err: err}
+					return
+				}
+				lastErr = err
+				time.Sleep(20 * time.Millisecond)
+			}
+		}(p)
+	}
+
+	var firstErr error
+	for i := 0; i < n-1; i++ {
+		d := <-results
+		if d.err != nil {
+			if firstErr == nil {
+				firstErr = d.err
+			}
+			continue
+		}
+		if tc, ok := d.sock.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		t.conns[d.peer] = &conn{
+			peer:   d.peer,
+			sock:   d.sock,
+			outbox: &comm.MessageQueue{},
+			done:   make(chan struct{}),
+		}
+	}
+	if firstErr != nil {
+		t.Close()
+		return nil, firstErr
+	}
+	for _, c := range t.conns {
+		if c == nil {
+			continue
+		}
+		go t.writeLoop(c)
+		go t.readLoop(c)
+	}
+	return t, nil
+}
+
+// Hello handshake: each side sends one empty MsgControl frame whose header
+// carries its rank; the payload is unused. Reusing the wire format means
+// the handshake exercises the same codec the data path does.
+func writeHello(sock net.Conn, rank, size int) error {
+	buf, err := comm.EncodeFrame(rank, &comm.Message{Type: comm.MsgControl, Seq: uint64(size)})
+	if err != nil {
+		return fmt.Errorf("tcpnet: hello encode: %w", err)
+	}
+	if _, err := sock.Write(buf); err != nil {
+		return fmt.Errorf("tcpnet: hello write: %w", err)
+	}
+	return nil
+}
+
+func readHello(sock net.Conn, size int) (int, error) {
+	sock.SetReadDeadline(time.Now().Add(defaultDialTimeout))
+	defer sock.SetReadDeadline(time.Time{})
+	from, m, err := comm.ReadFrame(sock)
+	if err != nil {
+		return 0, fmt.Errorf("tcpnet: hello read: %w", err)
+	}
+	if m.Type != comm.MsgControl || m.Seq != uint64(size) {
+		return 0, fmt.Errorf("tcpnet: hello mismatch: peer reports mesh of %d, expected %d", m.Seq, size)
+	}
+	if from < 0 || from >= size {
+		return 0, fmt.Errorf("tcpnet: hello from rank %d outside mesh of %d", from, size)
+	}
+	return from, nil
+}
+
+// writeLoop drains the outbox onto the socket. On write failure it tears
+// the link down so the peer's fault surfaces on Recv as well.
+func (t *Transport) writeLoop(c *conn) {
+	defer close(c.done)
+	var buf []byte
+	for {
+		m, err := c.outbox.Pop(0)
+		if err != nil {
+			return
+		}
+		buf, err = comm.AppendFrame(buf[:0], t.rank, m)
+		if err != nil {
+			// Send already validated type and size; an encode failure
+			// here means the message was mutated after Send.
+			t.failConn(c, fmt.Errorf("tcpnet: encode for rank %d: %w", c.peer, err))
+			return
+		}
+		if _, err := c.sock.Write(buf); err != nil {
+			t.failConn(c, err)
+			return
+		}
+	}
+}
+
+// peerFault normalises the stream errors a vanished peer produces — clean
+// FIN (EOF) and abortive close (RST / broken pipe) — to the typed
+// ErrPeerClosed; anything else (a torn frame, a codec violation) is kept.
+func peerFault(err error) error {
+	if err == io.EOF || errors.Is(err, syscall.ECONNRESET) || errors.Is(err, syscall.EPIPE) {
+		return comm.ErrPeerClosed
+	}
+	return err
+}
+
+// readLoop decodes frames into the per-peer inbox until the link dies.
+func (t *Transport) readLoop(c *conn) {
+	for {
+		from, m, err := comm.ReadFrame(c.sock)
+		if err != nil {
+			if t.closed.Load() {
+				t.inbox[c.peer].CloseWith(comm.ErrClosed)
+			} else {
+				t.inbox[c.peer].CloseWith(&comm.PeerError{Peer: c.peer, Op: "recv from", Err: peerFault(err)})
+			}
+			c.outbox.CloseWith(comm.ErrPeerClosed)
+			return
+		}
+		if from != c.peer {
+			t.inbox[c.peer].CloseWith(&comm.PeerError{
+				Peer: c.peer, Op: "recv from",
+				Err: fmt.Errorf("frame claims sender %d on link to %d", from, c.peer),
+			})
+			c.outbox.CloseWith(comm.ErrPeerClosed)
+			return
+		}
+		t.stats.RecordRecv(m.Type, comm.FrameSize(len(m.Payload)))
+		t.inbox[c.peer].Push(m)
+	}
+}
+
+// failConn tears down one link after a local write error.
+func (t *Transport) failConn(c *conn, err error) {
+	err = peerFault(err)
+	c.sock.Close()
+	c.outbox.CloseWith(&comm.PeerError{Peer: c.peer, Op: "send to", Err: err})
+	if !t.closed.Load() {
+		t.inbox[c.peer].CloseWith(&comm.PeerError{Peer: c.peer, Op: "send to", Err: err})
+	}
+}
+
+// Rank implements comm.Transport.
+func (t *Transport) Rank() int { return t.rank }
+
+// Size implements comm.Transport.
+func (t *Transport) Size() int { return t.size }
+
+// SetRecvTimeout implements comm.Transport.
+func (t *Transport) SetRecvTimeout(d time.Duration) {
+	t.mu.Lock()
+	t.timeout = d
+	t.mu.Unlock()
+}
+
+func (t *Transport) recvTimeout() time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.timeout
+}
+
+// Stats implements comm.Transport.
+func (t *Transport) Stats() comm.Stats { return t.stats.Snapshot() }
+
+// Send implements comm.Transport: validate, account, enqueue. The writer
+// goroutine owns the socket, so Send is safe for concurrent use and never
+// blocks on a full kernel buffer.
+func (t *Transport) Send(to int, m *Message) error {
+	if t.closed.Load() {
+		return comm.ErrClosed
+	}
+	if to < 0 || to >= t.size {
+		return fmt.Errorf("tcpnet: send to rank %d outside mesh of %d", to, t.size)
+	}
+	if to == t.rank {
+		return fmt.Errorf("tcpnet: send to self (rank %d)", to)
+	}
+	if int(m.Type) >= comm.NumMsgTypes {
+		return fmt.Errorf("%w: %d", comm.ErrBadType, int(m.Type))
+	}
+	if len(m.Payload) > comm.MaxPayload {
+		return fmt.Errorf("%w: %d bytes", comm.ErrFrameTooLarge, len(m.Payload))
+	}
+	c := t.conns[to]
+	if c == nil || !c.outbox.Push(m) {
+		return &comm.PeerError{Peer: to, Op: "send to", Err: comm.ErrPeerClosed}
+	}
+	t.stats.RecordSend(m.Type, comm.FrameSize(len(m.Payload)))
+	return nil
+}
+
+// Message aliases comm.Message so call sites reading tcpnet code stay
+// obviously tied to the shared wire contract.
+type Message = comm.Message
+
+// Recv implements comm.Transport.
+func (t *Transport) Recv(from int) (*comm.Message, error) {
+	if from < 0 || from >= t.size {
+		return nil, fmt.Errorf("tcpnet: recv from rank %d outside mesh of %d", from, t.size)
+	}
+	if from == t.rank {
+		return nil, fmt.Errorf("tcpnet: recv from self (rank %d)", from)
+	}
+	return t.inbox[from].Pop(t.recvTimeout())
+}
+
+// Close implements comm.Transport: sockets close (peers see ErrPeerClosed
+// via EOF), local pending receives unblock with ErrClosed.
+func (t *Transport) Close() error {
+	if !t.closed.CompareAndSwap(false, true) {
+		return nil
+	}
+	if t.lis != nil {
+		t.lis.Close()
+	}
+	for _, c := range t.conns {
+		if c == nil {
+			continue
+		}
+		c.outbox.CloseWith(comm.ErrClosed)
+		<-c.done // let queued frames flush before closing the socket
+		c.sock.Close()
+	}
+	for _, q := range t.inbox {
+		q.CloseWith(comm.ErrClosed)
+	}
+	return nil
+}

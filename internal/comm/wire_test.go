@@ -1,0 +1,233 @@
+package comm
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	cases := []struct {
+		from int
+		m    Message
+	}{
+		{0, Message{Type: MsgControl}},
+		{1, Message{Type: MsgClockSync, Seq: 42, Payload: []byte("clocks")}},
+		{65535, Message{Type: MsgAllReduce, Seq: 1<<64 - 1, Payload: bytes.Repeat([]byte{7}, 4096)}},
+		{3, Message{Type: MsgEmbedPull, Seq: 9, Payload: []byte{}}},
+	}
+	for _, tc := range cases {
+		buf, err := EncodeFrame(tc.from, &tc.m)
+		if err != nil {
+			t.Fatalf("encode %+v: %v", tc.m, err)
+		}
+		if got, want := int64(len(buf)), FrameSize(len(tc.m.Payload)); got != want {
+			t.Errorf("frame is %d bytes, FrameSize says %d", got, want)
+		}
+
+		// Buffer decode.
+		from, m, consumed, err := DecodeFrame(buf)
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if from != tc.from || m.Type != tc.m.Type || m.Seq != tc.m.Seq || !bytes.Equal(m.Payload, tc.m.Payload) {
+			t.Errorf("buffer round-trip mutated the message: got from=%d %+v", from, m)
+		}
+		if consumed != len(buf) {
+			t.Errorf("consumed %d of %d bytes", consumed, len(buf))
+		}
+
+		// Stream decode.
+		from, m, err = ReadFrame(bytes.NewReader(buf))
+		if err != nil {
+			t.Fatalf("stream decode: %v", err)
+		}
+		if from != tc.from || m.Type != tc.m.Type || m.Seq != tc.m.Seq || !bytes.Equal(m.Payload, tc.m.Payload) {
+			t.Errorf("stream round-trip mutated the message: got from=%d %+v", from, m)
+		}
+	}
+}
+
+func TestFrameBackToBack(t *testing.T) {
+	var stream []byte
+	var err error
+	for i := 0; i < 10; i++ {
+		stream, err = AppendFrame(stream, i, &Message{Type: MsgGradPush, Seq: uint64(i), Payload: []byte{byte(i)}})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(stream)
+	for i := 0; i < 10; i++ {
+		from, m, err := ReadFrame(r)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if from != i || m.Seq != uint64(i) || m.Payload[0] != byte(i) {
+			t.Fatalf("frame %d decoded as from=%d seq=%d", i, from, m.Seq)
+		}
+	}
+	if _, _, err := ReadFrame(r); err != io.EOF {
+		t.Fatalf("clean stream end: got %v, want io.EOF", err)
+	}
+}
+
+func TestFrameEncodeRejects(t *testing.T) {
+	if _, err := EncodeFrame(0, &Message{Type: MsgType(NumMsgTypes)}); !errors.Is(err, ErrBadType) {
+		t.Errorf("bad type: %v", err)
+	}
+	if _, err := EncodeFrame(-1, &Message{Type: MsgControl}); err == nil {
+		t.Error("negative rank accepted")
+	}
+	if _, err := EncodeFrame(1<<16, &Message{Type: MsgControl}); err == nil {
+		t.Error("rank past uint16 accepted")
+	}
+}
+
+func TestFrameDecodeRejects(t *testing.T) {
+	good, _ := EncodeFrame(2, &Message{Type: MsgClockSync, Seq: 7, Payload: []byte("abcdef")})
+
+	corrupt := func(mutate func(b []byte)) []byte {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		return b
+	}
+	cases := []struct {
+		name string
+		buf  []byte
+		want error
+	}{
+		{"empty", nil, ErrShortFrame},
+		{"truncated header", good[:FrameHeaderSize-1], ErrShortFrame},
+		{"truncated payload", good[:len(good)-2], ErrShortFrame},
+		{"bad magic", corrupt(func(b []byte) { b[0] ^= 0xff }), ErrBadMagic},
+		{"bad version", corrupt(func(b []byte) { b[4] = 99 }), ErrBadVersion},
+		{"bad type", corrupt(func(b []byte) { b[5] = byte(NumMsgTypes) }), ErrBadType},
+		{"oversized length", corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[16:20], MaxPayload+1)
+		}), ErrFrameTooLarge},
+		{"length past buffer", corrupt(func(b []byte) {
+			binary.LittleEndian.PutUint32(b[16:20], 1<<20)
+		}), ErrShortFrame},
+	}
+	for _, tc := range cases {
+		if _, _, _, err := DecodeFrame(tc.buf); !errors.Is(err, tc.want) {
+			t.Errorf("%s: DecodeFrame got %v, want %v", tc.name, err, tc.want)
+		}
+		_, _, err := ReadFrame(bytes.NewReader(tc.buf))
+		if tc.name == "empty" {
+			// A stream with no bytes at all is a clean end, not corruption.
+			if err != io.EOF {
+				t.Errorf("empty: ReadFrame got %v, want io.EOF", err)
+			}
+			continue
+		}
+		if tc.name == "length past buffer" {
+			// A stream, unlike a buffer, can only discover the truncation
+			// by reading to its end.
+			if !errors.Is(err, ErrShortFrame) {
+				t.Errorf("%s: ReadFrame got %v, want ErrShortFrame", tc.name, err)
+			}
+			continue
+		}
+		if !errors.Is(err, tc.want) {
+			t.Errorf("%s: ReadFrame got %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestDecodeNoOverAllocation pins the decoder's allocation discipline
+// against a lying length prefix.
+func TestDecodeNoOverAllocation(t *testing.T) {
+	var hdr [FrameHeaderSize]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], FrameMagic)
+	hdr[4] = FrameVersion
+	hdr[5] = byte(MsgGradPush)
+
+	// A prefix past MaxPayload is rejected before any payload allocation:
+	// only the error value itself may allocate.
+	binary.LittleEndian.PutUint32(hdr[16:20], MaxPayload+1)
+	tooLarge := testing.AllocsPerRun(20, func() {
+		if _, _, _, err := DecodeFrame(hdr[:]); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("oversized prefix: %v", err)
+		}
+		if _, _, err := ReadFrame(bytes.NewReader(hdr[:])); !errors.Is(err, ErrFrameTooLarge) {
+			t.Fatalf("oversized prefix (stream): %v", err)
+		}
+	})
+	if tooLarge > 12 {
+		t.Errorf("rejecting an oversized prefix allocated %v times; payload must not be allocated", tooLarge)
+	}
+
+	// A legal-but-lying prefix (1 MiB claimed, nothing behind it): the
+	// buffer decoder sees the truncation from len(buf) and must not
+	// allocate the claimed megabyte either.
+	binary.LittleEndian.PutUint32(hdr[16:20], 1<<20)
+	var grown [2]runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&grown[0])
+	for i := 0; i < 64; i++ {
+		if _, _, _, err := DecodeFrame(hdr[:]); !errors.Is(err, ErrShortFrame) {
+			t.Fatalf("lying prefix: %v", err)
+		}
+	}
+	runtime.ReadMemStats(&grown[1])
+	if delta := grown[1].TotalAlloc - grown[0].TotalAlloc; delta > 1<<20 {
+		t.Errorf("64 rejections of a 1 MiB lying prefix allocated %d bytes total", delta)
+	}
+}
+
+// FuzzMessageCodec throws arbitrary bytes at both decoders and round-trips
+// whatever decodes: the codec must never panic, never over-allocate on a
+// corrupted length prefix, and always re-encode a decoded frame to the
+// bytes it came from.
+func FuzzMessageCodec(f *testing.F) {
+	seed := [][]byte{nil, {0}, bytes.Repeat([]byte{0xff}, FrameHeaderSize)}
+	good, _ := EncodeFrame(1, &Message{Type: MsgClockSync, Seq: 3, Payload: []byte("seed")})
+	seed = append(seed, good, good[:len(good)-1], append(append([]byte(nil), good...), good...))
+	var huge [FrameHeaderSize]byte
+	binary.LittleEndian.PutUint32(huge[0:4], FrameMagic)
+	huge[4] = FrameVersion
+	binary.LittleEndian.PutUint32(huge[16:20], 1<<31)
+	seed = append(seed, huge[:])
+	for _, s := range seed {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// Buffer decode: on success, re-encode must reproduce the consumed
+		// prefix exactly.
+		from, m, consumed, err := DecodeFrame(data)
+		if err == nil {
+			if consumed > len(data) {
+				t.Fatalf("consumed %d of %d bytes", consumed, len(data))
+			}
+			re, err := EncodeFrame(from, m)
+			if err != nil {
+				t.Fatalf("decoded frame does not re-encode: %v", err)
+			}
+			if !bytes.Equal(re, data[:consumed]) {
+				t.Fatalf("re-encode mismatch:\n got %x\nwant %x", re, data[:consumed])
+			}
+		}
+		// Stream decode must agree with buffer decode on validity for
+		// complete inputs, and must never panic on any input. Reading from
+		// a bounded reader also bounds allocation: a lying length prefix
+		// beyond MaxPayload is rejected before any payload allocation.
+		sfrom, sm, serr := ReadFrame(bytes.NewReader(data))
+		if err == nil && consumed == len(data) {
+			if serr != nil {
+				t.Fatalf("buffer decode accepted what stream decode rejected: %v", serr)
+			}
+			if sfrom != from || sm.Type != m.Type || sm.Seq != m.Seq || !bytes.Equal(sm.Payload, m.Payload) {
+				t.Fatal("stream and buffer decode disagree on the same bytes")
+			}
+		}
+		if serr == nil && err != nil && strings.Contains(err.Error(), "truncated") {
+			t.Fatal("stream decode accepted a frame the buffer decoder found truncated")
+		}
+	})
+}

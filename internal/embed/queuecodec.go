@@ -1,0 +1,134 @@
+// Queued-update codec: the serialisation that lets one process's queued
+// primary effects travel to another process and be replayed there. The
+// distributed engine (internal/engine/dist.go) runs full state replication
+// — every rank holds the whole table and replays every other rank's queued
+// updates into that rank's ghost shard — so commit order, and therefore the
+// committed floats, are bit-identical to the single-process run.
+//
+// Layout (little-endian, following checkpoint.go conventions):
+//
+//	magic   uint32 = "HGMQ"
+//	version uint32 = 1
+//	dim     uint32
+//	owners  uint32 (the table's worker count)
+//	per owner o in [0, owners):
+//	  count uint32 (queued entries for owner o, in queue-position order)
+//	  per entry: x int32, count int32, delta [dim]float32
+package embed
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+const (
+	queueMagic   = 0x514d4748 // "HGMQ" little-endian
+	queueVersion = 1
+)
+
+// ErrBadQueueBlob reports a queued-update blob that failed validation.
+var ErrBadQueueBlob = errors.New("embed: malformed queued-update blob")
+
+// EncodeQueued serialises worker w's queued primary updates (all owner
+// buckets, in owner order, entries in queue position order). The shard's
+// queues are left untouched; Commit drains them as usual.
+func (t *Table) EncodeQueued(w int) []byte {
+	sh := t.shards[w]
+	size := 16
+	for _, q := range sh.queues {
+		size += 4 + len(q)*(8+t.dim*4)
+	}
+	buf := make([]byte, 0, size)
+	var u32 [4]byte
+	put := func(v uint32) {
+		binary.LittleEndian.PutUint32(u32[:], v)
+		buf = append(buf, u32[:]...)
+	}
+	put(queueMagic)
+	put(queueVersion)
+	put(uint32(t.dim))
+	put(uint32(t.n))
+	for o := 0; o < t.n; o++ {
+		q := sh.queues[o]
+		put(uint32(len(q)))
+		for _, u := range q {
+			put(uint32(u.x))
+			put(uint32(u.count))
+			for _, v := range u.delta {
+				put(math.Float32bits(v))
+			}
+		}
+	}
+	return buf
+}
+
+// InjectQueued replays a peer rank's encoded queued updates into worker
+// w's (ghost) shard, preserving per-owner queue-position order so the
+// subsequent Commit applies the identical (worker-ascending,
+// position-ascending) sequence the originating process would. The blob
+// must come from a table of the same dim and worker count.
+func (t *Table) InjectQueued(w int, data []byte) error {
+	if len(data) < 16 {
+		return fmt.Errorf("%w: %d header bytes", ErrBadQueueBlob, len(data))
+	}
+	get := func() uint32 {
+		v := binary.LittleEndian.Uint32(data[:4])
+		data = data[4:]
+		return v
+	}
+	if m := get(); m != queueMagic {
+		return fmt.Errorf("%w: magic %#x", ErrBadQueueBlob, m)
+	}
+	if v := get(); v != queueVersion {
+		return fmt.Errorf("%w: version %d", ErrBadQueueBlob, v)
+	}
+	if d := get(); int(d) != t.dim {
+		return fmt.Errorf("%w: dim %d, table has %d", ErrBadQueueBlob, d, t.dim)
+	}
+	if o := get(); int(o) != t.n {
+		return fmt.Errorf("%w: %d owners, table has %d", ErrBadQueueBlob, o, t.n)
+	}
+	sh := t.shards[w]
+	rows := int32(t.primary.Rows)
+	entrySize := 8 + t.dim*4
+	grad := make([]float32, t.dim)
+	for o := 0; o < t.n; o++ {
+		if len(data) < 4 {
+			return fmt.Errorf("%w: truncated at owner %d", ErrBadQueueBlob, o)
+		}
+		cnt := int(get())
+		if cnt < 0 || len(data) < cnt*entrySize {
+			return fmt.Errorf("%w: owner %d claims %d entries with %d bytes left", ErrBadQueueBlob, o, cnt, len(data))
+		}
+		for i := 0; i < cnt; i++ {
+			x := int32(get())
+			count := int32(get())
+			if x < 0 || x >= rows || count <= 0 {
+				return fmt.Errorf("%w: owner %d entry %d: feature %d count %d", ErrBadQueueBlob, o, i, x, count)
+			}
+			if got := t.assign.PrimaryOf[x]; got != o {
+				return fmt.Errorf("%w: feature %d owned by %d, filed under %d", ErrBadQueueBlob, x, got, o)
+			}
+			for j := 0; j < t.dim; j++ {
+				grad[j] = math.Float32frombits(get())
+			}
+			t.queueUpdate(sh, o, x, count, grad)
+		}
+	}
+	if len(data) != 0 {
+		return fmt.Errorf("%w: %d trailing bytes", ErrBadQueueBlob, len(data))
+	}
+	return nil
+}
+
+// QueuedCount reports how many primary updates worker w currently has
+// queued across all owners.
+func (t *Table) QueuedCount(w int) int {
+	n := 0
+	for _, q := range t.shards[w].queues {
+		n += len(q)
+	}
+	return n
+}

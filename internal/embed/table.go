@@ -1029,39 +1029,59 @@ func (t *Table) MaxReplicaDeviation() float64 {
 // queue and resynchronises the replicas. The engine calls it at epoch
 // boundaries so even s = ∞ runs reconcile eventually. It returns per-worker
 // per-owner traffic.
+//
+// It is composed from FlushWorkerPending / Commit / ResyncReplicas so the
+// distributed engine can interleave the same steps with a queue exchange
+// between ranks (flush own worker, ship the queued updates, inject peers',
+// then commit and resync) and land on the identical final state.
 func (t *Table) FlushAll() [][]OwnerTraffic {
 	out := make([][]OwnerTraffic, t.n)
 	for w := 0; w < t.n; w++ {
-		sh := t.shards[w]
-		traffic := make([]OwnerTraffic, t.n)
-		for row, x := range sh.feats {
-			if sh.pendCnt[row] == 0 {
-				continue
-			}
-			owner := t.assign.PrimaryOf[x]
-			t.queueUpdate(sh, owner, x, sh.pendCnt[row], sh.pending.Row(row))
-			traffic[owner].FlushVecs++
-			traffic[owner].MetaKeys++
-			pend := sh.pending.Row(row)
-			for j := range pend {
-				pend[j] = 0
-			}
-			sh.baseClock[row] += int64(sh.pendCnt[row])
-			sh.pendCnt[row] = 0
-		}
-		out[w] = traffic
+		out[w] = t.FlushWorkerPending(w)
 	}
 	t.Commit()
-	// Refresh every secondary to the reconciled primaries.
+	t.ResyncReplicas(out)
+	return out
+}
+
+// FlushWorkerPending moves worker w's pending buffers into its primary
+// queues (to be applied by the next Commit) and returns the per-owner
+// flush traffic.
+func (t *Table) FlushWorkerPending(w int) []OwnerTraffic {
+	sh := t.shards[w]
+	traffic := make([]OwnerTraffic, t.n)
+	for row, x := range sh.feats {
+		if sh.pendCnt[row] == 0 {
+			continue
+		}
+		owner := t.assign.PrimaryOf[x]
+		t.queueUpdate(sh, owner, x, sh.pendCnt[row], sh.pending.Row(row))
+		traffic[owner].FlushVecs++
+		traffic[owner].MetaKeys++
+		pend := sh.pending.Row(row)
+		for j := range pend {
+			pend[j] = 0
+		}
+		sh.baseClock[row] += int64(sh.pendCnt[row])
+		sh.pendCnt[row] = 0
+	}
+	return traffic
+}
+
+// ResyncReplicas refreshes every secondary to the committed primaries and
+// aligns base clocks. When out is non-nil it accumulates the per-worker
+// per-owner sync traffic (out[w] must hold t.Workers() entries).
+func (t *Table) ResyncReplicas(out [][]OwnerTraffic) {
 	for w := 0; w < t.n; w++ {
 		sh := t.shards[w]
 		for row, x := range sh.feats {
 			copy(sh.vals.Row(row), t.primary.Row(int(x)))
 			sh.baseClock[row] = t.primaryClock[x]
-			out[w][t.assign.PrimaryOf[x]].SyncVecs++
+			if out != nil {
+				out[w][t.assign.PrimaryOf[x]].SyncVecs++
+			}
 		}
 	}
-	return out
 }
 
 // BytesPerVector returns the wire size of one embedding vector.

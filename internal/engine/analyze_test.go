@@ -32,6 +32,7 @@ func reportConfig(t *testing.T, f *fixture, p consistency.Protocol, s int64) (Co
 //   - wait attribution follows the protocol: only a finite nonzero bound
 //     may produce staleness-wait; BSP and ASP report it as barrier-wait.
 func TestReportMetamorphicAcrossProtocols(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	for _, p := range consistency.Protocols {
 		t.Run(p.String(), func(t *testing.T) {
@@ -73,6 +74,7 @@ func TestReportMetamorphicAcrossProtocols(t *testing.T) {
 // checks the same invariants hold for its span layout, plus that the report
 // labels the branch correctly.
 func TestReportPSBranch(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	cfg, tracer := reportConfig(t, f, consistency.BSP, 0)
 	cfg.PS = &PSConfig{Hosts: f.topo.Nodes, HybridDense: true}
@@ -91,6 +93,7 @@ func TestReportPSBranch(t *testing.T) {
 // TestReportCarriesRunFacts checks the report agrees with the engine's own
 // result scalars rather than re-deriving them approximately.
 func TestReportCarriesRunFacts(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	cfg, _ := reportConfig(t, f, consistency.GraphBounded, 40)
 	res := run(t, cfg)
@@ -116,6 +119,7 @@ func TestReportCarriesRunFacts(t *testing.T) {
 // what the simulation computes — history, AUC, simulated time and traffic
 // must be bit-identical to a bare run.
 func TestReportNoObserverEffect(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	assign := hybridAssign(t, f, f.topo.NumWorkers())
 
@@ -156,6 +160,7 @@ func TestReportNoObserverEffect(t *testing.T) {
 // TestReportRequiresSinks pins Config validation: Report without the sinks
 // it consumes is a configuration error, not a silent no-op.
 func TestReportRequiresSinks(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	cfg := f.config(t, func(c *Config) { c.Report = true })
 	if _, err := NewTrainer(cfg); err == nil {
@@ -167,6 +172,7 @@ func TestReportRequiresSinks(t *testing.T) {
 // two configs differing only in staleness must hash differently, identical
 // configs identically.
 func TestConfigHashStable(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	a := f.config(t, nil)
 	b := f.config(t, nil)

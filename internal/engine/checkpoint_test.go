@@ -6,6 +6,7 @@ import (
 )
 
 func TestTrainerCheckpointRoundTrip(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	cfg := f.config(t, nil)
 	tr, err := NewTrainer(cfg)
@@ -41,6 +42,7 @@ func TestTrainerCheckpointRoundTrip(t *testing.T) {
 }
 
 func TestTrainerCheckpointResume(t *testing.T) {
+	t.Parallel()
 	// Training 1 epoch, checkpointing, and training 1 more epoch on a
 	// restored trainer must keep improving.
 	f := newFixture(t)
@@ -74,6 +76,7 @@ func TestTrainerCheckpointResume(t *testing.T) {
 }
 
 func TestTrainerCheckpointRejectsMismatch(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	tr, err := NewTrainer(f.config(t, nil))
 	if err != nil {
@@ -95,6 +98,7 @@ func TestTrainerCheckpointRejectsMismatch(t *testing.T) {
 }
 
 func TestConvergenceTracking(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	cfg := f.config(t, func(c *Config) {
 		c.TrackConvergence = true

@@ -1,0 +1,338 @@
+// Distributed execution: N shared-nothing processes (or in-process ranks in
+// tests) run ONE training job over a comm.Transport, and every rank's
+// result — embedding bytes, clocks, AUC history, fabric ledgers — is
+// bit-identical to the single-process simulation. That is the property the
+// conformance suite's cross-backend oracle asserts, and it is what makes
+// the simulation a correctness oracle for any transport backend.
+//
+// The design is deterministic state replication. Every rank constructs the
+// identical Trainer (dataset, partition, table, model and every RNG are
+// seed-derived), but per iteration it *computes* only its own rank's
+// worker. The concurrent phase's effects on shared state are then
+// exchanged and replayed so each rank applies the identical commit:
+//
+//	MsgClockSync  — the worker's iteration summary: sample count, loss,
+//	                compute/comm times, protocol counters and the
+//	                per-owner traffic of its Read and Update calls.
+//	MsgGradPush   — the worker's queued primary updates (embed queue
+//	                codec), injected into the sender's ghost shard so
+//	                Commit drains the same (worker, position) sequence.
+//	MsgAllReduce  — the worker's dense gradient; the reduction itself is
+//	                replicated locally in fixed worker order.
+//	MsgEmbedPull  — at epoch boundaries, the flush traffic + flushed
+//	                pending updates (distFlush).
+//
+// Ghost traffic is replayed through the same chargeOwnerTraffic path the
+// owning rank ran, on the ghost worker's own fabric stripe, in its program
+// order — so the fabric's order-sensitive float ledgers fold identically
+// on every rank. The replayed communication times must agree bit-for-bit
+// with the ones the owning rank shipped; a mismatch means the replicas
+// diverged and surfaces as an error instead of silently corrupt results.
+package engine
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"hetgmp/internal/comm"
+	"hetgmp/internal/embed"
+	"time"
+)
+
+// DistConfig attaches a Trainer to a transport mesh for multi-rank
+// execution. Transport.Size() must equal the topology's worker count: rank
+// r computes worker r.
+type DistConfig struct {
+	// Transport is this rank's connected mesh endpoint. The Trainer drives
+	// it; the caller retains ownership and closes it after Run.
+	Transport comm.Transport
+	// RecvTimeout bounds every collective receive so a dead peer surfaces
+	// as comm.ErrTimeout instead of a hang. Zero means no bound.
+	RecvTimeout time.Duration
+}
+
+// distState is the per-run distributed machinery.
+type distState struct {
+	coord *comm.Coordinator
+	rank  int
+}
+
+// distSummary is one worker's iteration summary, exchanged every barrier.
+type distSummary struct {
+	samples                  int
+	loss, compute, iterTime  float64
+	readComm, updComm        float64
+	localPrimary, localFresh int64
+	syncedIntra, syncedInter int64
+	remoteReads              int64
+	localSecondary           int64
+	remotePush, flushed      int64
+	readPer, updPer          []embed.OwnerTraffic
+}
+
+const distStatCount = 8
+
+// summarySize is the wire size of a summary for an n-worker job.
+func summarySize(n int) int {
+	return 4 + 6*8 + distStatCount*8 + 2*n*12
+}
+
+func appendU32(buf []byte, v uint32) []byte {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	return append(buf, b[:]...)
+}
+
+func appendU64(buf []byte, v uint64) []byte {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	return append(buf, b[:]...)
+}
+
+func appendTraffic(buf []byte, per []embed.OwnerTraffic) []byte {
+	for _, tr := range per {
+		buf = appendU32(buf, uint32(tr.SyncVecs))
+		buf = appendU32(buf, uint32(tr.FlushVecs))
+		buf = appendU32(buf, uint32(tr.MetaKeys))
+	}
+	return buf
+}
+
+// encodeSummary serialises this rank's worker state after its concurrent
+// phase. Idle workers ship an all-zero summary.
+func (t *Trainer) encodeSummary(w *worker) []byte {
+	buf := make([]byte, 0, summarySize(t.n))
+	buf = appendU32(buf, uint32(w.iterSamples))
+	buf = appendU64(buf, math.Float64bits(w.iterLoss))
+	buf = appendU64(buf, math.Float64bits(w.iterCompute))
+	buf = appendU64(buf, math.Float64bits(w.iterTime))
+	buf = appendU64(buf, math.Float64bits(w.iterReadComm))
+	buf = appendU64(buf, math.Float64bits(w.iterUpdateComm))
+	buf = appendU64(buf, 0) // reserved
+	for _, v := range []int64{
+		w.iterLocalPrimary, w.iterLocalFresh,
+		w.iterSyncedIntra, w.iterSyncedInter, w.iterRemoteReads,
+		w.iterLocalSecondary, w.iterRemotePush, w.iterFlushed,
+	} {
+		buf = appendU64(buf, uint64(v))
+	}
+	buf = appendTraffic(buf, w.distReadPer)
+	buf = appendTraffic(buf, w.distUpdPer)
+	return buf
+}
+
+func decodeSummary(data []byte, n int) (*distSummary, error) {
+	if len(data) != summarySize(n) {
+		return nil, fmt.Errorf("engine: summary blob is %d bytes, want %d", len(data), summarySize(n))
+	}
+	u32 := func() uint32 {
+		v := binary.LittleEndian.Uint32(data[:4])
+		data = data[4:]
+		return v
+	}
+	u64 := func() uint64 {
+		v := binary.LittleEndian.Uint64(data[:8])
+		data = data[8:]
+		return v
+	}
+	f64 := func() float64 { return math.Float64frombits(u64()) }
+	s := &distSummary{}
+	s.samples = int(u32())
+	s.loss, s.compute, s.iterTime = f64(), f64(), f64()
+	s.readComm, s.updComm = f64(), f64()
+	u64() // reserved
+	stats := [distStatCount]*int64{
+		&s.localPrimary, &s.localFresh,
+		&s.syncedIntra, &s.syncedInter, &s.remoteReads,
+		&s.localSecondary, &s.remotePush, &s.flushed,
+	}
+	for _, p := range stats {
+		*p = int64(u64())
+	}
+	trafficN := func() []embed.OwnerTraffic {
+		per := make([]embed.OwnerTraffic, n)
+		for o := range per {
+			per[o].SyncVecs = int(u32())
+			per[o].FlushVecs = int(u32())
+			per[o].MetaKeys = int(u32())
+		}
+		return per
+	}
+	s.readPer = trafficN()
+	s.updPer = trafficN()
+	return s, nil
+}
+
+// encodeDense serialises this rank's dense gradient, or nil for an idle
+// iteration (reduceDense skips idle workers, so no bytes need to travel).
+func (t *Trainer) encodeDense(w *worker) []byte {
+	if w.iterSamples == 0 {
+		return nil
+	}
+	g := t.denseGrad[w.id]
+	buf := make([]byte, 4*len(g))
+	for i, v := range g {
+		binary.LittleEndian.PutUint32(buf[i*4:], math.Float32bits(v))
+	}
+	return buf
+}
+
+func decodeDense(dst []float32, data []byte) error {
+	if len(data) != 4*len(dst) {
+		return fmt.Errorf("engine: dense gradient blob is %d bytes, want %d", len(data), 4*len(dst))
+	}
+	for i := range dst {
+		dst[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[i*4:]))
+	}
+	return nil
+}
+
+// distIterate is the distributed form of the per-iteration worker fan-out:
+// run this rank's worker, all-gather (summary, queued updates, dense
+// gradient), then replay every peer's effects locally so the rest of the
+// loop — barrier time, dense reduce, Commit, evaluation — executes
+// identically on every rank over identical state.
+func (t *Trainer) distIterate() error {
+	d := t.dist
+	me := t.workers[d.rank]
+	if me.hasWork() {
+		me.runIteration()
+	} else {
+		me.resetIdle()
+	}
+
+	sums, err := d.coord.Exchange(comm.MsgClockSync, t.encodeSummary(me))
+	if err != nil {
+		return fmt.Errorf("engine: summary exchange: %w", err)
+	}
+	queues, err := d.coord.Exchange(comm.MsgGradPush, t.table.EncodeQueued(d.rank))
+	if err != nil {
+		return fmt.Errorf("engine: gradient-push exchange: %w", err)
+	}
+	grads, err := d.coord.Exchange(comm.MsgAllReduce, t.encodeDense(me))
+	if err != nil {
+		return fmt.Errorf("engine: allreduce exchange: %w", err)
+	}
+
+	for p := 0; p < t.n; p++ {
+		if p == d.rank {
+			continue
+		}
+		if err := t.replayPeer(p, sums[p], queues[p], grads[p]); err != nil {
+			return fmt.Errorf("engine: replaying rank %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// replayPeer applies one ghost worker's exchanged iteration effects: the
+// summary populates the worker's per-iteration fields, the traffic replays
+// through the fabric on the ghost's own ledger stripe, the queued updates
+// inject into the ghost shard, and the dense gradient lands in its slot.
+func (t *Trainer) replayPeer(p int, sum, queued, grad []byte) error {
+	w := t.workers[p]
+	s, err := decodeSummary(sum, t.n)
+	if err != nil {
+		return err
+	}
+	if s.samples == 0 {
+		if w.hasWork() {
+			return fmt.Errorf("engine: rank %d reports an idle iteration but its shard has samples left", p)
+		}
+		w.resetIdle()
+		return nil
+	}
+
+	// Advance the ghost cursor exactly as its runIteration would have.
+	b := t.cfg.BatchPerWorker
+	end := w.cursor + b
+	if end > len(w.order) {
+		end = len(w.order)
+	}
+	if got := end - w.cursor; got != s.samples {
+		return fmt.Errorf("engine: rank %d reports %d samples, local shard replica expects %d", p, s.samples, got)
+	}
+	w.cursor = end
+
+	w.iterSamples = s.samples
+	w.iterLoss = s.loss
+	w.iterCompute = s.compute
+	w.iterTime = s.iterTime
+	w.iterNICOut, w.iterNICIn = 0, 0
+
+	// Replay the fabric traffic in the ghost's program order (Read before
+	// Update) on its own stripe. The fabric's pricing is a pure function
+	// of topology and payload, so the replayed times must agree with the
+	// owning rank's to the last bit — disagreement means divergence.
+	readComm := w.chargeOwnerTraffic(s.readPer)
+	updComm := w.chargeOwnerTraffic(s.updPer)
+	if readComm != s.readComm || updComm != s.updComm {
+		return fmt.Errorf("engine: rank %d comm-time replay diverged: read %v vs %v, update %v vs %v",
+			p, readComm, s.readComm, updComm, s.updComm)
+	}
+	w.iterReadComm = readComm
+	w.iterUpdateComm = updComm
+
+	w.iterLocalPrimary, w.iterLocalFresh = s.localPrimary, s.localFresh
+	w.iterSyncedIntra, w.iterSyncedInter = s.syncedIntra, s.syncedInter
+	w.iterRemoteReads = s.remoteReads
+	w.iterLocalSecondary, w.iterRemotePush, w.iterFlushed = s.localSecondary, s.remotePush, s.flushed
+	w.accumulateStats()
+
+	if err := t.table.InjectQueued(p, queued); err != nil {
+		return err
+	}
+	return decodeDense(t.denseGrad[p], grad)
+}
+
+// distFlush is the distributed form of Table.FlushAll at an epoch
+// boundary: flush this rank's pending buffers, all-gather (flush traffic,
+// flushed updates), inject the peers' updates into their ghost shards,
+// then commit and resync — the same primitive sequence FlushAll runs, with
+// an exchange spliced between flush and commit. The returned traffic is
+// identical on every rank, so the engine's flush-charging loop is too.
+func (t *Trainer) distFlush() ([][]embed.OwnerTraffic, error) {
+	d := t.dist
+	traffic := t.table.FlushWorkerPending(d.rank)
+
+	payload := appendTraffic(make([]byte, 0, t.n*12), traffic)
+	payload = append(payload, t.table.EncodeQueued(d.rank)...)
+	blobs, err := d.coord.Exchange(comm.MsgEmbedPull, payload)
+	if err != nil {
+		return nil, fmt.Errorf("engine: flush exchange: %w", err)
+	}
+
+	out := make([][]embed.OwnerTraffic, t.n)
+	for p := 0; p < t.n; p++ {
+		if p == d.rank {
+			out[p] = traffic
+			continue
+		}
+		blob := blobs[p]
+		if len(blob) < t.n*12 {
+			return nil, fmt.Errorf("engine: flush blob from rank %d is %d bytes, want at least %d", p, len(blob), t.n*12)
+		}
+		per := make([]embed.OwnerTraffic, t.n)
+		for o := range per {
+			per[o].SyncVecs = int(binary.LittleEndian.Uint32(blob[o*12:]))
+			per[o].FlushVecs = int(binary.LittleEndian.Uint32(blob[o*12+4:]))
+			per[o].MetaKeys = int(binary.LittleEndian.Uint32(blob[o*12+8:]))
+		}
+		out[p] = per
+		if err := t.table.InjectQueued(p, blob[t.n*12:]); err != nil {
+			return nil, fmt.Errorf("engine: flush inject from rank %d: %w", p, err)
+		}
+	}
+	t.table.Commit()
+	t.table.ResyncReplicas(out)
+	return out, nil
+}
+
+// distBarrier synchronises all ranks at the end of a run (best-effort: a
+// rank that already failed cannot be waited on).
+func (t *Trainer) distBarrier() {
+	if t.dist != nil {
+		_ = t.dist.coord.Barrier()
+	}
+}

@@ -113,6 +113,13 @@ type Config struct {
 	// PS enables parameter-server mode (see PSConfig).
 	PS *PSConfig
 
+	// Dist attaches the trainer to a multi-rank transport mesh: this
+	// process computes only worker Dist.Transport.Rank() and exchanges
+	// iteration effects with its peers (see dist.go). The simulated result
+	// is bit-identical to a single-process run of the same Config, which
+	// is why Hash excludes it. Incompatible with PS mode.
+	Dist *DistConfig
+
 	// TrackConvergence records the Theorem-1 quantities: the global model
 	// movement ‖x(t+1) − x(t)‖ per iteration and the maximum replica
 	// deviation ‖x(t) − x_i(t)‖ at every evaluation point (Section 5.4).
@@ -187,6 +194,17 @@ func (c *Config) defaults() error {
 	}
 	if c.Report && (c.Metrics == nil || c.Tracer == nil) {
 		return fmt.Errorf("engine: Report requires both Metrics and Tracer")
+	}
+	if c.Dist != nil {
+		if c.Dist.Transport == nil {
+			return fmt.Errorf("engine: Dist requires a connected Transport")
+		}
+		if c.PS != nil {
+			return fmt.Errorf("engine: Dist is incompatible with PS mode")
+		}
+		if got, want := c.Dist.Transport.Size(), c.Topo.NumWorkers(); got != want {
+			return fmt.Errorf("engine: transport mesh has %d ranks but topology has %d workers", got, want)
+		}
 	}
 	return nil
 }
@@ -323,6 +341,8 @@ type Trainer struct {
 	met    *engineMetrics
 	trace  *obs.Tracer
 	n      int
+	// dist is non-nil in multi-rank execution (see dist.go).
+	dist *distState
 
 	workers []*worker
 	// denseGrad[w] is worker w's flattened dense gradient for the current
@@ -379,6 +399,14 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 		denseAvg: make([]float32, cfg.Model.ParamCount()),
 	}
 	t.verifyShardCoverage()
+	if cfg.Dist != nil {
+		tr := cfg.Dist.Transport
+		if r := tr.Rank(); r < 0 || r >= n {
+			return nil, fmt.Errorf("engine: transport rank %d outside [0,%d)", r, n)
+		}
+		tr.SetRecvTimeout(cfg.Dist.RecvTimeout)
+		t.dist = &distState{coord: comm.NewCoordinator(tr), rank: tr.Rank()}
+	}
 	if cfg.PS != nil {
 		t.psHome = make([]int8, cfg.Train.NumFeatures)
 		for x := range t.psHome {
@@ -512,9 +540,13 @@ func (t *Trainer) Run() (*Result, error) {
 	// spawn-per-iteration-through-a-semaphore form.
 	var pool *workerPool
 	var sem chan struct{}
-	if cfg.Exec.Reference {
+	switch {
+	case t.dist != nil:
+		// Distributed: this rank runs exactly one worker per iteration
+		// (distIterate), so no local fan-out machinery is needed.
+	case cfg.Exec.Reference:
 		sem = make(chan struct{}, maxParallelism())
-	} else {
+	default:
 		pool = newWorkerPool(t.workers)
 		defer pool.stop()
 	}
@@ -525,7 +557,11 @@ func (t *Trainer) Run() (*Result, error) {
 		}
 		epochSamples := 0
 		for it := 0; it < itersPerEpoch; it++ {
-			if pool != nil {
+			if t.dist != nil {
+				if err := t.distIterate(); err != nil {
+					return nil, err
+				}
+			} else if pool != nil {
 				for _, w := range t.workers {
 					if !w.hasWork() {
 						w.resetIdle()
@@ -678,7 +714,15 @@ func (t *Trainer) Run() (*Result, error) {
 		if cfg.Staleness == embed.StalenessInf && epoch < cfg.Epochs-1 {
 			continue
 		}
-		flush := t.table.FlushAll()
+		var flush [][]embed.OwnerTraffic
+		if t.dist != nil {
+			var err error
+			if flush, err = t.distFlush(); err != nil {
+				return nil, err
+			}
+		} else {
+			flush = t.table.FlushAll()
+		}
 		var flushMax float64
 		vecBytes := t.table.BytesPerVector()
 		for wi, per := range flush {
@@ -713,6 +757,10 @@ func (t *Trainer) Run() (*Result, error) {
 }
 
 func (t *Trainer) finalize(res *Result) {
+	// In distributed mode, hold every rank at the finish line until all
+	// have arrived, so no rank tears its transport down while a peer is
+	// still mid-collective.
+	t.distBarrier()
 	if res.TotalSimTime > 0 {
 		res.Throughput = float64(res.SamplesProcessed) / res.TotalSimTime
 	}

@@ -66,6 +66,7 @@ func run(t *testing.T, cfg Config) *Result {
 }
 
 func TestNewTrainerValidation(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	cases := []func(*Config){
 		func(c *Config) { c.Train = nil },
@@ -84,6 +85,7 @@ func TestNewTrainerValidation(t *testing.T) {
 }
 
 func TestRunProcessesAllSamples(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	res := run(t, f.config(t, nil))
 	if res.SamplesProcessed != int64(len(f.train.Samples)) {
@@ -98,6 +100,7 @@ func TestRunProcessesAllSamples(t *testing.T) {
 }
 
 func TestRunDeterministic(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	a := run(t, f.config(t, nil))
 	b := run(t, f.config(t, nil))
@@ -115,6 +118,7 @@ func TestRunDeterministic(t *testing.T) {
 }
 
 func TestLearningImprovesAUC(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	cfg := f.config(t, func(c *Config) {
 		c.Epochs = 3
@@ -135,6 +139,7 @@ func TestLearningImprovesAUC(t *testing.T) {
 }
 
 func TestEarlyStopAtTarget(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	cfg := f.config(t, func(c *Config) {
 		c.Epochs = 10
@@ -151,6 +156,7 @@ func TestEarlyStopAtTarget(t *testing.T) {
 }
 
 func TestTrafficMatrixShape(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	res := run(t, f.config(t, nil))
 	if len(res.TrafficMatrix) != 8 {
@@ -170,6 +176,7 @@ func TestTrafficMatrixShape(t *testing.T) {
 }
 
 func TestHigherStalenessReducesEmbeddingTraffic(t *testing.T) {
+	t.Parallel()
 	// With replicas, a looser bound must ship fewer embedding bytes.
 	f := newFixture(t)
 	cfg := partition.DefaultHybridConfig(8)
@@ -198,6 +205,7 @@ func TestHigherStalenessReducesEmbeddingTraffic(t *testing.T) {
 }
 
 func TestOverlapReducesIterationTime(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	serial := run(t, f.config(t, func(c *Config) { c.Overlap = 0 }))
 	overlapped := run(t, f.config(t, func(c *Config) { c.Overlap = 1 }))
@@ -212,6 +220,7 @@ func TestOverlapReducesIterationTime(t *testing.T) {
 }
 
 func TestPSModeRuns(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	res := run(t, f.config(t, func(c *Config) {
 		c.PS = &PSConfig{Hosts: 1}
@@ -231,6 +240,7 @@ func TestPSModeRuns(t *testing.T) {
 }
 
 func TestPSModeSlowerThanModelParallel(t *testing.T) {
+	t.Parallel()
 	// The paper's Figure 7: CPU-PS architectures pay the host link and
 	// fall behind GPU model parallelism in simulated time.
 	f := newFixture(t)
@@ -242,6 +252,7 @@ func TestPSModeSlowerThanModelParallel(t *testing.T) {
 }
 
 func TestParallaxHybridDense(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	tfps := run(t, f.config(t, func(c *Config) { c.PS = &PSConfig{Hosts: 1} }))
 	parallax := run(t, f.config(t, func(c *Config) { c.PS = &PSConfig{Hosts: 1, HybridDense: true} }))
@@ -253,6 +264,7 @@ func TestParallaxHybridDense(t *testing.T) {
 }
 
 func TestCommFractionBounds(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	res := run(t, f.config(t, nil))
 	cf := res.CommFraction()
@@ -266,6 +278,7 @@ func TestCommFractionBounds(t *testing.T) {
 }
 
 func TestEvaluateWithoutTestSet(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	cfg := f.config(t, func(c *Config) { c.Test = nil })
 	tr, err := NewTrainer(cfg)
@@ -278,6 +291,7 @@ func TestEvaluateWithoutTestSet(t *testing.T) {
 }
 
 func TestEvalSamplesCap(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	cfg := f.config(t, func(c *Config) { c.EvalSamples = 32 })
 	tr, err := NewTrainer(cfg)
@@ -290,6 +304,7 @@ func TestEvalSamplesCap(t *testing.T) {
 }
 
 func TestProtocolCountersConsistent(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	res := run(t, f.config(t, nil))
 	reads := res.LocalPrimary + res.LocalFresh + res.SyncedIntra + res.RemoteReads
@@ -305,6 +320,7 @@ func TestProtocolCountersConsistent(t *testing.T) {
 }
 
 func TestStalenessInfEpochReconcile(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	cfg := partition.DefaultHybridConfig(8)
 	cfg.Rounds = 2

@@ -70,6 +70,7 @@ func TestExecPoolMatchesReference(t *testing.T) {
 // TestExecPSModeMatchesReference covers the PS path (applyWorkerDense, host
 // queueing) under the pool and chunked dense apply.
 func TestExecPSModeMatchesReference(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	runWith := func(exec ExecConfig) *Result {
 		cfg := f.config(t, func(c *Config) {
@@ -94,6 +95,7 @@ func TestExecPSModeMatchesReference(t *testing.T) {
 // used to keep its last iteration's cross-node byte counts, charging its
 // node's NIC for traffic that had already gated an earlier barrier.
 func TestIdleWorkerZeroNICQueueDelay(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	cfg := f.config(t, func(c *Config) {
 		c.Topo = cluster.ClusterA(2)

@@ -56,6 +56,7 @@ func lossTrace(res *Result) []float64 {
 // nothing left to synchronise. The two runs must therefore be
 // bit-identical, loss trace included.
 func TestMetamorphicBSPEqualsGraphBoundedZero(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	assign := hybridAssign(t, f, f.topo.NumWorkers())
 	bsp := run(t, protocolConfig(t, f, assign, consistency.BSP, 0, 2))
@@ -85,6 +86,7 @@ func TestMetamorphicBSPEqualsGraphBoundedZero(t *testing.T) {
 // must be zero under BSP, within the bound under Bounded, and largest under
 // ASP, which never synchronises between epoch boundaries.
 func TestMetamorphicStalenessOrdering(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	assign := hybridAssign(t, f, f.topo.NumWorkers())
 	const bound = 5
@@ -129,6 +131,7 @@ func TestMetamorphicStalenessOrdering(t *testing.T) {
 // per-link traffic matrix must sum to the same total, in both the
 // peer-to-peer and parameter-server architectures.
 func TestFabricTotalsConsistentAfterRun(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	cases := map[string]func(*Config){
 		"model-parallel": nil,

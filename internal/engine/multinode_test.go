@@ -11,6 +11,7 @@ import (
 )
 
 func TestNICQueueDelayDirect(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	topo := cluster.ClusterB(2)
 	g := f.g
@@ -43,6 +44,7 @@ func TestNICQueueDelayDirect(t *testing.T) {
 }
 
 func TestNICQueueDelaySingleNodeFree(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	tr, err := NewTrainer(f.config(t, nil))
 	if err != nil {
@@ -55,6 +57,7 @@ func TestNICQueueDelaySingleNodeFree(t *testing.T) {
 }
 
 func TestMultiNodeSlowerThanSingleNode(t *testing.T) {
+	t.Parallel()
 	// The same worker count split across machines must be slower: the
 	// cross-node share of random-partition traffic hits the 10 GbE NICs.
 	f := newFixture(t)
@@ -88,6 +91,7 @@ func TestMultiNodeSlowerThanSingleNode(t *testing.T) {
 }
 
 func TestHierarchicalPartitionReducesNICPressure(t *testing.T) {
+	t.Parallel()
 	// On two machines, a topology-aware partition must finish faster than
 	// a random one — Figure 9a's mechanism at engine level. This needs a
 	// dataset large enough for bandwidth (not per-message latency) to

@@ -26,6 +26,7 @@ func obsConfig(t *testing.T, f *fixture, s int64, reg *obs.Registry, tr *obs.Tra
 // AUC, simulated clock, and traffic ledgers must be bit-identical to the
 // uninstrumented run.
 func TestMetamorphicMetricsOffIdentical(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	const bound = 5
 
@@ -61,6 +62,7 @@ func TestMetamorphicMetricsOffIdentical(t *testing.T) {
 // respects the bound, every core phase has spans, spans cover every worker
 // track, and the exported trace is valid Chrome trace_event JSON.
 func TestObsEndToEnd(t *testing.T) {
+	t.Parallel()
 	f := newFixture(t)
 	const bound = 5
 	reg := obs.NewRegistry(f.topo.NumWorkers())

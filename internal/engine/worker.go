@@ -59,11 +59,47 @@ type worker struct {
 	// effect that caps multi-node scaling in the paper's Figure 10.
 	iterNICOut, iterNICIn int64
 
+	// Per-iteration protocol counters. Distributed execution ships them in
+	// the iteration summary and replays them onto ghost workers, so they
+	// are kept per iteration and folded into the tot* aggregates by
+	// accumulateStats.
+	iterLocalPrimary, iterLocalFresh                int64
+	iterSyncedIntra, iterSyncedInter                int64
+	iterRemoteReads                                 int64
+	iterLocalSecondary, iterRemotePush, iterFlushed int64
+
+	// distReadPer/distUpdPer capture copies of the Read/Update per-owner
+	// traffic for the distributed summary (the table's PerOwner slices are
+	// per-shard scratch reused between calls). Populated only in
+	// distributed mode.
+	distReadPer, distUpdPer []embed.OwnerTraffic
+
 	// Aggregate protocol counters.
 	totLocalPrimary, totLocalFresh             int64
 	totSyncedIntra, totSyncedInter             int64
 	totRemoteReads                             int64
 	totLocalSecondary, totRemotePush, totFlush int64
+}
+
+// accumulateStats folds the iteration's protocol counters into the run
+// aggregates.
+func (w *worker) accumulateStats() {
+	w.totLocalPrimary += w.iterLocalPrimary
+	w.totLocalFresh += w.iterLocalFresh
+	w.totSyncedIntra += w.iterSyncedIntra
+	w.totSyncedInter += w.iterSyncedInter
+	w.totRemoteReads += w.iterRemoteReads
+	w.totLocalSecondary += w.iterLocalSecondary
+	w.totRemotePush += w.iterRemotePush
+	w.totFlush += w.iterFlushed
+}
+
+// resetIterStats clears the per-iteration protocol counters.
+func (w *worker) resetIterStats() {
+	w.iterLocalPrimary, w.iterLocalFresh = 0, 0
+	w.iterSyncedIntra, w.iterSyncedInter = 0, 0
+	w.iterRemoteReads = 0
+	w.iterLocalSecondary, w.iterRemotePush, w.iterFlushed = 0, 0, 0
 }
 
 func newWorker(id int, t *Trainer, samples []int32, rng *xrand.RNG) *worker {
@@ -116,6 +152,7 @@ func (w *worker) resetIdle() {
 	w.iterLoss = 0
 	w.iterSamples = 0
 	w.iterNICOut, w.iterNICIn = 0, 0
+	w.resetIterStats()
 	for h := range w.iterHostBytes {
 		w.iterHostBytes[h] = 0
 	}
@@ -135,6 +172,7 @@ func (w *worker) runIteration() {
 	bs := len(batch)
 	w.iterSamples = bs
 	w.iterNICOut, w.iterNICIn = 0, 0
+	w.resetIterStats()
 	for h := range w.iterHostBytes {
 		w.iterHostBytes[h] = 0
 	}
@@ -173,11 +211,16 @@ func (w *worker) runIteration() {
 			InterCheck: cfg.InterCheck,
 			Normalize:  cfg.Normalize,
 		})
-		w.totLocalPrimary += int64(stats.LocalPrimary)
-		w.totLocalFresh += int64(stats.LocalFresh)
-		w.totSyncedIntra += int64(stats.SyncedIntra)
-		w.totSyncedInter += int64(stats.SyncedInter)
-		w.totRemoteReads += int64(stats.RemoteReads)
+		w.iterLocalPrimary = int64(stats.LocalPrimary)
+		w.iterLocalFresh = int64(stats.LocalFresh)
+		w.iterSyncedIntra = int64(stats.SyncedIntra)
+		w.iterSyncedInter = int64(stats.SyncedInter)
+		w.iterRemoteReads = int64(stats.RemoteReads)
+		if w.t.dist != nil {
+			// PerOwner aliases the shard's scratch, which the Update below
+			// reuses — the summary needs a stable copy.
+			w.distReadPer = append(w.distReadPer[:0], stats.PerOwner...)
+		}
 		readComm = w.chargeOwnerTraffic(stats.PerOwner)
 	}
 
@@ -216,9 +259,12 @@ func (w *worker) runIteration() {
 		updComm = w.psUpdate(gb)
 	} else {
 		ustats := w.t.table.Update(w.id, w.uniq, gb, cfg.Staleness)
-		w.totLocalSecondary += int64(ustats.LocalSecondary)
-		w.totRemotePush += int64(ustats.RemotePush)
-		w.totFlush += int64(ustats.FlushedPending)
+		w.iterLocalSecondary = int64(ustats.LocalSecondary)
+		w.iterRemotePush = int64(ustats.RemotePush)
+		w.iterFlushed = int64(ustats.FlushedPending)
+		if w.t.dist != nil {
+			w.distUpdPer = append(w.distUpdPer[:0], ustats.PerOwner...)
+		}
 		updComm = w.chargeOwnerTraffic(ustats.PerOwner)
 	}
 	w.iterReadComm = readComm
@@ -238,6 +284,7 @@ func (w *worker) runIteration() {
 		pipelined = commTime
 	}
 	w.iterTime = cfg.Overlap*pipelined + (1-cfg.Overlap)*serial
+	w.accumulateStats()
 }
 
 // chargeOwnerTraffic prices one Read/Update's per-owner traffic against the

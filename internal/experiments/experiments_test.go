@@ -12,6 +12,7 @@ import (
 // integration suite: every substrate participates.
 
 func TestRegistryComplete(t *testing.T) {
+	t.Parallel()
 	if len(Order) != len(Registry) {
 		t.Fatalf("Order has %d entries, Registry %d", len(Order), len(Registry))
 	}
@@ -23,6 +24,7 @@ func TestRegistryComplete(t *testing.T) {
 }
 
 func TestParamsNormalize(t *testing.T) {
+	t.Parallel()
 	p := Params{}.normalize()
 	d := Defaults()
 	if p.Scale != d.Scale || p.Dim != d.Dim || p.Batch != d.Batch || p.Epochs != d.Epochs {
@@ -31,6 +33,7 @@ func TestParamsNormalize(t *testing.T) {
 }
 
 func TestLoadDatasetCaches(t *testing.T) {
+	t.Parallel()
 	a, err := LoadDataset("avazu", 1e-4, 99)
 	if err != nil {
 		t.Fatal(err)
@@ -48,6 +51,7 @@ func TestLoadDatasetCaches(t *testing.T) {
 }
 
 func TestFigure1Shape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
@@ -76,6 +80,7 @@ func TestFigure1Shape(t *testing.T) {
 }
 
 func TestFigure3Shape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
@@ -100,6 +105,7 @@ func TestFigure3Shape(t *testing.T) {
 }
 
 func TestFigure7Shape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
@@ -127,6 +133,7 @@ func TestFigure7Shape(t *testing.T) {
 }
 
 func TestFigure8Shape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
@@ -156,6 +163,7 @@ func TestFigure8Shape(t *testing.T) {
 }
 
 func TestTable2Shape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
@@ -179,6 +187,7 @@ func TestTable2Shape(t *testing.T) {
 }
 
 func TestFigure9aShape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
@@ -199,6 +208,7 @@ func TestFigure9aShape(t *testing.T) {
 }
 
 func TestFigure9bShape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
@@ -222,6 +232,7 @@ func TestFigure9bShape(t *testing.T) {
 }
 
 func TestTable3Shape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
@@ -246,6 +257,7 @@ func TestTable3Shape(t *testing.T) {
 }
 
 func TestFigure10Shape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
@@ -272,6 +284,7 @@ func TestFigure10Shape(t *testing.T) {
 }
 
 func TestTheorem1Shape(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("experiment test")
 	}
@@ -303,6 +316,7 @@ func TestTheorem1Shape(t *testing.T) {
 }
 
 func TestCapacityShape(t *testing.T) {
+	t.Parallel()
 	res, err := RunCapacity(QuickDefaults())
 	if err != nil {
 		t.Fatal(err)

@@ -10,6 +10,7 @@ import (
 )
 
 func TestTimeToTarget(t *testing.T) {
+	t.Parallel()
 	hist := []engine.EvalPoint{
 		{SimTime: 1, AUC: 0.5},
 		{SimTime: 2, AUC: 0.7},
@@ -27,6 +28,7 @@ func TestTimeToTarget(t *testing.T) {
 }
 
 func TestEvalCadence(t *testing.T) {
+	t.Parallel()
 	p := Params{Batch: 256}
 	// 256·8 samples per global iteration; ~10 eval points per epoch.
 	if got := evalCadence(256*8*100, p); got != 10 {
@@ -39,6 +41,7 @@ func TestEvalCadence(t *testing.T) {
 }
 
 func TestStalenessLabel(t *testing.T) {
+	t.Parallel()
 	cases := map[int64]string{
 		0: "0", 100: "100", 10_000: "10k", embed.StalenessInf: "inf",
 	}
@@ -50,6 +53,7 @@ func TestStalenessLabel(t *testing.T) {
 }
 
 func TestFigure10MaxSpeedup(t *testing.T) {
+	t.Parallel()
 	res := &Figure10Result{Rows: []Figure10Row{
 		{Dataset: "criteo", System: systems.HugeCTR, GPUs: 8, Throughput: 100},
 		{Dataset: "criteo", System: systems.HETGMP, GPUs: 8, Throughput: 250},
@@ -65,6 +69,7 @@ func TestFigure10MaxSpeedup(t *testing.T) {
 }
 
 func TestRenderersIncludeKeyContent(t *testing.T) {
+	t.Parallel()
 	f10 := &Figure10Result{Rows: []Figure10Row{
 		{Dataset: "criteo", System: systems.HugeCTR, GPUs: 8, Throughput: 1},
 		{Dataset: "criteo", System: systems.HETGMP, GPUs: 8, Throughput: 2},
@@ -90,6 +95,7 @@ func TestRenderersIncludeKeyContent(t *testing.T) {
 }
 
 func TestAlgNameAndItoa(t *testing.T) {
+	t.Parallel()
 	if algName(1) != "Ours (1 round)" || algName(3) != "Ours (3 rounds)" {
 		t.Error("algName wrong")
 	}
@@ -99,6 +105,7 @@ func TestAlgNameAndItoa(t *testing.T) {
 }
 
 func TestReduction(t *testing.T) {
+	t.Parallel()
 	if got := reduction(100, 40); got != 0.6 {
 		t.Errorf("reduction = %v", got)
 	}

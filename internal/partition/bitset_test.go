@@ -6,6 +6,7 @@ import (
 )
 
 func TestBitsetBasics(t *testing.T) {
+	t.Parallel()
 	var b Bitset
 	if b.Count() != 0 || b.Max() != -1 || b.Members() != nil {
 		t.Fatal("zero bitset not empty")
@@ -43,6 +44,7 @@ func TestBitsetBasics(t *testing.T) {
 }
 
 func TestBitsetProperty(t *testing.T) {
+	t.Parallel()
 	// Property: Members() round-trips through Set.
 	f := func(raw uint64) bool {
 		b := Bitset(raw)

@@ -79,6 +79,7 @@ func TestHybridParallelDeterminism(t *testing.T) {
 // to the sequential greedy's partition quality: remote accesses after a full
 // 5-round run must stay within 2%, on both uniform and weighted costs.
 func TestHybridChunkedMatchesReferenceQuality(t *testing.T) {
+	t.Parallel()
 	g := testDataset(t, dataset.Avazu, 2e-4)
 	weighted := make([][]float64, 8)
 	for i := range weighted {

@@ -8,6 +8,7 @@ import (
 )
 
 func TestHybridConfigValidate(t *testing.T) {
+	t.Parallel()
 	good := DefaultHybridConfig(8)
 	if err := good.Validate(); err != nil {
 		t.Fatalf("default config invalid: %v", err)
@@ -32,6 +33,7 @@ func TestHybridConfigValidate(t *testing.T) {
 }
 
 func TestHybridImprovesOverRandom(t *testing.T) {
+	t.Parallel()
 	g := testDataset(t, dataset.Avazu, 2e-4)
 	cfg := DefaultHybridConfig(8)
 	cfg.Rounds = 3
@@ -51,6 +53,7 @@ func TestHybridImprovesOverRandom(t *testing.T) {
 }
 
 func TestHybridRespectsBalanceCap(t *testing.T) {
+	t.Parallel()
 	g := testDataset(t, dataset.Criteo, 2e-4)
 	cfg := DefaultHybridConfig(8)
 	cfg.Rounds = 3
@@ -70,6 +73,7 @@ func TestHybridRespectsBalanceCap(t *testing.T) {
 }
 
 func TestHybridRoundsImprove(t *testing.T) {
+	t.Parallel()
 	g := testDataset(t, dataset.Avazu, 2e-4)
 	cfg := DefaultHybridConfig(8)
 	cfg.Rounds = 4
@@ -95,6 +99,7 @@ func TestHybridRoundsImprove(t *testing.T) {
 }
 
 func TestHybridDeterministic(t *testing.T) {
+	t.Parallel()
 	g := testDataset(t, dataset.Avazu, 1e-4)
 	cfg := DefaultHybridConfig(4)
 	cfg.Rounds = 2
@@ -122,6 +127,7 @@ func TestHybridDeterministic(t *testing.T) {
 }
 
 func TestHybridReplicaBudget(t *testing.T) {
+	t.Parallel()
 	g := testDataset(t, dataset.Avazu, 1e-4)
 	cfg := DefaultHybridConfig(4)
 	cfg.Rounds = 2
@@ -139,6 +145,7 @@ func TestHybridReplicaBudget(t *testing.T) {
 }
 
 func TestHybridNoReplication(t *testing.T) {
+	t.Parallel()
 	g := testDataset(t, dataset.Avazu, 1e-4)
 	cfg := DefaultHybridConfig(4)
 	cfg.Rounds = 2
@@ -154,6 +161,7 @@ func TestHybridNoReplication(t *testing.T) {
 }
 
 func TestHybridReplicationReducesRemote(t *testing.T) {
+	t.Parallel()
 	g := testDataset(t, dataset.Criteo, 2e-4)
 	base := DefaultHybridConfig(8)
 	base.Rounds = 2
@@ -177,6 +185,7 @@ func TestHybridReplicationReducesRemote(t *testing.T) {
 }
 
 func TestHybridWeightedPrefersCheapLinks(t *testing.T) {
+	t.Parallel()
 	// With a 2-group weight matrix (cheap within a group, expensive
 	// across), the weighted cost of the hierarchical partition must beat
 	// an unweighted partition evaluated under the same prices. Needs
@@ -218,6 +227,7 @@ func TestHybridWeightedPrefersCheapLinks(t *testing.T) {
 }
 
 func TestBiCutImprovesOverRandom(t *testing.T) {
+	t.Parallel()
 	g := testDataset(t, dataset.Criteo, 2e-4)
 	a, err := BiCut(g, BiCutConfig{Partitions: 8, BalanceSlack: 0.05, Seed: 3})
 	if err != nil {
@@ -241,6 +251,7 @@ func TestBiCutImprovesOverRandom(t *testing.T) {
 }
 
 func TestBiCutErrors(t *testing.T) {
+	t.Parallel()
 	g := tinyGraph()
 	if _, err := BiCut(g, BiCutConfig{Partitions: 0}); err == nil {
 		t.Error("zero partitions accepted")
@@ -251,6 +262,7 @@ func TestBiCutErrors(t *testing.T) {
 }
 
 func TestHybridOrderingMatchesPaper(t *testing.T) {
+	t.Parallel()
 	// The Table 3 ordering: random > bicut > hybrid(1) > hybrid(3+).
 	g := testDataset(t, dataset.Criteo, 3e-4)
 	random := Evaluate(g, Random(g, 8, 7), nil).RemoteAccesses

@@ -81,6 +81,7 @@ func plantedGraph(k, m int, seed uint64) *bigraph.WeightedGraph {
 }
 
 func TestMultilevelRecoversPlantedClusters(t *testing.T) {
+	t.Parallel()
 	const k, m = 4, 50
 	g := plantedGraph(k, m, 3)
 	part, err := Multilevel(g, MultilevelConfig{Clusters: k, Seed: 3})
@@ -113,6 +114,7 @@ func TestMultilevelRecoversPlantedClusters(t *testing.T) {
 }
 
 func TestMultilevelBeatsRandomOnRealDataset(t *testing.T) {
+	t.Parallel()
 	ds, err := dataset.New(dataset.Avazu, 1e-4, 7)
 	if err != nil {
 		t.Fatal(err)
@@ -136,6 +138,7 @@ func TestMultilevelBeatsRandomOnRealDataset(t *testing.T) {
 }
 
 func TestMultilevelBalance(t *testing.T) {
+	t.Parallel()
 	const k, m = 4, 50
 	g := plantedGraph(k, m, 5)
 	part, err := Multilevel(g, MultilevelConfig{Clusters: k, Seed: 5, BalanceSlack: 0.1})
@@ -159,6 +162,7 @@ func TestMultilevelBalance(t *testing.T) {
 }
 
 func TestMultilevelSmallGraphs(t *testing.T) {
+	t.Parallel()
 	// Graph smaller than cluster count: everyone gets their own label.
 	g := plantedGraph(1, 3, 1) // 3 vertices
 	part, err := Multilevel(g, MultilevelConfig{Clusters: 8, Seed: 1})
@@ -177,6 +181,7 @@ func TestMultilevelSmallGraphs(t *testing.T) {
 }
 
 func TestMultilevelErrors(t *testing.T) {
+	t.Parallel()
 	g := plantedGraph(2, 10, 1)
 	if _, err := Multilevel(g, MultilevelConfig{Clusters: 0}); err == nil {
 		t.Error("zero clusters accepted")
@@ -184,6 +189,7 @@ func TestMultilevelErrors(t *testing.T) {
 }
 
 func TestMultilevelDeterministic(t *testing.T) {
+	t.Parallel()
 	g := plantedGraph(3, 30, 9)
 	a, err := Multilevel(g, MultilevelConfig{Clusters: 3, Seed: 9})
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 // round records its move counts and pass wall times, and movement tapers as
 // Algorithm 1 converges.
 func TestHybridRoundStatsPopulated(t *testing.T) {
+	t.Parallel()
 	g := testDataset(t, dataset.Avazu, 2e-4)
 	cfg := DefaultHybridConfig(8)
 	cfg.Rounds = 3
@@ -49,6 +50,7 @@ func TestHybridRoundStatsPopulated(t *testing.T) {
 // RoundStat ledger, improvements are the consecutive remote-access deltas,
 // and the totals line up.
 func TestHybridObsMetrics(t *testing.T) {
+	t.Parallel()
 	g := testDataset(t, dataset.Avazu, 2e-4)
 	cfg := DefaultHybridConfig(8)
 	cfg.Rounds = 3
@@ -101,6 +103,7 @@ func TestHybridObsMetrics(t *testing.T) {
 // TestHybridObsDoesNotChangeAssignment is the partitioner's no-observer
 // relation: attaching a registry must not perturb the output.
 func TestHybridObsDoesNotChangeAssignment(t *testing.T) {
+	t.Parallel()
 	g := testDataset(t, dataset.Avazu, 1e-4)
 	cfg := DefaultHybridConfig(4)
 	cfg.Rounds = 2

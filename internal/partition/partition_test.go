@@ -32,6 +32,7 @@ func testDataset(t *testing.T, name string, scale float64) *bigraph.Bigraph {
 }
 
 func TestNewAssignmentUnassigned(t *testing.T) {
+	t.Parallel()
 	a := NewAssignment(4, 3, 5)
 	for _, p := range a.SampleOf {
 		if p != -1 {
@@ -46,6 +47,7 @@ func TestNewAssignmentUnassigned(t *testing.T) {
 }
 
 func TestNewAssignmentPanics(t *testing.T) {
+	t.Parallel()
 	for _, n := range []int{0, -1, MaxPartitions + 1} {
 		func() {
 			defer func() {
@@ -59,6 +61,7 @@ func TestNewAssignmentPanics(t *testing.T) {
 }
 
 func TestReplicaOperations(t *testing.T) {
+	t.Parallel()
 	a := NewAssignment(4, 2, 3)
 	a.PrimaryOf[0] = 1
 	a.AddReplica(0, 2)
@@ -85,6 +88,7 @@ func TestReplicaOperations(t *testing.T) {
 }
 
 func TestSecondariesOn(t *testing.T) {
+	t.Parallel()
 	a := NewAssignment(3, 1, 4)
 	for x := range a.PrimaryOf {
 		a.PrimaryOf[x] = 0
@@ -101,6 +105,7 @@ func TestSecondariesOn(t *testing.T) {
 }
 
 func TestValidate(t *testing.T) {
+	t.Parallel()
 	g := tinyGraph()
 	a := Random(g, 3, 1)
 	if err := a.Validate(); err != nil {
@@ -123,6 +128,7 @@ func TestValidate(t *testing.T) {
 }
 
 func TestEvaluateExactCounts(t *testing.T) {
+	t.Parallel()
 	g := tinyGraph()
 	a := NewAssignment(2, g.NumSamples, g.NumFeatures)
 	// Samples 0,1 → 0; samples 2,3 → 1.
@@ -153,6 +159,7 @@ func TestEvaluateExactCounts(t *testing.T) {
 }
 
 func TestEvaluateWeighted(t *testing.T) {
+	t.Parallel()
 	g := tinyGraph()
 	a := NewAssignment(2, g.NumSamples, g.NumFeatures)
 	copy(a.SampleOf, []int{0, 0, 1, 1})
@@ -165,6 +172,7 @@ func TestEvaluateWeighted(t *testing.T) {
 }
 
 func TestTrafficMatrixSums(t *testing.T) {
+	t.Parallel()
 	g := tinyGraph()
 	a := NewAssignment(2, g.NumSamples, g.NumFeatures)
 	copy(a.SampleOf, []int{0, 0, 1, 1})
@@ -189,6 +197,7 @@ func TestTrafficMatrixSums(t *testing.T) {
 }
 
 func TestRandomCoversAllPartitions(t *testing.T) {
+	t.Parallel()
 	g := testDataset(t, dataset.Avazu, 1e-4)
 	a := Random(g, 8, 5)
 	if err := a.Validate(); err != nil {
@@ -210,6 +219,7 @@ func TestRandomCoversAllPartitions(t *testing.T) {
 }
 
 func TestRandomDeterministic(t *testing.T) {
+	t.Parallel()
 	g := tinyGraph()
 	a := Random(g, 4, 9)
 	b := Random(g, 4, 9)
@@ -232,6 +242,7 @@ func TestRandomDeterministic(t *testing.T) {
 }
 
 func TestNormalizedEntropy(t *testing.T) {
+	t.Parallel()
 	if got := normalizedEntropy([]int{10, 10, 10, 10}); got < 0.999 {
 		t.Errorf("even loads entropy %v, want ~1", got)
 	}
@@ -244,6 +255,7 @@ func TestNormalizedEntropy(t *testing.T) {
 }
 
 func TestImbalance(t *testing.T) {
+	t.Parallel()
 	if got := imbalance([]int{10, 10}); got != 1 {
 		t.Errorf("balanced imbalance %v", got)
 	}

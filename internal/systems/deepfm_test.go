@@ -5,6 +5,7 @@ import "testing"
 // TestDeepFMWorkload trains the DeepFM extension model end to end under
 // HET-GMP, exercising the full stack with a third network architecture.
 func TestDeepFMWorkload(t *testing.T) {
+	t.Parallel()
 	opt := testOptions(t)
 	opt.ModelName = "deepfm"
 	tr, err := Build(HETGMP, opt)

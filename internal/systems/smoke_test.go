@@ -12,6 +12,7 @@ import (
 // spends less simulated time communicating than the random-partition
 // model-parallel baseline.
 func TestSmokeConvergence(t *testing.T) {
+	t.Parallel()
 	if testing.Short() {
 		t.Skip("smoke test is not short")
 	}

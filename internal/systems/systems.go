@@ -91,6 +91,12 @@ type Options struct {
 	// over the finished run and attach the RunReport to engine.Result.
 	// Requires both Metrics and Tracer.
 	Report bool
+
+	// Dist attaches the trainer to a multi-rank transport mesh: this
+	// process computes one worker and exchanges iteration effects with its
+	// peers over Dist.Transport (see engine/dist.go). The simulated result
+	// is bit-identical to a single-process run of the same Options.
+	Dist *engine.DistConfig
 }
 
 // NewModel builds the named CTR network for a dataset shape. The paper
@@ -184,6 +190,7 @@ func Build(sys System, opt Options) (*engine.Trainer, error) {
 		Tracer:           opt.Tracer,
 		Report:           opt.Report,
 		PartitionHistory: rounds,
+		Dist:             opt.Dist,
 		Seed:             opt.Seed,
 	}
 	var proto consistency.Config

@@ -24,6 +24,7 @@ func testOptions(t *testing.T) Options {
 }
 
 func TestBuildAllSystems(t *testing.T) {
+	t.Parallel()
 	opt := testOptions(t)
 	for _, sys := range All {
 		tr, err := Build(sys, opt)
@@ -44,6 +45,7 @@ func TestBuildAllSystems(t *testing.T) {
 }
 
 func TestBuildErrors(t *testing.T) {
+	t.Parallel()
 	opt := testOptions(t)
 	if _, err := Build("nope", opt); err == nil {
 		t.Error("unknown system accepted")
@@ -59,6 +61,7 @@ func TestBuildErrors(t *testing.T) {
 }
 
 func TestNewModel(t *testing.T) {
+	t.Parallel()
 	for _, name := range []string{"wdl", "dcn", ""} {
 		m, err := NewModel(name, 10, 8, 1)
 		if err != nil {
@@ -74,6 +77,7 @@ func TestNewModel(t *testing.T) {
 }
 
 func TestBuildAssignmentDiffersBySystem(t *testing.T) {
+	t.Parallel()
 	opt := testOptions(t)
 	g := bigraph.FromDataset(opt.Train)
 	random, err := BuildAssignment(HugeCTR, g, opt)
@@ -99,6 +103,7 @@ func TestBuildAssignmentDiffersBySystem(t *testing.T) {
 }
 
 func TestHETGMPBeatsHETMPOnCommunication(t *testing.T) {
+	t.Parallel()
 	opt := testOptions(t)
 	mp, err := Build(HETMP, opt)
 	if err != nil {
@@ -127,6 +132,7 @@ func TestHETGMPBeatsHETMPOnCommunication(t *testing.T) {
 }
 
 func TestDescribe(t *testing.T) {
+	t.Parallel()
 	for _, sys := range All {
 		if Describe(sys) == string(sys) {
 			t.Errorf("%s: no description", sys)
@@ -138,6 +144,7 @@ func TestDescribe(t *testing.T) {
 }
 
 func TestUniformWeightsOption(t *testing.T) {
+	t.Parallel()
 	opt := testOptions(t)
 	g := bigraph.FromDataset(opt.Train)
 	opt.UniformWeights = true
