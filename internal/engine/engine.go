@@ -57,8 +57,17 @@ type ExecConfig struct {
 	// (embed.CommitConfig.Fuse). Honoured only for linear optimizers;
 	// clocks and traffic stay exact, primary values agree to rounding.
 	Fuse bool
-	// Parallelism caps the worker pool, the commit's owner sweeps and the
-	// dense-sweep goroutines. 0 means GOMAXPROCS.
+	// Pipeline overlaps iteration i+1's batch preparation (feature dedup and
+	// label gather — the pure, table-independent prefix of the gather stage)
+	// with iteration i's forward/backward/commit, double-buffered per worker
+	// with two in-flight dedup generations. The embedding Read itself cannot
+	// move: it must observe iteration i's Commit, which is exactly what keeps
+	// the flag result-invariant. Ignored under Reference and in distributed
+	// mode.
+	Pipeline bool
+	// Parallelism caps the worker pool, the commit's owner sweeps, the
+	// dense-sweep goroutines and the batch-parallel compute pool. 0 means
+	// GOMAXPROCS.
 	Parallelism int
 }
 
@@ -344,6 +353,18 @@ type Trainer struct {
 	// dist is non-nil in multi-rank execution (see dist.go).
 	dist *distState
 
+	// model is cfg.Model behind the batch-parallel wrapper: every forward,
+	// backward, Grads and dense apply in the engine goes through it, so the
+	// Reference and optimized strategies run the same fixed row-range grid
+	// (nn.DefaultRangeRows) and stay bit-identical — Reference just walks it
+	// serially (nil pool).
+	model *nn.Parallel
+	// nnPool is the shared compute pool behind model during a non-Reference
+	// Run; nil otherwise.
+	nnPool *nn.Pool
+	// pipelineOn caches the effective Exec.Pipeline decision.
+	pipelineOn bool
+
 	workers []*worker
 	// denseGrad[w] is worker w's flattened dense gradient for the current
 	// iteration; denseAvg is the AllReduce result.
@@ -391,12 +412,14 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 	fabric.SetChecker(check)
 	fabric.SetObs(cfg.Metrics)
 	t := &Trainer{
-		cfg:      cfg,
-		fabric:   fabric,
-		table:    table,
-		check:    check,
-		n:        n,
-		denseAvg: make([]float32, cfg.Model.ParamCount()),
+		cfg:        cfg,
+		fabric:     fabric,
+		table:      table,
+		check:      check,
+		n:          n,
+		model:      nn.NewParallel(cfg.Model),
+		pipelineOn: cfg.Exec.Pipeline && !cfg.Exec.Reference && cfg.Dist == nil,
+		denseAvg:   make([]float32, cfg.Model.ParamCount()),
 	}
 	t.verifyShardCoverage()
 	if cfg.Dist != nil {
@@ -549,6 +572,18 @@ func (t *Trainer) Run() (*Result, error) {
 	default:
 		pool = newWorkerPool(t.workers)
 		defer pool.stop()
+	}
+	// The batch-parallel compute pool behind the model wrapper. Reference
+	// keeps the wrapper pool-less: the identical grid math runs serially,
+	// which is what the bit-identity gates compare against.
+	if !cfg.Exec.Reference {
+		t.nnPool = nn.NewPool(t.execParallelism())
+		t.model.SetPool(t.nnPool)
+		defer func() {
+			t.model.SetPool(nil)
+			t.nnPool.Close()
+			t.nnPool = nil
+		}()
 	}
 	global := 0
 	for epoch := 0; epoch < cfg.Epochs; epoch++ {
@@ -757,6 +792,11 @@ func (t *Trainer) Run() (*Result, error) {
 }
 
 func (t *Trainer) finalize(res *Result) {
+	// Join any batch-prep prefetch still in flight (early stop can leave
+	// one per worker) before the run's state is read out.
+	for _, w := range t.workers {
+		w.joinPrefetch()
+	}
 	// In distributed mode, hold every rank at the finish line until all
 	// have arrived, so no rank tears its transport down while a peer is
 	// still mid-collective.
@@ -922,13 +962,13 @@ func (t *Trainer) reduceDense() {
 	} else {
 		sweep(0, len(t.denseAvg))
 	}
-	t.cfg.Model.ApplyDense(t.parallelStep, t.denseAvg)
+	t.model.ApplyDense(t.parallelStep, t.denseAvg)
 }
 
 // applyWorkerDense applies one worker's dense gradient directly (PS/ASP
 // path: no averaging barrier).
 func (t *Trainer) applyWorkerDense(wi int) {
-	t.cfg.Model.ApplyDense(t.parallelStep, t.denseGrad[wi])
+	t.model.ApplyDense(t.parallelStep, t.denseGrad[wi])
 }
 
 // parallelStep is the dense optimizer step handed to Model.ApplyDense:

@@ -20,8 +20,8 @@ func (t *Trainer) Evaluate() float64 {
 		n = cfg.EvalSamples
 	}
 	if t.evalState == nil {
-		t.evalState = cfg.Model.NewState(evalBatch)
-		t.evalInput = tensor.NewMatrix(evalBatch, cfg.Model.InputDim())
+		t.evalState = t.model.NewState(evalBatch)
+		t.evalInput = tensor.NewMatrix(evalBatch, t.model.InputDim())
 		t.evalScores = make([]float32, 0, n)
 		t.evalLabels = make([]float32, 0, n)
 	}
@@ -43,7 +43,7 @@ func (t *Trainer) Evaluate() float64 {
 			}
 			t.evalLabels = append(t.evalLabels, s.Label)
 		}
-		logits := cfg.Model.Forward(t.evalState, t.evalInput, bs)
+		logits := t.model.Forward(t.evalState, t.evalInput, bs)
 		t.evalScores = append(t.evalScores, logits...)
 	}
 	return nn.AUC(t.evalScores, t.evalLabels)

@@ -1,0 +1,202 @@
+package engine
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"testing"
+
+	"hetgmp/internal/nn"
+	"hetgmp/internal/obs"
+)
+
+// batchParallelModels are factories for the three CTR models the
+// batch-parallel dense path must reproduce bit for bit — factories, not
+// instances, because a Network carries mutable parameters and every run
+// must start from the same seed weights. BatchPerWorker is raised to 160 in
+// the test so every batch spans three row ranges (DefaultRangeRows = 64):
+// G = 3 exercises the ascending-shard gradient reduction with a ragged
+// tail, not just a single shard.
+func batchParallelModels(f *fixture) map[string]func() nn.Network {
+	fields := f.train.NumFields
+	return map[string]func() nn.Network{
+		"wdl": func() nn.Network {
+			return nn.NewWDL(nn.WDLConfig{Fields: fields, Dim: 8, Hidden: []int{16}, Seed: 5})
+		},
+		"dcn": func() nn.Network {
+			return nn.NewDCN(nn.DCNConfig{Fields: fields, Dim: 8, CrossLayers: 2, Hidden: []int{16}, Seed: 5})
+		},
+		"deepfm": func() nn.Network {
+			return nn.NewDeepFM(nn.DeepFMConfig{Fields: fields, Dim: 8, Hidden: []int{16}, Seed: 5})
+		},
+	}
+}
+
+func sameResult(t *testing.T, label string, got, ref *Result) {
+	t.Helper()
+	if got.FinalAUC != ref.FinalAUC {
+		t.Errorf("%s: AUC %v, reference %v", label, got.FinalAUC, ref.FinalAUC)
+	}
+	if got.TotalSimTime != ref.TotalSimTime {
+		t.Errorf("%s: sim time %v, reference %v", label, got.TotalSimTime, ref.TotalSimTime)
+	}
+	if len(got.History) != len(ref.History) {
+		t.Fatalf("%s: %d eval points, reference %d", label, len(got.History), len(ref.History))
+	}
+	for i := range ref.History {
+		if got.History[i] != ref.History[i] {
+			t.Errorf("%s: eval point %d = %+v, reference %+v", label, i, got.History[i], ref.History[i])
+		}
+	}
+	if len(got.StepNorms) != len(ref.StepNorms) {
+		t.Fatalf("%s: %d step norms, reference %d", label, len(got.StepNorms), len(ref.StepNorms))
+	}
+	for i := range ref.StepNorms {
+		if got.StepNorms[i] != ref.StepNorms[i] {
+			t.Errorf("%s: step norm %d = %v, reference %v", label, i, got.StepNorms[i], ref.StepNorms[i])
+		}
+	}
+	if got.Breakdown.Bytes != ref.Breakdown.Bytes {
+		t.Errorf("%s: traffic bytes %+v, reference %+v", label, got.Breakdown.Bytes, ref.Breakdown.Bytes)
+	}
+}
+
+// TestBatchParallelBitIdentical is the tentpole gate: for all three models,
+// the batch-parallel dense path (shared compute pool, per-range state
+// shards, ascending-shard gradient reduction) and the iteration pipeline
+// produce history, AUC, sim time and step norms bit-identical to the
+// Reference execution, at GOMAXPROCS 1, 4 and 8.
+func TestBatchParallelBitIdentical(t *testing.T) {
+	f := newFixture(t)
+	for name, model := range batchParallelModels(f) {
+		runWith := func(procs int, exec ExecConfig) *Result {
+			old := runtime.GOMAXPROCS(procs)
+			defer runtime.GOMAXPROCS(old)
+			cfg := f.config(t, func(c *Config) {
+				c.Model = model()
+				c.BatchPerWorker = 160
+				c.EvalEvery = 3
+				c.TrackConvergence = true
+				c.Exec = exec
+			})
+			return run(t, cfg)
+		}
+		ref := runWith(1, ExecConfig{Reference: true})
+		for _, procs := range []int{1, 4, 8} {
+			for _, pipeline := range []bool{false, true} {
+				got := runWith(procs, ExecConfig{Pipeline: pipeline})
+				sameResult(t, fmt.Sprintf("%s procs=%d pipeline=%v", name, procs, pipeline), got, ref)
+			}
+		}
+	}
+}
+
+// TestPipelineMetamorphicMetrics pins the pipeline's observability contract:
+// toggling ExecConfig.Pipeline changes no metric at all except the
+// engine.pipeline.* wall-clock counters it introduces. Every simulated
+// quantity — phase histograms, overlap counters, table and fabric series —
+// must agree to the bit.
+func TestPipelineMetamorphicMetrics(t *testing.T) {
+	f := newFixture(t)
+	snap := func(pipeline bool) obs.Snapshot {
+		reg := obs.NewRegistry(f.topo.NumWorkers())
+		cfg := f.config(t, func(c *Config) {
+			c.Epochs = 2
+			c.EvalEvery = 3
+			// Small batches: several iterations per worker per epoch, so the
+			// pipelined run actually prefetches.
+			c.BatchPerWorker = 8
+			c.Metrics = reg
+			c.Exec = ExecConfig{Pipeline: pipeline}
+		})
+		res := run(t, cfg)
+		return res.Metrics
+	}
+	off := snap(false)
+	on := snap(true)
+	if len(off.Metrics) != len(on.Metrics) {
+		t.Fatalf("metric sets differ: %d off, %d on", len(off.Metrics), len(on.Metrics))
+	}
+	var sawPipeline bool
+	for i := range off.Metrics {
+		a, b := off.Metrics[i], on.Metrics[i]
+		if a.Name != b.Name {
+			t.Fatalf("metric %d name %q vs %q", i, a.Name, b.Name)
+		}
+		if strings.HasPrefix(a.Name, "engine.pipeline.") {
+			// The only sanctioned difference: wall-clock pipeline counters.
+			if b.Value > 0 {
+				sawPipeline = true
+			}
+			if a.Count != 0 || a.Value != 0 {
+				t.Errorf("pipeline-off run recorded %s = %v", a.Name, a.Value)
+			}
+			continue
+		}
+		if a.Value != b.Value || a.Count != b.Count || a.Sum != b.Sum || a.Max != b.Max {
+			t.Errorf("metric %s differs across Pipeline toggle: %+v vs %+v", a.Name, a, b)
+		}
+		if len(a.Buckets) != len(b.Buckets) {
+			t.Fatalf("metric %s bucket count differs", a.Name)
+		}
+		for j := range a.Buckets {
+			if a.Buckets[j] != b.Buckets[j] {
+				t.Errorf("metric %s bucket %d differs", a.Name, j)
+			}
+		}
+	}
+	if !sawPipeline {
+		t.Error("pipelined run recorded no engine.pipeline.* activity")
+	}
+}
+
+// TestPipelineRaceStress soaks the pipelined mode (prefetch goroutines +
+// batch-parallel compute pool) under repeated runs; `go test -race` turns
+// this into the concurrency gate CI runs.
+func TestPipelineRaceStress(t *testing.T) {
+	f := newFixture(t)
+	old := runtime.GOMAXPROCS(8)
+	defer runtime.GOMAXPROCS(old)
+	var first *Result
+	for i := 0; i < 3; i++ {
+		res := run(t, f.config(t, func(c *Config) {
+			c.TrackConvergence = true
+			c.Exec = ExecConfig{Pipeline: true}
+		}))
+		if first == nil {
+			first = res
+			continue
+		}
+		if res.FinalAUC != first.FinalAUC || res.TotalSimTime != first.TotalSimTime {
+			t.Fatalf("pipelined run %d diverged: AUC %v/%v, sim time %v/%v",
+				i, res.FinalAUC, first.FinalAUC, res.TotalSimTime, first.TotalSimTime)
+		}
+	}
+}
+
+// TestPipelineEarlyStopJoinsPrefetch covers the early-stop path: a run that
+// converges mid-epoch leaves an in-flight prefetch per worker, which
+// finalize must join before the result is read out.
+func TestPipelineEarlyStopJoinsPrefetch(t *testing.T) {
+	f := newFixture(t)
+	refCfg := f.config(t, func(c *Config) {
+		c.Epochs = 2
+		c.EvalEvery = 2
+		c.TargetAUC = 0.01 // stops at the first evaluation
+		c.Exec = ExecConfig{Reference: true}
+	})
+	ref := run(t, refCfg)
+	got := run(t, f.config(t, func(c *Config) {
+		c.Epochs = 2
+		c.EvalEvery = 2
+		c.TargetAUC = 0.01
+		c.Exec = ExecConfig{Pipeline: true}
+	}))
+	if ref.ConvergedAt < 0 || got.ConvergedAt < 0 {
+		t.Fatalf("fixture did not early-stop: ref %v, got %v", ref.ConvergedAt, got.ConvergedAt)
+	}
+	if got.FinalAUC != ref.FinalAUC || got.TotalSimTime != ref.TotalSimTime {
+		t.Fatalf("early-stopped pipelined run diverged: AUC %v/%v, sim time %v/%v",
+			got.FinalAUC, ref.FinalAUC, got.TotalSimTime, ref.TotalSimTime)
+	}
+}

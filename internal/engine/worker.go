@@ -21,23 +21,37 @@ type worker struct {
 
 	state nn.State
 
-	// Reusable buffers.
-	uniq []int32
 	// Batch dedup runs per iteration over every (sample, field) edge, so it
 	// is a hot path: instead of a hash map cleared each batch, a dense
 	// generation-stamped index keyed by feature id — uniqSlot[x] is x's slot
 	// in uniq iff uniqGen[x] equals the current batch's generation. Bumping
 	// uniqGen invalidates the whole index in O(1) and the lookups are two
-	// array reads with no hashing or allocation.
+	// array reads with no hashing or allocation. The stamps also make the
+	// iteration pipeline safe: the prefetched batch preps under generation
+	// g+1 while the running iteration's indexes (generation g) are already
+	// frozen into its batchPrep, so two generations are in flight at once.
 	uniqGen  []uint32
 	uniqSlot []int32
 	gen      uint32
-	embBuf   *tensor.Matrix // unique embeddings gathered by Read
-	gradBuf  *tensor.Matrix // per-unique embedding gradients
-	input    *tensor.Matrix // batch × (fields·dim)
+
+	// prep double-buffers the pure batch-preparation stage (see pipeline.go):
+	// the running iteration consumes prep[curPrep] while ExecConfig.Pipeline
+	// prefetches the next batch into the other buffer. prefetchWait joins an
+	// in-flight prefetch; nil when none is outstanding.
+	prep         [2]batchPrep
+	curPrep      int
+	prefetchWait func()
+
+	// uniq, labels and batchIdx alias the active batchPrep's buffers for the
+	// duration of one iteration.
+	uniq     []int32
 	labels   []float32
-	dLogit   []float32
 	batchIdx []int32 // per (sample,field): index into uniq
+
+	embBuf  *tensor.Matrix // unique embeddings gathered by Read
+	gradBuf *tensor.Matrix // per-unique embedding gradients
+	input   *tensor.Matrix // batch × (fields·dim)
+	dLogit  []float32
 
 	// Per-iteration outputs.
 	iterTime    float64
@@ -111,16 +125,20 @@ func newWorker(id int, t *Trainer, samples []int32, rng *xrand.RNG) *worker {
 		t:        t,
 		samples:  samples,
 		rng:      rng,
-		state:    cfg.Model.NewState(b),
-		uniq:     make([]int32, 0, b*fields),
+		state:    t.model.NewState(b),
 		uniqGen:  make([]uint32, cfg.Train.NumFeatures),
 		uniqSlot: make([]int32, cfg.Train.NumFeatures),
 		embBuf:   tensor.NewMatrix(b*fields, cfg.Dim),
 		gradBuf:  tensor.NewMatrix(b*fields, cfg.Dim),
 		input:    tensor.NewMatrix(b, fields*cfg.Dim),
-		labels:   make([]float32, b),
 		dLogit:   make([]float32, b),
-		batchIdx: make([]int32, b*fields),
+	}
+	for i := range w.prep {
+		w.prep[i] = batchPrep{
+			uniq:     make([]int32, 0, b*fields),
+			batchIdx: make([]int32, b*fields),
+			labels:   make([]float32, b),
+		}
 	}
 	if cfg.PS != nil {
 		w.iterHostBytes = make([]int64, cfg.PS.Hosts)
@@ -136,8 +154,10 @@ func (w *worker) startEpoch() {
 	w.rng.Shuffle(len(w.order), func(i, j int) { w.order[i], w.order[j] = w.order[j], w.order[i] })
 }
 
-// hasWork reports whether any local samples remain this epoch.
-func (w *worker) hasWork() bool { return w.cursor < len(w.order) }
+// hasWork reports whether any local samples remain this epoch. An in-flight
+// prefetch counts: its batch was already cut from the cursor, and skipping
+// it would drop those samples from the epoch.
+func (w *worker) hasWork() bool { return w.cursor < len(w.order) || w.prefetchWait != nil }
 
 // resetIdle clears every per-iteration counter of a worker that runs no
 // batch this iteration. The NIC counters matter most: nicQueueDelay sums
@@ -158,18 +178,18 @@ func (w *worker) resetIdle() {
 	}
 }
 
-// runIteration processes one mini-batch: gather (Read) → forward → loss →
-// backward → scatter (Update), charging simulated time for each stage.
+// runIteration processes one mini-batch: prep (dedup/labels, possibly
+// prefetched by the pipeline) → gather (Read) → forward → loss → backward →
+// scatter (Update), charging simulated time for each stage.
 func (w *worker) runIteration() {
 	cfg := &w.t.cfg
-	b := cfg.BatchPerWorker
-	end := w.cursor + b
-	if end > len(w.order) {
-		end = len(w.order)
-	}
-	batch := w.order[w.cursor:end]
-	w.cursor = end
-	bs := len(batch)
+	p := w.takePrep()
+	w.uniq, w.labels, w.batchIdx = p.uniq, p.labels, p.batchIdx
+	bs := p.bs
+	// As soon as the current prep is frozen, start preparing the next batch
+	// in the other buffer — it overlaps everything below, including the
+	// embedding Read, which itself must stay after the previous Commit.
+	w.kickPrefetch()
 	w.iterSamples = bs
 	w.iterNICOut, w.iterNICIn = 0, 0
 	w.resetIterStats()
@@ -178,28 +198,6 @@ func (w *worker) runIteration() {
 	}
 	fields := cfg.Train.NumFields
 	dim := cfg.Dim
-
-	// Deduplicate the batch's features — the paper's "local reduction".
-	w.gen++
-	if w.gen == 0 {
-		// Generation counter wrapped: old stamps become ambiguous, so
-		// invalidate them all once and restart from 1.
-		clear(w.uniqGen)
-		w.gen = 1
-	}
-	w.uniq = w.uniq[:0]
-	for r, si := range batch {
-		s := &cfg.Train.Samples[si]
-		w.labels[r] = s.Label
-		for f, x := range s.Features {
-			if w.uniqGen[x] != w.gen {
-				w.uniqGen[x] = w.gen
-				w.uniqSlot[x] = int32(len(w.uniq))
-				w.uniq = append(w.uniq, x)
-			}
-			w.batchIdx[r*fields+f] = w.uniqSlot[x]
-		}
-	}
 
 	// Gather embeddings under the consistency protocol.
 	var readComm float64
@@ -233,11 +231,11 @@ func (w *worker) runIteration() {
 		}
 	}
 
-	// Forward / loss / backward.
-	logits := cfg.Model.Forward(w.state, w.input, bs)
+	// Forward / loss / backward, through the batch-parallel wrapper.
+	logits := w.t.model.Forward(w.state, w.input, bs)
 	w.iterLoss = nn.BCEWithLogits(logits, w.labels[:bs], w.dLogit)
-	dInput := cfg.Model.Backward(w.state, w.dLogit[:bs])
-	cfg.Model.Grads(w.state, w.t.denseGrad[w.id])
+	dInput := w.t.model.Backward(w.state, w.dLogit[:bs])
+	w.t.model.Grads(w.state, w.t.denseGrad[w.id])
 
 	// Scatter-add embedding gradients per unique feature.
 	gb := &tensor.Matrix{Rows: len(w.uniq), Cols: dim, Data: w.gradBuf.Data[:len(w.uniq)*dim]}

@@ -1,14 +1,17 @@
 // End-to-end training throughput harness: times the full Trainer.Run loop
 // under the Reference execution strategy (per-iteration goroutine spawns,
-// per-update heap-allocated deltas, serial commit and dense reduce) against
-// the optimized one (persistent worker pool, arena-backed deltas, parallel
-// sharded commit), and microbenchmarks the queue→commit path so the
+// per-update heap-allocated deltas, serial commit and dense reduce, serial
+// dense math) against the optimized one (persistent worker pool,
+// arena-backed deltas, parallel sharded commit, batch-parallel dense
+// forward/backward, pipelined batch prep) at every GOMAXPROCS in a matrix
+// (default 1/4/8), and microbenchmarks the queue→commit path so the
 // allocation-free claim is a gated number rather than prose. hetgmp-bench
 // -perf-train writes the report to BENCH_train.json.
 //
-// Both execution strategies are required to produce a bit-identical
-// simulated Result before any timing is reported: a speedup over different
-// work would be meaningless.
+// Every matrix cell's execution strategies are required to produce a
+// simulated Result bit-identical to the first cell's Reference run before
+// any timing is reported: a speedup over different work would be
+// meaningless.
 
 package perfbench
 
@@ -31,9 +34,15 @@ import (
 	"hetgmp/internal/xrand"
 )
 
+// TrainSchema is the BENCH_train.json schema version. v2 replaced the
+// single reference/optimized pair with a GOMAXPROCS matrix and deduplicated
+// the gomaxprocs field under meta; VerifyTrainReport still accepts v1
+// during the transition.
+const TrainSchema = 2
+
 // TrainOptions selects the end-to-end throughput measurement. The zero
 // value measures one epoch on avazu at scale 2.5e-3 with the paper's 8
-// partitions.
+// partitions across a GOMAXPROCS matrix of 1/4/8.
 type TrainOptions struct {
 	// Scale is the dataset scale factor; default 2.5e-3 (~100k samples).
 	Scale float64
@@ -43,7 +52,12 @@ type TrainOptions struct {
 	Partitions int
 	// Epochs per timed run; default 1.
 	Epochs int
-	Seed   uint64
+	// Procs is the GOMAXPROCS matrix; default {1, 4, 8}. Environment, not
+	// workload: configHash deliberately excludes it, exactly as Meta
+	// treats GOMAXPROCS — the simulated result is identical at any entry,
+	// and the gate never keys on parallelism.
+	Procs []int
+	Seed  uint64
 }
 
 func (o *TrainOptions) defaults() {
@@ -58,6 +72,9 @@ func (o *TrainOptions) defaults() {
 	}
 	if o.Epochs == 0 {
 		o.Epochs = 1
+	}
+	if len(o.Procs) == 0 {
+		o.Procs = []int{1, 4, 8}
 	}
 	if o.Seed == 0 {
 		o.Seed = 22
@@ -107,32 +124,61 @@ type CommitMetrics struct {
 	Arena        PathMetrics `json:"arena"`
 }
 
-// TrainReport is the BENCH_train.json payload.
+// TrainCell is one GOMAXPROCS entry of the throughput matrix: both
+// execution strategies timed at that parallelism, each proven bit-identical
+// to the canonical Reference result before its numbers were recorded.
+type TrainCell struct {
+	GOMAXPROCS int              `json:"gomaxprocs"`
+	Reference  TrainExecMetrics `json:"reference"`
+	Optimized  TrainExecMetrics `json:"optimized"`
+	// Speedup is reference ns/iter over optimized ns/iter at this cell's
+	// parallelism.
+	Speedup float64 `json:"speedup"`
+}
+
+// TrainReport is the BENCH_train.json payload (schema TrainSchema).
+// GOMAXPROCS lives in two places only: Meta.GOMAXPROCS records the ambient
+// environment at stamp time (provenance, never gated — the v1 top-level
+// duplicate is gone), and each matrix cell records the parallelism it was
+// measured at.
 type TrainReport struct {
 	// Meta stamps the run's identity; ConfigHash covers the TrainOptions so
 	// the perf gate can refuse a baseline produced by a different workload.
+	// Meta.Schema is TrainSchema, not the RunReport schema.
 	Meta       analyze.Meta `json:"meta"`
 	Dataset    string       `json:"dataset"`
 	Scale      float64      `json:"scale"`
-	GOMAXPROCS int          `json:"gomaxprocs"`
 	Partitions int          `json:"partitions"`
 	Epochs     int          `json:"epochs"`
 	Seed       uint64       `json:"seed"`
 	Samples    int          `json:"samples"`
 	Iterations int64        `json:"iterations"`
+	// NumCPU is the host's logical CPU count: the context in which the
+	// matrix's scaling numbers must be read — GOMAXPROCS above NumCPU adds
+	// scheduling, not cores.
+	NumCPU int `json:"num_cpu"`
 
-	Reference TrainExecMetrics `json:"reference"`
-	Optimized TrainExecMetrics `json:"optimized"`
-	// Speedup is reference ns/iter over optimized ns/iter.
-	Speedup float64 `json:"speedup"`
+	// Matrix is one cell per requested GOMAXPROCS, in request order.
+	Matrix []TrainCell `json:"matrix"`
+	// ScalingSpeedup is the headline number: optimized samples/sec at the
+	// matrix's last (highest) entry over Reference samples/sec at its first
+	// (lowest) entry.
+	ScalingSpeedup float64 `json:"scaling_speedup"`
 
 	Commit CommitMetrics `json:"commit"`
 
-	// Equivalence fingerprint: both execution strategies produced exactly
-	// this simulated result (checked before timing is reported), so the
-	// speedup compares identical work.
+	// Equivalence fingerprint: every matrix cell's execution strategies
+	// produced exactly this simulated result (checked before timing is
+	// reported), so every speedup compares identical work.
 	FinalAUC     float64 `json:"final_auc"`
 	TotalSimTime float64 `json:"total_sim_time"`
+
+	// Legacy v1 fields, populated only when reading a schema-1 report
+	// (written before the matrix existed). Never written by v2.
+	LegacyGOMAXPROCS int               `json:"gomaxprocs,omitempty"`
+	LegacyReference  *TrainExecMetrics `json:"reference,omitempty"`
+	LegacyOptimized  *TrainExecMetrics `json:"optimized,omitempty"`
+	LegacySpeedup    float64           `json:"speedup,omitempty"`
 }
 
 // RunTrain executes the end-to-end throughput harness.
@@ -170,48 +216,87 @@ func RunTrain(opts TrainOptions) (*TrainReport, error) {
 			Exec:           exec,
 		}
 	}
-	fmt.Fprintf(os.Stderr, "perfbench: train scale %g (%d samples), reference pass\n", opts.Scale, len(ds.Samples))
-	refMetrics, refRes, err := benchTrainExec(mkConfig, engine.ExecConfig{Reference: true})
-	if err != nil {
-		return nil, err
+	// runCell measures both execution strategies at one GOMAXPROCS setting.
+	// The optimized strategy runs with the iteration pipeline on — that is
+	// the configuration whose throughput the report claims.
+	runCell := func(procs int) (TrainCell, *engine.Result, error) {
+		old := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(old)
+		fmt.Fprintf(os.Stderr, "perfbench: train scale %g (%d samples), GOMAXPROCS=%d reference pass\n",
+			opts.Scale, len(ds.Samples), procs)
+		refMetrics, refRes, err := benchTrainExec(mkConfig, engine.ExecConfig{Reference: true})
+		if err != nil {
+			return TrainCell{}, nil, err
+		}
+		fmt.Fprintf(os.Stderr, "perfbench: train scale %g, GOMAXPROCS=%d optimized (pipelined) pass\n",
+			opts.Scale, procs)
+		optMetrics, optRes, err := benchTrainExec(mkConfig, engine.ExecConfig{Pipeline: true})
+		if err != nil {
+			return TrainCell{}, nil, err
+		}
+		// Equivalence gate: the execution strategy must never change the
+		// simulated result. A mismatch here means the two-phase discipline
+		// was broken somewhere, and no throughput number is worth reporting.
+		if refRes.FinalAUC != optRes.FinalAUC ||
+			refRes.TotalSimTime != optRes.TotalSimTime ||
+			refRes.Breakdown != optRes.Breakdown {
+			return TrainCell{}, nil, fmt.Errorf("perfbench: execution strategies diverged at GOMAXPROCS=%d: "+
+				"AUC %v vs %v, sim time %v vs %v — refusing to report a speedup over different work",
+				procs, refRes.FinalAUC, optRes.FinalAUC, refRes.TotalSimTime, optRes.TotalSimTime)
+		}
+		return TrainCell{
+			GOMAXPROCS: procs,
+			Reference:  refMetrics,
+			Optimized:  optMetrics,
+			Speedup:    float64(refMetrics.NsPerIter) / float64(optMetrics.NsPerIter),
+		}, refRes, nil
 	}
-	fmt.Fprintf(os.Stderr, "perfbench: train scale %g, optimized pass\n", opts.Scale)
-	optMetrics, optRes, err := benchTrainExec(mkConfig, engine.ExecConfig{})
-	if err != nil {
-		return nil, err
-	}
-	// Equivalence gate: the execution strategy must never change the
-	// simulated result. A mismatch here means the two-phase discipline was
-	// broken somewhere, and no throughput number is worth reporting.
-	if refRes.FinalAUC != optRes.FinalAUC ||
-		refRes.TotalSimTime != optRes.TotalSimTime ||
-		refRes.Breakdown != optRes.Breakdown {
-		return nil, fmt.Errorf("perfbench: execution strategies diverged: "+
-			"AUC %v vs %v, sim time %v vs %v — refusing to report a speedup over different work",
-			refRes.FinalAUC, optRes.FinalAUC, refRes.TotalSimTime, optRes.TotalSimTime)
+	var canonical *engine.Result
+	matrix := make([]TrainCell, 0, len(opts.Procs))
+	for _, procs := range opts.Procs {
+		cell, res, err := runCell(procs)
+		if err != nil {
+			return nil, err
+		}
+		// Cross-cell gate: every parallelism level must reproduce the first
+		// cell's simulated result exactly, or the matrix compares different
+		// work and no cell's speedup is reportable.
+		if canonical == nil {
+			canonical = res
+		} else if res.FinalAUC != canonical.FinalAUC ||
+			res.TotalSimTime != canonical.TotalSimTime ||
+			res.Breakdown != canonical.Breakdown {
+			return nil, fmt.Errorf("perfbench: GOMAXPROCS=%d produced a different simulated result than GOMAXPROCS=%d "+
+				"(AUC %v vs %v, sim time %v vs %v) — refusing to report a speedup over different work",
+				procs, opts.Procs[0], res.FinalAUC, canonical.FinalAUC, res.TotalSimTime, canonical.TotalSimTime)
+		}
+		matrix = append(matrix, cell)
 	}
 	fmt.Fprintf(os.Stderr, "perfbench: queue→commit microbenchmark\n")
 	commit, err := benchCommitMetrics(opts.Seed)
 	if err != nil {
 		return nil, err
 	}
+	meta := analyze.CollectMeta(opts.configHash())
+	meta.Schema = TrainSchema
+	first, last := matrix[0], matrix[len(matrix)-1]
 	rep := &TrainReport{
-		Meta:       analyze.CollectMeta(opts.configHash()),
+		Meta:       meta,
 		Dataset:    opts.Dataset,
 		Scale:      opts.Scale,
-		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		Partitions: opts.Partitions,
 		Epochs:     opts.Epochs,
 		Seed:       opts.Seed,
 		Samples:    len(ds.Samples),
-		Iterations: int64(refRes.Iterations),
-		Reference:  refMetrics,
-		Optimized:  optMetrics,
-		Speedup:    float64(refMetrics.NsPerIter) / float64(optMetrics.NsPerIter),
-		Commit:     commit,
+		Iterations: int64(canonical.Iterations),
+		NumCPU:     runtime.NumCPU(),
 
-		FinalAUC:     refRes.FinalAUC,
-		TotalSimTime: refRes.TotalSimTime,
+		Matrix:         matrix,
+		ScalingSpeedup: last.Optimized.SamplesPerSec / first.Reference.SamplesPerSec,
+		Commit:         commit,
+
+		FinalAUC:     canonical.FinalAUC,
+		TotalSimTime: canonical.TotalSimTime,
 	}
 	return rep, nil
 }
@@ -354,9 +439,30 @@ func VerifyTrainReport(path string, opts TrainOptions) (*TrainReport, error) {
 		return nil, fmt.Errorf("%s: config hash %s does not match harness config %s (dataset=%s scale=%g partitions=%d epochs=%d seed=%d) — the committed baseline was produced by a different workload",
 			path, rep.Meta.ConfigHash, want, opts.Dataset, opts.Scale, opts.Partitions, opts.Epochs, opts.Seed)
 	}
-	if rep.Iterations <= 0 || rep.Reference.NsPerIter <= 0 || rep.Optimized.NsPerIter <= 0 {
-		return nil, fmt.Errorf("%s: degenerate measurement (%d iterations, ref %d ns/iter, opt %d ns/iter)",
-			path, rep.Iterations, rep.Reference.NsPerIter, rep.Optimized.NsPerIter)
+	if rep.Iterations <= 0 {
+		return nil, fmt.Errorf("%s: degenerate measurement (%d iterations)", path, rep.Iterations)
+	}
+	switch rep.Meta.Schema {
+	case TrainSchema:
+		if len(rep.Matrix) == 0 {
+			return nil, fmt.Errorf("%s: schema %d report with an empty GOMAXPROCS matrix", path, TrainSchema)
+		}
+		for _, cell := range rep.Matrix {
+			if cell.GOMAXPROCS <= 0 || cell.Reference.NsPerIter <= 0 || cell.Optimized.NsPerIter <= 0 {
+				return nil, fmt.Errorf("%s: degenerate matrix cell (gomaxprocs %d, ref %d ns/iter, opt %d ns/iter)",
+					path, cell.GOMAXPROCS, cell.Reference.NsPerIter, cell.Optimized.NsPerIter)
+			}
+		}
+	case 1:
+		// Transitional: accept a pre-matrix v1 report (single measurement in
+		// the legacy fields, gomaxprocs duplicated at top level).
+		if rep.LegacyReference == nil || rep.LegacyOptimized == nil ||
+			rep.LegacyReference.NsPerIter <= 0 || rep.LegacyOptimized.NsPerIter <= 0 {
+			return nil, fmt.Errorf("%s: degenerate v1 measurement", path)
+		}
+	default:
+		return nil, fmt.Errorf("%s: unknown train report schema %d (this build reads %d and the transitional 1)",
+			path, rep.Meta.Schema, TrainSchema)
 	}
 	if rep.FinalAUC == 0 || rep.TotalSimTime == 0 {
 		return nil, fmt.Errorf("%s: missing equivalence fingerprint", path)

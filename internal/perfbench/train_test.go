@@ -63,7 +63,9 @@ func TestTrainReportNoObserverEffect(t *testing.T) {
 		t.Skip("perfbench harness is slow")
 	}
 	before := trainProbeResult(t)
-	rep, err := RunTrain(TrainOptions{Scale: 2e-4})
+	// Two-entry matrix keeps the test fast while still exercising the
+	// GOMAXPROCS save/restore and the cross-cell equivalence gate.
+	rep, err := RunTrain(TrainOptions{Scale: 2e-4, Procs: []int{1, 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,8 +84,26 @@ func TestTrainReportNoObserverEffect(t *testing.T) {
 	if rep.Iterations <= 0 || rep.Samples <= 0 {
 		t.Fatalf("degenerate report: %+v", rep)
 	}
-	if rep.Reference.NsPerIter <= 0 || rep.Optimized.NsPerIter <= 0 || rep.Speedup <= 0 {
-		t.Errorf("non-positive timings: %+v vs %+v", rep.Reference, rep.Optimized)
+	if rep.Meta.Schema != TrainSchema {
+		t.Errorf("report schema = %d, want %d", rep.Meta.Schema, TrainSchema)
+	}
+	if rep.NumCPU <= 0 {
+		t.Errorf("report num_cpu = %d, want > 0", rep.NumCPU)
+	}
+	if len(rep.Matrix) != 2 || rep.Matrix[0].GOMAXPROCS != 1 || rep.Matrix[1].GOMAXPROCS != 2 {
+		t.Fatalf("matrix shape wrong: %+v", rep.Matrix)
+	}
+	for _, cell := range rep.Matrix {
+		if cell.Reference.NsPerIter <= 0 || cell.Optimized.NsPerIter <= 0 || cell.Speedup <= 0 {
+			t.Errorf("non-positive timings at GOMAXPROCS=%d: %+v vs %+v",
+				cell.GOMAXPROCS, cell.Reference, cell.Optimized)
+		}
+	}
+	if rep.ScalingSpeedup <= 0 {
+		t.Errorf("non-positive scaling speedup: %v", rep.ScalingSpeedup)
+	}
+	if rep.LegacyReference != nil || rep.LegacyOptimized != nil || rep.LegacyGOMAXPROCS != 0 || rep.LegacySpeedup != 0 {
+		t.Errorf("v2 report populated legacy v1 fields: %+v", rep)
 	}
 	if rep.FinalAUC == 0 || rep.TotalSimTime == 0 {
 		t.Errorf("missing equivalence fingerprint: %+v", rep)
@@ -105,12 +125,24 @@ func TestTrainReportNoObserverEffect(t *testing.T) {
 // harness's config hash passes, a hash from different options is refused.
 func TestVerifyTrainReport(t *testing.T) {
 	rep := &TrainReport{
-		Dataset: "avazu", Scale: 2.5e-3, GOMAXPROCS: 4,
+		Dataset: "avazu", Scale: 2.5e-3,
 		Partitions: 8, Epochs: 1, Seed: 22,
-		Samples: 1000, Iterations: 50,
-		Reference: TrainExecMetrics{NsPerIter: 200, AllocsPerIter: 500},
-		Optimized: TrainExecMetrics{NsPerIter: 100, AllocsPerIter: 3},
-		Speedup:   2,
+		Samples: 1000, Iterations: 50, NumCPU: 4,
+		Matrix: []TrainCell{
+			{
+				GOMAXPROCS: 1,
+				Reference:  TrainExecMetrics{NsPerIter: 200, AllocsPerIter: 500, SamplesPerSec: 1000},
+				Optimized:  TrainExecMetrics{NsPerIter: 100, AllocsPerIter: 3, SamplesPerSec: 2000},
+				Speedup:    2,
+			},
+			{
+				GOMAXPROCS: 8,
+				Reference:  TrainExecMetrics{NsPerIter: 190, AllocsPerIter: 500, SamplesPerSec: 1050},
+				Optimized:  TrainExecMetrics{NsPerIter: 40, AllocsPerIter: 3, SamplesPerSec: 5000},
+				Speedup:    4.75,
+			},
+		},
+		ScalingSpeedup: 5,
 		Commit: CommitMetrics{
 			Workers: 8, Features: 2048, Dim: 16, UpdatesPerOp: 512,
 			Reference: PathMetrics{NsPerOp: 100, AllocsPerOp: 512},
@@ -118,6 +150,7 @@ func TestVerifyTrainReport(t *testing.T) {
 		},
 		FinalAUC: 0.7, TotalSimTime: 1.5,
 	}
+	rep.Meta.Schema = TrainSchema
 	rep.Meta.ConfigHash = TrainOptions{}.configHash()
 	path := filepath.Join(t.TempDir(), "BENCH_train.json")
 	if err := rep.WriteJSON(path); err != nil {
@@ -127,9 +160,40 @@ func TestVerifyTrainReport(t *testing.T) {
 	if err != nil {
 		t.Fatalf("well-formed report refused: %v", err)
 	}
-	if got.Speedup != 2 || got.Commit.Arena.AllocsPerOp != 0 {
+	if len(got.Matrix) != 2 || got.Matrix[0].Speedup != 2 || got.Commit.Arena.AllocsPerOp != 0 {
 		t.Errorf("round-trip mismatch: %+v", got)
 	}
+
+	// A degenerate matrix cell must be refused.
+	rep.Matrix[1].Optimized.NsPerIter = 0
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyTrainReport(path, TrainOptions{}); err == nil {
+		t.Error("report with degenerate matrix cell passed verification")
+	}
+	rep.Matrix[1].Optimized.NsPerIter = 40
+
+	// An empty matrix must be refused even with a valid hash.
+	cells := rep.Matrix
+	rep.Matrix = nil
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyTrainReport(path, TrainOptions{}); err == nil {
+		t.Error("report with empty matrix passed verification")
+	}
+	rep.Matrix = cells
+
+	// An unknown future schema must be refused, not misread.
+	rep.Meta.Schema = TrainSchema + 1
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyTrainReport(path, TrainOptions{}); err == nil {
+		t.Error("report with unknown schema passed verification")
+	}
+	rep.Meta.Schema = TrainSchema
 
 	// A report generated under different harness options must be refused.
 	rep.Meta.ConfigHash = TrainOptions{Scale: 5e-3}.configHash()
@@ -160,5 +224,61 @@ func TestVerifyTrainReport(t *testing.T) {
 	}
 	if _, err := VerifyTrainReport(filepath.Join(t.TempDir(), "absent.json"), TrainOptions{}); err == nil {
 		t.Error("missing report passed verification")
+	}
+}
+
+// TestVerifyTrainReportAcceptsLegacyV1 pins the schema transition: a
+// committed schema-1 BENCH_train.json (single measurement pair in the
+// since-renamed legacy fields, gomaxprocs duplicated at the top level, no
+// matrix) still verifies until the baseline is regenerated as v2. The
+// fixture is raw JSON, byte-shaped like what the v1 harness wrote.
+func TestVerifyTrainReportAcceptsLegacyV1(t *testing.T) {
+	legacy := `{
+  "meta": {
+    "schema": 1,
+    "go_version": "go1.24.0",
+    "gomaxprocs": 4,
+    "config_hash": "` + TrainOptions{}.configHash() + `"
+  },
+  "dataset": "avazu",
+  "scale": 0.0025,
+  "gomaxprocs": 4,
+  "partitions": 8,
+  "epochs": 1,
+  "seed": 22,
+  "samples": 1000,
+  "iterations": 50,
+  "reference": {"wall_seconds": 1, "ns_per_iter": 200, "allocs_per_iter": 500, "bytes_per_iter": 4096, "samples_per_sec": 1000},
+  "optimized": {"wall_seconds": 0.5, "ns_per_iter": 100, "allocs_per_iter": 3, "bytes_per_iter": 64, "samples_per_sec": 2000},
+  "speedup": 2,
+  "commit": {
+    "workers": 8, "features": 2048, "dim": 16, "updates_per_op": 512,
+    "reference": {"ns_per_op": 100, "allocs_per_op": 512, "bytes_per_op": 8192},
+    "arena": {"ns_per_op": 50, "allocs_per_op": 0, "bytes_per_op": 0}
+  },
+  "final_auc": 0.7,
+  "total_sim_time": 1.5
+}`
+	path := filepath.Join(t.TempDir(), "BENCH_train.json")
+	if err := os.WriteFile(path, []byte(legacy), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	got, err := VerifyTrainReport(path, TrainOptions{})
+	if err != nil {
+		t.Fatalf("legacy v1 report refused: %v", err)
+	}
+	if got.LegacyReference == nil || got.LegacyReference.NsPerIter != 200 ||
+		got.LegacyOptimized == nil || got.LegacyOptimized.NsPerIter != 100 ||
+		got.LegacySpeedup != 2 || got.LegacyGOMAXPROCS != 4 {
+		t.Errorf("legacy fields misread: %+v", got)
+	}
+
+	// A v1 report missing its measurement pair is still refused.
+	broken := strings.Replace(legacy, `"ns_per_iter": 100`, `"ns_per_iter": 0`, 1)
+	if err := os.WriteFile(path, []byte(broken), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyTrainReport(path, TrainOptions{}); err == nil {
+		t.Error("degenerate legacy v1 report passed verification")
 	}
 }

@@ -81,13 +81,13 @@ func TestAxpyScaleBitIdentical(t *testing.T) {
 	}
 }
 
-// TestMatMulABTBitIdentical pins the blocked kernel's exactness: blocking
-// runs four output elements per pass but each element is still one
+// TestMatMulABTBitIdentical pins the tiled kernel's exactness: tiling runs
+// eight output elements per pass but each element is still one
 // left-to-right k-sum, so the result must match the straight-line version
-// bit for bit at any shape, including j-tails of 1..3 rows.
+// bit for bit at any shape, including j-tails of 1..7 rows.
 func TestMatMulABTBitIdentical(t *testing.T) {
 	r := xrand.New(11)
-	for _, shape := range [][3]int{{1, 1, 1}, {3, 5, 2}, {4, 4, 4}, {7, 9, 13}, {16, 6, 8}, {5, 17, 33}} {
+	for _, shape := range [][3]int{{1, 1, 1}, {3, 5, 2}, {4, 4, 4}, {7, 9, 13}, {16, 6, 8}, {5, 17, 33}, {9, 15, 7}, {2, 23, 5}, {6, 8, 16}} {
 		m, n, k := shape[0], shape[1], shape[2]
 		a := &Matrix{Rows: m, Cols: k, Data: randSlice(r, m*k)}
 		b := &Matrix{Rows: n, Cols: k, Data: randSlice(r, n*k)}
@@ -104,7 +104,7 @@ func TestMatMulABTBitIdentical(t *testing.T) {
 }
 
 // TestDotULPBound documents and bounds the one deliberate reassociation:
-// Dot sums in four chains, so it may differ from the left-to-right
+// Dot sums in eight chains, so it may differ from the left-to-right
 // reference by rounding only. Both float32 sums are compared against a
 // float64 reference; the unrolled kernel must stay within the same error
 // envelope the straight loop satisfies (n·eps·Σ|x·y|, eps = 2⁻²³ — the
@@ -132,16 +132,70 @@ func TestDotULPBound(t *testing.T) {
 	}
 }
 
-// TestDotExactTail pins the tail handling: for n < 4 no unrolled chain runs
+// TestDotExactTail pins the tail handling: for n < 8 no unrolled chain runs
 // at all, so the result must equal the reference bit for bit.
 func TestDotExactTail(t *testing.T) {
 	r := xrand.New(17)
-	for _, n := range []int{0, 1, 2, 3} {
+	for _, n := range []int{0, 1, 2, 3, 4, 5, 6, 7} {
 		x := randSlice(r, n)
 		y := randSlice(r, n)
 		if got, want := Dot(x, y), refDot(x, y); got != want {
 			t.Fatalf("n=%d: %v vs %v", n, got, want)
 		}
+	}
+}
+
+// TestMatMulABTRangeMatchesWhole pins the row-range contract the
+// batch-parallel compute path relies on: computing dst in arbitrary
+// disjoint [lo, hi) chunks — including empty and single-row ranges — yields
+// exactly the bits of one whole-matrix MatMulABT, and rows outside the
+// range are never written.
+func TestMatMulABTRangeMatchesWhole(t *testing.T) {
+	r := xrand.New(23)
+	const m, n, k = 13, 11, 9
+	a := &Matrix{Rows: m, Cols: k, Data: randSlice(r, m*k)}
+	b := &Matrix{Rows: n, Cols: k, Data: randSlice(r, n*k)}
+	want := NewMatrix(m, n)
+	MatMulABT(want, a, b)
+	for _, cuts := range [][]int{{0, m}, {0, 0, m, m}, {0, 5, 13}, {0, 1, 2, 7, 13}, {0, 4, 4, 8, 13}} {
+		got := NewMatrix(m, n)
+		for i := 0; i+1 < len(cuts); i++ {
+			MatMulABTRange(got, a, b, cuts[i], cuts[i+1])
+		}
+		for i := range got.Data {
+			if got.Data[i] != want.Data[i] {
+				t.Fatalf("cuts %v: element %d differs: %v vs %v", cuts, i, got.Data[i], want.Data[i])
+			}
+		}
+	}
+	// Untouched rows stay untouched: fill with a sentinel, compute the
+	// middle range only, and check the outside survived.
+	got := NewMatrix(m, n)
+	for i := range got.Data {
+		got.Data[i] = 42
+	}
+	MatMulABTRange(got, a, b, 4, 9)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			inRange := i >= 4 && i < 9
+			if inRange && got.At(i, j) != want.At(i, j) {
+				t.Fatalf("in-range element (%d,%d) wrong", i, j)
+			}
+			if !inRange && got.At(i, j) != 42 {
+				t.Fatalf("out-of-range element (%d,%d) clobbered", i, j)
+			}
+		}
+	}
+	// Out-of-bounds ranges are programming errors, not silent truncation.
+	for _, bad := range [][2]int{{-1, 2}, {3, m + 1}, {5, 4}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("range [%d,%d) did not panic", bad[0], bad[1])
+				}
+			}()
+			MatMulABTRange(got, a, b, bad[0], bad[1])
+		}()
 	}
 }
 

@@ -62,21 +62,26 @@ func (m *Matrix) XavierInit(r *xrand.RNG) {
 	}
 }
 
-// axpyCore is the shared 4-wide unrolled kernel behind Axpy and the inner
+// axpyCore is the shared 8-wide unrolled kernel behind Axpy and the inner
 // loops of MatMul/MatMulATB: y[i] += alpha·x[i]. Each element runs exactly
 // one multiply-add, so the unrolled sweep is bit-identical to the straight
 // loop at any length; the unroll only breaks the loop-carried bookkeeping so
-// the four independent element updates can issue back to back. Callers
-// guarantee len(x) == len(y).
+// the eight independent element updates can issue back to back (FMA-shaped:
+// eight independent mul-add chains per trip). Callers guarantee
+// len(x) == len(y).
 func axpyCore(alpha float32, x, y []float32) {
 	i := 0
-	for ; i+4 <= len(x); i += 4 {
-		x4 := x[i : i+4 : i+4]
-		y4 := y[i : i+4 : i+4]
-		y4[0] += alpha * x4[0]
-		y4[1] += alpha * x4[1]
-		y4[2] += alpha * x4[2]
-		y4[3] += alpha * x4[3]
+	for ; i+8 <= len(x); i += 8 {
+		x8 := x[i : i+8 : i+8]
+		y8 := y[i : i+8 : i+8]
+		y8[0] += alpha * x8[0]
+		y8[1] += alpha * x8[1]
+		y8[2] += alpha * x8[2]
+		y8[3] += alpha * x8[3]
+		y8[4] += alpha * x8[4]
+		y8[5] += alpha * x8[5]
+		y8[6] += alpha * x8[6]
+		y8[7] += alpha * x8[7]
 	}
 	for ; i < len(x); i++ {
 		y[i] += alpha * x[i]
@@ -127,32 +132,56 @@ func MatMulATB(dst, a, b *Matrix) {
 
 // MatMulABT computes dst = a · bᵀ, used for input gradients
 // (dx = dy · Wᵀ). dst must have shape a.Rows×b.Rows.
-//
-// The j loop is blocked four b-rows at a time: one pass over arow feeds four
-// independent accumulator chains, so arow loads amortise across four output
-// elements and the chains overlap in the pipeline. Every dst element is
-// still one left-to-right sum over k, so the blocked kernel is bit-identical
-// to the straight-line version.
 func MatMulABT(dst, a, b *Matrix) {
 	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
 		panic(fmt.Sprintf("tensor: MatMulABT shape mismatch: (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
 			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
 	}
-	for i := 0; i < a.Rows; i++ {
+	MatMulABTRange(dst, a, b, 0, a.Rows)
+}
+
+// MatMulABTRange computes rows [lo, hi) of dst = a · bᵀ, leaving every
+// other dst row untouched. It is the batched entry point the row-range
+// compute workers call: ranges of a batch write disjoint dst row blocks, so
+// concurrent calls over disjoint [lo, hi) are race-free, and each dst
+// element is always the same left-to-right sum over k regardless of how
+// the rows are split — the range decomposition is bit-identical to one
+// whole-matrix MatMulABT.
+//
+// The j loop is tiled eight b-rows at a time: one pass over arow feeds
+// eight independent accumulator chains, so arow loads amortise across eight
+// output elements and the chains overlap in the pipeline. Every dst element
+// is still one left-to-right sum over k, so the tiled kernel is
+// bit-identical to the straight-line version.
+func MatMulABTRange(dst, a, b *Matrix, lo, hi int) {
+	if a.Cols != b.Cols || dst.Rows != a.Rows || dst.Cols != b.Rows {
+		panic(fmt.Sprintf("tensor: MatMulABTRange shape mismatch: (%dx%d)·(%dx%d)ᵀ->(%dx%d)",
+			a.Rows, a.Cols, b.Rows, b.Cols, dst.Rows, dst.Cols))
+	}
+	if lo < 0 || hi > a.Rows || lo > hi {
+		panic(fmt.Sprintf("tensor: MatMulABTRange rows [%d,%d) outside [0,%d]", lo, hi, a.Rows))
+	}
+	for i := lo; i < hi; i++ {
 		arow := a.Row(i)
 		drow := dst.Row(i)
 		j := 0
-		for ; j+4 <= b.Rows; j += 4 {
+		for ; j+8 <= b.Rows; j += 8 {
 			b0, b1, b2, b3 := b.Row(j), b.Row(j+1), b.Row(j+2), b.Row(j+3)
-			var s0, s1, s2, s3 float32
+			b4, b5, b6, b7 := b.Row(j+4), b.Row(j+5), b.Row(j+6), b.Row(j+7)
+			var s0, s1, s2, s3, s4, s5, s6, s7 float32
 			for k, av := range arow {
 				s0 += av * b0[k]
 				s1 += av * b1[k]
 				s2 += av * b2[k]
 				s3 += av * b3[k]
+				s4 += av * b4[k]
+				s5 += av * b5[k]
+				s6 += av * b6[k]
+				s7 += av * b7[k]
 			}
-			d4 := drow[j : j+4 : j+4]
-			d4[0], d4[1], d4[2], d4[3] = s0, s1, s2, s3
+			d8 := drow[j : j+8 : j+8]
+			d8[0], d8[1], d8[2], d8[3] = s0, s1, s2, s3
+			d8[4], d8[5], d8[6], d8[7] = s4, s5, s6, s7
 		}
 		for ; j < b.Rows; j++ {
 			brow := b.Row(j)
@@ -165,7 +194,7 @@ func MatMulABT(dst, a, b *Matrix) {
 	}
 }
 
-// Axpy computes y += alpha*x elementwise, 4-wide unrolled; the result is
+// Axpy computes y += alpha*x elementwise, 8-wide unrolled; the result is
 // bit-identical to the straight loop (one multiply-add per element either
 // way). The slices must be equal length.
 func Axpy(alpha float32, x, y []float32) {
@@ -175,16 +204,20 @@ func Axpy(alpha float32, x, y []float32) {
 	axpyCore(alpha, x, y)
 }
 
-// Scale multiplies every element of x by alpha in place, 4-wide unrolled;
+// Scale multiplies every element of x by alpha in place, 8-wide unrolled;
 // bit-identical to the straight loop.
 func Scale(alpha float32, x []float32) {
 	i := 0
-	for ; i+4 <= len(x); i += 4 {
-		x4 := x[i : i+4 : i+4]
-		x4[0] *= alpha
-		x4[1] *= alpha
-		x4[2] *= alpha
-		x4[3] *= alpha
+	for ; i+8 <= len(x); i += 8 {
+		x8 := x[i : i+8 : i+8]
+		x8[0] *= alpha
+		x8[1] *= alpha
+		x8[2] *= alpha
+		x8[3] *= alpha
+		x8[4] *= alpha
+		x8[5] *= alpha
+		x8[6] *= alpha
+		x8[7] *= alpha
 	}
 	for ; i < len(x); i++ {
 		x[i] *= alpha
@@ -193,26 +226,31 @@ func Scale(alpha float32, x []float32) {
 
 // Dot returns the inner product of x and y.
 //
-// The sum runs in four independent accumulator chains combined as
-// (s0+s1)+(s2+s3), so the float32 additions are reassociated relative to the
-// straight left-to-right loop: results may differ from the reference sum by
-// a few ULPs (the property test bounds the divergence against a float64
-// reference), in exchange for breaking the loop-carried add dependency.
+// The sum runs in eight independent accumulator chains combined pairwise as
+// ((s0+s1)+(s2+s3))+((s4+s5)+(s6+s7)), so the float32 additions are
+// reassociated relative to the straight left-to-right loop: results may
+// differ from the reference sum by a few ULPs (the property test bounds the
+// divergence against a float64 reference), in exchange for breaking the
+// loop-carried add dependency eight ways.
 func Dot(x, y []float32) float32 {
 	if len(x) != len(y) {
 		panic("tensor: Dot length mismatch")
 	}
-	var s0, s1, s2, s3 float32
+	var s0, s1, s2, s3, s4, s5, s6, s7 float32
 	i := 0
-	for ; i+4 <= len(x); i += 4 {
-		x4 := x[i : i+4 : i+4]
-		y4 := y[i : i+4 : i+4]
-		s0 += x4[0] * y4[0]
-		s1 += x4[1] * y4[1]
-		s2 += x4[2] * y4[2]
-		s3 += x4[3] * y4[3]
+	for ; i+8 <= len(x); i += 8 {
+		x8 := x[i : i+8 : i+8]
+		y8 := y[i : i+8 : i+8]
+		s0 += x8[0] * y8[0]
+		s1 += x8[1] * y8[1]
+		s2 += x8[2] * y8[2]
+		s3 += x8[3] * y8[3]
+		s4 += x8[4] * y8[4]
+		s5 += x8[5] * y8[5]
+		s6 += x8[6] * y8[6]
+		s7 += x8[7] * y8[7]
 	}
-	s := (s0 + s1) + (s2 + s3)
+	s := ((s0 + s1) + (s2 + s3)) + ((s4 + s5) + (s6 + s7))
 	for ; i < len(x); i++ {
 		s += x[i] * y[i]
 	}
