@@ -8,6 +8,7 @@
 //	hetgmp-obs analyze -trace trace.json [-metrics metrics.json] [-o report.json] [-label name]
 //	hetgmp-obs show report.json
 //	hetgmp-obs diff -base baseline.json -cand report.json [tolerance flags] [-allow-meta]
+//	hetgmp-obs merge [-o cluster.json] rank0-report.json rank1-report.json ...
 //	hetgmp-obs perturb -in report.json -o out.json [-overlap-scale f] [-time-scale f] [-share-shift f]
 //
 // `analyze` consumes the files `hetgmp-train -trace/-metrics` writes and
@@ -17,7 +18,13 @@
 // `diff` is the regression gate: exit 0 when the candidate is within
 // tolerance of the baseline, exit 1 on a regression, exit 2 on usage errors
 // or incomparable reports (schema or config-hash mismatch) — CI can tell "it
-// got slower" apart from "you compared the wrong runs".
+// got slower" apart from "you compared the wrong runs". It accepts either
+// two RunReports or two ClusterReports (auto-detected).
+//
+// `merge` folds one RunReport per rank of a distributed run into a
+// ClusterReport, verifying cross-rank bit-identity of the simulated
+// telemetry and reciprocity of the real wire ledgers; any inconsistency is
+// an exit-2 failure, so the merge is itself a correctness check.
 //
 // `perturb` exists so the gate can be tested end-to-end: CI perturbs a
 // report beyond tolerance and requires diff to fail.
@@ -44,6 +51,8 @@ func main() {
 		cmdShow(os.Args[2:])
 	case "diff":
 		cmdDiff(os.Args[2:])
+	case "merge":
+		cmdMerge(os.Args[2:])
 	case "perturb":
 		cmdPerturb(os.Args[2:])
 	default:
@@ -52,11 +61,12 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hetgmp-obs <analyze|show|diff|perturb> [flags]
+	fmt.Fprintln(os.Stderr, `usage: hetgmp-obs <analyze|show|diff|merge|perturb> [flags]
 
   analyze  build a RunReport from exported trace (+ metrics) files
-  show     render a RunReport JSON as text
+  show     render a RunReport or ClusterReport JSON as text
   diff     gate a candidate report against a baseline (exit 1 on regression)
+  merge    fold per-rank RunReports into a verified ClusterReport
   perturb  distort a report beyond tolerance, for testing the gate`)
 	os.Exit(2)
 }
@@ -131,11 +141,43 @@ func cmdShow(args []string) {
 	if fs.NArg() != 1 {
 		fatal(fmt.Errorf("show: want exactly one report.json argument"))
 	}
-	rep, err := analyze.ReadReport(fs.Arg(0))
+	rep, clus, err := analyze.ReadAnyReport(fs.Arg(0))
 	if err != nil {
 		fatal(err)
 	}
+	if clus != nil {
+		fmt.Println(clus.String())
+		return
+	}
 	fmt.Println(rep.String())
+}
+
+func cmdMerge(args []string) {
+	fs := flag.NewFlagSet("merge", flag.ExitOnError)
+	out := fs.String("o", "", "write the ClusterReport JSON to this file")
+	fs.Parse(args)
+	if fs.NArg() < 2 {
+		fatal(fmt.Errorf("merge: want one per-rank report.json per rank (at least 2)"))
+	}
+	var reports []*analyze.RunReport
+	for _, path := range fs.Args() {
+		rep, err := analyze.ReadReport(path)
+		if err != nil {
+			fatal(err)
+		}
+		reports = append(reports, rep)
+	}
+	clus, err := analyze.MergeCluster(reports)
+	if err != nil {
+		fatal(err) // cross-rank inconsistency → exit 2
+	}
+	fmt.Println(clus.String())
+	if *out != "" {
+		if err := clus.WriteJSON(*out); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote cluster report to %s\n", *out)
+	}
 }
 
 func cmdDiff(args []string) {
@@ -147,25 +189,35 @@ func cmdDiff(args []string) {
 	tolShare := fs.Float64("tol-share", def.PhaseShare, "allowed absolute drift of any phase's time share")
 	tolTime := fs.Float64("tol-time", def.SimTimeFrac, "allowed fractional increase of total simulated time")
 	tolBytes := fs.Float64("tol-bytes", def.BytesFrac, "allowed fractional increase of total bytes moved")
+	tolWireSkew := fs.Float64("tol-wire-skew", def.WireSkewFrac, "allowed fractional increase of cross-rank wire skew (cluster reports only)")
 	allowMeta := fs.Bool("allow-meta", false, "compare despite config-hash mismatch (schema must still match)")
 	fs.Parse(args)
 	if *basePath == "" || *candPath == "" {
 		fatal(fmt.Errorf("diff: -base and -cand are required"))
 	}
 
-	base, err := analyze.ReadReport(*basePath)
+	base, baseClus, err := analyze.ReadAnyReport(*basePath)
 	if err != nil {
 		fatal(err)
 	}
-	cand, err := analyze.ReadReport(*candPath)
+	cand, candClus, err := analyze.ReadAnyReport(*candPath)
 	if err != nil {
 		fatal(err)
+	}
+	if (baseClus == nil) != (candClus == nil) {
+		fatal(fmt.Errorf("diff: cannot compare a RunReport against a ClusterReport"))
 	}
 	tol := analyze.Tolerance{
 		Overlap: *tolOverlap, PhaseShare: *tolShare,
 		SimTimeFrac: *tolTime, BytesFrac: *tolBytes,
+		WireSkewFrac: *tolWireSkew,
 	}
-	v, err := analyze.Diff(base, cand, tol, *allowMeta)
+	var v *analyze.Verdict
+	if baseClus != nil {
+		v, err = analyze.DiffCluster(baseClus, candClus, tol, *allowMeta)
+	} else {
+		v, err = analyze.Diff(base, cand, tol, *allowMeta)
+	}
 	if err != nil {
 		fatal(err) // incomparable → exit 2, distinct from a regression
 	}

@@ -8,7 +8,7 @@
 //	             [-gpus n] [-staleness s] [-epochs n] [-dim n] [-batch n] [-seed n]
 //	             [-transport sim|tcp] [-rank r] [-peers host:port,...]
 //	             [-trace out.json] [-metrics out-metrics.json] [-report report.json]
-//	             [-cpuprofile out.pprof] [-memprofile out.pprof]
+//	             [-http addr] [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Systems: tf-ps, parallax, hugectr, het-mp, het-gmp.
 //
@@ -24,12 +24,24 @@
 // -report runs the critical-path analyzer over the finished run, writes the
 // typed RunReport as JSON and appends its rendering to the run summary;
 // compare two reports with `hetgmp-obs diff`.
+// -http serves live telemetry while training runs: Prometheus text
+// exposition at /metrics (race-safe sources only, so scraping never
+// perturbs the run) and net/http/pprof under /debug/pprof/.
+//
+// In tcp mode all telemetry is rank-tagged: -trace/-metrics/-report paths
+// gain a .rankN suffix (report.json → report.rank0.json), metric snapshots
+// and /metrics samples carry the rank, and trace events carry pid = rank.
+// Merge the per-rank reports with `hetgmp-obs merge`.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
+	httpprof "net/http/pprof"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -70,6 +82,7 @@ func main() {
 		transport = flag.String("transport", "sim", "execution backend: 'sim' runs all workers in this process; 'tcp' runs one worker per process over real sockets (requires -rank and -peers)")
 		rank      = flag.Int("rank", 0, "this process's rank for -transport=tcp")
 		peers     = flag.String("peers", "", "comma-separated host:port listen addresses, one per rank, for -transport=tcp (overrides -gpus: one GPU per peer)")
+		httpAddr  = flag.String("http", "", "serve live telemetry on this address (e.g. :9090): Prometheus text exposition at /metrics plus net/http/pprof under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -97,6 +110,57 @@ func main() {
 		}()
 	}
 
+	// Resolve the tcp peer list first: it fixes the worker count, which
+	// sizes the registry, and both must exist before the transport connects
+	// so the transport's instruments land in the same registry.
+	var addrs []string
+	if *transport == "tcp" {
+		addrs = strings.Split(*peers, ",")
+		if *peers == "" || len(addrs) < 2 {
+			fatal(fmt.Errorf("-transport=tcp needs -peers with at least two comma-separated addresses"))
+		}
+		*gpus = len(addrs)
+	}
+
+	var reg *obs.Registry
+	var tracer *obs.Tracer
+	if *metPath != "" || *tracePath != "" || *repPath != "" || *httpAddr != "" {
+		reg = obs.NewRegistry(*gpus)
+		// Rank-tag the registry immediately (the engine would do it too, but
+		// only once the transport has connected): every /metrics scrape —
+		// including ones during the connect window — carries the rank label.
+		if *transport == "tcp" {
+			reg.SetRank(*rank, len(addrs))
+		}
+	}
+	if *tracePath != "" || *repPath != "" {
+		tracer = obs.NewTracer()
+	}
+
+	// Live telemetry endpoint. Started before the transport connects, so a
+	// rank waiting out startup skew in Connect is already scrapeable. The
+	// handler serves the registry's LiveSnapshot (race-safe sources only),
+	// so scraping mid-run cannot perturb training.
+	if *httpAddr != "" {
+		lis, err := net.Listen("tcp", *httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/debug/pprof/", httpprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", httpprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", httpprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", httpprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", httpprof.Trace)
+		fmt.Printf("telemetry: serving /metrics and /debug/pprof on %s\n", lis.Addr())
+		go func() {
+			if err := http.Serve(lis, mux); err != nil {
+				fmt.Fprintln(os.Stderr, "hetgmp-train: telemetry server:", err)
+			}
+		}()
+	}
+
 	// Multi-process mode: every rank builds the identical job (same seed,
 	// same dataset, same partition) and the engine exchanges per-iteration
 	// effects over the transport; any rank's results and checkpoint are
@@ -106,18 +170,19 @@ func main() {
 	switch *transport {
 	case "sim":
 	case "tcp":
-		addrs := strings.Split(*peers, ",")
-		if *peers == "" || len(addrs) < 2 {
-			fatal(fmt.Errorf("-transport=tcp needs -peers with at least two comma-separated addresses"))
-		}
-		*gpus = len(addrs)
-		tr, err := tcpnet.Connect(tcpnet.Config{Rank: *rank, Peers: addrs})
+		tr, err := tcpnet.Connect(tcpnet.Config{Rank: *rank, Peers: addrs, Obs: reg})
 		if err != nil {
 			fatal(err)
 		}
 		defer tr.Close()
 		fmt.Printf("transport: tcp, rank %d of %d (%s)\n", *rank, len(addrs), addrs[*rank])
 		dist = &engine.DistConfig{Transport: tr, RecvTimeout: 2 * time.Minute}
+		// Each rank writes its own telemetry files: report.json becomes
+		// report.rank0.json etc. Checkpoint and CSV names stay exactly as
+		// given — they are per-rank outputs the caller names explicitly.
+		*tracePath = rankPath(*tracePath, *rank)
+		*metPath = rankPath(*metPath, *rank)
+		*repPath = rankPath(*repPath, *rank)
 	default:
 		fatal(fmt.Errorf("unknown -transport %q (want sim or tcp)", *transport))
 	}
@@ -134,14 +199,6 @@ func main() {
 	s := *staleness
 	if s < 0 {
 		s = embed.StalenessInf
-	}
-	var reg *obs.Registry
-	var tracer *obs.Tracer
-	if *metPath != "" || *tracePath != "" || *repPath != "" {
-		reg = obs.NewRegistry(topo.NumWorkers())
-	}
-	if *tracePath != "" || *repPath != "" {
-		tracer = obs.NewTracer()
 	}
 	tr, err := systems.Build(systems.System(*sysName), systems.Options{
 		Train: train, Test: test, ModelName: *model, Topo: topo,
@@ -284,6 +341,17 @@ func main() {
 		}
 		fmt.Printf("wrote checkpoint to %s\n", *ckptPath)
 	}
+}
+
+// rankPath inserts ".rankN" before the extension, so each rank of a
+// multi-process run writes its own telemetry file: report.json →
+// report.rank0.json. Empty paths stay empty.
+func rankPath(p string, rank int) string {
+	if p == "" {
+		return ""
+	}
+	ext := filepath.Ext(p)
+	return fmt.Sprintf("%s.rank%d%s", strings.TrimSuffix(p, ext), rank, ext)
 }
 
 func fatal(err error) {

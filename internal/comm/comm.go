@@ -123,7 +123,9 @@ func (f *Fabric) SetObs(reg *obs.Registry) {
 	for c := range names {
 		m.catBytes[c] = reg.Counter(names[c])
 	}
-	reg.RegisterCollector(func(emit func(obs.Metric)) {
+	// Live: Snapshot copies under the fabric mutex, so the /metrics handler
+	// may run this collector concurrently with training.
+	reg.RegisterLiveCollector(func(emit func(obs.Metric)) {
 		snap := f.Snapshot()
 		n := snap.NumWorkers
 		for src := 0; src < n; src++ {

@@ -30,6 +30,7 @@ func Run(t *testing.T, name string, factory Factory) {
 	t.Run(name+"/RoundTrip", func(t *testing.T) { testRoundTrip(t, factory) })
 	t.Run(name+"/Ordering", func(t *testing.T) { testOrdering(t, factory) })
 	t.Run(name+"/LedgerTotals", func(t *testing.T) { testLedgerTotals(t, factory) })
+	t.Run(name+"/LinkLedger", func(t *testing.T) { testLinkLedger(t, factory) })
 	t.Run(name+"/ConcurrentSenders", func(t *testing.T) { testConcurrentSenders(t, factory) })
 	t.Run(name+"/SendValidation", func(t *testing.T) { testSendValidation(t, factory) })
 	t.Run(name+"/RecvTimeout", func(t *testing.T) { testRecvTimeout(t, factory) })
@@ -193,6 +194,71 @@ func testLedgerTotals(t *testing.T, factory Factory) {
 		}
 		if m, b := recv.TotalSent(); m != 0 || b != 0 {
 			t.Errorf("idle endpoint reports %d sent msgs / %d bytes", m, b)
+		}
+	})
+}
+
+// testLinkLedger sends an asymmetric fixed pattern across a 3-rank mesh and
+// checks the per-peer ledger at both ends of every link: the sender's
+// sent-to-peer cell must equal the receiver's recv-from-peer cell
+// (reciprocity — the invariant MergeCluster verifies across real rank
+// reports), and the per-link cells must sum to the aggregate Stats totals.
+func testLinkLedger(t *testing.T, factory Factory) {
+	ts := factory(t, 3)
+	defer closeAll(ts)
+	guard(t, 30*time.Second, func() {
+		// pattern[src][dst] lists payload sizes sent on that link. Asymmetric
+		// on purpose: every link carries a different byte total, including one
+		// silent link (2→0), so a transposed or mis-indexed ledger cannot pass.
+		pattern := [3][3][]int{
+			0: {1: {0, 64}, 2: {128}},
+			1: {0: {16}, 2: {256, 512, 1 << 10}},
+			2: {1: {32}},
+		}
+		var wantMsgs, wantBytes [3][3]int64
+		for src := range pattern {
+			for dst, sizes := range pattern[src] {
+				for _, s := range sizes {
+					if err := ts[src].Send(dst, &comm.Message{Type: comm.MsgGradPush, Payload: make([]byte, s)}); err != nil {
+						t.Fatal(err)
+					}
+					wantMsgs[src][dst]++
+					wantBytes[src][dst] += comm.FrameSize(s)
+				}
+				for range sizes {
+					if _, err := ts[dst].Recv(src); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+		for r := range ts {
+			links := ts[r].LinkStats()
+			if len(links) != 3 {
+				t.Fatalf("rank %d: LinkStats has %d entries, want 3 (one per rank)", r, len(links))
+			}
+			var sm, sb, rm, rb int64
+			for p, l := range links {
+				if l.Peer != p {
+					t.Errorf("rank %d: LinkStats[%d].Peer = %d, want %d", r, p, l.Peer, p)
+				}
+				if l.SentMsgs != wantMsgs[r][p] || l.SentBytes != wantBytes[r][p] {
+					t.Errorf("rank %d link →%d: sent %d msgs / %d bytes, want %d / %d",
+						r, p, l.SentMsgs, l.SentBytes, wantMsgs[r][p], wantBytes[r][p])
+				}
+				if l.RecvMsgs != wantMsgs[p][r] || l.RecvBytes != wantBytes[p][r] {
+					t.Errorf("rank %d link ←%d: recv %d msgs / %d bytes, want %d / %d",
+						r, p, l.RecvMsgs, l.RecvBytes, wantMsgs[p][r], wantBytes[p][r])
+				}
+				sm, sb, rm, rb = sm+l.SentMsgs, sb+l.SentBytes, rm+l.RecvMsgs, rb+l.RecvBytes
+			}
+			st := ts[r].Stats()
+			if m, b := st.TotalSent(); m != sm || b != sb {
+				t.Errorf("rank %d: links sum to %d sent msgs / %d bytes, Stats says %d / %d", r, sm, sb, m, b)
+			}
+			if m, b := st.TotalRecv(); m != rm || b != rb {
+				t.Errorf("rank %d: links sum to %d recv msgs / %d bytes, Stats says %d / %d", r, rm, rb, m, b)
+			}
 		}
 	})
 }

@@ -192,6 +192,15 @@ func TestCrossBackendOracle(t *testing.T) {
 		t.Fatalf("reference run did not learn: AUC %v", ref.res.FinalAUC)
 	}
 
+	// Per-backend, per-rank transport ledgers, captured before the
+	// transports close. The same deterministic exchange must produce the
+	// same accounting no matter which wire carried it.
+	type rankLedger struct {
+		stats comm.Stats
+		links []comm.LinkStats
+	}
+	ledgers := map[string][]rankLedger{}
+
 	for _, backend := range []struct {
 		name    string
 		factory Factory
@@ -211,7 +220,37 @@ func TestCrossBackendOracle(t *testing.T) {
 			for r, run := range runs {
 				assertOracleEqual(t, fmt.Sprintf("%s/rank%d", backend.name, r), ref, run)
 			}
+			lg := make([]rankLedger, oracleRanks)
+			for r := range ts {
+				lg[r] = rankLedger{stats: ts[r].Stats(), links: ts[r].LinkStats()}
+			}
+			ledgers[backend.name] = lg
 		})
+	}
+
+	// Telemetry joins the oracle: mem and tcp must report bit-identical
+	// message/byte ledgers for the identical exchange, per rank, per link.
+	mem, tcp := ledgers["mem"], ledgers["tcp"]
+	if len(mem) != oracleRanks || len(tcp) != oracleRanks {
+		t.Fatalf("missing backend ledgers (mem %d ranks, tcp %d ranks)", len(mem), len(tcp))
+	}
+	for r := 0; r < oracleRanks; r++ {
+		if mem[r].stats != tcp[r].stats {
+			t.Errorf("rank %d: ledger totals diverge across backends:\nmem %+v\ntcp %+v",
+				r, mem[r].stats, tcp[r].stats)
+		}
+		if len(mem[r].links) != len(tcp[r].links) {
+			t.Fatalf("rank %d: %d mem links vs %d tcp links", r, len(mem[r].links), len(tcp[r].links))
+		}
+		for p := range mem[r].links {
+			if mem[r].links[p] != tcp[r].links[p] {
+				t.Errorf("rank %d link %d: per-peer ledger diverges across backends:\nmem %+v\ntcp %+v",
+					r, p, mem[r].links[p], tcp[r].links[p])
+			}
+		}
+	}
+	if m, _ := mem[0].stats.TotalSent(); m == 0 {
+		t.Error("oracle exchange moved no messages — ledger comparison is vacuous")
 	}
 }
 

@@ -40,6 +40,7 @@ func NewMemNetwork(n int) []*MemTransport {
 			inbox[p] = &MessageQueue{}
 		}
 		ts[r] = &MemTransport{rank: r, inbox: inbox}
+		ts[r].stats.InitPeers(n)
 	}
 	for r := range ts {
 		ts[r].peers = ts
@@ -69,6 +70,9 @@ func (t *MemTransport) recvTimeout() time.Duration {
 // Stats implements Transport.
 func (t *MemTransport) Stats() Stats { return t.stats.Snapshot() }
 
+// LinkStats implements Transport.
+func (t *MemTransport) LinkStats() []LinkStats { return t.stats.LinkSnapshot() }
+
 // Send implements Transport. The message is validated against the wire
 // format's limits (type, payload size) so a payload a real backend could
 // not frame is rejected here too.
@@ -90,8 +94,8 @@ func (t *MemTransport) Send(to int, m *Message) error {
 	if !peer.inbox[t.rank].Push(m) {
 		return &PeerError{Peer: to, Op: "send to", Err: ErrPeerClosed}
 	}
-	t.stats.RecordSend(m.Type, size)
-	peer.stats.RecordRecv(m.Type, size)
+	t.stats.RecordSendTo(to, m.Type, size)
+	peer.stats.RecordRecvFrom(t.rank, m.Type, size)
 	return nil
 }
 

@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"hetgmp/internal/comm"
+	"hetgmp/internal/obs"
 )
 
 // Config describes one endpoint of the mesh.
@@ -41,6 +42,12 @@ type Config struct {
 	// including retries while peer processes are still starting.
 	// Zero means 30s.
 	DialTimeout time.Duration
+	// Obs optionally attaches an observability registry: connection
+	// lifecycle counters, encode/flush/decode wall-clock histograms and the
+	// byte ledger as a live collector (comm.ObserveTransport). Nil — the
+	// default — is fully disabled at zero cost, per the obs package
+	// contract.
+	Obs *obs.Registry
 }
 
 // Transport is a connected TCP mesh endpoint implementing comm.Transport.
@@ -48,6 +55,7 @@ type Transport struct {
 	rank  int
 	size  int
 	stats comm.Ledger
+	met   *netMetrics // nil when observability is off
 
 	conns  []*conn // index by peer rank; nil at own rank
 	inbox  []*comm.MessageQueue
@@ -56,6 +64,35 @@ type Transport struct {
 
 	mu      sync.Mutex
 	timeout time.Duration
+}
+
+// netMetrics are the backend's wall-clock instruments. All methods are
+// nil-receiver safe so the data path stays branch-plus-return when
+// observability is off; stripes are keyed by peer rank (one writer
+// goroutine per peer link).
+type netMetrics struct {
+	encode  *obs.Histogram // frame encode (AppendFrame) wall nanoseconds
+	flush   *obs.Histogram // socket write wall nanoseconds
+	decode  *obs.Histogram // payload read + decode wall nanoseconds
+	dials   *obs.Counter   // outbound connections established
+	accepts *obs.Counter   // inbound connections accepted
+	retries *obs.Counter   // dial attempts that failed and were retried
+	eofs    *obs.Counter   // links torn down by a peer close (EOF/RST)
+}
+
+func newNetMetrics(reg *obs.Registry) *netMetrics {
+	if reg == nil {
+		return nil
+	}
+	return &netMetrics{
+		encode:  reg.Histogram("transport.encode_wall_nanos", obs.TimeEdges()),
+		flush:   reg.Histogram("transport.flush_wall_nanos", obs.TimeEdges()),
+		decode:  reg.Histogram("transport.decode_wall_nanos", obs.TimeEdges()),
+		dials:   reg.Counter("transport.connects"),
+		accepts: reg.Counter("transport.accepts"),
+		retries: reg.Counter("transport.dial_retries"),
+		eofs:    reg.Counter("transport.peer_eof"),
+	}
 }
 
 // conn is one established link to a peer.
@@ -88,13 +125,16 @@ func Connect(cfg Config) (*Transport, error) {
 	t := &Transport{
 		rank:  cfg.Rank,
 		size:  n,
+		met:   newNetMetrics(cfg.Obs),
 		conns: make([]*conn, n),
 		inbox: make([]*comm.MessageQueue, n),
 	}
+	t.stats.InitPeers(n)
 	for p := range t.inbox {
 		t.inbox[p] = &comm.MessageQueue{}
 	}
 	if n == 1 {
+		comm.ObserveTransport(cfg.Obs, t)
 		return t, nil
 	}
 
@@ -135,6 +175,9 @@ func Connect(cfg Config) (*Transport, error) {
 				results <- dialed{err: err}
 				return
 			}
+			if t.met != nil {
+				t.met.accepts.Inc(peer)
+			}
 			results <- dialed{peer: peer, sock: sock}
 		}
 	}()
@@ -163,6 +206,9 @@ func Connect(cfg Config) (*Transport, error) {
 						}
 					}
 					if err == nil {
+						if t.met != nil {
+							t.met.dials.Inc(p)
+						}
 						results <- dialed{peer: p, sock: sock}
 						return
 					}
@@ -171,6 +217,9 @@ func Connect(cfg Config) (*Transport, error) {
 					return
 				}
 				lastErr = err
+				if t.met != nil {
+					t.met.retries.Inc(p)
+				}
 				time.Sleep(20 * time.Millisecond)
 			}
 		}(p)
@@ -206,6 +255,7 @@ func Connect(cfg Config) (*Transport, error) {
 		go t.writeLoop(c)
 		go t.readLoop(c)
 	}
+	comm.ObserveTransport(cfg.Obs, t)
 	return t, nil
 }
 
@@ -243,11 +293,16 @@ func readHello(sock net.Conn, size int) (int, error) {
 // the link down so the peer's fault surfaces on Recv as well.
 func (t *Transport) writeLoop(c *conn) {
 	defer close(c.done)
+	met := t.met
 	var buf []byte
+	var clock time.Time
 	for {
 		m, err := c.outbox.Pop(0)
 		if err != nil {
 			return
+		}
+		if met != nil {
+			clock = time.Now()
 		}
 		buf, err = comm.AppendFrame(buf[:0], t.rank, m)
 		if err != nil {
@@ -256,9 +311,17 @@ func (t *Transport) writeLoop(c *conn) {
 			t.failConn(c, fmt.Errorf("tcpnet: encode for rank %d: %w", c.peer, err))
 			return
 		}
+		if met != nil {
+			now := time.Now()
+			met.encode.Observe(c.peer, now.Sub(clock).Nanoseconds())
+			clock = now
+		}
 		if _, err := c.sock.Write(buf); err != nil {
 			t.failConn(c, err)
 			return
+		}
+		if met != nil {
+			met.flush.Observe(c.peer, time.Since(clock).Nanoseconds())
 		}
 	}
 }
@@ -273,18 +336,38 @@ func peerFault(err error) error {
 	return err
 }
 
-// readLoop decodes frames into the per-peer inbox until the link dies.
+// readLoop decodes frames into the per-peer inbox until the link dies. The
+// header read is untimed (it blocks across socket idle), so the decode
+// histogram measures payload transfer + decode only. A frame is ledgered
+// before it is pushed, so any message the application has popped is already
+// accounted — end-of-run ledgers are complete once the protocol has
+// consumed its last message.
 func (t *Transport) readLoop(c *conn) {
+	met := t.met
+	var clock time.Time
 	for {
-		from, m, err := comm.ReadFrame(c.sock)
+		from, shell, payloadLen, err := comm.ReadFrameHeader(c.sock)
+		if err == nil {
+			if met != nil {
+				clock = time.Now()
+			}
+			err = comm.ReadFramePayload(c.sock, &shell, payloadLen)
+		}
 		if err != nil {
 			if t.closed.Load() {
 				t.inbox[c.peer].CloseWith(comm.ErrClosed)
 			} else {
-				t.inbox[c.peer].CloseWith(&comm.PeerError{Peer: c.peer, Op: "recv from", Err: peerFault(err)})
+				fault := peerFault(err)
+				if met != nil && errors.Is(fault, comm.ErrPeerClosed) {
+					met.eofs.Inc(c.peer)
+				}
+				t.inbox[c.peer].CloseWith(&comm.PeerError{Peer: c.peer, Op: "recv from", Err: fault})
 			}
 			c.outbox.CloseWith(comm.ErrPeerClosed)
 			return
+		}
+		if met != nil {
+			met.decode.Observe(c.peer, time.Since(clock).Nanoseconds())
 		}
 		if from != c.peer {
 			t.inbox[c.peer].CloseWith(&comm.PeerError{
@@ -294,7 +377,8 @@ func (t *Transport) readLoop(c *conn) {
 			c.outbox.CloseWith(comm.ErrPeerClosed)
 			return
 		}
-		t.stats.RecordRecv(m.Type, comm.FrameSize(len(m.Payload)))
+		m := &shell
+		t.stats.RecordRecvFrom(c.peer, m.Type, comm.FrameSize(len(m.Payload)))
 		t.inbox[c.peer].Push(m)
 	}
 }
@@ -331,6 +415,9 @@ func (t *Transport) recvTimeout() time.Duration {
 // Stats implements comm.Transport.
 func (t *Transport) Stats() comm.Stats { return t.stats.Snapshot() }
 
+// LinkStats implements comm.Transport.
+func (t *Transport) LinkStats() []comm.LinkStats { return t.stats.LinkSnapshot() }
+
 // Send implements comm.Transport: validate, account, enqueue. The writer
 // goroutine owns the socket, so Send is safe for concurrent use and never
 // blocks on a full kernel buffer.
@@ -354,7 +441,7 @@ func (t *Transport) Send(to int, m *Message) error {
 	if c == nil || !c.outbox.Push(m) {
 		return &comm.PeerError{Peer: to, Op: "send to", Err: comm.ErrPeerClosed}
 	}
-	t.stats.RecordSend(m.Type, comm.FrameSize(len(m.Payload)))
+	t.stats.RecordSendTo(to, m.Type, comm.FrameSize(len(m.Payload)))
 	return nil
 }
 

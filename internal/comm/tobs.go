@@ -1,0 +1,63 @@
+// Transport observability: a live registry collector exporting a
+// transport's byte ledger — per-message-type send/recv counters and the
+// per-peer wire matrix. The ledger is lock-free atomics, so the collector
+// is registered live (RegisterLiveCollector) and the /metrics handler may
+// scrape it while training is in flight without racing or perturbing the
+// run. A nil registry is the usual fully-disabled state.
+package comm
+
+import (
+	"fmt"
+
+	"hetgmp/internal/obs"
+)
+
+// ObserveTransport registers a live collector exporting tr's ledger:
+//
+//	transport.sent.<type>.msgs / .bytes     per-type send counters
+//	transport.recv.<type>.msgs / .bytes     per-type recv counters
+//	transport.link.SS->DD.sent_msgs/.sent_bytes   frames this rank sent to DD
+//	transport.link.SS->DD.recv_msgs/.recv_bytes   frames this rank accepted from SS
+//
+// Link names always put the sending rank first, so rank a's
+// transport.link.a->b.sent_bytes and rank b's transport.link.a->b.recv_bytes
+// name the same wire link and must agree — the reciprocity the cluster
+// merge verifies. Per-type counters are emitted for every type
+// (deterministic metric set); link counters only for links with traffic.
+func ObserveTransport(reg *obs.Registry, tr Transport) {
+	if reg == nil || tr == nil {
+		return
+	}
+	reg.RegisterLiveCollector(func(emit func(obs.Metric)) {
+		st := tr.Stats()
+		for t := MsgType(0); int(t) < NumMsgTypes; t++ {
+			emit(obs.Metric{Name: "transport.sent." + t.String() + ".msgs", Type: "counter", Value: st.SentMsgs[t]})
+			emit(obs.Metric{Name: "transport.sent." + t.String() + ".bytes", Type: "counter", Value: st.SentBytes[t]})
+			emit(obs.Metric{Name: "transport.recv." + t.String() + ".msgs", Type: "counter", Value: st.RecvMsgs[t]})
+			emit(obs.Metric{Name: "transport.recv." + t.String() + ".bytes", Type: "counter", Value: st.RecvBytes[t]})
+		}
+		rank := tr.Rank()
+		for _, l := range tr.LinkStats() {
+			if l.SentMsgs > 0 || l.SentBytes > 0 {
+				emit(obs.Metric{
+					Name: fmt.Sprintf("transport.link.%02d->%02d.sent_msgs", rank, l.Peer),
+					Type: "counter", Value: l.SentMsgs,
+				})
+				emit(obs.Metric{
+					Name: fmt.Sprintf("transport.link.%02d->%02d.sent_bytes", rank, l.Peer),
+					Type: "counter", Value: l.SentBytes,
+				})
+			}
+			if l.RecvMsgs > 0 || l.RecvBytes > 0 {
+				emit(obs.Metric{
+					Name: fmt.Sprintf("transport.link.%02d->%02d.recv_msgs", l.Peer, rank),
+					Type: "counter", Value: l.RecvMsgs,
+				})
+				emit(obs.Metric{
+					Name: fmt.Sprintf("transport.link.%02d->%02d.recv_bytes", l.Peer, rank),
+					Type: "counter", Value: l.RecvBytes,
+				})
+			}
+		}
+	})
+}

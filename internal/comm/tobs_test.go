@@ -1,0 +1,90 @@
+package comm
+
+import (
+	"testing"
+
+	"hetgmp/internal/obs"
+)
+
+// TestObserveTransport pins the transport metric surface: the per-type
+// counters are always present (deterministic metric set), the per-link
+// counters appear only for links with traffic and name the sending rank
+// first on both ends — so the same wire link carries the same metric name
+// on both ranks, with reciprocal values.
+func TestObserveTransport(t *testing.T) {
+	ts := NewMemNetwork(2)
+	defer func() {
+		for _, tr := range ts {
+			tr.Close()
+		}
+	}()
+	regs := [2]*obs.Registry{obs.NewRegistry(1), obs.NewRegistry(1)}
+	for r := range ts {
+		ObserveTransport(regs[r], ts[r])
+	}
+
+	if err := ts[0].Send(1, &Message{Type: MsgGradPush, Payload: make([]byte, 100)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts[0].Send(1, &Message{Type: MsgEmbedPull, Payload: make([]byte, 20)}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := ts[1].Recv(0); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap0 := regs[0].LiveSnapshot()
+	snap1 := regs[1].LiveSnapshot()
+	get := func(s obs.Snapshot, name string) int64 {
+		t.Helper()
+		m, ok := s.Get(name)
+		if !ok {
+			t.Fatalf("metric %q missing from %v", name, s.Metrics)
+		}
+		return m.Value
+	}
+
+	gradBytes := FrameSize(100)
+	if v := get(snap0, "transport.sent.grad-push.bytes"); v != gradBytes {
+		t.Errorf("sent grad-push bytes %d, want %d", v, gradBytes)
+	}
+	if v := get(snap0, "transport.sent.grad-push.msgs"); v != 1 {
+		t.Errorf("sent grad-push msgs %d, want 1", v)
+	}
+	if v := get(snap1, "transport.recv.embed-pull.bytes"); v != FrameSize(20) {
+		t.Errorf("recv embed-pull bytes %d, want %d", v, FrameSize(20))
+	}
+	// Quiet types still export zero-valued counters.
+	if v := get(snap0, "transport.sent.control.msgs"); v != 0 {
+		t.Errorf("idle type counter %d, want 0", v)
+	}
+
+	// The wire link 0→1 has ONE name on both ranks: sender exports
+	// .sent_*, receiver exports .recv_*, values reciprocal.
+	totalBytes := gradBytes + FrameSize(20)
+	if v := get(snap0, "transport.link.00->01.sent_bytes"); v != totalBytes {
+		t.Errorf("sender link bytes %d, want %d", v, totalBytes)
+	}
+	if v := get(snap1, "transport.link.00->01.recv_bytes"); v != totalBytes {
+		t.Errorf("receiver link bytes %d, want %d", v, totalBytes)
+	}
+	if v := get(snap0, "transport.link.00->01.sent_msgs"); v != 2 {
+		t.Errorf("sender link msgs %d, want 2", v)
+	}
+
+	// Silent links export nothing: rank 1 never sent, so no 01->00 metrics.
+	for _, s := range []obs.Snapshot{snap0, snap1} {
+		if _, ok := s.Get("transport.link.01->00.sent_bytes"); ok {
+			t.Error("silent link exported a sent counter")
+		}
+		if _, ok := s.Get("transport.link.01->00.recv_bytes"); ok {
+			t.Error("silent link exported a recv counter")
+		}
+	}
+
+	// Nil registry and nil transport are the disabled states.
+	ObserveTransport(nil, ts[0])
+	ObserveTransport(obs.NewRegistry(1), nil)
+}

@@ -92,6 +92,10 @@ type Transport interface {
 	SetRecvTimeout(d time.Duration)
 	// Stats snapshots the per-type byte/message ledger.
 	Stats() Stats
+	// LinkStats snapshots the per-peer byte/message ledger, indexed by
+	// peer rank (the entry for this endpoint's own rank is zero). The sums
+	// over all links equal the Stats totals.
+	LinkStats() []LinkStats
 	// Close tears the endpoint down, unblocking pending receives with
 	// ErrClosed and surfacing ErrPeerClosed to peers.
 	Close() error
@@ -126,13 +130,42 @@ func (s Stats) TotalRecv() (msgs, bytes int64) {
 	return
 }
 
+// LinkStats is one peer link's share of the byte ledger: messages and
+// frame bytes this endpoint sent to and received from Peer, summed over
+// message types.
+type LinkStats struct {
+	Peer      int
+	SentMsgs  int64
+	SentBytes int64
+	RecvMsgs  int64
+	RecvBytes int64
+}
+
+// linkCell is one peer's lock-free accumulator inside a Ledger.
+type linkCell struct {
+	sentMsgs  atomic.Int64
+	sentBytes atomic.Int64
+	recvMsgs  atomic.Int64
+	recvBytes atomic.Int64
+}
+
 // Ledger is the lock-free accumulation behind Stats, shared by transport
-// backends (MemTransport here, tcpnet.Transport over real sockets).
+// backends (MemTransport here, tcpnet.Transport over real sockets). After
+// InitPeers it also keeps a per-peer breakdown via RecordSendTo /
+// RecordRecvFrom; the directionless RecordSend / RecordRecv remain for
+// callers with no peer attribution.
 type Ledger struct {
 	sentMsgs  [NumMsgTypes]atomic.Int64
 	sentBytes [NumMsgTypes]atomic.Int64
 	recvMsgs  [NumMsgTypes]atomic.Int64
 	recvBytes [NumMsgTypes]atomic.Int64
+	links     []linkCell
+}
+
+// InitPeers sizes the per-peer breakdown for an n-rank mesh. Must be
+// called before any concurrent Record*To/From use.
+func (c *Ledger) InitPeers(n int) {
+	c.links = make([]linkCell, n)
 }
 
 // RecordSend accounts one sent frame of the given wire size.
@@ -147,6 +180,25 @@ func (c *Ledger) RecordRecv(t MsgType, frameBytes int64) {
 	c.recvBytes[t].Add(frameBytes)
 }
 
+// RecordSendTo accounts one frame sent to peer, in both the per-type
+// aggregate and the per-peer breakdown.
+func (c *Ledger) RecordSendTo(peer int, t MsgType, frameBytes int64) {
+	c.RecordSend(t, frameBytes)
+	if peer >= 0 && peer < len(c.links) {
+		c.links[peer].sentMsgs.Add(1)
+		c.links[peer].sentBytes.Add(frameBytes)
+	}
+}
+
+// RecordRecvFrom accounts one frame accepted off the link from peer.
+func (c *Ledger) RecordRecvFrom(peer int, t MsgType, frameBytes int64) {
+	c.RecordRecv(t, frameBytes)
+	if peer >= 0 && peer < len(c.links) {
+		c.links[peer].recvMsgs.Add(1)
+		c.links[peer].recvBytes.Add(frameBytes)
+	}
+}
+
 // Snapshot copies the ledger into a Stats value.
 func (c *Ledger) Snapshot() Stats {
 	var s Stats
@@ -157,6 +209,25 @@ func (c *Ledger) Snapshot() Stats {
 		s.RecvBytes[t] = c.recvBytes[t].Load()
 	}
 	return s
+}
+
+// LinkSnapshot copies the per-peer breakdown, indexed by peer rank. Nil
+// until InitPeers.
+func (c *Ledger) LinkSnapshot() []LinkStats {
+	if c.links == nil {
+		return nil
+	}
+	ls := make([]LinkStats, len(c.links))
+	for p := range c.links {
+		ls[p] = LinkStats{
+			Peer:      p,
+			SentMsgs:  c.links[p].sentMsgs.Load(),
+			SentBytes: c.links[p].sentBytes.Load(),
+			RecvMsgs:  c.links[p].recvMsgs.Load(),
+			RecvBytes: c.links[p].recvBytes.Load(),
+		}
+	}
+	return ls
 }
 
 // Transport fault sentinels. Implementations wrap them in *PeerError where

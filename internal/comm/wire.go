@@ -130,27 +130,48 @@ func DecodeFrame(buf []byte) (from int, m *Message, consumed int, err error) {
 	return from, &shell, FrameHeaderSize + payloadLen, nil
 }
 
+// ReadFrameHeader reads and validates one frame header from r, returning
+// the sender rank, the payload-less message shell and the payload length
+// still on the stream. It blocks until a header arrives, so a transport
+// that wants to time payload decode separately from socket idle wait can
+// start its clock after this returns. A clean EOF at a frame boundary
+// stays io.EOF; a stream ending mid-header surfaces as ErrShortFrame.
+func ReadFrameHeader(r io.Reader) (from int, shell Message, payloadLen int, err error) {
+	var hdr [FrameHeaderSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return 0, Message{}, 0, io.EOF
+		}
+		return 0, Message{}, 0, fmt.Errorf("%w: %w", ErrShortFrame, err)
+	}
+	return parseHeader(hdr[:])
+}
+
+// ReadFramePayload reads the payload announced by a validated header into
+// shell.Payload. The allocation happens only here, after the length prefix
+// passed validation in ReadFrameHeader.
+func ReadFramePayload(r io.Reader, shell *Message, payloadLen int) error {
+	if payloadLen <= 0 {
+		return nil
+	}
+	shell.Payload = make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, shell.Payload); err != nil {
+		return fmt.Errorf("%w: %w", ErrShortFrame, err)
+	}
+	return nil
+}
+
 // ReadFrame reads one frame from r. The payload is freshly allocated only
 // after the length prefix passed validation, and a stream that ends mid-
 // frame surfaces as ErrShortFrame wrapped over io.ErrUnexpectedEOF (a clean
 // EOF at a frame boundary stays io.EOF).
 func ReadFrame(r io.Reader) (from int, m *Message, err error) {
-	var hdr [FrameHeaderSize]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		if err == io.EOF {
-			return 0, nil, io.EOF
-		}
-		return 0, nil, fmt.Errorf("%w: %w", ErrShortFrame, err)
-	}
-	from, shell, payloadLen, err := parseHeader(hdr[:])
+	from, shell, payloadLen, err := ReadFrameHeader(r)
 	if err != nil {
 		return 0, nil, err
 	}
-	if payloadLen > 0 {
-		shell.Payload = make([]byte, payloadLen)
-		if _, err := io.ReadFull(r, shell.Payload); err != nil {
-			return 0, nil, fmt.Errorf("%w: %w", ErrShortFrame, err)
-		}
+	if err := ReadFramePayload(r, &shell, payloadLen); err != nil {
+		return 0, nil, err
 	}
 	return from, &shell, nil
 }

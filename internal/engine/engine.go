@@ -829,7 +829,7 @@ func (t *Trainer) finalize(res *Result) {
 		// Post-hoc interpretation of the telemetry gathered above; a
 		// failure (e.g. a run too degenerate to produce spans) leaves
 		// Report nil rather than failing the training result.
-		rep, err := analyze.Analyze(analyze.Input{
+		input := analyze.Input{
 			Spans:           t.trace.Spans(),
 			Metrics:         res.Metrics,
 			Fabric:          &snap,
@@ -838,7 +838,16 @@ func (t *Trainer) finalize(res *Result) {
 			Iterations:      res.Iterations,
 			PS:              t.cfg.PS != nil,
 			Meta:            analyze.CollectMeta(t.cfg.Hash()),
-		})
+		}
+		if t.dist != nil {
+			// The ledger is complete here: tcpnet accounts a frame before
+			// delivery and distBarrier has consumed the last collective.
+			tr := t.cfg.Dist.Transport
+			input.Transport = analyze.TransportFromLedger(t.dist.rank, t.n, tr.Stats(), tr.LinkStats())
+			input.Meta.Rank = t.dist.rank
+			input.Meta.WorldSize = t.n
+		}
+		rep, err := analyze.Analyze(input)
 		if err == nil {
 			res.Report = rep
 		}

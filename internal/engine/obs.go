@@ -136,7 +136,9 @@ func (t *Trainer) emitAllReduceObs(start, barrier, denseDt float64, epoch, iter 
 }
 
 // initObs attaches the configured sinks and labels one trace track per
-// simulated GPU.
+// simulated GPU. Distributed ranks are rank-tagged: metric snapshots carry
+// rank/world, and trace events carry pid = rank so per-rank trace files
+// concatenate into one Perfetto view with a lane per process.
 func (t *Trainer) initObs() {
 	cfg := &t.cfg
 	if cfg.Metrics != nil {
@@ -145,5 +147,9 @@ func (t *Trainer) initObs() {
 	t.trace = cfg.Tracer
 	for w := 0; w < t.n; w++ {
 		t.trace.SetThreadName(w, fmt.Sprintf("gpu%02d", w))
+	}
+	if t.dist != nil {
+		cfg.Metrics.SetRank(t.dist.rank, t.n)
+		t.trace.SetPID(t.dist.rank, fmt.Sprintf("rank%02d", t.dist.rank))
 	}
 }

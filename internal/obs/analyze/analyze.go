@@ -68,6 +68,10 @@ type Input struct {
 
 	// Meta stamps the report with run identity; see CollectMeta.
 	Meta Meta
+
+	// Transport, when non-nil, attaches the rank's real-transport byte
+	// ledger (distributed runs only; see TransportFromLedger).
+	Transport *TransportStat
 }
 
 // PhaseStat aggregates one phase across the whole run.
@@ -166,6 +170,99 @@ type TrafficStat struct {
 	TopLinks []LinkStat `json:"top_links,omitempty"`
 }
 
+// TransportLink is one peer link's share of a rank's wire ledger.
+type TransportLink struct {
+	Peer      int   `json:"peer"`
+	SentMsgs  int64 `json:"sent_msgs"`
+	SentBytes int64 `json:"sent_bytes"`
+	RecvMsgs  int64 `json:"recv_msgs"`
+	RecvBytes int64 `json:"recv_bytes"`
+}
+
+// TransportStat is one rank's real-transport byte ledger: per-message-type
+// totals plus the per-peer link breakdown. Unlike every other block in a
+// RunReport this measures *real* wire traffic, not the simulated fabric —
+// MergeCluster cross-checks the two. Maps hold only message types with
+// traffic; Links only peers with traffic.
+type TransportStat struct {
+	Rank      int              `json:"rank"`
+	World     int              `json:"world_size"`
+	SentMsgs  map[string]int64 `json:"sent_msgs,omitempty"`
+	SentBytes map[string]int64 `json:"sent_bytes,omitempty"`
+	RecvMsgs  map[string]int64 `json:"recv_msgs,omitempty"`
+	RecvBytes map[string]int64 `json:"recv_bytes,omitempty"`
+	Links     []TransportLink  `json:"links,omitempty"`
+}
+
+// TotalSent sums messages and bytes over all types.
+func (t *TransportStat) TotalSent() (msgs, bytes int64) {
+	for _, v := range t.SentMsgs {
+		msgs += v
+	}
+	for _, v := range t.SentBytes {
+		bytes += v
+	}
+	return
+}
+
+// TotalRecv sums messages and bytes over all types.
+func (t *TransportStat) TotalRecv() (msgs, bytes int64) {
+	for _, v := range t.RecvMsgs {
+		msgs += v
+	}
+	for _, v := range t.RecvBytes {
+		bytes += v
+	}
+	return
+}
+
+// Link returns the entry for the given peer (zero value when absent).
+func (t *TransportStat) Link(peer int) TransportLink {
+	for _, l := range t.Links {
+		if l.Peer == peer {
+			return l
+		}
+	}
+	return TransportLink{Peer: peer}
+}
+
+// TransportFromLedger converts a transport's end-of-run ledger into the
+// report form: per-type entries only where traffic flowed, links only for
+// peers with traffic.
+func TransportFromLedger(rank, world int, st comm.Stats, links []comm.LinkStats) *TransportStat {
+	ts := &TransportStat{
+		Rank: rank, World: world,
+		SentMsgs:  make(map[string]int64),
+		SentBytes: make(map[string]int64),
+		RecvMsgs:  make(map[string]int64),
+		RecvBytes: make(map[string]int64),
+	}
+	for t := comm.MsgType(0); int(t) < comm.NumMsgTypes; t++ {
+		name := t.String()
+		if st.SentMsgs[t] > 0 {
+			ts.SentMsgs[name] = st.SentMsgs[t]
+			ts.SentBytes[name] = st.SentBytes[t]
+		}
+		if st.RecvMsgs[t] > 0 {
+			ts.RecvMsgs[name] = st.RecvMsgs[t]
+			ts.RecvBytes[name] = st.RecvBytes[t]
+		}
+	}
+	for _, l := range links {
+		if l.SentMsgs == 0 && l.RecvMsgs == 0 {
+			continue
+		}
+		ts.Links = append(ts.Links, TransportLink{
+			Peer:      l.Peer,
+			SentMsgs:  l.SentMsgs,
+			SentBytes: l.SentBytes,
+			RecvMsgs:  l.RecvMsgs,
+			RecvBytes: l.RecvBytes,
+		})
+	}
+	return ts
+}
+
 // PartitionRound mirrors partition.RoundStat with JSON-friendly units.
 type PartitionRound struct {
 	Round          int     `json:"round"`
@@ -184,15 +281,18 @@ type RunReport struct {
 	TotalSimSeconds float64 `json:"total_sim_seconds"`
 	Iterations      int     `json:"iterations"`
 
-	Phases     map[string]PhaseStat       `json:"phases"`
-	Workers    []WorkerStat               `json:"workers"`
-	Epochs     []EpochStat                `json:"epochs"`
-	Overlap    OverlapStat                `json:"overlap"`
-	Stragglers StragglerStat              `json:"stragglers"`
-	Traffic    TrafficStat                `json:"traffic"`
+	Phases     map[string]PhaseStat `json:"phases"`
+	Workers    []WorkerStat         `json:"workers"`
+	Epochs     []EpochStat          `json:"epochs"`
+	Overlap    OverlapStat          `json:"overlap"`
+	Stragglers StragglerStat        `json:"stragglers"`
+	Traffic    TrafficStat          `json:"traffic"`
 	// Pipeline is present only for runs that prefetched batches
 	// (ExecConfig.Pipeline); additive and optional, so Schema is unchanged.
-	Pipeline  *PipelineStat              `json:"pipeline,omitempty"`
+	Pipeline *PipelineStat `json:"pipeline,omitempty"`
+	// Transport is present only for distributed runs: this rank's real
+	// wire ledger. Additive and optional, so Schema is unchanged.
+	Transport *TransportStat             `json:"transport,omitempty"`
 	Quantiles map[string]obs.QuantileSet `json:"quantiles,omitempty"`
 	Partition []PartitionRound           `json:"partition,omitempty"`
 }
@@ -340,6 +440,9 @@ func Analyze(in Input) (*RunReport, error) {
 	// Traffic heatmap: prefer the live fabric snapshot, else rebuild from
 	// the exported fabric.link.* metrics.
 	rep.Traffic = trafficStat(in)
+
+	// Real-transport wire ledger, when the run was distributed.
+	rep.Transport = in.Transport
 
 	// Quantile summaries for every histogram in the snapshot.
 	for _, m := range in.Metrics.Metrics {

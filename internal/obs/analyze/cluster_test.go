@@ -1,0 +1,294 @@
+package analyze
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"hetgmp/internal/obs"
+)
+
+// clusterRankReport builds one synthetic rank report of a consistent
+// 3-rank world: the simulated blocks are identical on every rank (as
+// replication guarantees), the wire ledger is asymmetric but reciprocal.
+// wireBytes[src][dst] prices link src→dst; one message per link.
+func clusterRankReport(rank int, wire [3][3]int64) *RunReport {
+	meta := Meta{Schema: Schema, GoVersion: "go1.24.0", GOMAXPROCS: 8,
+		ConfigHash: "cfg-abc", Rank: rank, WorldSize: 3}
+	tr := &TransportStat{
+		Rank: rank, World: 3,
+		SentMsgs: map[string]int64{}, SentBytes: map[string]int64{},
+		RecvMsgs: map[string]int64{}, RecvBytes: map[string]int64{},
+	}
+	for peer := 0; peer < 3; peer++ {
+		if peer == rank {
+			continue
+		}
+		l := TransportLink{Peer: peer}
+		if b := wire[rank][peer]; b > 0 {
+			l.SentMsgs, l.SentBytes = 1, b
+			tr.SentMsgs["grad-push"]++
+			tr.SentBytes["grad-push"] += b
+		}
+		if b := wire[peer][rank]; b > 0 {
+			l.RecvMsgs, l.RecvBytes = 1, b
+			tr.RecvMsgs["grad-push"]++
+			tr.RecvBytes["grad-push"] += b
+		}
+		if l != (TransportLink{Peer: peer}) {
+			tr.Links = append(tr.Links, l)
+		}
+	}
+	return &RunReport{
+		Meta:            meta,
+		TotalSimSeconds: 12.5,
+		Iterations:      200,
+		Phases: map[string]PhaseStat{
+			"compute":     {Spans: 600, Seconds: 9, Share: 0.72},
+			"embed-fetch": {Spans: 600, Seconds: 3.5, Share: 0.28},
+		},
+		Workers: []WorkerStat{
+			{Worker: 0, BusySeconds: 10, WaitSeconds: 2.5,
+				Phases: map[string]float64{obs.PhaseWait.String(): 1.5, obs.PhaseBarrier.String(): 1},
+				Bound:  "compute-bound"},
+			{Worker: 1, BusySeconds: 9, WaitSeconds: 3.5,
+				Phases: map[string]float64{obs.PhaseWait.String(): 3.5},
+				Bound:  "wait-bound"},
+			{Worker: 2, BusySeconds: 11, WaitSeconds: 1.5,
+				Phases: map[string]float64{obs.PhaseBarrier.String(): 1.5},
+				Bound:  "compute-bound"},
+		},
+		Overlap:    OverlapStat{Branch: "allreduce", Efficiency: 0.8, HiddenSeconds: 4, SerialCommSeconds: 5},
+		Stragglers: StragglerStat{MaxOverMean: 1.1, Slowest: 2},
+		Traffic:    TrafficStat{TotalBytes: 1 << 20, Categories: map[string]int64{"embed-read": 1 << 19, "embed-update": 1 << 19}},
+		Transport:  tr,
+		Quantiles: map[string]obs.QuantileSet{
+			"engine.iteration.sim_nanos":   {Count: 200, P50: 10, P95: 20, P99: 30, Max: 40},
+			"transport.flush_wall_nanos":   {Count: int64(100 + rank), P50: float64(rank)},
+			"table.staleness.observed_gap": {Count: int64(50 * (rank + 1)), P50: float64(rank) * 2},
+		},
+	}
+}
+
+// clusterWire is the reciprocal fixture: an asymmetric full mesh, rank 2
+// quieter than the others.
+var clusterWire = [3][3]int64{
+	{0, 5000, 3000},
+	{4000, 0, 2000},
+	{1000, 1500, 0},
+}
+
+func clusterReports() []*RunReport {
+	return []*RunReport{
+		clusterRankReport(0, clusterWire),
+		clusterRankReport(1, clusterWire),
+		clusterRankReport(2, clusterWire),
+	}
+}
+
+func TestMergeCluster(t *testing.T) {
+	cr, err := MergeCluster(clusterReports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cr.ClusterSchema != ClusterSchema || cr.World != 3 {
+		t.Fatalf("schema %d world %d", cr.ClusterSchema, cr.World)
+	}
+	if cr.Meta.Rank != 0 || cr.Meta.WorldSize != 3 {
+		t.Errorf("merged meta rank=%d world=%d", cr.Meta.Rank, cr.Meta.WorldSize)
+	}
+	// The wire matrix is the sender-ledger fixture verbatim.
+	for src := 0; src < 3; src++ {
+		for dst := 0; dst < 3; dst++ {
+			if cr.Wire.Matrix[src][dst] != clusterWire[src][dst] {
+				t.Errorf("matrix[%d][%d] = %d, want %d", src, dst, cr.Wire.Matrix[src][dst], clusterWire[src][dst])
+			}
+		}
+	}
+	var wantTotal int64
+	for _, row := range clusterWire {
+		for _, b := range row {
+			wantTotal += b
+		}
+	}
+	if cr.Wire.TotalBytes != wantTotal || cr.Wire.TotalMsgs != 6 {
+		t.Errorf("wire totals %d bytes / %d msgs, want %d / 6", cr.Wire.TotalBytes, cr.Wire.TotalMsgs, wantTotal)
+	}
+	if cr.Wire.ByType["grad-push"] != wantTotal {
+		t.Errorf("by-type %v, want all %d under grad-push", cr.Wire.ByType, wantTotal)
+	}
+	// Wire skew: sent totals are 8000, 6000, 2500 → max/mean.
+	mean := float64(8000+6000+2500) / 3
+	if want := 8000 / mean; cr.WireSkew != want {
+		t.Errorf("wire skew %v, want %v", cr.WireSkew, want)
+	}
+	// Per-rank rows carry wire share and the owned worker's wait attribution.
+	if cr.Ranks[1].SentBytes != 6000 || cr.Ranks[1].RecvBytes != 5000+1500 {
+		t.Errorf("rank 1 row %+v", cr.Ranks[1])
+	}
+	if cr.Ranks[1].StalenessWaitSeconds != 3.5 || cr.Ranks[1].Bound != "wait-bound" {
+		t.Errorf("rank 1 wait attribution %+v", cr.Ranks[1])
+	}
+	if cr.Ranks[0].BarrierWaitSeconds != 1 {
+		t.Errorf("rank 0 barrier wait %v", cr.Ranks[0].BarrierWaitSeconds)
+	}
+	// Only replicated sim-time quantiles survive; per-rank ones are dropped.
+	if _, ok := cr.Quantiles["engine.iteration.sim_nanos"]; !ok {
+		t.Error("sim quantile missing from cluster report")
+	}
+	for _, name := range []string{"transport.flush_wall_nanos", "table.staleness.observed_gap"} {
+		if _, ok := cr.Quantiles[name]; ok {
+			t.Errorf("per-rank quantile %q leaked into the cluster report", name)
+		}
+	}
+	// Rendering must not panic and names the verified quantities.
+	if s := cr.String(); !strings.Contains(s, "wire-traffic matrix") {
+		t.Errorf("render missing wire matrix:\n%s", s)
+	}
+}
+
+// TestMergeClusterRejects drives every verification the merge performs with
+// a minimally-tampered report set; each must fail with a telling error.
+func TestMergeClusterRejects(t *testing.T) {
+	cases := []struct {
+		name    string
+		mutate  func(reports []*RunReport) []*RunReport
+		wantErr string
+	}{
+		{"too-few", func(r []*RunReport) []*RunReport { return r[:1] }, "at least 2"},
+		{"no-transport", func(r []*RunReport) []*RunReport { r[1].Transport = nil; return r }, "no transport block"},
+		{"wrong-world", func(r []*RunReport) []*RunReport { r[2].Transport.World = 4; return r }, "world size"},
+		{"duplicate-rank", func(r []*RunReport) []*RunReport { r[2].Transport.Rank = 1; return r }, "duplicate or missing rank"},
+		{"config-drift", func(r []*RunReport) []*RunReport { r[1].Meta.ConfigHash = "cfg-other"; return r }, "config hash"},
+		{"sim-divergence", func(r []*RunReport) []*RunReport { r[1].TotalSimSeconds += 0.25; return r }, "replication broken"},
+		{"quantile-divergence", func(r []*RunReport) []*RunReport {
+			q := r[2].Quantiles["engine.iteration.sim_nanos"]
+			q.Count++
+			r[2].Quantiles["engine.iteration.sim_nanos"] = q
+			return r
+		}, "sim-time quantile"},
+		{"tampered-ledger", func(r []*RunReport) []*RunReport {
+			// Inflate one sender cell without the receiver's agreement — the
+			// CI negative check does this with sed on the JSON.
+			r[0].Transport.Links[0].SentBytes += 64
+			return r
+		}, "not reciprocal"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := MergeCluster(tc.mutate(clusterReports()))
+			if err == nil {
+				t.Fatal("merge accepted an inconsistent report set")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
+	}
+	// The unmutated fixture must still merge — guards against a mutation
+	// leaking between subtests through shared state.
+	if _, err := MergeCluster(clusterReports()); err != nil {
+		t.Fatalf("clean fixture no longer merges: %v", err)
+	}
+}
+
+func TestDiffCluster(t *testing.T) {
+	base, err := MergeCluster(clusterReports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, err := MergeCluster(clusterReports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := DiffCluster(base, same, DefaultTolerance(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.OK {
+		t.Fatalf("self-diff regressed: %s", v.Render())
+	}
+	var sawWire, sawSkew bool
+	for _, f := range v.Findings {
+		switch f.Field {
+		case "wire.total_bytes":
+			sawWire = true
+		case "wire.skew_max_over_mean":
+			sawSkew = true
+		}
+	}
+	if !sawWire || !sawSkew {
+		t.Errorf("verdict lacks wire gates (wire=%v skew=%v): %s", sawWire, sawSkew, v.Render())
+	}
+
+	// Wire-bytes growth beyond BytesFrac is a regression.
+	bloated, _ := MergeCluster(clusterReports())
+	bloated.Wire.TotalBytes = int64(float64(base.Wire.TotalBytes) * 1.10)
+	v, err = DiffCluster(base, bloated, DefaultTolerance(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK {
+		t.Fatal("10% wire-byte growth passed the gate")
+	}
+
+	// Skew growth beyond WireSkewFrac is a regression.
+	skewed, _ := MergeCluster(clusterReports())
+	skewed.WireSkew = base.WireSkew * 1.20
+	v, err = DiffCluster(base, skewed, DefaultTolerance(), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.OK {
+		t.Fatal("20% skew growth passed the gate")
+	}
+
+	// Different world sizes are incomparable, not a regression.
+	other, _ := MergeCluster(clusterReports())
+	other.World = 4
+	if _, err := DiffCluster(base, other, DefaultTolerance(), false); err == nil {
+		t.Fatal("diff compared different cluster shapes")
+	}
+}
+
+// TestReadAnyReport pins the on-disk kind detection `hetgmp-obs show/diff`
+// rely on: the cluster_schema key routes to the right type, and reading a
+// per-rank report as a cluster report is refused with a pointer to merge.
+func TestReadAnyReport(t *testing.T) {
+	dir := t.TempDir()
+	rr := clusterRankReport(0, clusterWire)
+	rrPath := filepath.Join(dir, "rank0.json")
+	if err := rr.WriteJSON(rrPath); err != nil {
+		t.Fatal(err)
+	}
+	cr, err := MergeCluster(clusterReports())
+	if err != nil {
+		t.Fatal(err)
+	}
+	crPath := filepath.Join(dir, "cluster.json")
+	if err := cr.WriteJSON(crPath); err != nil {
+		t.Fatal(err)
+	}
+
+	gotR, gotC, err := ReadAnyReport(rrPath)
+	if err != nil || gotR == nil || gotC != nil {
+		t.Fatalf("rank report detection: run=%v cluster=%v err=%v", gotR != nil, gotC != nil, err)
+	}
+	if gotR.Transport == nil || gotR.Transport.Rank != 0 {
+		t.Error("rank report lost its transport block on the round trip")
+	}
+	gotR, gotC, err = ReadAnyReport(crPath)
+	if err != nil || gotR != nil || gotC == nil {
+		t.Fatalf("cluster report detection: run=%v cluster=%v err=%v", gotR != nil, gotC != nil, err)
+	}
+	if gotC.World != 3 || gotC.Wire.Matrix[0][1] != clusterWire[0][1] {
+		t.Errorf("cluster report corrupted on the round trip: %+v", gotC.Wire)
+	}
+
+	if _, err := ReadClusterReport(rrPath); err == nil || !strings.Contains(err.Error(), "RunReport") {
+		t.Errorf("ReadClusterReport on a rank report: %v", err)
+	}
+	if _, err := ReadClusterReport(crPath); err != nil {
+		t.Errorf("ReadClusterReport on a cluster report: %v", err)
+	}
+}

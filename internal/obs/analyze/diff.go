@@ -27,15 +27,21 @@ type Tolerance struct {
 	SimTimeFrac float64 `json:"sim_time_frac"`
 	// BytesFrac is the allowed fractional increase of total bytes moved.
 	BytesFrac float64 `json:"bytes_frac"`
+	// WireSkewFrac is the allowed fractional increase of cross-rank wire
+	// skew (max/mean per-rank sent bytes). Only DiffCluster gates it; wire
+	// traffic is real-socket traffic, so the tolerance is looser than the
+	// simulated quantities'.
+	WireSkewFrac float64 `json:"wire_skew_frac,omitempty"`
 }
 
 // DefaultTolerance is the CI gate's documented tolerance set.
 func DefaultTolerance() Tolerance {
 	return Tolerance{
-		Overlap:     0.02,
-		PhaseShare:  0.03,
-		SimTimeFrac: 0.02,
-		BytesFrac:   0.01,
+		Overlap:      0.02,
+		PhaseShare:   0.03,
+		SimTimeFrac:  0.02,
+		BytesFrac:    0.01,
+		WireSkewFrac: 0.05,
 	}
 }
 

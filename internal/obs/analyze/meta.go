@@ -28,6 +28,12 @@ type Meta struct {
 	ConfigHash string `json:"config_hash,omitempty"`
 	// Label is a free-form run name ("baseline", "pr-123").
 	Label string `json:"label,omitempty"`
+	// Rank and WorldSize identify the producing process of a distributed
+	// run (WorldSize 0 means single-process). They are identity for
+	// MergeCluster — which requires one report per rank of one world — but
+	// never gated by Diff.
+	Rank      int `json:"rank,omitempty"`
+	WorldSize int `json:"world_size,omitempty"`
 }
 
 // CollectMeta fills the environment fields and attaches the given config

@@ -1,0 +1,116 @@
+// Live telemetry exposition: Prometheus text-format rendering of a
+// snapshot, and an http.Handler serving the registry's LiveSnapshot so a
+// running training process can be scraped in flight. The handler reads
+// only race-safe sources (striped atomic instruments + live collectors),
+// so scraping never perturbs or races the run — the no-observer-effect
+// guarantee extends to a run being watched.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strings"
+)
+
+// sanitizeName maps a registry metric name onto the Prometheus name
+// charset [a-zA-Z0-9_:]: every other rune becomes '_'. The mapping is not
+// injective (e.g. '.' and '->' both collapse to underscores) but registry
+// names are distinct enough in practice that collisions do not occur.
+func sanitizeName(name string) string {
+	var b strings.Builder
+	b.Grow(len(name))
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+			b.WriteByte(c)
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format. When the snapshot is rank-tagged (World > 0) every sample carries
+// a rank="N" label, so scrapes from all ranks of one job aggregate cleanly.
+// Histogram buckets are converted from the registry's per-bucket counts to
+// Prometheus's cumulative le-buckets; the exact observed maximum (which
+// Prometheus histograms cannot carry) is exported as a companion _max gauge.
+func (s Snapshot) WritePrometheus(w io.Writer) error {
+	labels := ""
+	if s.World > 0 {
+		labels = fmt.Sprintf(`{rank="%d"}`, s.Rank)
+	}
+	for _, m := range s.Metrics {
+		name := sanitizeName(m.Name)
+		switch m.Type {
+		case "counter":
+			if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s%s %d\n", name, name, labels, m.Value); err != nil {
+				return err
+			}
+		case "gauge":
+			if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s%s %g\n", name, name, labels, m.Gauge); err != nil {
+				return err
+			}
+		case "histogram":
+			if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+				return err
+			}
+			var cum int64
+			for _, b := range m.Buckets {
+				cum += b.Count
+				le := "+Inf"
+				if b.Le != math.MaxInt64 {
+					le = fmt.Sprintf("%d", b.Le)
+				}
+				if err := writeBucket(w, name, s, le, cum); err != nil {
+					return err
+				}
+			}
+			if len(m.Buckets) == 0 || m.Buckets[len(m.Buckets)-1].Le != math.MaxInt64 {
+				if err := writeBucket(w, name, s, "+Inf", cum); err != nil {
+					return err
+				}
+			}
+			if _, err := fmt.Fprintf(w, "%s_sum%s %d\n%s_count%s %d\n", name, labels, m.Sum, name, labels, m.Count); err != nil {
+				return err
+			}
+			if _, err := fmt.Fprintf(w, "# TYPE %s_max gauge\n%s_max%s %d\n", name, name, labels, m.Max); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeBucket emits one cumulative histogram bucket sample, merging the
+// le label with the snapshot's rank label when present.
+func writeBucket(w io.Writer, name string, s Snapshot, le string, cum int64) error {
+	if s.World > 0 {
+		_, err := fmt.Fprintf(w, "%s_bucket{rank=\"%d\",le=%q} %d\n", name, s.Rank, le, cum)
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, le, cum)
+	return err
+}
+
+// Handler returns an http.Handler serving the registry's LiveSnapshot in
+// Prometheus text format. It is safe to scrape while training runs: the
+// live snapshot reads only atomics and internally synchronised collectors.
+// A nil registry serves an empty (but valid) exposition.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := r.LiveSnapshot().WritePrometheus(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+}

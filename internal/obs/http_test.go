@@ -1,0 +1,137 @@
+package obs
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestSanitizeName(t *testing.T) {
+	cases := map[string]string{
+		"engine.iteration.sim_nanos":      "engine_iteration_sim_nanos",
+		"transport.link.00->01.sent_msgs": "transport_link_00__01_sent_msgs",
+		"already_fine:colons_ok":          "already_fine:colons_ok",
+		"0starts.with.digit":              "_0starts_with_digit",
+		"UPPER.case":                      "UPPER_case",
+	}
+	for in, want := range cases {
+		if got := sanitizeName(in); got != want {
+			t.Errorf("sanitizeName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestWritePrometheus checks the exposition line by line on a hand-built
+// snapshot: TYPE headers, rank labels, and — the subtle part — conversion of
+// the registry's per-bucket histogram counts into Prometheus's cumulative
+// le-buckets plus the +Inf bucket, _sum/_count, and the companion _max gauge.
+func TestWritePrometheus(t *testing.T) {
+	snap := Snapshot{
+		Rank:  1,
+		World: 2,
+		Metrics: []Metric{
+			{Name: "fabric.messages", Type: "counter", Value: 42},
+			{Name: "overlap.eff", Type: "gauge", Gauge: 0.75},
+			{Name: "transport.encode_wall_nanos", Type: "histogram",
+				Count: 6, Sum: 900, Max: 500,
+				Buckets: []Bucket{{Le: 100, Count: 3}, {Le: 1000, Count: 3}}},
+		},
+	}
+	var b strings.Builder
+	if err := snap.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"# TYPE fabric_messages counter",
+		`fabric_messages{rank="1"} 42`,
+		"# TYPE overlap_eff gauge",
+		`overlap_eff{rank="1"} 0.75`,
+		"# TYPE transport_encode_wall_nanos histogram",
+		`transport_encode_wall_nanos_bucket{rank="1",le="100"} 3`,
+		`transport_encode_wall_nanos_bucket{rank="1",le="1000"} 6`,
+		`transport_encode_wall_nanos_bucket{rank="1",le="+Inf"} 6`,
+		`transport_encode_wall_nanos_sum{rank="1"} 900`,
+		`transport_encode_wall_nanos_count{rank="1"} 6`,
+		"# TYPE transport_encode_wall_nanos_max gauge",
+		`transport_encode_wall_nanos_max{rank="1"} 500`,
+	}
+	got := strings.Split(strings.TrimRight(b.String(), "\n"), "\n")
+	if len(got) != len(want) {
+		t.Fatalf("exposition has %d lines, want %d:\n%s", len(got), len(want), b.String())
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("line %d:\n got %q\nwant %q", i, got[i], want[i])
+		}
+	}
+}
+
+// TestWritePrometheusSingleProcess checks World == 0 drops the rank label
+// entirely and a MaxInt64 terminal bucket renders as +Inf without being
+// duplicated.
+func TestWritePrometheusSingleProcess(t *testing.T) {
+	snap := Snapshot{
+		Metrics: []Metric{
+			{Name: "h", Type: "histogram", Count: 2, Sum: 7, Max: 6,
+				Buckets: []Bucket{{Le: 5, Count: 1}, {Le: math.MaxInt64, Count: 1}}},
+		},
+	}
+	var b strings.Builder
+	if err := snap.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if strings.Contains(out, "rank=") {
+		t.Errorf("single-process exposition carries a rank label:\n%s", out)
+	}
+	if got := strings.Count(out, `le="+Inf"`); got != 1 {
+		t.Errorf("+Inf bucket appears %d times, want exactly once:\n%s", got, out)
+	}
+	if !strings.Contains(out, `h_bucket{le="+Inf"} 2`) {
+		t.Errorf("+Inf bucket is not cumulative:\n%s", out)
+	}
+}
+
+// TestHandler checks the /metrics endpoint: a nil registry serves a valid
+// empty exposition, and a live registry serves instruments plus live
+// collectors while excluding snapshot-only collectors (whose scan is not
+// safe against concurrent training).
+func TestHandler(t *testing.T) {
+	var nilReg *Registry
+	rec := httptest.NewRecorder()
+	nilReg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 || rec.Body.Len() != 0 {
+		t.Errorf("nil registry: status %d body %q", rec.Code, rec.Body.String())
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+
+	reg := NewRegistry(2)
+	reg.SetRank(1, 4)
+	reg.Counter("live.counter").Add(0, 5)
+	reg.RegisterLiveCollector(func(emit func(Metric)) {
+		emit(Metric{Name: "live.collected", Type: "counter", Value: 1})
+	})
+	reg.RegisterCollector(func(emit func(Metric)) {
+		emit(Metric{Name: "snapshot.only", Type: "counter", Value: 9})
+	})
+
+	rec = httptest.NewRecorder()
+	reg.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	out := rec.Body.String()
+	if !strings.Contains(out, `live_counter{rank="1"} 5`) {
+		t.Errorf("instrument missing from live exposition:\n%s", out)
+	}
+	if !strings.Contains(out, `live_collected{rank="1"} 1`) {
+		t.Errorf("live collector missing from live exposition:\n%s", out)
+	}
+	if strings.Contains(out, "snapshot_only") {
+		t.Errorf("snapshot-only collector leaked into the live endpoint:\n%s", out)
+	}
+	// The full Snapshot still includes the snapshot-only collector.
+	if _, ok := reg.Snapshot().Get("snapshot.only"); !ok {
+		t.Error("snapshot-only collector missing from full Snapshot")
+	}
+}

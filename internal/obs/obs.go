@@ -47,6 +47,13 @@ type Registry struct {
 	gauges     map[string]*Gauge
 	hists      map[string]*Histogram
 	collectors []Collector
+	// liveCollectors are collectors safe to run concurrently with training
+	// (they read only atomics or mutex-protected state); LiveSnapshot runs
+	// them, Snapshot runs both sets.
+	liveCollectors []Collector
+	// rank/world tag a distributed rank's snapshots; world == 0 means
+	// single-process (rank not meaningful).
+	rank, world int
 }
 
 // Collector is a snapshot-time callback that emits derived or cheap-to-scan
@@ -145,6 +152,31 @@ func (r *Registry) RegisterCollector(c Collector) {
 	}
 	r.mu.Lock()
 	r.collectors = append(r.collectors, c)
+	r.mu.Unlock()
+}
+
+// RegisterLiveCollector adds a metric source that is safe to run
+// concurrently with training — it must read only atomics or internally
+// synchronised state. Live collectors run in both LiveSnapshot (served by
+// the /metrics handler mid-run) and Snapshot.
+func (r *Registry) RegisterLiveCollector(c Collector) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.liveCollectors = append(r.liveCollectors, c)
+	r.mu.Unlock()
+}
+
+// SetRank tags the registry's snapshots with this process's rank in a
+// world-size-rank distributed run. World 0 (the default) means
+// single-process and leaves snapshots untagged.
+func (r *Registry) SetRank(rank, world int) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	r.rank, r.world = rank, world
 	r.mu.Unlock()
 }
 
@@ -345,22 +377,22 @@ type Metric struct {
 	Buckets []Bucket `json:"buckets,omitempty"`
 }
 
-// Snapshot is a point-in-time, stable-ordered export of a registry.
+// Snapshot is a point-in-time, stable-ordered export of a registry. Rank
+// and World tag the producing process in a distributed run; World 0 means
+// single-process (both fields omitted from JSON).
 type Snapshot struct {
+	Rank    int      `json:"rank,omitempty"`
+	World   int      `json:"world_size,omitempty"`
 	Metrics []Metric `json:"metrics"`
 }
 
-// Snapshot collects every registered metric and collector output, sorted by
-// name. It must not run concurrently with hot-path writers whose collectors
-// read unsynchronised state; the engine calls it only from single-threaded
-// sections. A nil registry yields an empty snapshot.
-func (r *Registry) Snapshot() Snapshot {
-	var snap Snapshot
-	if r == nil {
-		return snap
+// snapshotLocked collects instruments plus the given collector sets.
+// Caller holds r.mu.
+func (r *Registry) snapshotLocked(sets ...[]Collector) Snapshot {
+	snap := Snapshot{Rank: r.rank, World: r.world}
+	if r.world == 0 {
+		snap.Rank = 0
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	for name, c := range r.counters {
 		snap.Metrics = append(snap.Metrics, Metric{Name: name, Type: "counter", Value: c.Value()})
 	}
@@ -375,11 +407,39 @@ func (r *Registry) Snapshot() Snapshot {
 		})
 	}
 	emit := func(m Metric) { snap.Metrics = append(snap.Metrics, m) }
-	for _, c := range r.collectors {
-		c(emit)
+	for _, set := range sets {
+		for _, c := range set {
+			c(emit)
+		}
 	}
 	sort.Slice(snap.Metrics, func(i, j int) bool { return snap.Metrics[i].Name < snap.Metrics[j].Name })
 	return snap
+}
+
+// Snapshot collects every registered metric and collector output, sorted by
+// name. It must not run concurrently with hot-path writers whose collectors
+// read unsynchronised state; the engine calls it only from single-threaded
+// sections. A nil registry yields an empty snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked(r.liveCollectors, r.collectors)
+}
+
+// LiveSnapshot collects instruments and live collectors only — every source
+// it reads is safe against concurrent training, so the /metrics handler can
+// call it at any time without perturbing or racing the run. Snapshot-only
+// collectors (which scan unsynchronised state) are excluded.
+func (r *Registry) LiveSnapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.snapshotLocked(r.liveCollectors)
 }
 
 // Get finds a metric by name.

@@ -104,9 +104,11 @@ type Span struct {
 // engine emits from its single-threaded barrier sections, so the lock is
 // never contended in practice.
 type Tracer struct {
-	mu      sync.Mutex
-	spans   []Span
-	threads map[int]string
+	mu       sync.Mutex
+	spans    []Span
+	threads  map[int]string
+	pid      int
+	procName string
 }
 
 // NewTracer creates an empty tracer.
@@ -121,6 +123,20 @@ func (t *Tracer) SetThreadName(tid int, name string) {
 	}
 	t.mu.Lock()
 	t.threads[tid] = name
+	t.mu.Unlock()
+}
+
+// SetPID stamps every exported event with the given process id and labels
+// the process lane. In distributed runs the engine sets pid = rank, so N
+// per-rank trace files concatenate into one Perfetto view with a lane per
+// rank. The default (pid 0, no name) keeps single-process output unchanged.
+func (t *Tracer) SetPID(pid int, name string) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.pid = pid
+	t.procName = name
 	t.mu.Unlock()
 }
 
@@ -187,7 +203,13 @@ func (t *Tracer) MarshalChrome() ([]byte, error) {
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	events := make([]chromeEvent, 0, len(t.spans)+len(t.threads))
+	events := make([]chromeEvent, 0, len(t.spans)+len(t.threads)+1)
+	if t.procName != "" {
+		events = append(events, chromeEvent{
+			Name: "process_name", Ph: "M", PID: t.pid,
+			Args: map[string]any{"name": t.procName},
+		})
+	}
 	tids := make([]int, 0, len(t.threads))
 	for tid := range t.threads {
 		tids = append(tids, tid)
@@ -195,7 +217,7 @@ func (t *Tracer) MarshalChrome() ([]byte, error) {
 	sort.Ints(tids)
 	for _, tid := range tids {
 		events = append(events, chromeEvent{
-			Name: "thread_name", Ph: "M", PID: 0, TID: tid,
+			Name: "thread_name", Ph: "M", PID: t.pid, TID: tid,
 			Args: map[string]any{"name": t.threads[tid]},
 		})
 	}
@@ -203,7 +225,7 @@ func (t *Tracer) MarshalChrome() ([]byte, error) {
 		events = append(events, chromeEvent{
 			Name: s.Name, Cat: s.Cat, Ph: "X",
 			TS: s.Start * 1e6, Dur: s.Dur * 1e6,
-			PID: 0, TID: s.TID,
+			PID: t.pid, TID: s.TID,
 			Args: map[string]any{"epoch": s.Epoch, "iter": s.Iter},
 		})
 	}

@@ -184,3 +184,70 @@ func TestSummaryTable(t *testing.T) {
 		t.Errorf("summary lists a phase with no spans:\n%s", got)
 	}
 }
+
+// TestTracerSetPID pins the rank-lane contract: by default every event
+// carries pid 0 and no process metadata (single-process output unchanged);
+// after SetPID every event — metadata and spans alike — carries the rank as
+// its pid and a process_name lane label, so per-rank trace files concatenate
+// into one Perfetto view with a lane per rank.
+func TestTracerSetPID(t *testing.T) {
+	build := func() *Tracer {
+		tr := NewTracer()
+		tr.SetThreadName(0, "gpu00")
+		tr.Span(0, PhaseCompute, 0.1, 0.2, 1, 2)
+		return tr
+	}
+
+	decode := func(tr *Tracer) chromeTrace {
+		data, err := tr.MarshalChrome()
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ct chromeTrace
+		if err := json.Unmarshal(data, &ct); err != nil {
+			t.Fatal(err)
+		}
+		return ct
+	}
+
+	plain := decode(build())
+	for _, ev := range plain.TraceEvents {
+		if ev.PID != 0 {
+			t.Errorf("default trace: event %q has pid %d, want 0", ev.Name, ev.PID)
+		}
+		if ev.Name == "process_name" {
+			t.Error("default trace emits a process_name lane label")
+		}
+	}
+
+	tagged := build()
+	tagged.SetPID(3, "rank03")
+	ct := decode(tagged)
+	var lane bool
+	for _, ev := range ct.TraceEvents {
+		if ev.PID != 3 {
+			t.Errorf("tagged trace: event %q has pid %d, want 3", ev.Name, ev.PID)
+		}
+		if ev.Name == "process_name" {
+			lane = true
+			if ev.Ph != "M" || ev.Args["name"] != "rank03" {
+				t.Errorf("process_name metadata malformed: %+v", ev)
+			}
+		}
+	}
+	if !lane {
+		t.Error("tagged trace has no process_name lane label")
+	}
+
+	// The pid stamp must not break the analyzer's parser.
+	data, err := tagged.MarshalChrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ParseChrome(data); err != nil {
+		t.Errorf("ParseChrome rejects a rank-tagged trace: %v", err)
+	}
+
+	var nilTr *Tracer
+	nilTr.SetPID(1, "x") // must not panic
+}
