@@ -1,0 +1,71 @@
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hetgmp/internal/obs/analyze"
+	"hetgmp/internal/report"
+)
+
+// cmdCapacity verifies and renders a report's capacity block: the measured
+// footprint tree (leaves must sum to the reported total), the read-coverage
+// curve (must be monotone), the observed-vs-predicted hot set, and an
+// optional -scale extrapolation of the embedding-proportional state. Any
+// inconsistency in the block is an exit-2 failure, so CI can use the
+// command itself as the capacity gate.
+func cmdCapacity(args []string) {
+	fs := flag.NewFlagSet("capacity", flag.ExitOnError)
+	scale := fs.Float64("scale", 1, "extrapolate embedding-table sizing to N× the feature universe")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: hetgmp-obs capacity [-scale N] report.json")
+		os.Exit(2)
+	}
+	run, clus, err := analyze.ReadAnyReport(fs.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	switch {
+	case run != nil:
+		if run.Capacity == nil {
+			fatal(fmt.Errorf("%s carries no capacity block (train with -report and telemetry on)", fs.Arg(0)))
+		}
+		if err := analyze.VerifyCapacity(run.Capacity); err != nil {
+			fatal(err)
+		}
+		fmt.Println(run.Capacity.String())
+		printExtrapolation(run.Capacity, *scale)
+	case clus != nil:
+		if len(clus.Capacity) == 0 {
+			fatal(fmt.Errorf("%s carries no per-rank capacity blocks", fs.Arg(0)))
+		}
+		for rank, c := range clus.Capacity {
+			if c == nil {
+				continue
+			}
+			if err := analyze.VerifyCapacity(c); err != nil {
+				fatal(fmt.Errorf("rank %d: %w", rank, err))
+			}
+			fmt.Printf("== rank %d ==\n%s\n", rank, c.String())
+			printExtrapolation(c, *scale)
+		}
+	}
+}
+
+// printExtrapolation scales the embedding-proportional branch of the
+// footprint (the table: its rows, clocks, queues and indexes all grow with
+// the feature universe) while holding dense weights and fixed engine
+// buffers constant — the §7.4-style sizing answer for "what if the
+// embedding universe were N× larger".
+func printExtrapolation(c *analyze.CapacityStat, scale float64) {
+	if scale == 1 {
+		return
+	}
+	scaled := c.Footprint.ScaleBranch("table", scale)
+	table, _ := scaled.Find("run.table")
+	fmt.Printf("extrapolated to %gx features: %s total (%s embedding table), from %s measured\n",
+		scale, report.FormatBytes(scaled.Bytes), report.FormatBytes(table.Bytes),
+		report.FormatBytes(c.MeasuredTotalBytes))
+}

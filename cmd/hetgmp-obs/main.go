@@ -9,6 +9,7 @@
 //	hetgmp-obs show report.json
 //	hetgmp-obs diff -base baseline.json -cand report.json [tolerance flags] [-allow-meta]
 //	hetgmp-obs merge [-o cluster.json] rank0-report.json rank1-report.json ...
+//	hetgmp-obs capacity [-scale N] report.json
 //	hetgmp-obs perturb -in report.json -o out.json [-overlap-scale f] [-time-scale f] [-share-shift f]
 //
 // `analyze` consumes the files `hetgmp-train -trace/-metrics` writes and
@@ -53,6 +54,8 @@ func main() {
 		cmdDiff(os.Args[2:])
 	case "merge":
 		cmdMerge(os.Args[2:])
+	case "capacity":
+		cmdCapacity(os.Args[2:])
 	case "perturb":
 		cmdPerturb(os.Args[2:])
 	default:
@@ -61,13 +64,14 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, `usage: hetgmp-obs <analyze|show|diff|merge|perturb> [flags]
+	fmt.Fprintln(os.Stderr, `usage: hetgmp-obs <analyze|show|diff|merge|capacity|perturb> [flags]
 
-  analyze  build a RunReport from exported trace (+ metrics) files
-  show     render a RunReport or ClusterReport JSON as text
-  diff     gate a candidate report against a baseline (exit 1 on regression)
-  merge    fold per-rank RunReports into a verified ClusterReport
-  perturb  distort a report beyond tolerance, for testing the gate`)
+  analyze   build a RunReport from exported trace (+ metrics) files
+  show      render a RunReport or ClusterReport JSON as text
+  diff      gate a candidate report against a baseline (exit 1 on regression)
+  merge     fold per-rank RunReports into a verified ClusterReport
+  capacity  verify + render a report's measured footprint and hot-set curve
+  perturb   distort a report beyond tolerance, for testing the gate`)
 	os.Exit(2)
 }
 

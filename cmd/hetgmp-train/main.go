@@ -132,6 +132,9 @@ func main() {
 		if *transport == "tcp" {
 			reg.SetRank(*rank, len(addrs))
 		}
+		// Host-side memory health (heap, GC cycles, stop-the-world time)
+		// rides along on every scrape, rank-tagged like the rest.
+		obs.RegisterRuntimeMetrics(reg)
 	}
 	if *tracePath != "" || *repPath != "" {
 		tracer = obs.NewTracer()

@@ -37,7 +37,13 @@ func PlanCapacity(p CapacityPlan) (CapacityPlan, error) {
 	}
 	p.TotalParams = p.NumFeatures * p.Dim
 	primRows := (p.NumFeatures + int64(p.Workers) - 1) / int64(p.Workers)
-	secRows := int64(p.ReplicaFraction * float64(p.NumFeatures))
+	// Of the replicaFraction·F hot features, a worker holds secondaries
+	// only for the ones it does not itself primary — with the hot set
+	// striped uniformly that is a (W−1)/W share. (The secondary store
+	// never duplicates a local primary; memacct's measured footprint
+	// exposed the earlier W/W overcount.)
+	hotRows := int64(p.ReplicaFraction * float64(p.NumFeatures))
+	secRows := hotRows * int64(p.Workers-1) / int64(p.Workers)
 	const bytesPerFloat = 4
 	p.PrimaryPerWorker = primRows * p.Dim * bytesPerFloat
 	// Secondaries hold values plus a same-sized stale-gradient buffer
@@ -50,7 +56,7 @@ func PlanCapacity(p CapacityPlan) (CapacityPlan, error) {
 	// Invert: the largest parameter count this cluster supports at this
 	// replica fraction, leaving 20% headroom for activations and buffers.
 	budget := float64(p.WorkerMemBytes) * 0.8 * float64(p.Workers)
-	perParam := bytesPerFloat * (1 + 2*p.ReplicaFraction*float64(p.Workers))
+	perParam := bytesPerFloat * (1 + 2*p.ReplicaFraction*float64(p.Workers-1))
 	p.MaxParamsForCluster = int64(budget / perParam)
 	return p, nil
 }

@@ -45,11 +45,12 @@ func TestPlanCapacityComponents(t *testing.T) {
 	if plan.PrimaryPerWorker != 250*10*4 {
 		t.Errorf("primary bytes %d", plan.PrimaryPerWorker)
 	}
-	// Secondaries: values + stale-gradient buffer.
-	if plan.SecondaryPerWorker != 2*100*10*4 {
+	// Secondaries: values + stale-gradient buffer, for the 3/4 of the 100
+	// hot features this worker does not itself primary.
+	if plan.SecondaryPerWorker != 2*75*10*4 {
 		t.Errorf("secondary bytes %d", plan.SecondaryPerWorker)
 	}
-	if plan.ClockPerWorker != (250+100)*8 {
+	if plan.ClockPerWorker != (250+75)*8 {
 		t.Errorf("clock bytes %d", plan.ClockPerWorker)
 	}
 	if !plan.Fits {

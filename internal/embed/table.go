@@ -41,6 +41,7 @@ import (
 
 	"hetgmp/internal/invariant"
 	"hetgmp/internal/obs"
+	"hetgmp/internal/obs/memacct"
 	"hetgmp/internal/optim"
 	"hetgmp/internal/partition"
 	"hetgmp/internal/tensor"
@@ -254,7 +255,23 @@ type tableMetrics struct {
 	updLocalSecondary *obs.Counter
 	updRemotePush     *obs.Counter
 	updFlushedPending *obs.Counter
+
+	// Access-frequency sketches over the feature read/update streams
+	// (capacity telemetry: which rows are actually hot). The Count-Min half
+	// is atomic, the per-worker SpaceSaving half is striped like the
+	// counters above — both safe under concurrent workers and live scrapes.
+	reads   *memacct.FreqSketch
+	updates *memacct.FreqSketch
 }
+
+// Sketch dimensioning: ε·M absolute error on point queries with failure
+// probability δ (Count-Min), and a per-worker top-K summary wide enough
+// that the merged view resolves the Zipf head the partitioner replicates.
+const (
+	sketchEps   = 5e-4
+	sketchDelta = 1e-2
+	sketchTopK  = 128
+)
 
 func newTableMetrics(reg *obs.Registry, t *Table) *tableMetrics {
 	gapEdges := obs.PowerOfTwoEdges(30)
@@ -274,7 +291,34 @@ func newTableMetrics(reg *obs.Registry, t *Table) *tableMetrics {
 		updLocalSecondary: reg.Counter("table.update.local_secondary"),
 		updRemotePush:     reg.Counter("table.update.remote_push"),
 		updFlushedPending: reg.Counter("table.update.flushed_pending"),
+
+		reads:   memacct.NewFreqSketch(t.n, sketchTopK, sketchEps, sketchDelta),
+		updates: memacct.NewFreqSketch(t.n, sketchTopK, sketchEps, sketchDelta),
 	}
+	// The construction-time footprint is immutable (every buffer that can
+	// grow later is capacity-zero here), so the gauge is safe to serve from
+	// live scrapes; the full tree — which walks append-grown queue buffers —
+	// is exported by the snapshot-time collector below instead.
+	staticBytes := float64(t.Footprint().Bytes)
+	reg.RegisterLiveCollector(func(emit func(obs.Metric)) {
+		emit(obs.Metric{Name: "table.mem.static_bytes", Type: "gauge", Gauge: staticBytes})
+		emit(obs.Metric{Name: "table.hot.reads_total", Type: "gauge", Gauge: float64(m.reads.Total())})
+		emit(obs.Metric{Name: "table.hot.updates_total", Type: "gauge", Gauge: float64(m.updates.Total())})
+		if total := m.reads.Total(); total > 0 {
+			var topCount int64
+			for _, h := range m.reads.TopK() {
+				topCount += h.Count
+			}
+			cov := float64(topCount) / float64(total)
+			if cov > 1 {
+				cov = 1 // SpaceSaving counts overestimate
+			}
+			emit(obs.Metric{Name: "table.hot.topk_read_coverage", Type: "gauge", Gauge: cov})
+		}
+	})
+	reg.RegisterCollector(func(emit func(obs.Metric)) {
+		obs.EmitFootprint(emit, "mem", t.Footprint())
+	})
 	// Clock-skew gauges are derived at snapshot time; Snapshot runs only in
 	// single-threaded sections, so the unsynchronised scan is safe.
 	reg.RegisterCollector(func(emit func(obs.Metric)) {
@@ -489,6 +533,9 @@ func (t *Table) Read(w int, feats []int32, dst *tensor.Matrix, opt ReadOptions) 
 		t.verifyReadBound(w, sh, feats, opt.Staleness)
 	}
 	if m := t.met; m != nil {
+		for _, x := range feats {
+			m.reads.Observe(w, x)
+		}
 		m.readLocalPrimary.Add(w, int64(stats.LocalPrimary))
 		m.readLocalFresh.Add(w, int64(stats.LocalFresh))
 		m.readSyncedIntra.Add(w, int64(stats.SyncedIntra))
@@ -746,6 +793,9 @@ func (t *Table) Update(w int, feats []int32, grads *tensor.Matrix, writeBound in
 		}
 	}
 	if m := t.met; m != nil {
+		for _, x := range feats {
+			m.updates.Observe(w, x)
+		}
 		m.updLocalPrimary.Add(w, int64(stats.LocalPrimary))
 		m.updLocalSecondary.Add(w, int64(stats.LocalSecondary))
 		m.updRemotePush.Add(w, int64(stats.RemotePush))

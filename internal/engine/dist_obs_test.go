@@ -211,6 +211,15 @@ func TestDistObsNoObserverEffect(t *testing.T) {
 		if m, b := rep.Transport.TotalSent(); m == 0 || b == 0 {
 			t.Errorf("rank %d: transport ledger empty (%d msgs / %d bytes)", r, m, b)
 		}
+		if rep.Capacity == nil {
+			t.Fatalf("rank %d: report carries no capacity block", r)
+		}
+		if err := analyze.VerifyCapacity(rep.Capacity); err != nil {
+			t.Errorf("rank %d: capacity block inconsistent: %v", r, err)
+		}
+		if rep.Capacity.TotalReads == 0 {
+			t.Errorf("rank %d: capacity block observed no reads", r)
+		}
 		reports[r] = rep
 	}
 
@@ -247,5 +256,19 @@ func TestDistObsNoObserverEffect(t *testing.T) {
 	// The simulated fabric ledger rode through the merge unchanged.
 	if clus.Traffic.TotalBytes != reports[0].Traffic.TotalBytes {
 		t.Errorf("cluster sim traffic %d bytes, rank 0 report %d", clus.Traffic.TotalBytes, reports[0].Traffic.TotalBytes)
+	}
+	// Per-rank capacity blocks survive the merge index-aligned, and the
+	// simulated-path telemetry around them stayed bit-identical (the merge
+	// itself enforces that oracle), so each rank measured the same state.
+	if len(clus.Capacity) != len(on) {
+		t.Fatalf("cluster carries %d capacity blocks, want %d", len(clus.Capacity), len(on))
+	}
+	for r, c := range clus.Capacity {
+		if c == nil {
+			t.Fatalf("rank %d capacity block dropped by merge", r)
+		}
+		if c.MeasuredTotalBytes != reports[r].Capacity.MeasuredTotalBytes {
+			t.Errorf("rank %d: merged footprint %d bytes, report says %d", r, c.MeasuredTotalBytes, reports[r].Capacity.MeasuredTotalBytes)
+		}
 	}
 }

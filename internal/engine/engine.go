@@ -15,6 +15,7 @@ import (
 	"math"
 	"sync"
 
+	"hetgmp/internal/bigraph"
 	"hetgmp/internal/cluster"
 	"hetgmp/internal/comm"
 	"hetgmp/internal/dataset"
@@ -85,6 +86,11 @@ type Config struct {
 	// is folded into Result.Report so one artifact carries the whole
 	// partition-quality → traffic → time chain (§4 → §6).
 	PartitionHistory []partition.RoundStat
+	// Graph, when non-nil, is the bigraph the assignment was computed
+	// from. Purely informational: it joins the run's capacity report so
+	// the footprint accounting covers every resident structure. Hash
+	// excludes it (it is derived from Train deterministically).
+	Graph *bigraph.Bigraph
 
 	// BatchPerWorker is the per-GPU mini-batch size.
 	BatchPerWorker int
@@ -847,6 +853,10 @@ func (t *Trainer) finalize(res *Result) {
 			input.Meta.Rank = t.dist.rank
 			input.Meta.WorldSize = t.n
 		}
+		// Measured footprint + hot-set telemetry; the run is single-
+		// threaded here, so walking the table's append-grown buffers is
+		// safe.
+		input.Capacity = t.capacityStat()
 		rep, err := analyze.Analyze(input)
 		if err == nil {
 			res.Report = rep

@@ -72,6 +72,10 @@ type Input struct {
 	// Transport, when non-nil, attaches the rank's real-transport byte
 	// ledger (distributed runs only; see TransportFromLedger).
 	Transport *TransportStat
+
+	// Capacity, when non-nil, attaches the run's measured memory footprint
+	// and hot-set telemetry (see BuildCapacity).
+	Capacity *CapacityStat
 }
 
 // PhaseStat aggregates one phase across the whole run.
@@ -292,7 +296,10 @@ type RunReport struct {
 	Pipeline *PipelineStat `json:"pipeline,omitempty"`
 	// Transport is present only for distributed runs: this rank's real
 	// wire ledger. Additive and optional, so Schema is unchanged.
-	Transport *TransportStat             `json:"transport,omitempty"`
+	Transport *TransportStat `json:"transport,omitempty"`
+	// Capacity is present when the run measured its memory footprint and
+	// hot-set telemetry. Additive and optional, so Schema is unchanged.
+	Capacity  *CapacityStat              `json:"capacity,omitempty"`
 	Quantiles map[string]obs.QuantileSet `json:"quantiles,omitempty"`
 	Partition []PartitionRound           `json:"partition,omitempty"`
 }
@@ -443,6 +450,9 @@ func Analyze(in Input) (*RunReport, error) {
 
 	// Real-transport wire ledger, when the run was distributed.
 	rep.Transport = in.Transport
+
+	// Measured footprint and hot-set telemetry, when the run gathered it.
+	rep.Capacity = in.Capacity
 
 	// Quantile summaries for every histogram in the snapshot.
 	for _, m := range in.Metrics.Metrics {

@@ -1,0 +1,179 @@
+package analyze
+
+import (
+	"strings"
+	"testing"
+
+	"hetgmp/internal/obs/memacct"
+	"hetgmp/internal/xrand"
+)
+
+// capacityFixture builds a CapacityStat from a small synthetic tree and a
+// skewed read stream, the way the engine does.
+func capacityFixture(t *testing.T) *CapacityStat {
+	t.Helper()
+	fp := memacct.Node("run",
+		memacct.Node("table",
+			memacct.Leaf("values", 4096),
+			memacct.Leaf("clocks", 512),
+		),
+		memacct.Leaf("model", 1024),
+	)
+	reads := memacct.NewFreqSketch(2, 16, 1e-2, 1e-2)
+	updates := memacct.NewFreqSketch(2, 16, 1e-2, 1e-2)
+	rng := xrand.New(42)
+	z := xrand.NewZipf(200, 1.3)
+	for i := 0; i < 30000; i++ {
+		x := int32(z.Sample(rng))
+		reads.Observe(i%2, x)
+		if i%3 == 0 {
+			updates.Observe(i%2, x)
+		}
+	}
+	c := BuildCapacity(fp, 64, reads, updates, []int32{0, 1, 2, 3})
+	if c == nil {
+		t.Fatal("BuildCapacity returned nil with live sketches")
+	}
+	return c
+}
+
+func TestBuildCapacityConsistent(t *testing.T) {
+	c := capacityFixture(t)
+	if err := VerifyCapacity(c); err != nil {
+		t.Fatalf("fresh block fails its own verifier: %v", err)
+	}
+	if c.MeasuredTotalBytes != 4096+512+1024 {
+		t.Errorf("total %d", c.MeasuredTotalBytes)
+	}
+	if c.TotalReads != 30000 {
+		t.Errorf("reads %d", c.TotalReads)
+	}
+	if c.TotalUpdates != 10000 {
+		t.Errorf("updates %d", c.TotalUpdates)
+	}
+	if c.ReplicatedFeatures != 4 {
+		t.Errorf("replicated %d", c.ReplicatedFeatures)
+	}
+	// Zipf(1.3) makes the low keys hot, and 0..3 are all replicated: the
+	// observed top-4 should overlap the predicted set completely.
+	if c.HotSetOverlap != 1 {
+		t.Errorf("hot-set overlap %g on a stream whose hot keys are all replicated", c.HotSetOverlap)
+	}
+	if len(c.Coverage) == 0 {
+		t.Fatal("no coverage curve")
+	}
+	last := c.Coverage[len(c.Coverage)-1]
+	if last.Coverage < 0.5 {
+		t.Errorf("top-%d covers only %.2f of a Zipf(1.3) stream", last.K, last.Coverage)
+	}
+	if c.Sketch.Width == 0 || c.Sketch.Depth == 0 || c.Sketch.TopK != 16 || c.Sketch.Stripes != 2 {
+		t.Errorf("sketch info %+v", c.Sketch)
+	}
+}
+
+func TestBuildCapacityNilSketch(t *testing.T) {
+	if c := BuildCapacity(memacct.Leaf("run", 1), 4, nil, nil, nil); c != nil {
+		t.Fatal("nil reads sketch must yield no capacity block")
+	}
+}
+
+// TestVerifyCapacityRejectsTampering drives the verifier through each
+// inconsistency the CI negative check relies on.
+func TestVerifyCapacityRejectsTampering(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*CapacityStat)
+		want   string
+	}{
+		{"total", func(c *CapacityStat) { c.MeasuredTotalBytes = 1 }, "measured_total_bytes"},
+		{"leaf", func(c *CapacityStat) { c.Footprint.Children[0].Children[0].Bytes += 7 }, "sum"},
+		{"coverage-order", func(c *CapacityStat) { c.Coverage[1] = c.Coverage[0] }, "strictly increasing"},
+		{"coverage-range", func(c *CapacityStat) { c.Coverage[len(c.Coverage)-1].Coverage = 1.5 }, "monotone"},
+		{"coverage-bytes", func(c *CapacityStat) { c.Coverage[0].Bytes++ }, "row_bytes"},
+		{"hot-order", func(c *CapacityStat) { c.HotFeatures[0].Count = -1 }, "sorted"},
+		{"overlap", func(c *CapacityStat) { c.HotSetOverlap = 2 }, "overlap"},
+		{"reads", func(c *CapacityStat) { c.TotalReads = -1 }, "negative"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := capacityFixture(t)
+			tc.mutate(c)
+			err := VerifyCapacity(c)
+			if err == nil {
+				t.Fatalf("tampered %s passed VerifyCapacity", tc.name)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if err := VerifyCapacity(nil); err == nil {
+		t.Fatal("nil block passed")
+	}
+}
+
+// TestCoverageCurveMonotone pins the curve's shape directly: strictly
+// increasing k on a doubling grid, monotone coverage clamped to 1, and the
+// final point at the full top-K.
+func TestCoverageCurveMonotone(t *testing.T) {
+	top := make([]memacct.HeavyHitter, 20)
+	var total int64
+	for i := range top {
+		top[i] = memacct.HeavyHitter{Key: int32(i), Count: int64(1000 - 40*i)}
+		total += top[i].Count
+	}
+	points := coverageCurve(top, total, 8)
+	if len(points) == 0 {
+		t.Fatal("empty curve")
+	}
+	wantK := []int{1, 2, 4, 8, 16, 20}
+	if len(points) != len(wantK) {
+		t.Fatalf("curve has %d points, want %d: %+v", len(points), len(wantK), points)
+	}
+	for i, p := range points {
+		if p.K != wantK[i] {
+			t.Errorf("point %d at k=%d, want %d", i, p.K, wantK[i])
+		}
+		if p.Bytes != int64(p.K)*8 {
+			t.Errorf("k=%d prices %d bytes", p.K, p.Bytes)
+		}
+		if i > 0 && p.Coverage < points[i-1].Coverage {
+			t.Errorf("coverage drops at k=%d", p.K)
+		}
+		if p.Coverage > 1 {
+			t.Errorf("coverage %g above 1 at k=%d", p.Coverage, p.K)
+		}
+	}
+	if final := points[len(points)-1].Coverage; final != 1 {
+		t.Errorf("full top-K covers %g of a stream it fully contains, want 1", final)
+	}
+	// Overestimating counts must clamp, not exceed 1.
+	points = coverageCurve(top, total/2, 8)
+	for _, p := range points {
+		if p.Coverage > 1 {
+			t.Fatalf("clamp failed at k=%d: %g", p.K, p.Coverage)
+		}
+	}
+	if coverageCurve(nil, 100, 8) != nil || coverageCurve(top, 0, 8) != nil {
+		t.Fatal("degenerate inputs must yield no curve")
+	}
+}
+
+// TestAnalyzePassesCapacityThrough pins the additive-block plumbing: the
+// analyzer copies Input.Capacity into the report untouched and renders it.
+func TestAnalyzePassesCapacityThrough(t *testing.T) {
+	c := capacityFixture(t)
+	rep, err := Analyze(Input{Spans: syntheticSpans(), Capacity: c})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Capacity != c {
+		t.Fatal("capacity block not passed through")
+	}
+	out := rep.String()
+	for _, want := range []string{"measured memory footprint", "read-coverage curve", "hot-set overlap"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered report missing %q", want)
+		}
+	}
+}

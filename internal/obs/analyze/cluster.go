@@ -80,6 +80,13 @@ type ClusterReport struct {
 	// Quantiles carries the cluster-wide sim-time quantiles (identical on
 	// every rank); per-rank wall-clock transport quantiles are excluded.
 	Quantiles map[string]obs.QuantileSet `json:"quantiles,omitempty"`
+
+	// Capacity[i] is rank i's measured footprint + hot-set block, index-
+	// aligned with Ranks. Memory layout and sketch contents are real
+	// per-rank quantities (each rank only reads for its own worker), so
+	// they sit outside the bit-identical simulated surface and are merged
+	// side-by-side rather than verified equal.
+	Capacity []*CapacityStat `json:"capacity,omitempty"`
 }
 
 // simQuantile reports whether a quantile key is a replicated simulated
@@ -213,6 +220,23 @@ func MergeCluster(reports []*RunReport) (*ClusterReport, error) {
 	cr.WireSkew = 1
 	if mean := sentSum / float64(n); mean > 0 {
 		cr.WireSkew = sentMax / mean
+	}
+	// Per-rank capacity blocks ride along when present; each must at least
+	// be self-consistent (the merge is a verifier for these too).
+	anyCap := false
+	caps := make([]*CapacityStat, n)
+	for rank, r := range sorted {
+		if r.Capacity == nil {
+			continue
+		}
+		if err := VerifyCapacity(r.Capacity); err != nil {
+			return nil, fmt.Errorf("analyze: rank %d capacity block inconsistent: %v", rank, err)
+		}
+		caps[rank] = r.Capacity
+		anyCap = true
+	}
+	if anyCap {
+		cr.Capacity = caps
 	}
 	return cr, nil
 }
@@ -463,5 +487,21 @@ func (r *ClusterReport) String() string {
 			rs.BusySeconds, rs.WaitSeconds, rs.StalenessWaitSeconds, rs.BarrierWaitSeconds, rs.Bound)
 	}
 	b.WriteString(rt.String())
+
+	if len(r.Capacity) > 0 {
+		b.WriteByte('\n')
+		ct := report.New("per-rank capacity (measured footprint + hot set)",
+			"rank", "footprint", "reads", "updates", "hot-set overlap")
+		for rank, c := range r.Capacity {
+			if c == nil {
+				ct.AddRow(fmt.Sprintf("rank%02d", rank), "-", "-", "-", "-")
+				continue
+			}
+			ct.AddRow(fmt.Sprintf("rank%02d", rank),
+				report.FormatBytes(c.MeasuredTotalBytes), c.TotalReads, c.TotalUpdates,
+				report.Percent(c.HotSetOverlap))
+		}
+		b.WriteString(ct.String())
+	}
 	return b.String()
 }

@@ -82,6 +82,11 @@ func (r *RunReport) String() string {
 		b.WriteByte('\n')
 	}
 
+	if r.Capacity != nil {
+		b.WriteString(r.Capacity.String())
+		b.WriteByte('\n')
+	}
+
 	if len(r.Quantiles) > 0 {
 		qt := report.New("sim-time quantiles (bucket-interpolated)", "histogram", "count", "p50", "p95", "p99", "max")
 		names := make([]string, 0, len(r.Quantiles))
@@ -94,6 +99,42 @@ func (r *RunReport) String() string {
 			qt.AddRow(n, q.Count, q.P50, q.P95, q.P99, q.Max)
 		}
 		b.WriteString(qt.String())
+	}
+	return b.String()
+}
+
+// String renders the capacity block: the measured footprint tree, the
+// observed hot set against the partitioner's replica prediction, and the
+// read-coverage curve that sizes a hot-row cache.
+func (c *CapacityStat) String() string {
+	var b strings.Builder
+
+	ft := report.New("measured memory footprint", "component", "bytes", "share")
+	for _, e := range c.Footprint.Flatten() {
+		name := e.Path
+		if i := strings.LastIndexByte(name, '.'); i >= 0 {
+			name = name[i+1:]
+		}
+		var share float64
+		if c.MeasuredTotalBytes > 0 {
+			share = float64(e.Bytes) / float64(c.MeasuredTotalBytes)
+		}
+		ft.AddRow(strings.Repeat("  ", e.Depth)+name, report.FormatBytes(e.Bytes), report.Percent(share))
+	}
+	ft.AddNote("leaves sum to the root: %s measured", report.FormatBytes(c.MeasuredTotalBytes))
+	b.WriteString(ft.String())
+	b.WriteByte('\n')
+
+	if len(c.Coverage) > 0 {
+		ct := report.New("read-coverage curve (hot cache sizing)", "k rows", "cache bytes", "reads covered")
+		for _, p := range c.Coverage {
+			ct.AddRow(p.K, report.FormatBytes(p.Bytes), report.Percent(p.Coverage))
+		}
+		ct.AddNote("%d embedding reads observed (Count-Min ε=%.2g δ=%.2g, top-%d × %d stripes)",
+			c.TotalReads, c.Sketch.Eps, c.Sketch.Delta, c.Sketch.TopK, c.Sketch.Stripes)
+		ct.AddNote("hot-set overlap: %.1f%% of the observed head was replicated by the partitioner (%d replicated features)",
+			100*c.HotSetOverlap, c.ReplicatedFeatures)
+		b.WriteString(ct.String())
 	}
 	return b.String()
 }

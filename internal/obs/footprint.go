@@ -1,0 +1,19 @@
+package obs
+
+import "hetgmp/internal/obs/memacct"
+
+// Footprint re-exports memacct's byte-accounting tree: every stateful
+// component implements `Footprint() obs.Footprint` (a named tree of
+// component→bytes) so capacity reports and the /metrics endpoint can show
+// where memory actually lives. memacct stays std-only; the alias keeps the
+// component-facing API inside obs without an import cycle.
+type Footprint = memacct.Footprint
+
+// EmitFootprint walks a footprint tree and emits one gauge per node as
+// "<prefix>.<path>.bytes", for use inside a registry Collector. Interior
+// nodes are included so a scrape shows both totals and leaves.
+func EmitFootprint(emit func(Metric), prefix string, f Footprint) {
+	f.Walk(func(path string, node Footprint) {
+		emit(Metric{Name: prefix + "." + path + ".bytes", Type: "gauge", Gauge: float64(node.Bytes)})
+	})
+}

@@ -1,0 +1,216 @@
+// Package memacct provides deterministic byte accounting and lightweight
+// access-frequency sketches for the training system's stateful components.
+//
+// The two halves answer the two questions a tiered embedding store must be
+// designed against (HET, arxiv 2112.07221; paper §7.4):
+//
+//   - Footprint: where do the bytes actually live? Every stateful component
+//     (embedding table, bipartite graph, partition assignment, worker
+//     buffers, dense model) reports a named tree of component→bytes,
+//     computed from the lengths and capacities of its own allocations —
+//     measured, not modelled.
+//   - CountMin / SpaceSaving: which rows are actually hot? Streaming
+//     frequency sketches over the feature read/update streams, cheap enough
+//     to leave on during training and accurate enough to size an LFU cache
+//     from ("a hot cache of k rows covers z% of reads").
+//
+// The package imports only the standard library so every layer of the
+// system can depend on it without cycles; internal/obs re-exports the
+// Footprint type as obs.Footprint.
+package memacct
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Footprint is a named tree of component→bytes. Leaves carry measured
+// allocation sizes; an interior node's Bytes is exactly the sum of its
+// children, so the root total is always the sum of the leaves — a property
+// Validate enforces and the CI capacity gate asserts on real reports.
+type Footprint struct {
+	Name     string      `json:"name"`
+	Bytes    int64       `json:"bytes"`
+	Children []Footprint `json:"children,omitempty"`
+}
+
+// Leaf builds a terminal footprint entry.
+func Leaf(name string, bytes int64) Footprint {
+	return Footprint{Name: name, Bytes: bytes}
+}
+
+// Node builds an interior entry whose Bytes is the sum of its children.
+func Node(name string, children ...Footprint) Footprint {
+	var total int64
+	for _, c := range children {
+		total += c.Bytes
+	}
+	return Footprint{Name: name, Bytes: total, Children: children}
+}
+
+// Validate checks the tree's accounting invariants: no negative byte
+// counts, no empty names, and every interior node's Bytes equal to the sum
+// of its children. A tree that validates has leaves summing to the root.
+func (f Footprint) Validate() error {
+	return f.validate(f.Name)
+}
+
+func (f Footprint) validate(path string) error {
+	if f.Name == "" {
+		return fmt.Errorf("memacct: unnamed footprint node under %q", path)
+	}
+	if f.Bytes < 0 {
+		return fmt.Errorf("memacct: negative bytes (%d) at %q", f.Bytes, path)
+	}
+	if len(f.Children) == 0 {
+		return nil
+	}
+	var sum int64
+	for _, c := range f.Children {
+		if err := c.validate(path + "." + c.Name); err != nil {
+			return err
+		}
+		sum += c.Bytes
+	}
+	if sum != f.Bytes {
+		return fmt.Errorf("memacct: node %q reports %d bytes but children sum to %d", path, f.Bytes, sum)
+	}
+	return nil
+}
+
+// LeafSum returns the sum over all leaves (equal to f.Bytes when the tree
+// validates; the capacity gate compares the two independently).
+func (f Footprint) LeafSum() int64 {
+	if len(f.Children) == 0 {
+		return f.Bytes
+	}
+	var sum int64
+	for _, c := range f.Children {
+		sum += c.LeafSum()
+	}
+	return sum
+}
+
+// Walk visits every node depth-first, parents before children, with
+// dot-joined paths rooted at the receiver's name.
+func (f Footprint) Walk(fn func(path string, node Footprint)) {
+	f.walk(f.Name, fn)
+}
+
+func (f Footprint) walk(path string, fn func(string, Footprint)) {
+	fn(path, f)
+	for _, c := range f.Children {
+		c.walk(path+"."+c.Name, fn)
+	}
+}
+
+// Find returns the node at the dot-joined path (rooted at f.Name).
+func (f Footprint) Find(path string) (Footprint, bool) {
+	if path == f.Name {
+		return f, true
+	}
+	prefix := f.Name + "."
+	if len(path) <= len(prefix) || path[:len(prefix)] != prefix {
+		return Footprint{}, false
+	}
+	rest := path[len(prefix):]
+	next := rest
+	if i := indexByte(rest, '.'); i >= 0 {
+		next = rest[:i]
+	}
+	for _, c := range f.Children {
+		if c.Name == next {
+			return c.Find(rest)
+		}
+	}
+	return Footprint{}, false
+}
+
+func indexByte(s string, b byte) int {
+	for i := 0; i < len(s); i++ {
+		if s[i] == b {
+			return i
+		}
+	}
+	return -1
+}
+
+// ScaleBranch returns a copy of the tree with the direct child named
+// branch (and its whole subtree) scaled by factor, with interior totals
+// recomputed. It is the extrapolation primitive behind
+// `hetgmp-obs capacity -scale N`: embedding state grows with the feature
+// universe while dense weights do not, so only the table branch scales.
+func (f Footprint) ScaleBranch(branch string, factor float64) Footprint {
+	out := f
+	out.Children = make([]Footprint, len(f.Children))
+	var total int64
+	for i, c := range f.Children {
+		if c.Name == branch {
+			c = scaleAll(c, factor)
+		}
+		out.Children[i] = c
+		total += c.Bytes
+	}
+	if len(out.Children) > 0 {
+		out.Bytes = total
+	} else if f.Name == branch {
+		out = scaleAll(f, factor)
+	}
+	return out
+}
+
+func scaleAll(f Footprint, factor float64) Footprint {
+	out := f
+	out.Children = make([]Footprint, len(f.Children))
+	var total int64
+	for i, c := range f.Children {
+		out.Children[i] = scaleAll(c, factor)
+		total += out.Children[i].Bytes
+	}
+	if len(out.Children) > 0 {
+		out.Bytes = total
+	} else {
+		out.Bytes = int64(float64(f.Bytes) * factor)
+	}
+	return out
+}
+
+// Flatten returns every node as (path, bytes) pairs in depth-first order —
+// the shape metric gauges and renderers consume.
+type FlatEntry struct {
+	Path  string
+	Bytes int64
+	Leaf  bool
+	Depth int
+}
+
+// Flatten lists the tree depth-first with dot-joined paths.
+func (f Footprint) Flatten() []FlatEntry {
+	var out []FlatEntry
+	var rec func(f Footprint, path string, depth int)
+	rec = func(f Footprint, path string, depth int) {
+		out = append(out, FlatEntry{Path: path, Bytes: f.Bytes, Leaf: len(f.Children) == 0, Depth: depth})
+		for _, c := range f.Children {
+			rec(c, path+"."+c.Name, depth+1)
+		}
+	}
+	rec(f, f.Name, 0)
+	return out
+}
+
+// SortChildren orders every level by descending bytes (ties by name) so
+// rendered trees lead with the dominant consumers. Returns a sorted copy.
+func (f Footprint) SortChildren() Footprint {
+	out := f
+	out.Children = make([]Footprint, len(f.Children))
+	for i, c := range f.Children {
+		out.Children[i] = c.SortChildren()
+	}
+	sort.SliceStable(out.Children, func(i, j int) bool {
+		if out.Children[i].Bytes != out.Children[j].Bytes {
+			return out.Children[i].Bytes > out.Children[j].Bytes
+		}
+		return out.Children[i].Name < out.Children[j].Name
+	})
+	return out
+}

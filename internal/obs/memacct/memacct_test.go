@@ -1,0 +1,123 @@
+package memacct
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func sampleTree() Footprint {
+	return Node("run",
+		Node("table",
+			Node("primary",
+				Leaf("values", 4000),
+				Leaf("clocks", 800),
+			),
+			Leaf("scratch", 200),
+		),
+		Node("model",
+			Leaf("weights", 1000),
+			Leaf("activations", 500),
+		),
+		Leaf("misc", 30),
+	)
+}
+
+func TestFootprintNodeSumsChildren(t *testing.T) {
+	f := sampleTree()
+	if f.Bytes != 6530 {
+		t.Fatalf("root bytes = %d, want 6530", f.Bytes)
+	}
+	if err := f.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if sum := f.LeafSum(); sum != f.Bytes {
+		t.Fatalf("LeafSum %d != root %d", sum, f.Bytes)
+	}
+}
+
+func TestFootprintValidateCatchesTampering(t *testing.T) {
+	f := sampleTree()
+	f.Children[0].Children[0].Children[0].Bytes = 1 // leaf no longer sums
+	if err := f.Validate(); err == nil {
+		t.Fatal("tampered leaf passed Validate")
+	}
+	f = sampleTree()
+	f.Bytes++ // root no longer the sum
+	if err := f.Validate(); err == nil {
+		t.Fatal("tampered root passed Validate")
+	}
+	f = sampleTree()
+	f.Children[2].Bytes = -1
+	if err := f.Validate(); err == nil {
+		t.Fatal("negative leaf passed Validate")
+	}
+}
+
+func TestFootprintFindAndWalk(t *testing.T) {
+	f := sampleTree()
+	n, ok := f.Find("run.table.primary.values")
+	if !ok || n.Bytes != 4000 {
+		t.Fatalf("Find values = (%v, %v), want (4000, true)", n.Bytes, ok)
+	}
+	if _, ok := f.Find("run.nope"); ok {
+		t.Fatal("Find invented a node")
+	}
+	visited := map[string]int64{}
+	f.Walk(func(path string, node Footprint) { visited[path] = node.Bytes })
+	if visited["run"] != 6530 || visited["run.model.weights"] != 1000 {
+		t.Fatalf("Walk paths wrong: %v", visited)
+	}
+}
+
+func TestFootprintScaleBranch(t *testing.T) {
+	f := sampleTree()
+	scaled := f.ScaleBranch("table", 10)
+	if err := scaled.Validate(); err != nil {
+		t.Fatalf("scaled tree invalid: %v", err)
+	}
+	tbl, _ := scaled.Find("run.table")
+	if tbl.Bytes != 50000 {
+		t.Fatalf("scaled table = %d, want 50000", tbl.Bytes)
+	}
+	model, _ := scaled.Find("run.model")
+	if model.Bytes != 1500 {
+		t.Fatalf("model branch must not scale, got %d", model.Bytes)
+	}
+	if scaled.Bytes != 50000+1500+30 {
+		t.Fatalf("scaled root = %d", scaled.Bytes)
+	}
+	// The original is untouched.
+	if f.Bytes != 6530 {
+		t.Fatalf("ScaleBranch mutated the receiver: %d", f.Bytes)
+	}
+}
+
+func TestFootprintJSONRoundTrip(t *testing.T) {
+	f := sampleTree()
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Footprint
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if err := back.Validate(); err != nil {
+		t.Fatalf("round-tripped tree invalid: %v", err)
+	}
+	if back.Bytes != f.Bytes || len(back.Children) != len(f.Children) {
+		t.Fatalf("round trip changed the tree")
+	}
+}
+
+func TestFootprintSortChildren(t *testing.T) {
+	f := sampleTree().SortChildren()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("sorted tree invalid: %v", err)
+	}
+	for i := 1; i < len(f.Children); i++ {
+		if f.Children[i-1].Bytes < f.Children[i].Bytes {
+			t.Fatalf("children not descending: %v then %v", f.Children[i-1], f.Children[i])
+		}
+	}
+}

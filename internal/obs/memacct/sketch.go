@@ -1,0 +1,404 @@
+package memacct
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// CountMin is a conservative count-min sketch over int32 feature ids with
+// the classical (ε, δ) guarantee: for a stream of total weight M, every
+// point query returns est ≥ exact, and est ≤ exact + ε·M with probability
+// at least 1−δ (width = ⌈e/ε⌉, depth = ⌈ln(1/δ)⌉, Cormode & Muthukrishnan).
+//
+// Counters are updated with atomic adds, so concurrent workers can feed the
+// sketch without locks and a live /metrics scrape can read it mid-run; the
+// final counts are sums of commutative increments and therefore
+// deterministic regardless of interleaving.
+type CountMin struct {
+	width int
+	depth int
+	eps   float64
+	delta float64
+	rows  []int64 // depth × width, row-major, atomic
+	seeds []uint64
+	total int64 // atomic
+}
+
+// NewCountMin sizes a sketch for the requested error bound ε and failure
+// probability δ.
+func NewCountMin(eps, delta float64) *CountMin {
+	if !(eps > 0) || eps >= 1 {
+		eps = 1e-3
+	}
+	if !(delta > 0) || delta >= 1 {
+		delta = 1e-2
+	}
+	w := int(math.Ceil(math.E / eps))
+	d := int(math.Ceil(math.Log(1 / delta)))
+	if w < 1 {
+		w = 1
+	}
+	if d < 1 {
+		d = 1
+	}
+	c := &CountMin{
+		width: w,
+		depth: d,
+		eps:   eps,
+		delta: delta,
+		rows:  make([]int64, w*d),
+		seeds: make([]uint64, d),
+	}
+	// Fixed per-row seeds: the sketch is part of the deterministic
+	// telemetry surface, so the hash family is pinned, not randomized.
+	s := uint64(0x9e3779b97f4a7c15)
+	for i := range c.seeds {
+		s = splitmix64(s)
+		c.seeds[i] = s
+	}
+	return c
+}
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	z := x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func (c *CountMin) slot(row int, key int32) int {
+	h := splitmix64(c.seeds[row] ^ uint64(uint32(key)))
+	return row*c.width + int(h%uint64(c.width))
+}
+
+// Add increments key's count by v. Safe for concurrent use.
+func (c *CountMin) Add(key int32, v int64) {
+	if c == nil {
+		return
+	}
+	for row := 0; row < c.depth; row++ {
+		atomic.AddInt64(&c.rows[c.slot(row, key)], v)
+	}
+	atomic.AddInt64(&c.total, v)
+}
+
+// Count returns the point estimate for key: the minimum over rows, never
+// below the true count.
+func (c *CountMin) Count(key int32) int64 {
+	if c == nil {
+		return 0
+	}
+	est := int64(math.MaxInt64)
+	for row := 0; row < c.depth; row++ {
+		if v := atomic.LoadInt64(&c.rows[c.slot(row, key)]); v < est {
+			est = v
+		}
+	}
+	return est
+}
+
+// Total returns the total stream weight observed.
+func (c *CountMin) Total() int64 {
+	if c == nil {
+		return 0
+	}
+	return atomic.LoadInt64(&c.total)
+}
+
+// Width, Depth, Eps, Delta expose the sketch's dimensioning for reports.
+func (c *CountMin) Width() int     { return c.width }
+func (c *CountMin) Depth() int     { return c.depth }
+func (c *CountMin) Eps() float64   { return c.eps }
+func (c *CountMin) Delta() float64 { return c.delta }
+
+// FootprintBytes reports the sketch's own allocation, so telemetry
+// accounts for itself in capacity reports.
+func (c *CountMin) FootprintBytes() int64 {
+	if c == nil {
+		return 0
+	}
+	return int64(len(c.rows))*8 + int64(len(c.seeds))*8
+}
+
+// HeavyHitter is one SpaceSaving entry: Count overestimates the true
+// frequency by at most Err (Count − Err ≤ exact ≤ Count).
+type HeavyHitter struct {
+	Key   int32 `json:"key"`
+	Count int64 `json:"count"`
+	Err   int64 `json:"err"`
+}
+
+// SpaceSaving maintains the top-K most frequent keys of a stream with the
+// standard guarantees (Metwally et al.): any key whose true count exceeds
+// M/K is tracked, and every tracked count is an overestimate bounded by
+// its Err field. Guarded by a mutex: the intended deployment is one
+// instance per worker stripe (uncontended on the hot path), merged in
+// stripe order at snapshot time so the merged view is deterministic.
+type SpaceSaving struct {
+	mu      sync.Mutex
+	k       int
+	index   map[int32]int
+	entries []ssEntry // min-heap on Count (ties broken by Key for determinism)
+	total   int64
+}
+
+type ssEntry struct {
+	key   int32
+	count int64
+	err   int64
+}
+
+// NewSpaceSaving builds a summary tracking at most k keys.
+func NewSpaceSaving(k int) *SpaceSaving {
+	if k < 1 {
+		k = 1
+	}
+	return &SpaceSaving{k: k, index: make(map[int32]int, k)}
+}
+
+// K returns the summary capacity.
+func (s *SpaceSaving) K() int {
+	if s == nil {
+		return 0
+	}
+	return s.k
+}
+
+// Add observes key with weight v.
+func (s *SpaceSaving) Add(key int32, v int64) {
+	if s == nil || v <= 0 {
+		return
+	}
+	s.mu.Lock()
+	s.total += v
+	if i, ok := s.index[key]; ok {
+		s.entries[i].count += v
+		s.siftDown(i)
+	} else if len(s.entries) < s.k {
+		s.entries = append(s.entries, ssEntry{key: key, count: v})
+		s.index[key] = len(s.entries) - 1
+		s.siftUp(len(s.entries) - 1)
+	} else {
+		// Evict the minimum: the newcomer inherits its count as error.
+		min := s.entries[0]
+		delete(s.index, min.key)
+		s.entries[0] = ssEntry{key: key, count: min.count + v, err: min.count}
+		s.index[key] = 0
+		s.siftDown(0)
+	}
+	s.mu.Unlock()
+}
+
+func (s *SpaceSaving) less(i, j int) bool {
+	if s.entries[i].count != s.entries[j].count {
+		return s.entries[i].count < s.entries[j].count
+	}
+	return s.entries[i].key < s.entries[j].key
+}
+
+func (s *SpaceSaving) swap(i, j int) {
+	s.entries[i], s.entries[j] = s.entries[j], s.entries[i]
+	s.index[s.entries[i].key] = i
+	s.index[s.entries[j].key] = j
+}
+
+func (s *SpaceSaving) siftUp(i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if !s.less(i, p) {
+			return
+		}
+		s.swap(i, p)
+		i = p
+	}
+}
+
+func (s *SpaceSaving) siftDown(i int) {
+	n := len(s.entries)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s.less(l, small) {
+			small = l
+		}
+		if r < n && s.less(r, small) {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s.swap(i, small)
+		i = small
+	}
+}
+
+// Items returns the tracked keys sorted by descending count (ties by
+// ascending key), a deterministic snapshot safe to take mid-run.
+func (s *SpaceSaving) Items() []HeavyHitter {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	out := make([]HeavyHitter, len(s.entries))
+	for i, e := range s.entries {
+		out[i] = HeavyHitter{Key: e.key, Count: e.count, Err: e.err}
+	}
+	s.mu.Unlock()
+	sortHitters(out)
+	return out
+}
+
+// Total returns the total stream weight observed.
+func (s *SpaceSaving) Total() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.total
+}
+
+// FootprintBytes reports the summary's own allocation (entries + index;
+// the map is costed at 16 bytes per entry of key/value payload plus
+// bucket overhead, a documented approximation).
+func (s *SpaceSaving) FootprintBytes() int64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	const mapEntryBytes = 16
+	return int64(cap(s.entries))*24 + int64(len(s.index))*mapEntryBytes
+}
+
+func sortHitters(hh []HeavyHitter) {
+	sort.Slice(hh, func(i, j int) bool {
+		if hh[i].Count != hh[j].Count {
+			return hh[i].Count > hh[j].Count
+		}
+		return hh[i].Key < hh[j].Key
+	})
+}
+
+// FreqSketch combines a shared Count-Min sketch with per-stripe
+// SpaceSaving summaries: the Count-Min is fed with lock-free atomic adds
+// from every stripe, while each stripe owns its own SpaceSaving (its
+// stream is deterministic under the engine's two-phase discipline, so the
+// stripe-order merge is too). Nil receivers no-op, preserving the obs
+// package's "nil registry = zero cost" discipline.
+type FreqSketch struct {
+	cm      *CountMin
+	stripes []*SpaceSaving
+	k       int
+}
+
+// NewFreqSketch builds a sketch with the given number of stripes, a
+// per-stripe top-k capacity, and Count-Min bounds (ε, δ).
+func NewFreqSketch(stripes, k int, eps, delta float64) *FreqSketch {
+	if stripes < 1 {
+		stripes = 1
+	}
+	f := &FreqSketch{cm: NewCountMin(eps, delta), k: k}
+	f.stripes = make([]*SpaceSaving, stripes)
+	for i := range f.stripes {
+		f.stripes[i] = NewSpaceSaving(k)
+	}
+	return f
+}
+
+// Observe records one access to key from the given stripe.
+func (f *FreqSketch) Observe(stripe int, key int32) {
+	if f == nil {
+		return
+	}
+	f.cm.Add(key, 1)
+	f.stripes[stripe].Add(key, 1)
+}
+
+// Total returns the total number of observed accesses.
+func (f *FreqSketch) Total() int64 {
+	if f == nil {
+		return 0
+	}
+	return f.cm.Total()
+}
+
+// Count returns the Count-Min point estimate for key.
+func (f *FreqSketch) Count(key int32) int64 {
+	if f == nil {
+		return 0
+	}
+	return f.cm.Count(key)
+}
+
+// CountMin exposes the shared sketch (for reports of its dimensioning).
+func (f *FreqSketch) CountMin() *CountMin {
+	if f == nil {
+		return nil
+	}
+	return f.cm
+}
+
+// Stripes returns the number of per-stripe summaries.
+func (f *FreqSketch) Stripes() int {
+	if f == nil {
+		return 0
+	}
+	return len(f.stripes)
+}
+
+// K returns the per-stripe top-k capacity.
+func (f *FreqSketch) K() int {
+	if f == nil {
+		return 0
+	}
+	return f.k
+}
+
+// TopK merges the per-stripe summaries in ascending stripe order, summing
+// counts (and error bounds) for keys tracked by several stripes, and
+// returns up to k entries sorted by descending merged count. Deterministic
+// given deterministic per-stripe streams; safe to call during training.
+func (f *FreqSketch) TopK() []HeavyHitter {
+	if f == nil {
+		return nil
+	}
+	merged := make(map[int32]*HeavyHitter)
+	order := make([]int32, 0, f.k*len(f.stripes))
+	for _, s := range f.stripes {
+		for _, h := range s.Items() {
+			if m, ok := merged[h.Key]; ok {
+				m.Count += h.Count
+				m.Err += h.Err
+			} else {
+				hh := h
+				merged[h.Key] = &hh
+				order = append(order, h.Key)
+			}
+		}
+	}
+	out := make([]HeavyHitter, 0, len(order))
+	for _, key := range order {
+		out = append(out, *merged[key])
+	}
+	sortHitters(out)
+	if len(out) > f.k {
+		out = out[:f.k]
+	}
+	return out
+}
+
+// FootprintBytes reports the sketch's total allocation.
+func (f *FreqSketch) FootprintBytes() int64 {
+	if f == nil {
+		return 0
+	}
+	total := f.cm.FootprintBytes()
+	for _, s := range f.stripes {
+		total += s.FootprintBytes()
+	}
+	return total
+}

@@ -1,0 +1,210 @@
+package memacct
+
+import (
+	"sync"
+	"testing"
+
+	"hetgmp/internal/xrand"
+)
+
+// zipfStream draws m samples over [0, n) at the given skew, returning the
+// stream and the exact per-key counts.
+func zipfStream(t *testing.T, seed uint64, n, m int, exponent float64) ([]int32, []int64) {
+	t.Helper()
+	rng := xrand.New(seed)
+	z := xrand.NewZipf(n, exponent)
+	stream := make([]int32, m)
+	exact := make([]int64, n)
+	for i := range stream {
+		x := int32(z.Sample(rng))
+		stream[i] = x
+		exact[x]++
+	}
+	return stream, exact
+}
+
+// TestCountMinErrorBounds pins the classical (ε, δ) guarantee on a Zipf
+// stream: estimates never undercount, and the fraction of keys
+// overestimated by more than ε·M stays within a small multiple of δ
+// (the bound holds per query with probability 1−δ; the ×3 slack absorbs
+// the variance of checking every key of one fixed stream).
+func TestCountMinErrorBounds(t *testing.T) {
+	const (
+		eps   = 1e-3
+		delta = 1e-2
+		n     = 5000
+		m     = 200000
+	)
+	stream, exact := zipfStream(t, 0xc0ffee, n, m, 1.2)
+	cm := NewCountMin(eps, delta)
+	for _, x := range stream {
+		cm.Add(x, 1)
+	}
+	if cm.Total() != int64(m) {
+		t.Fatalf("Total = %d, want %d", cm.Total(), m)
+	}
+	bound := int64(eps * float64(m))
+	violations := 0
+	for x := int32(0); x < n; x++ {
+		est := cm.Count(x)
+		if est < exact[x] {
+			t.Fatalf("key %d: estimate %d below exact %d — Count-Min must never undercount", x, est, exact[x])
+		}
+		if est > exact[x]+bound {
+			violations++
+		}
+	}
+	if max := int(3 * delta * float64(n)); violations > max {
+		t.Fatalf("%d/%d keys exceed the ε·M=%d error bound, want ≤ %d (3δn)", violations, n, bound, max)
+	}
+}
+
+func TestCountMinDimensioning(t *testing.T) {
+	cm := NewCountMin(1e-3, 1e-2)
+	if cm.Width() < 2718 { // ⌈e/ε⌉
+		t.Fatalf("width %d below e/ε", cm.Width())
+	}
+	if cm.Depth() < 5 { // ⌈ln(1/δ)⌉ = ⌈ln 100⌉ = 5
+		t.Fatalf("depth %d below ln(1/δ)", cm.Depth())
+	}
+	if cm.FootprintBytes() <= 0 {
+		t.Fatal("sketch reports no footprint")
+	}
+}
+
+// TestSpaceSavingSupersetGuarantee pins the Metwally guarantee: every key
+// with exact count above M/K must be tracked, and every tracked count
+// brackets the truth (count − err ≤ exact ≤ count).
+func TestSpaceSavingSupersetGuarantee(t *testing.T) {
+	const (
+		k = 64
+		n = 2000
+		m = 100000
+	)
+	stream, exact := zipfStream(t, 0xbeef, n, m, 1.1)
+	ss := NewSpaceSaving(k)
+	for _, x := range stream {
+		ss.Add(x, 1)
+	}
+	items := ss.Items()
+	if len(items) > k {
+		t.Fatalf("tracking %d keys, capacity %d", len(items), k)
+	}
+	tracked := make(map[int32]HeavyHitter, len(items))
+	for _, h := range items {
+		tracked[h.Key] = h
+	}
+	threshold := int64(m / k)
+	for x := int32(0); x < n; x++ {
+		if exact[x] <= threshold {
+			continue
+		}
+		h, ok := tracked[x]
+		if !ok {
+			t.Fatalf("key %d has exact count %d > M/K=%d but is not tracked", x, exact[x], threshold)
+		}
+		if h.Count < exact[x] {
+			t.Fatalf("key %d: tracked count %d below exact %d", x, h.Count, exact[x])
+		}
+		if h.Count-h.Err > exact[x] {
+			t.Fatalf("key %d: count−err %d exceeds exact %d", x, h.Count-h.Err, exact[x])
+		}
+	}
+	// Items must come back sorted by descending count.
+	for i := 1; i < len(items); i++ {
+		if items[i-1].Count < items[i].Count {
+			t.Fatalf("Items not sorted at %d", i)
+		}
+	}
+}
+
+// TestFreqSketchDeterministicMerge feeds the same per-stripe streams twice
+// and requires bit-identical merged views — the property that lets the
+// capacity block appear in reports without breaking run reproducibility.
+func TestFreqSketchDeterministicMerge(t *testing.T) {
+	build := func() *FreqSketch {
+		f := NewFreqSketch(4, 32, 1e-3, 1e-2)
+		for stripe := 0; stripe < 4; stripe++ {
+			rng := xrand.New(uint64(stripe) + 7)
+			z := xrand.NewZipf(500, 1.3)
+			for i := 0; i < 20000; i++ {
+				f.Observe(stripe, int32(z.Sample(rng)))
+			}
+		}
+		return f
+	}
+	a, b := build(), build()
+	ta, tb := a.TopK(), b.TopK()
+	if len(ta) == 0 || len(ta) != len(tb) {
+		t.Fatalf("top-k sizes differ: %d vs %d", len(ta), len(tb))
+	}
+	for i := range ta {
+		if ta[i] != tb[i] {
+			t.Fatalf("merged top-k diverges at %d: %+v vs %+v", i, ta[i], tb[i])
+		}
+	}
+	if a.Total() != b.Total() {
+		t.Fatalf("totals differ: %d vs %d", a.Total(), b.Total())
+	}
+}
+
+// TestFreqSketchConcurrentObserve is the race soak: per-stripe writers plus
+// a reader taking merged snapshots mid-stream (the live /metrics path).
+// Run under -race in CI via ./internal/obs/...
+func TestFreqSketchConcurrentObserve(t *testing.T) {
+	const stripes = 4
+	f := NewFreqSketch(stripes, 32, 1e-2, 1e-2)
+	stop := make(chan struct{})
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				f.TopK()
+				f.Total()
+			}
+		}
+	}()
+	var writers sync.WaitGroup
+	for s := 0; s < stripes; s++ {
+		writers.Add(1)
+		go func(stripe int) {
+			defer writers.Done()
+			rng := xrand.New(uint64(stripe) * 31)
+			for i := 0; i < 50000; i++ {
+				f.Observe(stripe, int32(rng.Intn(1000)))
+			}
+		}(s)
+	}
+	writers.Wait()
+	close(stop)
+	<-readerDone
+	if f.Total() != 4*50000 {
+		t.Fatalf("Total = %d, want %d", f.Total(), 4*50000)
+	}
+	if len(f.TopK()) == 0 {
+		t.Fatal("no heavy hitters tracked")
+	}
+}
+
+// TestNilSketchIsZeroCost pins the obs discipline: nil receivers no-op.
+func TestNilSketchIsZeroCost(t *testing.T) {
+	var f *FreqSketch
+	f.Observe(0, 1)
+	if f.Total() != 0 || f.TopK() != nil || f.Count(1) != 0 || f.FootprintBytes() != 0 {
+		t.Fatal("nil FreqSketch not inert")
+	}
+	var cm *CountMin
+	cm.Add(1, 1)
+	if cm.Count(1) != 0 || cm.Total() != 0 {
+		t.Fatal("nil CountMin not inert")
+	}
+	var ss *SpaceSaving
+	ss.Add(1, 1)
+	if ss.Items() != nil || ss.Total() != 0 {
+		t.Fatal("nil SpaceSaving not inert")
+	}
+}

@@ -1,0 +1,74 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/metrics"
+)
+
+// runtimeSamples are the runtime/metrics series exported on /metrics:
+// heap occupancy, GC cycle count, and cumulative GC stop-the-world pause
+// time. All three are host-side facts (they vary per rank and per machine),
+// so their names deliberately sit outside the engine./fabric. simulated
+// namespace that the cluster merge holds bit-identical across ranks.
+var runtimeSamples = []string{
+	"/memory/classes/heap/objects:bytes",
+	"/gc/cycles/total:gc-cycles",
+	"/sched/pauses/total/gc:seconds",
+}
+
+// RegisterRuntimeMetrics registers a live collector exporting Go runtime
+// memory health as gauges, rank-tagged like every other metric on the
+// registry's /metrics endpoint:
+//
+//	runtime.heap_inuse_bytes   bytes of live heap objects
+//	runtime.gc_cycles          completed GC cycles
+//	runtime.gc_stw_seconds     cumulative GC stop-the-world pause time
+//	runtime.gomaxprocs         the scheduler's parallelism setting
+//
+// runtime/metrics reads are internally synchronized and never stop the
+// world, so the collector is safe to serve live from concurrent scrapes
+// and cannot perturb training (the no-observer-effect discipline).
+func RegisterRuntimeMetrics(reg *Registry) {
+	if reg == nil {
+		return
+	}
+	reg.RegisterLiveCollector(func(emit func(Metric)) {
+		samples := make([]metrics.Sample, len(runtimeSamples))
+		for i, name := range runtimeSamples {
+			samples[i].Name = name
+		}
+		metrics.Read(samples)
+		emit(Metric{Name: "runtime.heap_inuse_bytes", Type: "gauge", Gauge: sampleValue(samples[0])})
+		emit(Metric{Name: "runtime.gc_cycles", Type: "gauge", Gauge: sampleValue(samples[1])})
+		emit(Metric{Name: "runtime.gc_stw_seconds", Type: "gauge", Gauge: sampleValue(samples[2])})
+		emit(Metric{Name: "runtime.gomaxprocs", Type: "gauge", Gauge: float64(runtime.GOMAXPROCS(0))})
+	})
+}
+
+// sampleValue flattens a runtime/metrics sample to a float64 gauge.
+// Histogram-kind series (the GC pause distribution) are reduced to their
+// total mass weighted by bucket lower bounds — a documented lower-bound
+// approximation of cumulative pause seconds.
+func sampleValue(s metrics.Sample) float64 {
+	switch s.Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s.Value.Uint64())
+	case metrics.KindFloat64:
+		return s.Value.Float64()
+	case metrics.KindFloat64Histogram:
+		h := s.Value.Float64Histogram()
+		if h == nil {
+			return 0
+		}
+		var total float64
+		for i, n := range h.Counts {
+			lo := h.Buckets[i]
+			if lo < 0 || lo != lo { // -Inf or NaN lower bound
+				lo = 0
+			}
+			total += float64(n) * lo
+		}
+		return total
+	}
+	return 0
+}

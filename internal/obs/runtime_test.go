@@ -1,0 +1,36 @@
+package obs
+
+import "testing"
+
+// TestRuntimeMetricsOnLiveSnapshot pins that the Go runtime gauges are
+// live-collected (visible to a concurrent /metrics scrape, not just the
+// end-of-run snapshot) and carry plausible values.
+func TestRuntimeMetricsOnLiveSnapshot(t *testing.T) {
+	reg := NewRegistry(2)
+	reg.SetRank(1, 4)
+	RegisterRuntimeMetrics(reg)
+	snap := reg.LiveSnapshot()
+	if snap.Rank != 1 || snap.World != 4 {
+		t.Fatalf("snapshot tagged rank=%d world=%d", snap.Rank, snap.World)
+	}
+	heap, ok := snap.Get("runtime.heap_inuse_bytes")
+	if !ok {
+		t.Fatal("runtime.heap_inuse_bytes missing from live snapshot")
+	}
+	if heap.Gauge <= 0 {
+		t.Errorf("heap in-use %g bytes", heap.Gauge)
+	}
+	for _, name := range []string{"runtime.gc_cycles", "runtime.gc_stw_seconds", "runtime.gomaxprocs"} {
+		m, ok := snap.Get(name)
+		if !ok {
+			t.Errorf("%s missing from live snapshot", name)
+			continue
+		}
+		if m.Gauge < 0 {
+			t.Errorf("%s = %g, want non-negative", name, m.Gauge)
+		}
+	}
+	if gmp, _ := snap.Get("runtime.gomaxprocs"); gmp.Gauge < 1 {
+		t.Errorf("gomaxprocs %g", gmp.Gauge)
+	}
+}

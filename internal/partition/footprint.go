@@ -1,0 +1,37 @@
+package partition
+
+import (
+	"strconv"
+
+	"hetgmp/internal/obs/memacct"
+)
+
+// intBytes is the platform size of int ([]int slices dominate the
+// assignment's storage).
+const intBytes = strconv.IntSize / 8
+
+// Footprint reports the assignment's measured memory layout (see
+// internal/obs/memacct): the sample→partition and feature→primary maps
+// plus the per-feature replica bitsets. memacct.Footprint is aliased as
+// obs.Footprint; partition depends only on the std-only memacct package.
+func (a *Assignment) Footprint() memacct.Footprint {
+	return memacct.Node("partition",
+		memacct.Leaf("sample_of", int64(len(a.SampleOf))*intBytes),
+		memacct.Leaf("primary_of", int64(len(a.PrimaryOf))*intBytes),
+		memacct.Leaf("replica_bitsets", int64(len(a.replicas))*8),
+	)
+}
+
+// ReplicatedFeatures returns the features the partitioner placed at least
+// one secondary replica for — its prediction of the hot set (the bigraph's
+// Zipf head). Capacity reports compare this predicted hot set against the
+// hot set the frequency sketches actually observe at runtime.
+func (a *Assignment) ReplicatedFeatures() []int32 {
+	var out []int32
+	for x, bits := range a.replicas {
+		if bits != 0 {
+			out = append(out, int32(x))
+		}
+	}
+	return out
+}

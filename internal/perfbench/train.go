@@ -134,6 +134,11 @@ type TrainCell struct {
 	// Speedup is reference ns/iter over optimized ns/iter at this cell's
 	// parallelism.
 	Speedup float64 `json:"speedup"`
+	// PeakFootprintBytes is the optimized pass's measured end-of-run
+	// memory footprint (the memacct tree total: table + model + partition
+	// + engine buffers), so the perf trajectory tracks memory alongside
+	// time. Additive: absent in baselines stamped before it existed.
+	PeakFootprintBytes int64 `json:"peak_footprint_bytes,omitempty"`
 }
 
 // TrainReport is the BENCH_train.json payload (schema TrainSchema).
@@ -224,13 +229,13 @@ func RunTrain(opts TrainOptions) (*TrainReport, error) {
 		defer runtime.GOMAXPROCS(old)
 		fmt.Fprintf(os.Stderr, "perfbench: train scale %g (%d samples), GOMAXPROCS=%d reference pass\n",
 			opts.Scale, len(ds.Samples), procs)
-		refMetrics, refRes, err := benchTrainExec(mkConfig, engine.ExecConfig{Reference: true})
+		refMetrics, refRes, _, err := benchTrainExec(mkConfig, engine.ExecConfig{Reference: true})
 		if err != nil {
 			return TrainCell{}, nil, err
 		}
 		fmt.Fprintf(os.Stderr, "perfbench: train scale %g, GOMAXPROCS=%d optimized (pipelined) pass\n",
 			opts.Scale, procs)
-		optMetrics, optRes, err := benchTrainExec(mkConfig, engine.ExecConfig{Pipeline: true})
+		optMetrics, optRes, optFootprint, err := benchTrainExec(mkConfig, engine.ExecConfig{Pipeline: true})
 		if err != nil {
 			return TrainCell{}, nil, err
 		}
@@ -245,10 +250,11 @@ func RunTrain(opts TrainOptions) (*TrainReport, error) {
 				procs, refRes.FinalAUC, optRes.FinalAUC, refRes.TotalSimTime, optRes.TotalSimTime)
 		}
 		return TrainCell{
-			GOMAXPROCS: procs,
-			Reference:  refMetrics,
-			Optimized:  optMetrics,
-			Speedup:    float64(refMetrics.NsPerIter) / float64(optMetrics.NsPerIter),
+			GOMAXPROCS:         procs,
+			Reference:          refMetrics,
+			Optimized:          optMetrics,
+			Speedup:            float64(refMetrics.NsPerIter) / float64(optMetrics.NsPerIter),
+			PeakFootprintBytes: optFootprint,
 		}, refRes, nil
 	}
 	var canonical *engine.Result
@@ -303,9 +309,12 @@ func RunTrain(opts TrainOptions) (*TrainReport, error) {
 
 // benchTrainExec times full training runs under one execution strategy with
 // the standard benchmark machinery and keeps the last run's Result for the
-// equivalence gate.
-func benchTrainExec(mkConfig func(engine.ExecConfig) engine.Config, exec engine.ExecConfig) (TrainExecMetrics, *engine.Result, error) {
+// equivalence gate, plus that run's measured footprint total (the memacct
+// tree, taken post-run when the table's buffers sit at their high-water
+// capacities).
+func benchTrainExec(mkConfig func(engine.ExecConfig) engine.Config, exec engine.ExecConfig) (TrainExecMetrics, *engine.Result, int64, error) {
 	var last *engine.Result
+	var footprint int64
 	var runErr error
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
@@ -321,13 +330,14 @@ func benchTrainExec(mkConfig func(engine.ExecConfig) engine.Config, exec engine.
 				b.FailNow()
 			}
 			last = res
+			footprint = tr.Footprint().Bytes
 		}
 	})
 	if runErr != nil {
-		return TrainExecMetrics{}, nil, runErr
+		return TrainExecMetrics{}, nil, 0, runErr
 	}
 	if last == nil || last.Iterations == 0 {
-		return TrainExecMetrics{}, nil, fmt.Errorf("perfbench: degenerate training run (no iterations)")
+		return TrainExecMetrics{}, nil, 0, fmt.Errorf("perfbench: degenerate training run (no iterations)")
 	}
 	iters := int64(last.Iterations)
 	wall := float64(br.NsPerOp()) / 1e9
@@ -338,7 +348,7 @@ func benchTrainExec(mkConfig func(engine.ExecConfig) engine.Config, exec engine.
 		BytesPerIter:  br.AllocedBytesPerOp() / iters,
 		SamplesPerSec: float64(last.SamplesProcessed) / wall,
 	}
-	return m, last, nil
+	return m, last, footprint, nil
 }
 
 // benchCommitMetrics runs the queue→commit microbenchmark on both delta

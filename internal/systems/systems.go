@@ -190,6 +190,7 @@ func Build(sys System, opt Options) (*engine.Trainer, error) {
 		Tracer:           opt.Tracer,
 		Report:           opt.Report,
 		PartitionHistory: rounds,
+		Graph:            g,
 		Dist:             opt.Dist,
 		Seed:             opt.Seed,
 	}
