@@ -64,6 +64,9 @@ func main() {
 		perfTrainScale  = flag.Float64("perftrainscale", 0, "dataset scale for -perf-train (default 2.5e-3)")
 		perfTrainProcs  = flag.String("gomaxprocs", "", "comma-separated GOMAXPROCS matrix for -perf-train (default 1,4,8)")
 		perfTrainVerify = flag.String("perf-train-verify", "", "verify a committed train report against the harness config and exit")
+		memBudget       = flag.Int64("mem-budget", 0, "embedding-value byte budget for -perf-train: the optimized pass runs the tiered store with the hot cache sized to fit (remainder spilled cold)")
+		tierHotRows     = flag.Int("tier-hot-rows", 0, "hot-cache rows for -perf-train's tiered optimized pass (overrides -mem-budget sizing)")
+		tierColdRows    = flag.Int("tier-cold-rows", 0, "cold-spill rows for -perf-train's tiered optimized pass")
 
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
@@ -110,7 +113,7 @@ func main() {
 			fmt.Fprintf(os.Stderr, "hetgmp-bench: perf-train-verify: %v\n", err)
 			os.Exit(1)
 		}
-		if rep.Meta.Schema == perfbench.TrainSchema {
+		if len(rep.Matrix) > 0 {
 			procs := make([]string, len(rep.Matrix))
 			for i, cell := range rep.Matrix {
 				procs[i] = strconv.Itoa(cell.GOMAXPROCS)
@@ -127,7 +130,10 @@ func main() {
 	}
 
 	if *perfTrain {
-		opts := perfbench.TrainOptions{Seed: *seed, Scale: *perfTrainScale}
+		opts := perfbench.TrainOptions{
+			Seed: *seed, Scale: *perfTrainScale,
+			MemBudgetBytes: *memBudget, HotRows: *tierHotRows, ColdRows: *tierColdRows,
+		}
 		if *perfTrainProcs != "" {
 			for _, s := range strings.Split(*perfTrainProcs, ",") {
 				v, err := strconv.Atoi(strings.TrimSpace(s))
@@ -155,6 +161,11 @@ func main() {
 				cell.Reference.NsPerIter, cell.Reference.AllocsPerIter, cell.Reference.SamplesPerSec,
 				cell.Optimized.NsPerIter, cell.Optimized.AllocsPerIter, cell.Optimized.SamplesPerSec,
 				cell.Speedup)
+			if ts := cell.Tiers; ts != nil {
+				fmt.Printf("               tiered: %d hot / %d cold rows, read hit %.1f%%, commit hit %.1f%%, %d promotions, footprint %d bytes (flat ref %d)\n",
+					ts.HotRows, ts.ColdRows, 100*ts.ReadHitRate, 100*ts.CommitHitRate,
+					ts.Promotions, cell.PeakFootprintBytes, cell.RefFootprintBytes)
+			}
 		}
 		fmt.Printf("scaling speedup (opt@%d vs ref@%d): %.2fx\n",
 			rep.Matrix[len(rep.Matrix)-1].GOMAXPROCS, rep.Matrix[0].GOMAXPROCS, rep.ScalingSpeedup)

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 
+	"hetgmp/internal/embed"
 	"hetgmp/internal/obs/analyze"
 	"hetgmp/internal/report"
 )
@@ -18,9 +19,10 @@ import (
 func cmdCapacity(args []string) {
 	fs := flag.NewFlagSet("capacity", flag.ExitOnError)
 	scale := fs.Float64("scale", 1, "extrapolate embedding-table sizing to N× the feature universe")
+	hotTarget := fs.Float64("hot-target", 0, "recommend a hot-cache row budget covering this fraction of reads (from the report's coverage curve)")
 	fs.Parse(args)
 	if fs.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: hetgmp-obs capacity [-scale N] report.json")
+		fmt.Fprintln(os.Stderr, "usage: hetgmp-obs capacity [-scale N] [-hot-target z] report.json")
 		os.Exit(2)
 	}
 	run, clus, err := analyze.ReadAnyReport(fs.Arg(0))
@@ -37,6 +39,7 @@ func cmdCapacity(args []string) {
 		}
 		fmt.Println(run.Capacity.String())
 		printExtrapolation(run.Capacity, *scale)
+		printHotRecommendation(run.Capacity, *hotTarget)
 	case clus != nil:
 		if len(clus.Capacity) == 0 {
 			fatal(fmt.Errorf("%s carries no per-rank capacity blocks", fs.Arg(0)))
@@ -50,8 +53,37 @@ func cmdCapacity(args []string) {
 			}
 			fmt.Printf("== rank %d ==\n%s\n", rank, c.String())
 			printExtrapolation(c, *scale)
+			printHotRecommendation(c, *hotTarget)
 		}
 	}
+}
+
+// printHotRecommendation turns the report's read-coverage curve into a
+// concrete TierConfig.HotRows: the smallest measured k whose hottest rows
+// covered the target fraction of reads (or the curve's best k when the
+// target is out of reach). This is the sizing loop the tiered store closes:
+// measure once flat, then re-train with -tier-hot set to the answer.
+func printHotRecommendation(c *analyze.CapacityStat, target float64) {
+	if target <= 0 {
+		return
+	}
+	curve := make([]embed.CoverageSample, 0, len(c.Coverage))
+	for _, p := range c.Coverage {
+		curve = append(curve, embed.CoverageSample{K: p.K, Coverage: p.Coverage})
+	}
+	k := embed.RecommendHotRows(curve, target)
+	if k <= 0 {
+		fmt.Printf("hot-cache sizing: no coverage curve in the report (train with telemetry on)\n")
+		return
+	}
+	cov := 0.0
+	for _, p := range curve {
+		if p.K == k {
+			cov = p.Coverage
+		}
+	}
+	fmt.Printf("hot-cache sizing: %d rows (%s) cover %.1f%% of observed reads (target %.0f%%) — train with -tier-hot %d\n",
+		k, report.FormatBytes(int64(k)*c.RowBytes), 100*cov, 100*target, k)
 }
 
 // printExtrapolation scales the embedding-proportional branch of the

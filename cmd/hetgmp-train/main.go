@@ -6,11 +6,18 @@
 //
 //	hetgmp-train [-system name] [-model wdl|dcn|deepfm] [-dataset name] [-scale f]
 //	             [-gpus n] [-staleness s] [-epochs n] [-dim n] [-batch n] [-seed n]
+//	             [-tier-hot f] [-tier-cold f] [-tier-cold-dir dir] [-mem-budget bytes]
 //	             [-transport sim|tcp] [-rank r] [-peers host:port,...]
 //	             [-trace out.json] [-metrics out-metrics.json] [-report report.json]
 //	             [-http addr] [-cpuprofile out.pprof] [-memprofile out.pprof]
 //
 // Systems: tf-ps, parallax, hugectr, het-mp, het-gmp.
+//
+// -tier-hot enables tiered embedding storage (hot clock-LFU cache + packed
+// warm arena + mmap cold spill). Values below 1 are fractions of the feature
+// count, values ≥1 absolute rows; -mem-budget sizes the hot cache from a byte
+// budget instead. Tiering never changes the result: clocks, convergence and
+// checkpoints are bit-identical to the flat store.
 //
 // -transport=tcp runs one worker per OS process, shared-nothing, over real
 // sockets: launch one process per rank with the same flags, -rank set to
@@ -79,6 +86,10 @@ func main() {
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memProf   = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		seed      = flag.Uint64("seed", 22, "random seed")
+		tierHot   = flag.Float64("tier-hot", 0, "hot-cache budget for tiered embedding storage: a value <1 is a fraction of the feature count, ≥1 an absolute row count; 0 keeps the flat store")
+		tierCold  = flag.Float64("tier-cold", 0, "rows spilled to the mmap cold tier (same fraction-or-rows convention as -tier-hot); requires -tier-hot")
+		tierDir   = flag.String("tier-cold-dir", "", "directory for cold-tier spill files (default: a private temp dir removed on exit)")
+		memBudget = flag.Int64("mem-budget", 0, "embedding-value memory budget in bytes: sizes the hot cache to fit (overrides -tier-hot) and spills the remainder cold")
 		transport = flag.String("transport", "sim", "execution backend: 'sim' runs all workers in this process; 'tcp' runs one worker per process over real sockets (requires -rank and -peers)")
 		rank      = flag.Int("rank", 0, "this process's rank for -transport=tcp")
 		peers     = flag.String("peers", "", "comma-separated host:port listen addresses, one per rank, for -transport=tcp (overrides -gpus: one GPU per peer)")
@@ -203,16 +214,24 @@ func main() {
 	if s < 0 {
 		s = embed.StalenessInf
 	}
+	st0 := train.Stats()
+	tiers := tierConfig(*tierHot, *tierCold, *memBudget, *tierDir, st0.NumFeatures, *dim)
 	tr, err := systems.Build(systems.System(*sysName), systems.Options{
 		Train: train, Test: test, ModelName: *model, Topo: topo,
 		Dim: *dim, BatchPerWorker: *batch, Epochs: *epochs,
 		Staleness: s, TargetAUC: *target, EvalSamples: 8192, Seed: *seed,
 		CheckInvariants: *check,
 		Metrics:         reg, Tracer: tracer, Report: *repPath != "",
-		Dist: dist,
+		Dist:  dist,
+		Tiers: tiers,
 	})
 	if err != nil {
 		fatal(err)
+	}
+	defer tr.Close()
+	if tiers.Enabled() {
+		fmt.Printf("storage: tiered — %d hot rows, %d cold rows (of %d)\n",
+			tiers.HotRows, tiers.ColdRows, st0.NumFeatures)
 	}
 
 	fmt.Printf("system:  %s — %s\n", *sysName, systems.Describe(systems.System(*sysName)))
@@ -259,6 +278,15 @@ func main() {
 	if gap, ok := res.Metrics.Get("table.staleness.admitted_gap"); ok && gap.Count > 0 {
 		sum.AddRow("staleness gap (admitted) max", gap.Max)
 		sum.AddRow("staleness gap (admitted) mean", gap.MeanOf())
+	}
+	if ts := res.TierStats; ts != nil {
+		sum.AddRow("tiers: hot/warm/cold rows", fmt.Sprintf("%d/%d/%d", ts.HotRows, ts.WarmRows, ts.ColdRows))
+		sum.AddRow("tiers: hot bytes", report.FormatBytes(ts.HotBytes))
+		sum.AddRow("tiers: warm bytes", report.FormatBytes(ts.WarmBytes))
+		sum.AddRow("tiers: cold bytes", report.FormatBytes(ts.ColdBytes))
+		sum.AddRow("tiers: read hit rate", report.Percent(ts.ReadHitRate()))
+		sum.AddRow("tiers: commit hit rate", report.Percent(ts.CommitHitRate()))
+		sum.AddRow("tiers: promotions/demotions", fmt.Sprintf("%d/%d", ts.Promotions, ts.Demotions))
 	}
 	fmt.Println(sum.String())
 
@@ -344,6 +372,42 @@ func main() {
 		}
 		fmt.Printf("wrote checkpoint to %s\n", *ckptPath)
 	}
+}
+
+// tierConfig resolves the tier flags against the dataset's feature count.
+// hot and cold follow the fraction-or-rows convention (<1: fraction of
+// features; ≥1: absolute rows). A memory budget overrides hot: the cache is
+// sized to fit budget bytes of rows (at least one), and every row the budget
+// cannot hold beyond the hot set spills cold.
+func tierConfig(hot, cold float64, budget int64, dir string, features, dim int) embed.TierConfig {
+	rows := func(v float64) int {
+		if v <= 0 {
+			return 0
+		}
+		if v < 1 {
+			return int(v * float64(features))
+		}
+		return int(v)
+	}
+	cfg := embed.TierConfig{HotRows: rows(hot), ColdRows: rows(cold), ColdDir: dir}
+	if budget > 0 {
+		rowBytes := int64(dim) * 4
+		h := int(budget / rowBytes)
+		if h < 1 {
+			h = 1
+		}
+		if h > features {
+			h = features
+		}
+		cfg.HotRows = h
+		if cfg.ColdRows == 0 {
+			cfg.ColdRows = features - h
+		}
+	}
+	if cfg.ColdRows > features-cfg.HotRows {
+		cfg.ColdRows = features - cfg.HotRows
+	}
+	return cfg
 }
 
 // rankPath inserts ".rankN" before the extension, so each rank of a

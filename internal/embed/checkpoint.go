@@ -5,7 +5,6 @@ import (
 	"encoding/binary"
 	"fmt"
 	"io"
-	"math"
 )
 
 // Checkpoint format: a little-endian binary stream holding the primary
@@ -33,7 +32,7 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 	hdr := []any{
 		uint32(checkpointMagic),
 		uint32(checkpointVersion),
-		int64(t.primary.Rows),
+		int64(t.cfg.NumFeatures),
 		int64(t.dim),
 	}
 	for _, v := range hdr {
@@ -41,8 +40,17 @@ func (t *Table) WriteTo(w io.Writer) (int64, error) {
 			return cw.n, err
 		}
 	}
-	if err := writeFloat32s(cw, t.primary.Data); err != nil {
-		return cw.n, err
+	// Stream row by row through the store: each row comes from whatever
+	// tier it lives in, and the packed row codec writes the same
+	// little-endian fixed-width bytes the flat row-major dump produced —
+	// a tiered table's checkpoint is byte-identical to a flat one's.
+	codec := rowCodec{dim: t.dim}
+	rowBuf := make([]byte, codec.size())
+	for x := 0; x < t.cfg.NumFeatures; x++ {
+		codec.encode(rowBuf, t.store.rowView(int32(x)))
+		if _, err := cw.Write(rowBuf); err != nil {
+			return cw.n, err
+		}
 	}
 	if err := binary.Write(cw, binary.LittleEndian, t.primaryClock); err != nil {
 		return cw.n, err
@@ -71,12 +79,22 @@ func (t *Table) ReadFrom(r io.Reader) (int64, error) {
 	if version != checkpointVersion {
 		return cr.n, fmt.Errorf("embed: unsupported checkpoint version %d", version)
 	}
-	if int(rows) != t.primary.Rows || int(dim) != t.dim {
+	if int(rows) != t.cfg.NumFeatures || int(dim) != t.dim {
 		return cr.n, fmt.Errorf("embed: checkpoint shape %dx%d, table is %dx%d",
-			rows, dim, t.primary.Rows, t.dim)
+			rows, dim, t.cfg.NumFeatures, t.dim)
 	}
-	if err := readFloat32s(cr, t.primary.Data); err != nil {
-		return cr.n, err
+	// Restore row by row, writing through to wherever each row currently
+	// lives so the tier structure (cache membership, clock refs) survives
+	// a load intact.
+	codec := rowCodec{dim: t.dim}
+	rowBuf := make([]byte, codec.size())
+	for x := 0; x < t.cfg.NumFeatures; x++ {
+		if _, err := io.ReadFull(cr, rowBuf); err != nil {
+			return cr.n, err
+		}
+		if err := codec.decode(t.store.rowView(int32(x)), rowBuf); err != nil {
+			return cr.n, err
+		}
 	}
 	if err := binary.Read(cr, binary.LittleEndian, t.primaryClock); err != nil {
 		return cr.n, err
@@ -85,7 +103,7 @@ func (t *Table) ReadFrom(r io.Reader) (int64, error) {
 	for w := 0; w < t.n; w++ {
 		sh := t.shards[w]
 		for row, x := range sh.feats {
-			copy(sh.vals.Row(row), t.primary.Row(int(x)))
+			copy(sh.vals.Row(row), t.store.rowView(x))
 			sh.baseClock[row] = t.primaryClock[x]
 			sh.pendCnt[row] = 0
 			pend := sh.pending.Row(row)
@@ -96,29 +114,6 @@ func (t *Table) ReadFrom(r io.Reader) (int64, error) {
 		sh.resetQueues()
 	}
 	return cr.n, nil
-}
-
-// writeFloat32s streams a float32 slice without reflection overhead.
-func writeFloat32s(w io.Writer, data []float32) error {
-	var buf [4]byte
-	for _, v := range data {
-		binary.LittleEndian.PutUint32(buf[:], math.Float32bits(v))
-		if _, err := w.Write(buf[:]); err != nil {
-			return err
-		}
-	}
-	return nil
-}
-
-func readFloat32s(r io.Reader, data []float32) error {
-	var buf [4]byte
-	for i := range data {
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
-			return err
-		}
-		data[i] = math.Float32frombits(binary.LittleEndian.Uint32(buf[:]))
-	}
-	return nil
 }
 
 type countingWriter struct {

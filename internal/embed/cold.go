@@ -1,0 +1,159 @@
+package embed
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"unsafe"
+)
+
+// coldStore is the file-backed bottom tier: rows beyond the warm boundary
+// live in fixed-size spill shards on disk, one file per shard, mapped
+// read-write into the address space where the platform supports it. The
+// shards are process-local scratch — created, filled and consumed by this
+// run — so the float32 payload is accessed through a native-order view; the
+// header is the versioned little-endian layout of rowcodec.go, which is
+// what lets a corrupted or foreign file be rejected instead of reinterpreted.
+type coldStore struct {
+	dir     string
+	ownsDir bool // created via MkdirTemp: removed on close
+	dim     int
+	rows    int
+	perShrd int
+	shards  []coldShard
+	closed  bool
+}
+
+type coldShard struct {
+	f      *os.File
+	mapped []byte    // nil on heap-fallback platforms
+	vals   []float32 // float32 view of the payload (mapped or heap)
+}
+
+// newColdStore creates rows×dim of spill capacity under dir (a fresh temp
+// directory when dir is empty), perShard rows per shard file.
+func newColdStore(dir string, rows, dim, perShard int) (*coldStore, error) {
+	ownsDir := false
+	if dir == "" {
+		d, err := os.MkdirTemp("", "hetgmp-cold-*")
+		if err != nil {
+			return nil, fmt.Errorf("embed: cold tier temp dir: %w", err)
+		}
+		dir, ownsDir = d, true
+	} else if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("embed: cold tier dir: %w", err)
+	}
+	c := &coldStore{dir: dir, ownsDir: ownsDir, dim: dim, rows: rows, perShrd: perShard}
+	nShards := (rows + perShard - 1) / perShard
+	codec := rowCodec{dim: dim}
+	for s := 0; s < nShards; s++ {
+		r := perShard
+		if rem := rows - s*perShard; rem < r {
+			r = rem
+		}
+		size := rowShardHeader + r*codec.size()
+		path := filepath.Join(dir, fmt.Sprintf("shard-%05d.emb", s))
+		f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+		if err == nil {
+			err = f.Truncate(int64(size))
+		}
+		if err != nil {
+			c.close()
+			return nil, fmt.Errorf("embed: cold shard %d: %w", s, err)
+		}
+		sh := coldShard{f: f}
+		if mmapSupported {
+			b, err := mmapFile(f, size)
+			if err != nil {
+				f.Close()
+				c.close()
+				return nil, fmt.Errorf("embed: cold shard %d mmap: %w", s, err)
+			}
+			encodeShardHeader(b, r, dim)
+			if _, _, err := parseShardHeader(b); err != nil {
+				munmapFile(b)
+				f.Close()
+				c.close()
+				return nil, err
+			}
+			sh.mapped = b
+			sh.vals = float32View(b[rowShardHeader:])
+		} else {
+			hdr := make([]byte, rowShardHeader)
+			encodeShardHeader(hdr, r, dim)
+			if _, err := f.WriteAt(hdr, 0); err != nil {
+				f.Close()
+				c.close()
+				return nil, fmt.Errorf("embed: cold shard %d header: %w", s, err)
+			}
+			sh.vals = make([]float32, r*dim)
+		}
+		c.shards = append(c.shards, sh)
+	}
+	return c, nil
+}
+
+// row returns cold row i (0-based within the cold range) as a mutable view.
+func (c *coldStore) row(i int) []float32 {
+	s, r := i/c.perShrd, i%c.perShrd
+	off := r * c.dim
+	return c.shards[s].vals[off : off+c.dim : off+c.dim]
+}
+
+// bytes returns the mapped (or heap-held) spill footprint including shard
+// headers — what the tier actually occupies in the address space.
+func (c *coldStore) bytes() int64 {
+	var n int64
+	for _, sh := range c.shards {
+		if sh.mapped != nil {
+			n += int64(len(sh.mapped))
+		} else {
+			n += rowShardHeader + int64(len(sh.vals))*4
+		}
+	}
+	return n
+}
+
+// close unmaps and closes every shard and removes the directory when this
+// store created it. Idempotent.
+func (c *coldStore) close() error {
+	if c.closed {
+		return nil
+	}
+	c.closed = true
+	var first error
+	for i := range c.shards {
+		sh := &c.shards[i]
+		if sh.mapped != nil {
+			if err := munmapFile(sh.mapped); err != nil && first == nil {
+				first = err
+			}
+			sh.mapped, sh.vals = nil, nil
+		}
+		if sh.f != nil {
+			if err := sh.f.Close(); err != nil && first == nil {
+				first = err
+			}
+			sh.f = nil
+		}
+	}
+	if c.ownsDir {
+		if err := os.RemoveAll(c.dir); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// float32View reinterprets a 4-byte-aligned byte slice as float32s in the
+// host's native order — valid for the cold tier's process-local scratch,
+// which is never exchanged between machines.
+func float32View(b []byte) []float32 {
+	if len(b) == 0 {
+		return nil
+	}
+	if len(b)%4 != 0 || uintptr(unsafe.Pointer(&b[0]))%4 != 0 {
+		panic(fmt.Sprintf("embed: float32View needs a 4-byte-aligned multiple-of-4 buffer, got %d bytes", len(b)))
+	}
+	return unsafe.Slice((*float32)(unsafe.Pointer(&b[0])), len(b)/4)
+}

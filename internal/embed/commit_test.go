@@ -91,7 +91,7 @@ type commitSnapshot struct {
 
 func snapshotCommit(tbl *Table) commitSnapshot {
 	s := commitSnapshot{
-		primary: append([]float32(nil), tbl.primary.Data...),
+		primary: tbl.primaryValues(),
 		clocks:  append([]int64(nil), tbl.primaryClock...),
 		normSq:  tbl.TakeStepNormSq(),
 	}
@@ -170,8 +170,9 @@ func TestCommitFusedClockEquivalence(t *testing.T) {
 	}
 	// Values agree to rounding: bound the divergence relative to the step
 	// scale rather than demanding bit equality.
-	for i := range seq.primary.Data {
-		a, b := float64(seq.primary.Data[i]), float64(fused.primary.Data[i])
+	seqVals, fusedVals := seq.primaryValues(), fused.primaryValues()
+	for i := range seqVals {
+		a, b := float64(seqVals[i]), float64(fusedVals[i])
 		if math.Abs(a-b) > 1e-4*(1+math.Abs(a)) {
 			t.Fatalf("primary[%d]: sequential %v, fused %v", i, a, b)
 		}
@@ -192,9 +193,10 @@ func TestCommitFuseIgnoredForNonlinear(t *testing.T) {
 	plain := mk(CommitConfig{})
 	driveCommitWorkload(fused, 3)
 	driveCommitWorkload(plain, 3)
-	for i := range plain.primary.Data {
-		if plain.primary.Data[i] != fused.primary.Data[i] {
-			t.Fatalf("primary[%d] differs: %v vs %v", i, plain.primary.Data[i], fused.primary.Data[i])
+	plainVals, fusedVals := plain.primaryValues(), fused.primaryValues()
+	for i := range plainVals {
+		if plainVals[i] != fusedVals[i] {
+			t.Fatalf("primary[%d] differs: %v vs %v", i, plainVals[i], fusedVals[i])
 		}
 	}
 }

@@ -62,11 +62,15 @@ func (t *Table) Footprint() obs.Footprint {
 		scratch += int64(len(row)) * f32Bytes
 	}
 
+	// The store contributes the value-storage children (one "values" leaf
+	// flat; hot/warm/cold nodes tiered), the clocks leaf is the Table's own
+	// either way — so the flat tree keeps the exact leaf paths older gates
+	// reference, and the tiered tree stays Σ-children consistent.
+	primaryChildren := append(t.store.footprint(),
+		memacct.Leaf("clocks", int64(len(t.primaryClock))*i64Bytes))
+
 	return memacct.Node("table",
-		memacct.Node("primary",
-			memacct.Leaf("values", int64(len(t.primary.Data))*f32Bytes),
-			memacct.Leaf("clocks", int64(len(t.primaryClock))*i64Bytes),
-		),
+		memacct.Node("primary", primaryChildren...),
 		memacct.Node("replicas",
 			memacct.Leaf("values", replicaVals),
 			memacct.Leaf("pending", replicaPend),

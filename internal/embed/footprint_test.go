@@ -108,6 +108,50 @@ func TestFootprintDeterministic(t *testing.T) {
 	}
 }
 
+// TestTieredFootprintAccountsAllStructures is the Σ-children bugfix gate:
+// the tiered store's arenas, cache index, spill mappings and touch logs
+// must all be accounted so the tree still validates (every interior node
+// the sum of its children — analyze.VerifyCapacity's invariant) and the
+// tier leaves agree with the TierStats ledger.
+func TestTieredFootprintAccountsAllStructures(t *testing.T) {
+	tbl := tierFixture(t, testTiers(), CommitConfig{})
+	driveCommitWorkload(tbl, 2) // grow the touch logs past capacity zero
+	fp := tbl.Footprint()
+	if err := fp.Validate(); err != nil {
+		t.Fatalf("tiered footprint invalid: %v", err)
+	}
+	get := func(path string) int64 {
+		t.Helper()
+		n, ok := fp.Find(path)
+		if !ok {
+			t.Fatalf("footprint has no %s", path)
+		}
+		return n.Bytes
+	}
+	ts := tbl.TierStats()
+	if got := get("table.primary.hot"); got != ts.HotBytes {
+		t.Fatalf("hot node %d bytes, ledger says %d", got, ts.HotBytes)
+	}
+	if got := get("table.primary.warm"); got != ts.WarmBytes {
+		t.Fatalf("warm node %d bytes, ledger says %d", got, ts.WarmBytes)
+	}
+	if got := get("table.primary.cold"); got != ts.ColdBytes {
+		t.Fatalf("cold node %d bytes, ledger says %d", got, ts.ColdBytes)
+	}
+	if get("table.primary.touch_logs") == 0 {
+		t.Fatal("touch logs unaccounted after a driven workload")
+	}
+	// The warm arena packs exactly the warm rows; the cold mapping holds
+	// its rows plus one header per shard.
+	if want := int64(ts.WarmRows) * int64(tbl.Dim()) * 4; get("table.primary.warm") != want {
+		t.Fatalf("warm arena %d bytes, want %d", get("table.primary.warm"), want)
+	}
+	shards := (ts.ColdRows + 99) / 100 // testTiers uses 100-row shards
+	if want := int64(ts.ColdRows)*int64(tbl.Dim())*4 + int64(shards)*rowShardHeader; get("table.primary.cold") != want {
+		t.Fatalf("cold mapping %d bytes, want %d", get("table.primary.cold"), want)
+	}
+}
+
 // TestSketchesNilWithoutRegistry pins the zero-cost-off discipline at the
 // table level.
 func TestSketchesNilWithoutRegistry(t *testing.T) {

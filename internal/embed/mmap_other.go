@@ -1,0 +1,20 @@
+//go:build !linux && !darwin
+
+package embed
+
+import (
+	"fmt"
+	"os"
+)
+
+// mmapSupported reports whether the cold tier can map its spill shards
+// instead of holding them on the heap. On platforms without the syscall the
+// cold store keeps a heap-backed buffer per shard instead; the tier
+// semantics (and bit-identity) are unchanged, only residency differs.
+const mmapSupported = false
+
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return nil, fmt.Errorf("embed: mmap unsupported on this platform")
+}
+
+func munmapFile(b []byte) error { return nil }

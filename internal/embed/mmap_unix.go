@@ -1,0 +1,24 @@
+//go:build linux || darwin
+
+package embed
+
+import (
+	"os"
+	"syscall"
+)
+
+// mmapSupported reports whether the cold tier can map its spill shards
+// instead of holding them on the heap.
+const mmapSupported = true
+
+// mmapFile maps size bytes of f read-write and shared, so stores through
+// the returned slice land in the page cache and reach the file without an
+// explicit write-back.
+func mmapFile(f *os.File, size int) ([]byte, error) {
+	return syscall.Mmap(int(f.Fd()), 0, size, syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+}
+
+// munmapFile releases a mapping from mmapFile.
+func munmapFile(b []byte) error {
+	return syscall.Munmap(b)
+}

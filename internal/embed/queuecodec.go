@@ -91,7 +91,7 @@ func (t *Table) InjectQueued(w int, data []byte) error {
 		return fmt.Errorf("%w: %d owners, table has %d", ErrBadQueueBlob, o, t.n)
 	}
 	sh := t.shards[w]
-	rows := int32(t.primary.Rows)
+	rows := int32(t.cfg.NumFeatures)
 	entrySize := 8 + t.dim*4
 	grad := make([]float32, t.dim)
 	for o := 0; o < t.n; o++ {

@@ -1,0 +1,96 @@
+package embed
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Packed row codec: the fixed-width binary layout shared by the warm/cold
+// tiers' spill shards and the checkpoint's row stream. A row is dim float32
+// values, little-endian, with no per-row header — fixed width is what lets
+// a tier turn an index into a byte offset without a lookup table, and the
+// layout is byte-identical to the flat checkpoint's row-major dump, so a
+// tiered table writes the exact checkpoint bytes a flat one does.
+//
+// A spill shard prefixes its rows with one header:
+//
+//	magic   uint32 = 0x48475253 ("HGRS")
+//	version uint32 = 1
+//	rows    int64
+//	dim     int64
+//
+// 24 bytes — a multiple of 4, so the float32 payload of a page-aligned
+// mapping stays 4-byte aligned.
+
+const (
+	rowShardMagic   = 0x48475253
+	rowShardVersion = 1
+	rowShardHeader  = 24
+)
+
+// rowCodec encodes/decodes fixed-width embedding rows of one dimension.
+type rowCodec struct{ dim int }
+
+// size returns the encoded width of one row.
+func (c rowCodec) size() int { return c.dim * 4 }
+
+// encode writes row into dst, which must hold at least size() bytes.
+func (c rowCodec) encode(dst []byte, row []float32) {
+	if len(row) != c.dim || len(dst) < c.size() {
+		panic(fmt.Sprintf("embed: rowCodec.encode row %d dst %d, dim %d", len(row), len(dst), c.dim))
+	}
+	for i, v := range row {
+		binary.LittleEndian.PutUint32(dst[i*4:], math.Float32bits(v))
+	}
+}
+
+// decode fills row from src. It rejects short input instead of panicking so
+// corrupt spill shards surface as errors.
+func (c rowCodec) decode(row []float32, src []byte) error {
+	if len(row) != c.dim {
+		return fmt.Errorf("embed: rowCodec.decode into %d values, dim %d", len(row), c.dim)
+	}
+	if len(src) < c.size() {
+		return fmt.Errorf("embed: rowCodec.decode needs %d bytes, have %d", c.size(), len(src))
+	}
+	for i := range row {
+		row[i] = math.Float32frombits(binary.LittleEndian.Uint32(src[i*4:]))
+	}
+	return nil
+}
+
+// encodeShardHeader stamps a spill shard's header into dst (at least
+// rowShardHeader bytes).
+func encodeShardHeader(dst []byte, rows, dim int) {
+	if len(dst) < rowShardHeader {
+		panic(fmt.Sprintf("embed: shard header needs %d bytes, have %d", rowShardHeader, len(dst)))
+	}
+	binary.LittleEndian.PutUint32(dst[0:], rowShardMagic)
+	binary.LittleEndian.PutUint32(dst[4:], rowShardVersion)
+	binary.LittleEndian.PutUint64(dst[8:], uint64(rows))
+	binary.LittleEndian.PutUint64(dst[16:], uint64(dim))
+}
+
+// parseShardHeader validates a spill shard's header and returns its shape.
+func parseShardHeader(src []byte) (rows, dim int, err error) {
+	if len(src) < rowShardHeader {
+		return 0, 0, fmt.Errorf("embed: shard header truncated at %d bytes, want %d", len(src), rowShardHeader)
+	}
+	if magic := binary.LittleEndian.Uint32(src[0:]); magic != rowShardMagic {
+		return 0, 0, fmt.Errorf("embed: bad shard magic %#x", magic)
+	}
+	if v := binary.LittleEndian.Uint32(src[4:]); v != rowShardVersion {
+		return 0, 0, fmt.Errorf("embed: unsupported shard version %d", v)
+	}
+	r := int64(binary.LittleEndian.Uint64(src[8:]))
+	d := int64(binary.LittleEndian.Uint64(src[16:]))
+	if r < 0 || d <= 0 || r > math.MaxInt32 || d > math.MaxInt32 {
+		return 0, 0, fmt.Errorf("embed: implausible shard shape %dx%d", r, d)
+	}
+	if need := int64(rowShardHeader) + r*d*4; int64(len(src)) < need {
+		return 0, 0, fmt.Errorf("embed: shard payload truncated: header says %dx%d (%d bytes), have %d",
+			r, d, need, len(src))
+	}
+	return int(r), int(d), nil
+}

@@ -1,0 +1,59 @@
+package embed
+
+import (
+	"bytes"
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzRowCodec hardens the packed row codec and the spill-shard header
+// against arbitrary bytes: parsing must error (never panic) on truncated or
+// corrupt input, and any bytes a row decode accepts must re-encode to the
+// identical bytes — the codec is a bijection on its fixed width, NaN bit
+// patterns included.
+func FuzzRowCodec(f *testing.F) {
+	valid := make([]byte, rowShardHeader+3*4*4)
+	encodeShardHeader(valid, 3, 4)
+	rowCodec{dim: 4}.encode(valid[rowShardHeader:], []float32{1, -2.5, 0, 3e38})
+	f.Add(valid)
+	f.Add(valid[:rowShardHeader-1]) // truncated header
+	f.Add(valid[:rowShardHeader+5]) // truncated payload
+	f.Add([]byte{})
+
+	corruptMagic := append([]byte(nil), valid...)
+	corruptMagic[0] ^= 0xff
+	f.Add(corruptMagic)
+	corruptVersion := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint32(corruptVersion[4:], 99)
+	f.Add(corruptVersion)
+	hugeShape := append([]byte(nil), valid...)
+	binary.LittleEndian.PutUint64(hugeShape[8:], 1<<40)
+	f.Add(hugeShape)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if rows, dim, err := parseShardHeader(data); err == nil {
+			// Accepted headers must describe a payload the buffer holds.
+			if rows < 0 || dim <= 0 {
+				t.Fatalf("accepted degenerate shape %dx%d", rows, dim)
+			}
+			if int64(len(data)) < rowShardHeader+int64(rows)*int64(dim)*4 {
+				t.Fatalf("accepted %dx%d header over a %d-byte buffer", rows, dim, len(data))
+			}
+		}
+		for _, dim := range []int{1, 4, 7} {
+			c := rowCodec{dim: dim}
+			row := make([]float32, dim)
+			if err := c.decode(row, data); err != nil {
+				if len(data) >= c.size() {
+					t.Fatalf("dim %d: decode rejected %d bytes: %v", dim, len(data), err)
+				}
+				continue
+			}
+			out := make([]byte, c.size())
+			c.encode(out, row)
+			if !bytes.Equal(out, data[:c.size()]) {
+				t.Fatalf("dim %d: decode∘encode not identity", dim)
+			}
+		}
+	})
+}

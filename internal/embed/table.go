@@ -82,6 +82,10 @@ type Config struct {
 	Obs *obs.Registry
 	// Commit selects the queue→commit implementation.
 	Commit CommitConfig
+	// Tiers selects the primary-row storage implementation (see tier.go).
+	// The zero value keeps the flat matrix; an enabled config is
+	// bit-identical to it at any GOMAXPROCS.
+	Tiers TierConfig
 }
 
 // CommitConfig selects the Table's queue→commit implementation.
@@ -148,7 +152,10 @@ type Table struct {
 	n      int // workers
 	assign *partition.Assignment
 
-	primary      *tensor.Matrix
+	// store holds the primary rows behind the tiered row-access interface
+	// (tier.go): the flat matrix by default, hot/warm/cold tiers when
+	// Config.Tiers enables them.
+	store        rowStore
 	primaryClock []int64
 
 	shards []*shard
@@ -343,6 +350,32 @@ func newTableMetrics(reg *obs.Registry, t *Table) *tableMetrics {
 		emit(obs.Metric{Name: "table.clock.replica_skew_max", Type: "gauge", Gauge: float64(maxSkew)})
 		emit(obs.Metric{Name: "table.replica.rows", Type: "gauge", Gauge: float64(rows)})
 	})
+	// Tier ledger gauges (tiered store only). The counters live on the
+	// store's own stripes whether or not a registry is attached — this
+	// collector only reads them at snapshot time, so attaching telemetry
+	// cannot perturb the run (the no-observer-effect contract).
+	reg.RegisterCollector(func(emit func(obs.Metric)) {
+		ts := t.store.stats()
+		if ts == nil {
+			return
+		}
+		g := func(name string, v float64) {
+			emit(obs.Metric{Name: name, Type: "gauge", Gauge: v})
+		}
+		g("table.tier.hot_rows", float64(ts.HotRows))
+		g("table.tier.hot_bytes", float64(ts.HotBytes))
+		g("table.tier.warm_bytes", float64(ts.WarmBytes))
+		g("table.tier.cold_bytes", float64(ts.ColdBytes))
+		g("table.tier.read_hot", float64(ts.ReadHot))
+		g("table.tier.read_warm", float64(ts.ReadWarm))
+		g("table.tier.read_cold", float64(ts.ReadCold))
+		g("table.tier.commit_hot", float64(ts.CommitHot))
+		g("table.tier.commit_warm", float64(ts.CommitWarm))
+		g("table.tier.commit_cold", float64(ts.CommitCold))
+		g("table.tier.promotions", float64(ts.Promotions))
+		g("table.tier.demotions", float64(ts.Demotions))
+		g("table.tier.read_hit_rate", ts.ReadHitRate())
+	})
 	return m
 }
 
@@ -378,15 +411,28 @@ func NewTable(cfg Config) (*Table, error) {
 		dim:          cfg.Dim,
 		n:            cfg.Assign.N,
 		assign:       cfg.Assign,
-		primary:      tensor.NewMatrix(cfg.NumFeatures, cfg.Dim),
 		primaryClock: make([]int64, cfg.NumFeatures),
 		check:        cfg.Check,
 		commitCfg:    cfg.Commit,
 	}
+	if cfg.Tiers.Enabled() {
+		store, err := newTieredStore(cfg.Tiers, cfg.NumFeatures, cfg.Dim, cfg.Assign.N)
+		if err != nil {
+			return nil, err
+		}
+		t.store = store
+	} else {
+		t.store = newFlatStore(cfg.NumFeatures, cfg.Dim)
+	}
 	t.fuse = cfg.Commit.Fuse && !cfg.Commit.Reference && optim.IsLinear(cfg.Optimizer)
+	// Row-major per-row fill: the rng sequence is identical to the seed's
+	// flat-matrix loop, whichever tier a row lands in.
 	rng := xrand.New(cfg.Seed ^ 0xe8bede8bede8bede)
-	for i := range t.primary.Data {
-		t.primary.Data[i] = (2*rng.Float32() - 1) * cfg.InitScale
+	for x := 0; x < cfg.NumFeatures; x++ {
+		row := t.store.rowView(int32(x))
+		for j := range row {
+			row[j] = (2*rng.Float32() - 1) * cfg.InitScale
+		}
 	}
 	if cfg.Freq != nil {
 		t.freq = make([]float64, cfg.NumFeatures)
@@ -417,7 +463,7 @@ func NewTable(cfg Config) (*Table, error) {
 		}
 		for row, x := range feats {
 			sh.index[x] = int32(row)
-			copy(sh.vals.Row(row), t.primary.Row(int(x)))
+			copy(sh.vals.Row(row), t.store.rowView(x))
 		}
 		t.shards[w] = sh
 	}
@@ -435,7 +481,28 @@ func (t *Table) Workers() int { return t.n }
 
 // PrimaryRow exposes the authoritative value of feature x. Evaluation code
 // (AUC over the test set) reads through it; training code must use Read.
-func (t *Table) PrimaryRow(x int32) []float32 { return t.primary.Row(int(x)) }
+// The access is untracked: it never moves tier state, so it is safe from
+// any phase.
+func (t *Table) PrimaryRow(x int32) []float32 { return t.store.rowView(x) }
+
+// TierStats returns the tiered store's access ledger, nil when the table
+// runs flat. Call from single-threaded sections.
+func (t *Table) TierStats() *TierStats { return t.store.stats() }
+
+// Close releases tier resources: cold spill shards are unmapped and, when
+// the table created its own spill directory, deleted. A flat table's Close
+// is a no-op. Idempotent.
+func (t *Table) Close() error { return t.store.close() }
+
+// primaryValues materialises the primary table row-major into one fresh
+// slice, copying each row from whatever tier it lives in. Test helper.
+func (t *Table) primaryValues() []float32 {
+	out := make([]float32, t.cfg.NumFeatures*t.dim)
+	for x := 0; x < t.cfg.NumFeatures; x++ {
+		copy(out[x*t.dim:(x+1)*t.dim], t.store.rowView(int32(x)))
+	}
+	return out
+}
 
 // PrimaryClock returns the number of updates applied to x's primary.
 func (t *Table) PrimaryClock(x int32) int64 { return t.primaryClock[x] }
@@ -493,7 +560,7 @@ func (t *Table) Read(w int, feats []int32, dst *tensor.Matrix, opt ReadOptions) 
 	for i, x := range feats {
 		owner := t.assign.PrimaryOf[x]
 		if owner == w {
-			copy(dst.Row(i), t.primary.Row(int(x)))
+			copy(dst.Row(i), t.store.rowRead(w, x))
 			stats.LocalPrimary++
 			continue
 		}
@@ -501,7 +568,7 @@ func (t *Table) Read(w int, feats []int32, dst *tensor.Matrix, opt ReadOptions) 
 		if !ok {
 			// Cache miss: remote read of the primary. One key of metadata
 			// up, one vector down.
-			copy(dst.Row(i), t.primary.Row(int(x)))
+			copy(dst.Row(i), t.store.rowRead(w, x))
 			stats.RemoteReads++
 			sh.perOwner[owner].MetaKeys++
 			sh.perOwner[owner].SyncVecs++
@@ -711,7 +778,7 @@ func (t *Table) syncSecondary(w int, sh *shard, x int32, row int32, owner int) {
 		sh.perOwner[owner].FlushVecs++
 	}
 	val := sh.vals.Row(int(row))
-	copy(val, t.primary.Row(int(x)))
+	copy(val, t.store.rowRead(w, x))
 	if sh.pendCnt[row] > 0 {
 		pend := sh.pending.Row(int(row))
 		for i := range val {
@@ -911,7 +978,7 @@ func (t *Table) commitOwner(o int) {
 	}
 	for w := 0; w < t.n; w++ {
 		for _, u := range t.shards[w].queues[o] {
-			row := t.primary.Row(int(u.x))
+			row := t.store.rowCommit(o, u.x)
 			if t.trackNorms {
 				copy(scratch, row)
 			}
@@ -984,6 +1051,10 @@ func (t *Table) finishCommit() {
 			t.stepNormShard[o] = 0
 		}
 	}
+	// Tier maintenance runs here, single-threaded: the window's read and
+	// commit touch logs fold in fixed worker-then-owner order, so cache
+	// promotions and clock evictions are identical at any parallelism.
+	t.store.maintain()
 	if t.check != nil {
 		t.VerifyCommitted()
 	}
@@ -1060,7 +1131,7 @@ func (t *Table) MaxReplicaDeviation() float64 {
 	for w := 0; w < t.n; w++ {
 		sh := t.shards[w]
 		for row, x := range sh.feats {
-			prim := t.primary.Row(int(x))
+			prim := t.store.rowView(x)
 			sec := sh.vals.Row(row)
 			var s float64
 			for i := range prim {
@@ -1125,7 +1196,7 @@ func (t *Table) ResyncReplicas(out [][]OwnerTraffic) {
 	for w := 0; w < t.n; w++ {
 		sh := t.shards[w]
 		for row, x := range sh.feats {
-			copy(sh.vals.Row(row), t.primary.Row(int(x)))
+			copy(sh.vals.Row(row), t.store.rowView(x))
 			sh.baseClock[row] = t.primaryClock[x]
 			if out != nil {
 				out[w][t.assign.PrimaryOf[x]].SyncVecs++

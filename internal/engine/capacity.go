@@ -69,11 +69,24 @@ func (t *Trainer) capacityStat() *analyze.CapacityStat {
 	if reads == nil {
 		return nil
 	}
-	return analyze.BuildCapacity(
+	c := analyze.BuildCapacity(
 		t.Footprint(),
 		int64(t.cfg.Dim)*4,
 		reads,
 		t.table.UpdateSketch(),
 		t.cfg.Assign.ReplicatedFeatures(),
 	)
+	if ts := t.table.TierStats(); ts != nil {
+		// Convert the live ledger into the report's own type (analyze does
+		// not import embed); VerifyCapacity cross-checks these bytes against
+		// the footprint's table.primary.{hot,warm,cold} nodes.
+		c.Tiers = &analyze.TierStat{
+			HotRows: ts.HotRows, WarmRows: ts.WarmRows, ColdRows: ts.ColdRows,
+			HotBytes: ts.HotBytes, WarmBytes: ts.WarmBytes, ColdBytes: ts.ColdBytes,
+			ReadHot: ts.ReadHot, ReadWarm: ts.ReadWarm, ReadCold: ts.ReadCold,
+			CommitHot: ts.CommitHot, CommitWarm: ts.CommitWarm, CommitCold: ts.CommitCold,
+			Promotions: ts.Promotions, Demotions: ts.Demotions,
+		}
+	}
+	return c
 }

@@ -162,6 +162,12 @@ type Config struct {
 	// simulated result (Hash excludes it); see ExecConfig.
 	Exec ExecConfig
 
+	// Tiers selects the embedding table's storage layout (hot cache + warm
+	// arena + cold spill). Like Exec it never changes the simulated result —
+	// every tier holds the same raw float32 rows and the commit discipline
+	// fixes the apply order — so Hash excludes it.
+	Tiers embed.TierConfig
+
 	// Report runs the critical-path analyzer over the finished run's
 	// telemetry and attaches the result as Result.Report. It requires both
 	// Metrics and Tracer (the analyzer consumes spans and counters); the
@@ -304,6 +310,11 @@ type Result struct {
 	// decomposition, overlap efficiency, stragglers, traffic heatmap and
 	// sim-time quantiles, stamped with the run's config hash.
 	Report *analyze.RunReport
+
+	// TierStats is the tiered store's access ledger (nil for flat storage):
+	// resident rows and bytes per tier, read/commit hits by tier, and
+	// promotion/demotion totals.
+	TierStats *embed.TierStats
 }
 
 // MovementSum returns Σ_t ‖x(t+1) − x(t)‖, the series Theorem 1 proves
@@ -410,6 +421,7 @@ func NewTrainer(cfg Config) (*Trainer, error) {
 			Fuse:        cfg.Exec.Fuse,
 			Parallelism: cfg.Exec.Parallelism,
 		},
+		Tiers: cfg.Tiers,
 	})
 	if err != nil {
 		return nil, err
@@ -831,6 +843,10 @@ func (t *Trainer) finalize(res *Result) {
 	if t.cfg.Metrics != nil {
 		res.Metrics = t.cfg.Metrics.Snapshot()
 	}
+	if ts := t.table.TierStats(); ts != nil {
+		snapshot := *ts // detach from the live stripes
+		res.TierStats = &snapshot
+	}
 	if t.cfg.Report {
 		// Post-hoc interpretation of the telemetry gathered above; a
 		// failure (e.g. a run too degenerate to produce spans) leaves
@@ -867,6 +883,11 @@ func (t *Trainer) finalize(res *Result) {
 // InvariantCounts snapshots the runtime invariant counters (zero counts
 // when checking is disabled).
 func (t *Trainer) InvariantCounts() invariant.Counts { return t.check.Counts() }
+
+// Close releases resources held by the embedding table — in particular any
+// cold-tier spill files and their mappings. Safe to call more than once;
+// flat-storage runs close trivially.
+func (t *Trainer) Close() error { return t.table.Close() }
 
 // nicQueueDelay returns the time the busiest machine needs to push this
 // iteration's cross-node traffic through its (full-duplex) NIC. Without

@@ -40,6 +40,34 @@ type CapacityStat struct {
 	// covered.
 	ReplicatedFeatures int     `json:"replicated_features"`
 	HotSetOverlap      float64 `json:"hot_set_overlap"`
+
+	// Tiers is the tiered embedding store's access ledger (nil for flat
+	// storage): resident rows/bytes per tier, read and commit hits by tier,
+	// and promotion/demotion totals. VerifyCapacity cross-checks its byte
+	// columns against the footprint tree's table.primary.{hot,warm,cold}
+	// nodes, so a tampered ledger cannot pass the capacity gate.
+	Tiers *TierStat `json:"tiers,omitempty"`
+}
+
+// TierStat mirrors embed.TierStats for the report JSON (analyze must not
+// import embed; the engine converts at attach time).
+type TierStat struct {
+	HotRows   int   `json:"hot_rows"`
+	WarmRows  int   `json:"warm_rows"`
+	ColdRows  int   `json:"cold_rows"`
+	HotBytes  int64 `json:"hot_bytes"`
+	WarmBytes int64 `json:"warm_bytes"`
+	ColdBytes int64 `json:"cold_bytes"`
+
+	ReadHot    int64 `json:"read_hot"`
+	ReadWarm   int64 `json:"read_warm"`
+	ReadCold   int64 `json:"read_cold"`
+	CommitHot  int64 `json:"commit_hot"`
+	CommitWarm int64 `json:"commit_warm"`
+	CommitCold int64 `json:"commit_cold"`
+
+	Promotions int64 `json:"promotions"`
+	Demotions  int64 `json:"demotions"`
 }
 
 // HotFeature is one entry of the observed hot set. Count is a SpaceSaving
@@ -200,6 +228,63 @@ func VerifyCapacity(c *CapacityStat) error {
 	}
 	if c.HotSetOverlap < 0 || c.HotSetOverlap > 1 {
 		return fmt.Errorf("capacity: hot-set overlap %.4f outside [0,1]", c.HotSetOverlap)
+	}
+	if c.Tiers != nil {
+		if err := verifyTiers(c.Tiers, c.Footprint); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// verifyTiers checks the tier ledger against itself and against the
+// footprint tree: every counter non-negative, demotions cannot exceed
+// promotions (a row must be promoted before it can be evicted), promotions
+// cannot exceed the cache misses that trigger them, and the ledger's byte
+// columns must equal the measured table.primary.{hot,warm,cold} nodes — a
+// hand-edited tiers block fails here even if it is internally plausible.
+func verifyTiers(ts *TierStat, fp memacct.Footprint) error {
+	for _, c := range []struct {
+		name string
+		v    int64
+	}{
+		{"hot_rows", int64(ts.HotRows)}, {"warm_rows", int64(ts.WarmRows)}, {"cold_rows", int64(ts.ColdRows)},
+		{"hot_bytes", ts.HotBytes}, {"warm_bytes", ts.WarmBytes}, {"cold_bytes", ts.ColdBytes},
+		{"read_hot", ts.ReadHot}, {"read_warm", ts.ReadWarm}, {"read_cold", ts.ReadCold},
+		{"commit_hot", ts.CommitHot}, {"commit_warm", ts.CommitWarm}, {"commit_cold", ts.CommitCold},
+		{"promotions", ts.Promotions}, {"demotions", ts.Demotions},
+	} {
+		if c.v < 0 {
+			return fmt.Errorf("capacity: tiers.%s is negative (%d)", c.name, c.v)
+		}
+	}
+	if ts.Demotions > ts.Promotions {
+		return fmt.Errorf("capacity: tiers report %d demotions but only %d promotions",
+			ts.Demotions, ts.Promotions)
+	}
+	if misses := ts.ReadWarm + ts.ReadCold + ts.CommitWarm + ts.CommitCold; ts.Promotions > misses {
+		return fmt.Errorf("capacity: tiers report %d promotions but only %d cache misses",
+			ts.Promotions, misses)
+	}
+	for _, col := range []struct {
+		path  string
+		bytes int64
+	}{
+		{"table.primary.hot", ts.HotBytes},
+		{"table.primary.warm", ts.WarmBytes},
+		{"table.primary.cold", ts.ColdBytes},
+	} {
+		n, ok := fp.Find("run." + col.path)
+		if !ok {
+			n, ok = fp.Find(col.path)
+		}
+		if !ok {
+			return fmt.Errorf("capacity: tiers block present but footprint has no %s node", col.path)
+		}
+		if n.Bytes != col.bytes {
+			return fmt.Errorf("capacity: tiers ledger says %s holds %d bytes, footprint measured %d",
+				col.path, col.bytes, n.Bytes)
+		}
 	}
 	return nil
 }

@@ -136,5 +136,18 @@ func (c *CapacityStat) String() string {
 			100*c.HotSetOverlap, c.ReplicatedFeatures)
 		b.WriteString(ct.String())
 	}
+
+	if ts := c.Tiers; ts != nil {
+		b.WriteByte('\n')
+		tt := report.New("tiered embedding storage", "tier", "rows", "bytes", "reads", "commits")
+		tt.AddRow("hot", ts.HotRows, report.FormatBytes(ts.HotBytes), ts.ReadHot, ts.CommitHot)
+		tt.AddRow("warm", ts.WarmRows, report.FormatBytes(ts.WarmBytes), ts.ReadWarm, ts.CommitWarm)
+		tt.AddRow("cold", ts.ColdRows, report.FormatBytes(ts.ColdBytes), ts.ReadCold, ts.CommitCold)
+		if reads := ts.ReadHot + ts.ReadWarm + ts.ReadCold; reads > 0 {
+			tt.AddNote("read hit rate: %.1f%% served from the hot cache", 100*float64(ts.ReadHot)/float64(reads))
+		}
+		tt.AddNote("%d promotions, %d demotions (clock-LFU, deterministic)", ts.Promotions, ts.Demotions)
+		b.WriteString(tt.String())
+	}
 	return b.String()
 }

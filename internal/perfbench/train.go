@@ -34,11 +34,14 @@ import (
 	"hetgmp/internal/xrand"
 )
 
-// TrainSchema is the BENCH_train.json schema version. v2 replaced the
-// single reference/optimized pair with a GOMAXPROCS matrix and deduplicated
-// the gomaxprocs field under meta; VerifyTrainReport still accepts v1
+// TrainSchema is the BENCH_train.json schema version. v3 added the
+// optional per-cell tiered-storage block (tier hit rates and footprint
+// deltas when the harness runs the optimized pass over the tiered store);
+// v2 replaced the single reference/optimized pair with a GOMAXPROCS matrix
+// and deduplicated the gomaxprocs field under meta. The additions are
+// strictly additive, so VerifyTrainReport still accepts v2 and v1 baselines
 // during the transition.
-const TrainSchema = 2
+const TrainSchema = 3
 
 // TrainOptions selects the end-to-end throughput measurement. The zero
 // value measures one epoch on avazu at scale 2.5e-3 with the paper's 8
@@ -58,6 +61,42 @@ type TrainOptions struct {
 	// and the gate never keys on parallelism.
 	Procs []int
 	Seed  uint64
+
+	// Tier knobs: when any is set the optimized pass runs over the tiered
+	// embedding store, and the per-cell equivalence gate against the flat
+	// Reference pass doubles as the tier-correctness oracle. Like Procs
+	// these are execution strategy, not workload, so configHash excludes
+	// them — a tiered baseline and a flat one measure the same work.
+	//
+	// MemBudgetBytes sizes the hot cache to fit the byte budget (remainder
+	// spilled cold); HotRows/ColdRows set the row counts directly and win
+	// when both are given.
+	MemBudgetBytes int64
+	HotRows        int
+	ColdRows       int
+}
+
+// tierConfig resolves the tier knobs against the dataset's feature count.
+func (o TrainOptions) tierConfig(features, dim int) embed.TierConfig {
+	cfg := embed.TierConfig{HotRows: o.HotRows, ColdRows: o.ColdRows}
+	if o.MemBudgetBytes > 0 && cfg.HotRows == 0 {
+		rowBytes := int64(dim) * 4
+		h := int(o.MemBudgetBytes / rowBytes)
+		if h < 1 {
+			h = 1
+		}
+		if h > features {
+			h = features
+		}
+		cfg.HotRows = h
+		if cfg.ColdRows == 0 {
+			cfg.ColdRows = features - h
+		}
+	}
+	if cfg.ColdRows > features-cfg.HotRows {
+		cfg.ColdRows = features - cfg.HotRows
+	}
+	return cfg
 }
 
 func (o *TrainOptions) defaults() {
@@ -139,6 +178,29 @@ type TrainCell struct {
 	// + engine buffers), so the perf trajectory tracks memory alongside
 	// time. Additive: absent in baselines stamped before it existed.
 	PeakFootprintBytes int64 `json:"peak_footprint_bytes,omitempty"`
+	// RefFootprintBytes is the Reference (flat-store) pass's footprint, so
+	// a tiered run's PeakFootprintBytes reads as a delta against the flat
+	// baseline measured in the same cell. Additive (schema 3).
+	RefFootprintBytes int64 `json:"ref_footprint_bytes,omitempty"`
+	// Tiers carries the tiered optimized pass's access ledger; nil when the
+	// harness ran flat. Additive (schema 3).
+	Tiers *TierCellMetrics `json:"tiers,omitempty"`
+}
+
+// TierCellMetrics summarises the tiered store's behaviour in one matrix
+// cell: hit rates by phase, resident bytes per tier, and movement totals.
+// The underlying counts are deterministic, so identical configs stamp
+// identical ledgers at any GOMAXPROCS.
+type TierCellMetrics struct {
+	HotRows       int     `json:"hot_rows"`
+	ColdRows      int     `json:"cold_rows"`
+	HotBytes      int64   `json:"hot_bytes"`
+	WarmBytes     int64   `json:"warm_bytes"`
+	ColdBytes     int64   `json:"cold_bytes"`
+	ReadHitRate   float64 `json:"read_hit_rate"`
+	CommitHitRate float64 `json:"commit_hit_rate"`
+	Promotions    int64   `json:"promotions"`
+	Demotions     int64   `json:"demotions"`
 }
 
 // TrainReport is the BENCH_train.json payload (schema TrainSchema).
@@ -205,8 +267,9 @@ func RunTrain(opts TrainOptions) (*TrainReport, error) {
 		return nil, fmt.Errorf("perfbench: train harness needs %d partitions to match the topology, got %d",
 			topo.NumWorkers(), opts.Partitions)
 	}
-	mkConfig := func(exec engine.ExecConfig) engine.Config {
-		return engine.Config{
+	tiers := opts.tierConfig(ds.NumFeatures, 8)
+	mkConfig := func(exec engine.ExecConfig, tiered bool) engine.Config {
+		cfg := engine.Config{
 			Train: ds, Test: ds,
 			Model: nn.NewWDL(nn.WDLConfig{
 				Fields: ds.NumFields, Dim: 8, Hidden: []int{16}, Seed: opts.Seed,
@@ -220,28 +283,40 @@ func RunTrain(opts TrainOptions) (*TrainReport, error) {
 			Seed:           opts.Seed,
 			Exec:           exec,
 		}
+		if tiered {
+			cfg.Tiers = tiers
+		}
+		return cfg
 	}
 	// runCell measures both execution strategies at one GOMAXPROCS setting.
-	// The optimized strategy runs with the iteration pipeline on — that is
-	// the configuration whose throughput the report claims.
+	// The optimized strategy runs with the iteration pipeline on — and over
+	// the tiered store when tier knobs are set — that is the configuration
+	// whose throughput the report claims. The Reference pass always runs the
+	// flat store, so the equivalence gate below doubles as the tier oracle:
+	// a tiered pass that perturbed the simulation cannot stamp a number.
 	runCell := func(procs int) (TrainCell, *engine.Result, error) {
 		old := runtime.GOMAXPROCS(procs)
 		defer runtime.GOMAXPROCS(old)
 		fmt.Fprintf(os.Stderr, "perfbench: train scale %g (%d samples), GOMAXPROCS=%d reference pass\n",
 			opts.Scale, len(ds.Samples), procs)
-		refMetrics, refRes, _, err := benchTrainExec(mkConfig, engine.ExecConfig{Reference: true})
+		refMetrics, refRes, refFootprint, err := benchTrainExec(mkConfig, engine.ExecConfig{Reference: true}, false)
 		if err != nil {
 			return TrainCell{}, nil, err
 		}
-		fmt.Fprintf(os.Stderr, "perfbench: train scale %g, GOMAXPROCS=%d optimized (pipelined) pass\n",
-			opts.Scale, procs)
-		optMetrics, optRes, optFootprint, err := benchTrainExec(mkConfig, engine.ExecConfig{Pipeline: true})
+		mode := "pipelined"
+		if tiers.Enabled() {
+			mode = fmt.Sprintf("pipelined, tiered %d hot / %d cold rows", tiers.HotRows, tiers.ColdRows)
+		}
+		fmt.Fprintf(os.Stderr, "perfbench: train scale %g, GOMAXPROCS=%d optimized (%s) pass\n",
+			opts.Scale, procs, mode)
+		optMetrics, optRes, optFootprint, err := benchTrainExec(mkConfig, engine.ExecConfig{Pipeline: true}, tiers.Enabled())
 		if err != nil {
 			return TrainCell{}, nil, err
 		}
-		// Equivalence gate: the execution strategy must never change the
-		// simulated result. A mismatch here means the two-phase discipline
-		// was broken somewhere, and no throughput number is worth reporting.
+		// Equivalence gate: neither the execution strategy nor the storage
+		// tiering may change the simulated result. A mismatch here means the
+		// two-phase discipline was broken somewhere, and no throughput number
+		// is worth reporting.
 		if refRes.FinalAUC != optRes.FinalAUC ||
 			refRes.TotalSimTime != optRes.TotalSimTime ||
 			refRes.Breakdown != optRes.Breakdown {
@@ -249,13 +324,24 @@ func RunTrain(opts TrainOptions) (*TrainReport, error) {
 				"AUC %v vs %v, sim time %v vs %v — refusing to report a speedup over different work",
 				procs, refRes.FinalAUC, optRes.FinalAUC, refRes.TotalSimTime, optRes.TotalSimTime)
 		}
-		return TrainCell{
+		cell := TrainCell{
 			GOMAXPROCS:         procs,
 			Reference:          refMetrics,
 			Optimized:          optMetrics,
 			Speedup:            float64(refMetrics.NsPerIter) / float64(optMetrics.NsPerIter),
 			PeakFootprintBytes: optFootprint,
-		}, refRes, nil
+			RefFootprintBytes:  refFootprint,
+		}
+		if ts := optRes.TierStats; ts != nil {
+			cell.Tiers = &TierCellMetrics{
+				HotRows: ts.HotRows, ColdRows: ts.ColdRows,
+				HotBytes: ts.HotBytes, WarmBytes: ts.WarmBytes, ColdBytes: ts.ColdBytes,
+				ReadHitRate:   ts.ReadHitRate(),
+				CommitHitRate: ts.CommitHitRate(),
+				Promotions:    ts.Promotions, Demotions: ts.Demotions,
+			}
+		}
+		return cell, refRes, nil
 	}
 	var canonical *engine.Result
 	matrix := make([]TrainCell, 0, len(opts.Procs))
@@ -312,25 +398,29 @@ func RunTrain(opts TrainOptions) (*TrainReport, error) {
 // equivalence gate, plus that run's measured footprint total (the memacct
 // tree, taken post-run when the table's buffers sit at their high-water
 // capacities).
-func benchTrainExec(mkConfig func(engine.ExecConfig) engine.Config, exec engine.ExecConfig) (TrainExecMetrics, *engine.Result, int64, error) {
+func benchTrainExec(mkConfig func(engine.ExecConfig, bool) engine.Config, exec engine.ExecConfig, tiered bool) (TrainExecMetrics, *engine.Result, int64, error) {
 	var last *engine.Result
 	var footprint int64
 	var runErr error
 	br := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			tr, err := engine.NewTrainer(mkConfig(exec))
+			tr, err := engine.NewTrainer(mkConfig(exec, tiered))
 			if err != nil {
 				runErr = err
 				b.FailNow()
 			}
 			res, err := tr.Run()
 			if err != nil {
+				tr.Close()
 				runErr = err
 				b.FailNow()
 			}
 			last = res
 			footprint = tr.Footprint().Bytes
+			// Release cold-tier spill files between runs; flat closes are
+			// free, and the footprint above was measured before teardown.
+			tr.Close()
 		}
 	})
 	if runErr != nil {
@@ -453,14 +543,25 @@ func VerifyTrainReport(path string, opts TrainOptions) (*TrainReport, error) {
 		return nil, fmt.Errorf("%s: degenerate measurement (%d iterations)", path, rep.Iterations)
 	}
 	switch rep.Meta.Schema {
-	case TrainSchema:
+	case TrainSchema, 2:
+		// Schema 3 added the optional per-cell tiers block to schema 2's
+		// matrix shape; both validate identically, and a v2 baseline keeps
+		// passing until regenerated.
 		if len(rep.Matrix) == 0 {
-			return nil, fmt.Errorf("%s: schema %d report with an empty GOMAXPROCS matrix", path, TrainSchema)
+			return nil, fmt.Errorf("%s: schema %d report with an empty GOMAXPROCS matrix", path, rep.Meta.Schema)
 		}
 		for _, cell := range rep.Matrix {
 			if cell.GOMAXPROCS <= 0 || cell.Reference.NsPerIter <= 0 || cell.Optimized.NsPerIter <= 0 {
 				return nil, fmt.Errorf("%s: degenerate matrix cell (gomaxprocs %d, ref %d ns/iter, opt %d ns/iter)",
 					path, cell.GOMAXPROCS, cell.Reference.NsPerIter, cell.Optimized.NsPerIter)
+			}
+			if ts := cell.Tiers; ts != nil {
+				if ts.HotRows <= 0 || ts.ReadHitRate < 0 || ts.ReadHitRate > 1 ||
+					ts.CommitHitRate < 0 || ts.CommitHitRate > 1 ||
+					ts.Promotions < 0 || ts.Demotions < 0 || ts.Demotions > ts.Promotions {
+					return nil, fmt.Errorf("%s: implausible tiers block in GOMAXPROCS=%d cell (%+v)",
+						path, cell.GOMAXPROCS, *ts)
+				}
 			}
 		}
 	case 1:
@@ -471,7 +572,7 @@ func VerifyTrainReport(path string, opts TrainOptions) (*TrainReport, error) {
 			return nil, fmt.Errorf("%s: degenerate v1 measurement", path)
 		}
 	default:
-		return nil, fmt.Errorf("%s: unknown train report schema %d (this build reads %d and the transitional 1)",
+		return nil, fmt.Errorf("%s: unknown train report schema %d (this build reads %d and the transitional 2 and 1)",
 			path, rep.Meta.Schema, TrainSchema)
 	}
 	if rep.FinalAUC == 0 || rep.TotalSimTime == 0 {

@@ -227,6 +227,135 @@ func TestVerifyTrainReport(t *testing.T) {
 	}
 }
 
+// TestRunTrainTiered runs the harness with a memory budget so the optimized
+// pass goes through the tiered store: the in-harness equivalence gate (flat
+// Reference vs tiered optimized) is the tier oracle, and the report must
+// carry the schema-3 tier ledger and both footprints.
+func TestRunTrainTiered(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perfbench harness is slow")
+	}
+	rep, err := RunTrain(TrainOptions{Scale: 2e-4, Procs: []int{2}, MemBudgetBytes: 8192})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Matrix) != 1 {
+		t.Fatalf("matrix shape wrong: %+v", rep.Matrix)
+	}
+	cell := rep.Matrix[0]
+	if cell.Tiers == nil {
+		t.Fatal("tiered harness run stamped no tiers block")
+	}
+	ts := cell.Tiers
+	if ts.HotRows != 8192/(8*4) {
+		t.Errorf("hot rows %d, want %d from the byte budget", ts.HotRows, 8192/(8*4))
+	}
+	if ts.ReadHitRate <= 0 || ts.ReadHitRate > 1 || ts.CommitHitRate <= 0 || ts.CommitHitRate > 1 {
+		t.Errorf("implausible hit rates: %+v", ts)
+	}
+	if ts.Promotions == 0 {
+		t.Error("tiered run recorded no promotions")
+	}
+	if cell.PeakFootprintBytes <= 0 || cell.RefFootprintBytes <= 0 {
+		t.Errorf("footprints missing: opt %d, ref %d", cell.PeakFootprintBytes, cell.RefFootprintBytes)
+	}
+	// The report must verify, tiers block included.
+	path := filepath.Join(t.TempDir(), "BENCH_train.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyTrainReport(path, TrainOptions{Scale: 2e-4}); err != nil {
+		t.Fatalf("tiered harness report refused: %v", err)
+	}
+}
+
+// TestTrainConfigHashExcludesTiers pins that tier knobs are execution
+// strategy, not workload: a tiered baseline and a flat one carry the same
+// config hash, exactly like the GOMAXPROCS matrix.
+func TestTrainConfigHashExcludesTiers(t *testing.T) {
+	flat := TrainOptions{}.configHash()
+	tiered := TrainOptions{MemBudgetBytes: 1 << 20, HotRows: 64, ColdRows: 512}.configHash()
+	if flat != tiered {
+		t.Errorf("tier knobs changed the config hash: %s vs %s", flat, tiered)
+	}
+}
+
+// TestVerifyTrainReportTiersValidation pins the schema-3 tiers-block rules:
+// an implausible ledger (hit rate outside [0,1], demotions exceeding
+// promotions) is refused even with a valid hash and matrix.
+func TestVerifyTrainReportTiersValidation(t *testing.T) {
+	mkRep := func(mutate func(*TierCellMetrics)) *TrainReport {
+		ts := &TierCellMetrics{
+			HotRows: 64, ColdRows: 512,
+			HotBytes: 2048, WarmBytes: 8192, ColdBytes: 16384,
+			ReadHitRate: 0.8, CommitHitRate: 0.7,
+			Promotions: 100, Demotions: 90,
+		}
+		mutate(ts)
+		rep := &TrainReport{
+			Dataset: "avazu", Scale: 2.5e-3, Partitions: 8, Epochs: 1, Seed: 22,
+			Samples: 1000, Iterations: 50, NumCPU: 4,
+			Matrix: []TrainCell{{
+				GOMAXPROCS: 1,
+				Reference:  TrainExecMetrics{NsPerIter: 200, SamplesPerSec: 1000},
+				Optimized:  TrainExecMetrics{NsPerIter: 100, SamplesPerSec: 2000},
+				Speedup:    2,
+				Tiers:      ts,
+			}},
+			ScalingSpeedup: 2,
+			FinalAUC:       0.7, TotalSimTime: 1.5,
+		}
+		rep.Meta.Schema = TrainSchema
+		rep.Meta.ConfigHash = TrainOptions{}.configHash()
+		return rep
+	}
+	check := func(name string, mutate func(*TierCellMetrics), wantErr bool) {
+		path := filepath.Join(t.TempDir(), "BENCH_train.json")
+		if err := mkRep(mutate).WriteJSON(path); err != nil {
+			t.Fatal(err)
+		}
+		_, err := VerifyTrainReport(path, TrainOptions{})
+		if wantErr && err == nil {
+			t.Errorf("%s: implausible tiers block passed verification", name)
+		}
+		if !wantErr && err != nil {
+			t.Errorf("%s: plausible tiers block refused: %v", name, err)
+		}
+	}
+	check("valid", func(*TierCellMetrics) {}, false)
+	check("hit rate above 1", func(ts *TierCellMetrics) { ts.ReadHitRate = 1.5 }, true)
+	check("negative commit hit rate", func(ts *TierCellMetrics) { ts.CommitHitRate = -0.1 }, true)
+	check("demotions exceed promotions", func(ts *TierCellMetrics) { ts.Demotions = ts.Promotions + 1 }, true)
+	check("zero hot rows", func(ts *TierCellMetrics) { ts.HotRows = 0 }, true)
+}
+
+// TestVerifyTrainReportAcceptsV2 pins the v2→v3 transition: the committed
+// schema-2 baseline (matrix, no tiers blocks) verifies unchanged until it
+// is regenerated.
+func TestVerifyTrainReportAcceptsV2(t *testing.T) {
+	rep := &TrainReport{
+		Dataset: "avazu", Scale: 2.5e-3, Partitions: 8, Epochs: 1, Seed: 22,
+		Samples: 1000, Iterations: 50, NumCPU: 4,
+		Matrix: []TrainCell{{
+			GOMAXPROCS: 1,
+			Reference:  TrainExecMetrics{NsPerIter: 200, SamplesPerSec: 1000},
+			Optimized:  TrainExecMetrics{NsPerIter: 100, SamplesPerSec: 2000},
+			Speedup:    2,
+		}},
+		ScalingSpeedup: 2,
+		FinalAUC:       0.7, TotalSimTime: 1.5,
+	}
+	rep.Meta.Schema = 2
+	rep.Meta.ConfigHash = TrainOptions{}.configHash()
+	path := filepath.Join(t.TempDir(), "BENCH_train.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := VerifyTrainReport(path, TrainOptions{}); err != nil {
+		t.Fatalf("schema-2 baseline refused: %v", err)
+	}
+}
+
 // TestVerifyTrainReportAcceptsLegacyV1 pins the schema transition: a
 // committed schema-1 BENCH_train.json (single measurement pair in the
 // since-renamed legacy fields, gomaxprocs duplicated at the top level, no

@@ -97,6 +97,11 @@ type Options struct {
 	// peers over Dist.Transport (see engine/dist.go). The simulated result
 	// is bit-identical to a single-process run of the same Options.
 	Dist *engine.DistConfig
+
+	// Tiers selects the embedding table's storage layout (hot clock-LFU
+	// cache + packed warm arena + cold spill). Result-invariant: a tiered
+	// run is bit-identical to a flat one.
+	Tiers embed.TierConfig
 }
 
 // NewModel builds the named CTR network for a dataset shape. The paper
@@ -192,6 +197,7 @@ func Build(sys System, opt Options) (*engine.Trainer, error) {
 		PartitionHistory: rounds,
 		Graph:            g,
 		Dist:             opt.Dist,
+		Tiers:            opt.Tiers,
 		Seed:             opt.Seed,
 	}
 	var proto consistency.Config
